@@ -1,0 +1,60 @@
+//! Microbenchmarks of the discrete-event kernel: queue scheduling, popping
+//! and cancellation — the inner loop every simulated minute rides on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netbatch_sim_engine::queue::EventQueue;
+use netbatch_sim_engine::rng::DetRng;
+use netbatch_sim_engine::time::SimTime;
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_10k", |b| {
+        let mut rng = DetRng::from_seed_u64(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_minutes(rng.next_below(100_000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.bench_function("schedule_cancel_half_10k", |b| {
+        let mut rng = DetRng::from_seed_u64(2);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            let mut ids = Vec::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                ids.push(q.schedule(SimTime::from_minutes(rng.next_below(100_000)), i));
+            }
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut n = 0u32;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("detrng_next_u64_1k", |b| {
+        let mut rng = DetRng::from_seed_u64(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64_inner());
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedule_pop, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of whole-scenario simulation throughput, one per
+//! evaluation regime. These measure the reproduction substrate itself
+//! (events/second of the ASCA-equivalent), not the paper's metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+use netbatch_workload::scenarios::ScenarioParams;
+
+const BENCH_SCALE: f64 = 0.02;
+
+fn bench_week_scenarios(c: &mut Criterion) {
+    let params = ScenarioParams::normal_week(BENCH_SCALE);
+    let normal_site = params.build_site();
+    let high_site = normal_site.halved();
+    let trace = params.generate_trace();
+    let mut group = c.benchmark_group("week_simulation");
+    group.sample_size(10);
+    for strategy in [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusRand,
+        StrategyKind::ResSusWaitUtil,
+        StrategyKind::ResSusWaitRand,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("normal_load", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    Experiment::new(
+                        normal_site.clone(),
+                        trace.clone(),
+                        SimConfig::new(InitialKind::RoundRobin, strategy),
+                    )
+                    .run()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("high_load", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    Experiment::new(
+                        high_site.clone(),
+                        trace.clone(),
+                        SimConfig::new(InitialKind::RoundRobin, strategy),
+                    )
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sampling_overhead(c: &mut Criterion) {
+    let params = ScenarioParams::normal_week(BENCH_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    group.bench_function("without_sampling", |b| {
+        b.iter(|| {
+            Experiment::new(
+                site.clone(),
+                trace.clone(),
+                SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes),
+            )
+            .run()
+        })
+    });
+    group.bench_function("with_per_minute_sampling", |b| {
+        b.iter(|| {
+            Experiment::new(
+                site.clone(),
+                trace.clone(),
+                SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes).with_sampling(),
+            )
+            .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_week_scenarios, bench_sampling_overhead);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks of synthetic trace generation and trace I/O — the workload
+//! substrate standing in for the proprietary NetBatch traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netbatch_workload::io::{read_csv, write_csv};
+use netbatch_workload::scenarios::ScenarioParams;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("normal_week_2pct", |b| {
+        let params = ScenarioParams::normal_week(0.02);
+        b.iter(|| params.generate_trace())
+    });
+    group.bench_function("high_suspension_week_2pct", |b| {
+        let params = ScenarioParams::high_suspension_week(0.02);
+        b.iter(|| params.generate_trace())
+    });
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let trace = ScenarioParams::normal_week(0.02).generate_trace();
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &trace).expect("serialize");
+    let mut group = c.benchmark_group("trace_io");
+    group.bench_function("write_csv", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            write_csv(&mut out, &trace).expect("serialize");
+            out.len()
+        })
+    });
+    group.bench_function("read_csv", |b| {
+        b.iter(|| read_csv(buf.as_slice()).expect("parse").len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_trace_io);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation (extensions): restart vs. migrate vs. duplicate.
+//!
+//! The paper chooses restart-based rescheduling over checkpoint/VM
+//! migration (§2.3: virtualization costs 10–20% for chip-sim workloads)
+//! and defers "job duplication techniques" to future work (§5). This
+//! sweep runs all three mechanisms with the same lowest-utilization
+//! target selection, under both load regimes, and sweeps the migration
+//! cost model to find where migration overtakes restarting.
+
+use netbatch_bench::runner::{build_scenario, scale_from_env, Load};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::{MigrationParams, SimConfig};
+use netbatch_metrics::table::Table;
+use netbatch_sim_engine::time::SimDuration;
+
+fn main() {
+    let scale = scale_from_env();
+    for (label, load) in [("normal load", Load::Normal), ("high load", Load::High)] {
+        let (site, trace) = build_scenario(load, scale);
+        println!("\nRescheduling-mechanism ablation | {label} | scale {scale}");
+        let mut table = Table::new([
+            "mechanism",
+            "AvgCT (susp)",
+            "AvgCT (all)",
+            "AvgWCT",
+            "moves",
+        ]);
+        for strategy in [
+            StrategyKind::NoRes,
+            StrategyKind::ResSusUtil,
+            StrategyKind::MigrateSusUtil,
+            StrategyKind::DupSusUtil,
+        ] {
+            let r = Experiment::new(
+                site.clone(),
+                trace.clone(),
+                SimConfig::new(InitialKind::RoundRobin, strategy),
+            )
+            .run();
+            let moves = r.counters.restarts_from_suspend
+                + r.counters.migrations
+                + r.counters.duplicates_launched;
+            table.row([
+                strategy.name().to_string(),
+                format!("{:.0}", r.avg_ct_suspended),
+                format!("{:.0}", r.avg_ct_all),
+                format!("{:.1}", r.avg_wct()),
+                moves.to_string(),
+            ]);
+        }
+        print!("{table}");
+    }
+
+    // Where does migration overtake restarting? Sweep the transfer delay
+    // (the slowdown stays at the paper's mid-range 15%).
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!("\nMigration-cost sweep | high load | 15% slowdown");
+    println!(
+        "{:<14} {:>14} {:>12} {:>9}",
+        "delay", "AvgCT (susp)", "AvgCT (all)", "AvgWCT"
+    );
+    let restart = Experiment::new(
+        site.clone(),
+        trace.clone(),
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil),
+    )
+    .run();
+    for delay in [0u64, 15, 30, 60, 120, 480] {
+        let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::MigrateSusUtil);
+        config.migration = MigrationParams {
+            delay: SimDuration::from_minutes(delay),
+            slowdown_milli: 1150,
+        };
+        let r = Experiment::new(site.clone(), trace.clone(), config).run();
+        println!(
+            "{:<14} {:>14.0} {:>12.0} {:>9.1}",
+            format!("{delay} min"),
+            r.avg_ct_suspended,
+            r.avg_ct_all,
+            r.avg_wct()
+        );
+    }
+    println!(
+        "{:<14} {:>14.0} {:>12.0} {:>9.1}   (restart-based reference)",
+        "ResSusUtil", restart.avg_ct_suspended, restart.avg_ct_all, restart.avg_wct()
+    );
+}

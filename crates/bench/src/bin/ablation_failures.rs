@@ -1,0 +1,53 @@
+//! Ablation (extension): machine failures. The paper's future work
+//! includes validating on the live platform, where hosts fail; this sweep
+//! injects random machine outages and measures how each strategy degrades.
+//! Rescheduling infrastructure turns out to double as failure recovery:
+//! evicted jobs reuse exactly the restart path.
+
+use netbatch_bench::runner::{build_scenario, scale_from_env, Load};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::{MachineFailure, SimConfig};
+use netbatch_sim_engine::rng::DetRng;
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::Normal, scale);
+    println!("Failure-injection ablation | normal load | scale {scale}");
+    println!(
+        "{:<10} {:>14} {:>10} {:>12} {:>9} {:>10}",
+        "failures", "strategy", "evictions", "AvgCT (all)", "AvgWCT", "unrunnable"
+    );
+    for n_failures in [0usize, 5, 20, 80] {
+        // Deterministic failure plan: random machines, staggered over the
+        // week, each down for 12 hours.
+        let mut rng = DetRng::from_seed_u64(99).stream("failures");
+        let failures: Vec<MachineFailure> = (0..n_failures)
+            .map(|_| {
+                let pool = rng.next_below(site.pools.len() as u64) as usize;
+                let machine = rng.next_below(site.pools[pool].machines.len() as u64) as u32;
+                MachineFailure {
+                    pool: site.pools[pool].id,
+                    machine: machine.into(),
+                    at: SimTime::from_minutes(rng.next_below(9_000)),
+                    down_for: Some(SimDuration::from_hours(12)),
+                }
+            })
+            .collect();
+        for strategy in [StrategyKind::NoRes, StrategyKind::ResSusWaitUtil] {
+            let mut config = SimConfig::new(InitialKind::RoundRobin, strategy);
+            config.failures = failures.clone();
+            let r = Experiment::new(site.clone(), trace.clone(), config).run();
+            println!(
+                "{:<10} {:>14} {:>10} {:>12.1} {:>9.1} {:>10}",
+                n_failures,
+                strategy.name(),
+                r.counters.failure_evictions,
+                r.avg_ct_all,
+                r.avg_wct(),
+                r.counters.unrunnable
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation (extension): multi-VPM topologies and inter-site rescheduling
+//! (the paper's Figure 1 architecture and its §5 future work).
+//!
+//! The evaluation treats the site as one VPM over 20 pools. Here we split
+//! the pools across 2 and 4 VPMs (sites), confine initial routing to each
+//! VPM's pools, and measure how much rescheduling loses when it cannot
+//! cross VPM boundaries — then re-enable inter-site rescheduling with a
+//! WAN transfer surcharge and sweep it.
+
+use netbatch_bench::runner::{build_scenario, scale_from_env, Load};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::{SimConfig, VpmTopology};
+use netbatch_sim_engine::time::SimDuration;
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!("Inter-site ablation | high load | ResSusWaitUtil | scale {scale}");
+    println!(
+        "{:<34} {:>12} {:>11} {:>9} {:>9}",
+        "topology", "AvgCT (susp)", "AvgCT (all)", "AvgWCT", "restarts"
+    );
+    let run = |label: &str, topology: Option<VpmTopology>| {
+        let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
+        config.topology = topology;
+        let r = Experiment::new(site.clone(), trace.clone(), config).run();
+        println!(
+            "{label:<34} {:>12.0} {:>11.0} {:>9.1} {:>9}",
+            r.avg_ct_suspended,
+            r.avg_ct_all,
+            r.avg_wct(),
+            r.counters.restarts_from_suspend + r.counters.restarts_from_wait
+        );
+    };
+    run("1 VPM x 20 pools (paper setup)", None);
+    run("2 VPMs, confined", Some(VpmTopology::contiguous(20, 2)));
+    run("4 VPMs, confined", Some(VpmTopology::contiguous(20, 4)));
+    for overhead in [0u64, 30, 120, 480] {
+        run(
+            &format!("4 VPMs, inter-site (+{overhead}m WAN)"),
+            Some(
+                VpmTopology::contiguous(20, 4)
+                    .with_inter_site(SimDuration::from_minutes(overhead)),
+            ),
+        );
+    }
+    println!("\nConfinement shrinks each job's escape set; inter-site rescheduling");
+    println!("recovers the single-VPM benefit as long as the WAN surcharge stays");
+    println!("below the queueing it avoids.");
+}

@@ -1,0 +1,38 @@
+//! Ablation: capping restarts per job (restart-churn control). The paper
+//! notes the random wait-rescheduling scheme "does come at a cost of much
+//! more frequent restart operations"; this sweep shows how much of the
+//! benefit survives a cap.
+
+use netbatch_bench::runner::{build_scenario, run_cell, scale_from_env, Load};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!("Max-restarts ablation | high load | ResSusWaitRand | scale {scale}");
+    let nores = run_cell(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
+    println!(
+        "NoRes baseline: AvgCT(susp) {:.1}, AvgCT(all) {:.1}\n",
+        nores.avg_ct_suspended, nores.avg_ct_all
+    );
+    println!(
+        "{:<12} {:>12} {:>11} {:>9} {:>10}",
+        "cap", "AvgCT (susp)", "AvgCT (all)", "AvgWCT", "restarts"
+    );
+    for cap in [Some(0u32), Some(1), Some(2), Some(4), Some(8), None] {
+        let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitRand);
+        config.max_restarts = cap;
+        let r = Experiment::new(site.clone(), trace.clone(), config).run();
+        let restarts = r.counters.restarts_from_suspend + r.counters.restarts_from_wait;
+        println!(
+            "{:<12} {:>12.1} {:>11.1} {:>9.1} {:>10}",
+            cap.map_or("unbounded".to_string(), |c| c.to_string()),
+            r.avg_ct_suspended,
+            r.avg_ct_all,
+            r.avg_wct(),
+            restarts
+        );
+    }
+}

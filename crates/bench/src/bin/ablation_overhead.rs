@@ -1,0 +1,42 @@
+//! Ablation (paper future work: "network delays and other rescheduling
+//! associated overheads"): sweep a fixed per-restart cost and find where
+//! `ResSusWaitRand`'s frequent restarts stop paying off against `NoRes`.
+
+use netbatch_bench::runner::{build_scenario, run_cell, scale_from_env, Load};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+use netbatch_sim_engine::time::SimDuration;
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!("Restart-overhead ablation | high load | scale {scale}");
+    let nores = run_cell(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
+    println!(
+        "NoRes baseline: AvgCT(all) {:.1}, AvgWCT {:.1}\n",
+        nores.avg_ct_all,
+        nores.avg_wct()
+    );
+    println!(
+        "{:<10} {:>14} {:>12} {:>9} {:>10} {:>10}",
+        "overhead", "strategy", "AvgCT (all)", "AvgWCT", "restarts", "wins?"
+    );
+    for strategy in [StrategyKind::ResSusWaitUtil, StrategyKind::ResSusWaitRand] {
+        for minutes in [0u64, 5, 15, 30, 60, 120, 240] {
+            let mut config = SimConfig::new(InitialKind::RoundRobin, strategy);
+            config.restart_overhead = SimDuration::from_minutes(minutes);
+            let r = Experiment::new(site.clone(), trace.clone(), config).run();
+            let restarts = r.counters.restarts_from_suspend + r.counters.restarts_from_wait;
+            println!(
+                "{:<10} {:>14} {:>12.1} {:>9.1} {:>10} {:>10}",
+                format!("{minutes} min"),
+                strategy.name(),
+                r.avg_ct_all,
+                r.avg_wct(),
+                restarts,
+                if r.avg_wct() < nores.avg_wct() { "yes" } else { "NO" }
+            );
+        }
+    }
+}

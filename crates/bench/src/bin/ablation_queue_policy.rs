@@ -1,0 +1,39 @@
+//! Ablation: the shortest-queue pool selector (`ResSusQueue`), the natural
+//! third metric suggested by the paper's diagnosis that random selection
+//! fails by "choosing a pool that already has a lot of waiting jobs".
+
+use netbatch_bench::runner::{build_scenario, print_reductions, run_strategies, scale_from_env, Load};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_metrics::table::Table;
+
+fn main() {
+    let scale = scale_from_env();
+    for (label, load) in [("normal load", Load::Normal), ("high load", Load::High)] {
+        let (site, trace) = build_scenario(load, scale);
+        println!("\nQueue-policy ablation | {label} | scale {scale}");
+        let results = run_strategies(
+            &site,
+            &trace,
+            InitialKind::RoundRobin,
+            &[
+                StrategyKind::NoRes,
+                StrategyKind::ResSusUtil,
+                StrategyKind::ResSusQueue,
+                StrategyKind::ResSusRand,
+            ],
+        );
+        let mut table = Table::new([
+            "strategy",
+            "Suspend rate",
+            "AvgCT (susp)",
+            "AvgCT (all)",
+            "AvgST",
+            "AvgWCT",
+        ]);
+        for r in &results {
+            table.row(r.paper_row());
+        }
+        print!("{table}");
+        print_reductions(&results);
+    }
+}

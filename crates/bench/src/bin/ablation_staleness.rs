@@ -1,0 +1,52 @@
+//! Ablation (paper §3.2.2 caveat / future work): how does `ResSusUtil`
+//! degrade when the utilization signal is stale? The paper notes that an
+//! exact utilization-based implementation "can be impractical in reality
+//! given the unavoidable propagation latency between different pools in a
+//! geographically distributed system" — this sweep quantifies the cost,
+//! with `ResSusRand` (which needs no signal at all) as the reference line.
+
+use netbatch_bench::runner::{build_scenario, run_cell, scale_from_env, Load};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+use netbatch_sim_engine::time::SimDuration;
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!(
+        "Staleness ablation | high load | ResSusUtil with aging utilization info | scale {scale}"
+    );
+    println!(
+        "{:<22} {:>12} {:>11} {:>9}",
+        "information age", "AvgCT (susp)", "AvgCT (all)", "AvgWCT"
+    );
+    for minutes in [0u64, 10, 30, 120, 480, 1440] {
+        let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+        config.view_staleness = SimDuration::from_minutes(minutes);
+        let r = Experiment::new(site.clone(), trace.clone(), config).run();
+        println!(
+            "{:<22} {:>12.1} {:>11.1} {:>9.1}",
+            format!("{minutes} min"),
+            r.avg_ct_suspended,
+            r.avg_ct_all,
+            r.avg_wct()
+        );
+    }
+    let rand = run_cell(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusRand);
+    println!(
+        "{:<22} {:>12.1} {:>11.1} {:>9.1}   (needs no signal)",
+        "ResSusRand reference",
+        rand.avg_ct_suspended,
+        rand.avg_ct_all,
+        rand.avg_wct()
+    );
+    let nores = run_cell(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
+    println!(
+        "{:<22} {:>12.1} {:>11.1} {:>9.1}",
+        "NoRes reference",
+        nores.avg_ct_suspended,
+        nores.avg_ct_all,
+        nores.avg_wct()
+    );
+}

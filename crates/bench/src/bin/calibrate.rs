@@ -1,0 +1,99 @@
+//! Calibration harness: runs the normal-load week at a given scale under
+//! NoRes/round-robin (plus the other paper cells on request) and prints the
+//! observables the workload is tuned against.
+
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+use netbatch_workload::analysis::TraceAnalysis;
+use netbatch_workload::scenarios::ScenarioParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let which = args.get(2).map(String::as_str).unwrap_or("normal");
+    let all = args.iter().any(|a| a == "--all");
+
+    let params = match which {
+        "highsus" => ScenarioParams::high_suspension_week(scale),
+        _ => ScenarioParams::normal_week(scale),
+    };
+    let site = params.build_site();
+    let site = if which == "high" { site.halved() } else { site };
+    let trace = params.generate_trace();
+    let analysis = TraceAnalysis::of(&trace);
+    println!(
+        "scale {scale} | jobs {} | high frac {:.2}% | mean runtime {:.0} | offered util {:.1}%",
+        analysis.jobs,
+        analysis.high_fraction() * 100.0,
+        analysis.mean_runtime,
+        analysis.offered_utilization(site.total_cores()) * 100.0,
+    );
+    println!("site cores {}", site.total_cores());
+
+    let strategies: &[StrategyKind] = if all {
+        &[
+            StrategyKind::NoRes,
+            StrategyKind::ResSusUtil,
+            StrategyKind::ResSusRand,
+            StrategyKind::ResSusWaitUtil,
+            StrategyKind::ResSusWaitRand,
+        ]
+    } else {
+        &[StrategyKind::NoRes]
+    };
+    println!(
+        "{:<16} {:>9} {:>12} {:>10} {:>9} {:>8} {:>9} {:>8} {:>8}",
+        "strategy", "susp%", "AvgCT(s)", "AvgCT(all)", "AvgST", "AvgWCT", "avgWait", "restS", "restW"
+    );
+    for &strategy in strategies {
+        let t0 = std::time::Instant::now();
+        let result = Experiment::new(
+            site.clone(),
+            trace.clone(),
+            SimConfig::new(InitialKind::RoundRobin, strategy),
+        )
+        .run();
+        // Diagnostics: what happened to jobs restarted from suspension?
+        let sim = netbatch_core::Simulator::new(
+            &site,
+            trace.to_specs(),
+            SimConfig::new(InitialKind::RoundRobin, strategy),
+        );
+        let out = sim.run_to_completion();
+        let restarted: Vec<_> = out
+            .jobs
+            .iter()
+            .filter(|j| j.restarts_from_suspend() > 0)
+            .collect();
+        if !restarted.is_empty() {
+            let n = restarted.len() as f64;
+            let wait: f64 = restarted.iter().map(|j| j.wait_time().as_minutes_f64()).sum::<f64>() / n;
+            let waste: f64 = restarted.iter().map(|j| j.resched_waste().as_minutes_f64()).sum::<f64>() / n;
+            let ct: f64 = restarted
+                .iter()
+                .map(|j| j.completion_time().unwrap().as_minutes_f64())
+                .sum::<f64>()
+                / n;
+            let multi = restarted.iter().filter(|j| j.restarts_from_suspend() > 1).count();
+            println!(
+                "    restarted-from-suspend: n={} meanCT={ct:.0} meanWait={wait:.0} meanWaste={waste:.0} multi-restart={multi}",
+                restarted.len()
+            );
+        }
+        println!(
+            "{:<16} {:>8.2}% {:>12.1} {:>10.1} {:>9.1} {:>8.1} {:>9.1} {:>8} {:>8}  ({:.1}s, {} events)",
+            strategy.name(),
+            result.suspend_rate * 100.0,
+            result.avg_ct_suspended,
+            result.avg_ct_all,
+            result.avg_st,
+            result.avg_wct(),
+            result.avg_wait_all,
+            result.counters.restarts_from_suspend,
+            result.counters.restarts_from_wait,
+            t0.elapsed().as_secs_f64(),
+            result.counters.events,
+        );
+    }
+}

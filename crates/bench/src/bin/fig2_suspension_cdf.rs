@@ -1,0 +1,57 @@
+//! Reproduces **Figure 2**: the CDF of job suspension time over a
+//! year-long trace under the production configuration (NoRes, round-robin
+//! initial scheduler), printed as a log-x series plus the summary
+//! statistics the paper quotes (median 437 min, mean 905 min, 20% above
+//! 1100 min).
+//!
+//! The year trace runs at `NETBATCH_SCALE × YEAR_SCALE_FACTOR` to keep
+//! half a million simulated minutes tractable (default overall 0.05).
+
+use netbatch_bench::paper::figure2;
+use netbatch_bench::runner::scale_from_env;
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+use netbatch_workload::scenarios::ScenarioParams;
+
+/// The year trace runs at half the table scale by default.
+const YEAR_SCALE_FACTOR: f64 = 0.5;
+
+fn main() {
+    let scale = scale_from_env() * YEAR_SCALE_FACTOR;
+    let params = ScenarioParams::year(scale);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    println!(
+        "Figure 2 | year trace ({} min) | NoRes | scale {scale:.3} | {} jobs | {} cores",
+        params.horizon,
+        trace.len(),
+        site.total_cores()
+    );
+    let result = Experiment::new(
+        site,
+        trace,
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes),
+    )
+    .run();
+
+    let cdf = result.suspension_cdf();
+    println!("\nsuspension-time CDF (x = minutes, y = % of suspended jobs ≤ x):");
+    for (x, pct) in cdf.log_series(2) {
+        let bar = "#".repeat((pct / 2.0).round() as usize);
+        println!("{x:>10.0}  {pct:>5.1}%  {bar}");
+    }
+    let median = cdf.median().unwrap_or(0.0);
+    let mean = cdf.mean();
+    let above = 1.0 - cdf.at(figure2::TAIL_THRESHOLD_MIN);
+    println!("\n                      measured     paper");
+    println!("median suspension   {median:>9.0}  {:>9.0}", figure2::MEDIAN_MIN);
+    println!("mean suspension     {mean:>9.0}  {:>9.0}", figure2::MEAN_MIN);
+    println!(
+        "fraction > {:.0} min {:>8.1}%  {:>8.1}%",
+        figure2::TAIL_THRESHOLD_MIN,
+        above * 100.0,
+        figure2::FRACTION_ABOVE_1100 * 100.0
+    );
+    println!("suspended jobs: {}", cdf.len());
+}

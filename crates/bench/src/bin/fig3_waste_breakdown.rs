@@ -1,0 +1,52 @@
+//! Reproduces **Figure 3**: the decomposition of average wasted completion
+//! time into wait / suspend / rescheduling-waste components for the three
+//! normal-load strategies.
+
+use netbatch_bench::paper::figure3;
+use netbatch_bench::runner::{build_scenario, run_strategies, scale_from_env, Load};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::Normal, scale);
+    println!(
+        "Figure 3 | normal load | round-robin initial | scale {scale} | {} jobs",
+        trace.len()
+    );
+    let results = run_strategies(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        &StrategyKind::PAPER_SUSPEND_ONLY,
+    );
+    println!("\naverage wasted completion time per job (minutes):");
+    println!(
+        "{:<14} {:>8} {:>9} {:>9} {:>8}   stacked bar (1 char = 2 min)",
+        "strategy", "wait", "suspend", "resched", "total"
+    );
+    for r in &results {
+        let (w, s, x) = (
+            r.waste.avg_wait(),
+            r.waste.avg_suspend(),
+            r.waste.avg_resched(),
+        );
+        let bar = format!(
+            "{}{}{}",
+            "W".repeat((w / 2.0).round() as usize),
+            "S".repeat((s / 2.0).round() as usize),
+            "R".repeat((x / 2.0).round() as usize)
+        );
+        println!(
+            "{:<14} {w:>8.1} {s:>9.1} {x:>9.1} {:>8.1}   {bar}",
+            r.strategy.name(),
+            r.avg_wct()
+        );
+    }
+    println!("\npaper (approximate, read off the bar chart):");
+    for (name, w, s, x) in figure3::COMPONENTS {
+        println!(
+            "{name:<14} {w:>8.1} {s:>9.1} {x:>9.1} {:>8.1}",
+            w + s + x
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Reproduces **Figure 4**: suspended-job count and utilization sampled
+//! every minute over the year trace, aggregated to 100-minute averages.
+//! Prints a downsampled rendering and writes the full series to
+//! `target/fig4_timeline.csv`.
+
+use std::io::Write;
+
+use netbatch_bench::paper::figure4;
+use netbatch_bench::runner::scale_from_env;
+use netbatch_core::experiment::Experiment;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+use netbatch_sim_engine::time::SimDuration;
+use netbatch_workload::scenarios::ScenarioParams;
+
+/// The year trace runs at half the table scale by default.
+const YEAR_SCALE_FACTOR: f64 = 0.5;
+
+/// Figure 4's aggregation interval.
+const BUCKET: SimDuration = SimDuration::from_minutes(100);
+
+fn main() {
+    let scale = scale_from_env() * YEAR_SCALE_FACTOR;
+    let params = ScenarioParams::year(scale);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    println!(
+        "Figure 4 | year trace | NoRes | per-minute sampling, 100-min aggregation | scale {scale:.3} | {} jobs",
+        trace.len()
+    );
+    let result = Experiment::new(
+        site,
+        trace,
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes).with_sampling(),
+    )
+    .run();
+
+    let susp = result.suspended_series.aggregate(BUCKET);
+    let util = result.utilization_series.aggregate(BUCKET);
+    // CSV for plotting.
+    let path = "target/fig4_timeline.csv";
+    let mut file = std::fs::File::create(path).expect("create csv");
+    writeln!(file, "minute,suspended_jobs,utilization_pct").unwrap();
+    for ((t, s), (_, u)) in susp.iter().zip(&util) {
+        writeln!(file, "{},{s:.1},{u:.2}", t.as_minutes()).unwrap();
+    }
+    println!("full series written to {path} ({} buckets)", susp.len());
+
+    // Terminal rendering, downsampled to ~60 rows.
+    let step = (susp.len() / 60).max(1);
+    let max_susp = susp.iter().map(|&(_, s)| s).fold(1.0, f64::max);
+    println!("\n  minute | util% | suspended (bar scaled to max {max_susp:.0})");
+    for i in (0..susp.len()).step_by(step) {
+        let (t, s) = susp[i];
+        let (_, u) = util[i];
+        let bar = "#".repeat(((s / max_susp) * 40.0).round() as usize);
+        println!("{:>8} | {u:>5.1} | {s:>7.0} {bar}", t.as_minutes());
+    }
+
+    // Figure 4 covers the submission year; exclude the post-horizon drain
+    // (where heavy-tail jobs finish on an otherwise empty site).
+    let in_horizon: Vec<f64> = result
+        .utilization_series
+        .samples()
+        .iter()
+        .filter(|&&(t, _)| t.as_minutes() < params.horizon)
+        .map(|&(_, u)| u)
+        .collect();
+    let mean_util = in_horizon.iter().sum::<f64>() / in_horizon.len().max(1) as f64;
+    let (lo, hi) = figure4::TYPICAL_UTILIZATION_BAND_PCT;
+    let in_band = in_horizon.iter().filter(|&&u| (lo..=hi).contains(&u)).count() as f64
+        / in_horizon.len().max(1) as f64;
+    println!("\nmean utilization: {mean_util:.1}% (paper: around {:.0}%)", figure4::MEAN_UTILIZATION_PCT);
+    println!(
+        "time in the paper's typical {lo:.0}-{hi:.0}% band: {:.0}%",
+        in_band * 100.0
+    );
+    println!(
+        "peak suspended jobs: {:.0} | mean suspended: {:.1}",
+        result.suspended_series.max().unwrap_or(0.0),
+        result.suspended_series.mean()
+    );
+}

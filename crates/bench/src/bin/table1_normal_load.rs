@@ -1,0 +1,26 @@
+//! Reproduces **Table 1**: NoRes / ResSusUtil / ResSusRand under the
+//! normal-load scenario with the round-robin initial scheduler.
+
+use netbatch_bench::paper::TABLE_1;
+use netbatch_bench::runner::{
+    build_scenario, print_comparison, print_reductions, run_strategies, scale_from_env, Load,
+};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::Normal, scale);
+    println!(
+        "Table 1 | normal load | round-robin initial | scale {scale} | {} jobs | {} cores",
+        trace.len(),
+        site.total_cores()
+    );
+    let results = run_strategies(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        &StrategyKind::PAPER_SUSPEND_ONLY,
+    );
+    print_comparison("Table 1: performance under normal load", &results, &TABLE_1);
+    print_reductions(&results);
+}

@@ -1,0 +1,26 @@
+//! Reproduces **Table 2**: the same strategies under the high-load
+//! scenario (every machine's cores halved, trace unchanged).
+
+use netbatch_bench::paper::TABLE_2;
+use netbatch_bench::runner::{
+    build_scenario, print_comparison, print_reductions, run_strategies, scale_from_env, Load,
+};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!(
+        "Table 2 | high load (cores halved) | round-robin initial | scale {scale} | {} jobs | {} cores",
+        trace.len(),
+        site.total_cores()
+    );
+    let results = run_strategies(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        &StrategyKind::PAPER_SUSPEND_ONLY,
+    );
+    print_comparison("Table 2: performance under high load", &results, &TABLE_2);
+    print_reductions(&results);
+}

@@ -1,0 +1,32 @@
+//! Reproduces **Table 3**: suspended-job rescheduling composed with the
+//! utilization-based initial scheduler (high-load scenario, the regime the
+//! paper reports because it "reflects more closer to the current Intel
+//! environments").
+
+use netbatch_bench::paper::TABLE_3;
+use netbatch_bench::runner::{
+    build_scenario, print_comparison, print_reductions, run_strategies, scale_from_env, Load,
+};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!(
+        "Table 3 | high load | utilization-based initial | scale {scale} | {} jobs | {} cores",
+        trace.len(),
+        site.total_cores()
+    );
+    let results = run_strategies(
+        &site,
+        &trace,
+        InitialKind::UtilizationBased,
+        &StrategyKind::PAPER_SUSPEND_ONLY,
+    );
+    print_comparison(
+        "Table 3: utilization-based initial scheduling",
+        &results,
+        &TABLE_3,
+    );
+    print_reductions(&results);
+}

@@ -1,0 +1,29 @@
+//! Reproduces **Table 5**: combined rescheduling with the
+//! utilization-based initial scheduler under high load.
+
+use netbatch_bench::paper::TABLE_5;
+use netbatch_bench::runner::{
+    build_scenario, print_comparison, print_reductions, run_strategies, scale_from_env, Load,
+};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::High, scale);
+    println!(
+        "Table 5 | high load | utilization-based initial | wait threshold 30m | scale {scale} | {} jobs",
+        trace.len()
+    );
+    let results = run_strategies(
+        &site,
+        &trace,
+        InitialKind::UtilizationBased,
+        &StrategyKind::PAPER_WITH_WAIT,
+    );
+    print_comparison(
+        "Table 5: rescheduling waiting jobs (utilization-based initial)",
+        &results,
+        &TABLE_5,
+    );
+    print_reductions(&results);
+}

@@ -1,0 +1,31 @@
+//! # netbatch-bench
+//!
+//! The benchmark harness reproducing every table and figure of the paper's
+//! evaluation, plus the ablations DESIGN.md §6 calls out.
+//!
+//! Each experiment has a binary (`cargo run --release -p netbatch-bench
+//! --bin <name>`):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_normal_load` | Table 1 |
+//! | `table2_high_load` | Table 2 |
+//! | `table2b_high_suspension` | §3.2.1 high-suspension claims |
+//! | `table3_util_initial` | Table 3 |
+//! | `table4_wait_resched` | Table 4 |
+//! | `table5_wait_util_initial` | Table 5 |
+//! | `fig2_suspension_cdf` | Figure 2 |
+//! | `fig3_waste_breakdown` | Figure 3 |
+//! | `fig4_suspension_timeline` | Figure 4 |
+//! | `ablation_staleness` | stale-utilization extension |
+//! | `ablation_overhead` | restart-overhead extension |
+//! | `ablation_max_restarts` | restart-cap extension |
+//! | `ablation_queue_policy` | shortest-queue selector extension |
+//! | `repro_all` | everything above in sequence |
+//!
+//! The `NETBATCH_SCALE` environment variable scales site capacity and
+//! arrival rates together (default 0.1; 1.0 = the paper's full 248k-job
+//! week).
+
+pub mod paper;
+pub mod runner;

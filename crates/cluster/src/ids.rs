@@ -1,0 +1,154 @@
+//! Typed identifiers for cluster entities.
+//!
+//! Newtypes keep pool, machine, job and task ids statically distinct
+//! (C-NEWTYPE): handing a `MachineId` where a `PoolId` is expected is a
+//! compile error rather than a silent mis-index.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a job across the whole cluster. Dense and allocation-ordered,
+/// so it doubles as an index into the simulator's job table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// Returns the raw index.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the id as a usize for table indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(v: u64) -> Self {
+        JobId(v)
+    }
+}
+
+/// Identifies a physical pool at a site (the paper's site has 20).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PoolId(pub u16);
+
+impl PoolId {
+    /// Returns the raw index.
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the id as a usize for table indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool{}", self.0)
+    }
+}
+
+impl From<u16> for PoolId {
+    fn from(v: u16) -> Self {
+        PoolId(v)
+    }
+}
+
+/// Identifies a machine within its pool (pool-local index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// Returns the raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a usize for table indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for MachineId {
+    fn from(v: u32) -> Self {
+        MachineId(v)
+    }
+}
+
+/// Identifies a *task*: a set of jobs whose results are only useful when all
+/// (or a high percentage) complete — the paper's §2.2 chip-simulation
+/// productivity unit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Returns the raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_distinctly() {
+        assert_eq!(JobId(3).to_string(), "job3");
+        assert_eq!(PoolId(3).to_string(), "pool3");
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert_eq!(TaskId(3).to_string(), "task3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(JobId(1) < JobId(2));
+        assert!(PoolId(0) < PoolId(19));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(JobId::from(9).as_u64(), 9);
+        assert_eq!(PoolId::from(9).as_u16(), 9);
+        assert_eq!(MachineId::from(9).as_u32(), 9);
+        assert_eq!(JobId(12).as_usize(), 12);
+    }
+}

@@ -1,0 +1,650 @@
+//! A single multi-core compute machine: capacity tracking, residency, and
+//! host-level preemption planning.
+//!
+//! Semantics pinned here (documented in DESIGN.md §3): a **running** job
+//! holds cores and memory; a **suspended** job releases its cores but stays
+//! resident in memory (NetBatch suspension is SIGSTOP-style — the process
+//! remains on the host and resumes there when capacity frees up).
+
+use std::fmt;
+
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{JobId, MachineId};
+use crate::job::Resources;
+use crate::priority::Priority;
+
+/// Static description of a machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Pool-local identifier.
+    pub id: MachineId,
+    /// Number of cores.
+    pub cores: u32,
+    /// Physical memory in MB.
+    pub memory_mb: u64,
+    /// CPU speed as a per-mille factor relative to the reference machine
+    /// (1000 = 1.0×). A job with base runtime `r` takes `ceil(r / speed)`
+    /// wall minutes here. NetBatch pools contain machines "with varying CPU
+    /// speed and memory" (§3.1).
+    pub speed_milli: u32,
+}
+
+impl MachineConfig {
+    /// A reference-speed machine.
+    pub fn new(id: MachineId, cores: u32, memory_mb: u64) -> Self {
+        MachineConfig {
+            id,
+            cores,
+            memory_mb,
+            speed_milli: 1000,
+        }
+    }
+
+    /// Sets the speed factor in per-mille (500 = half speed, 2000 = double).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_milli` is zero.
+    pub fn with_speed_milli(mut self, speed_milli: u32) -> Self {
+        assert!(speed_milli > 0, "machine speed must be positive");
+        self.speed_milli = speed_milli;
+        self
+    }
+
+    /// Wall-clock duration of a job with the given base runtime on this
+    /// machine (rounded up to whole minutes, minimum 1 minute).
+    pub fn scaled_wall(&self, runtime: SimDuration) -> SimDuration {
+        let base = runtime.as_minutes();
+        let scaled = (base * 1000).div_ceil(u64::from(self.speed_milli));
+        SimDuration::from_minutes(scaled.max(1))
+    }
+}
+
+/// A job resident on a machine (running or suspended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resident {
+    /// The resident job.
+    pub job: JobId,
+    /// Its resource footprint.
+    pub resources: Resources,
+    /// Its priority (used for preemption planning).
+    pub priority: Priority,
+    /// When it entered its current residency state (start or suspension
+    /// instant).
+    pub since: SimTime,
+}
+
+/// Dynamic machine state.
+pub struct Machine {
+    config: MachineConfig,
+    running: Vec<Resident>,
+    suspended: Vec<Resident>,
+    cores_used: u32,
+    memory_used: u64,
+    down: bool,
+}
+
+impl Machine {
+    /// Creates an idle machine.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine {
+            config,
+            running: Vec::new(),
+            suspended: Vec::new(),
+            cores_used: 0,
+            memory_used: 0,
+            down: false,
+        }
+    }
+
+    /// True if the machine is failed/offline.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Fails the machine: every resident job (running or suspended) is
+    /// evicted and returned; the machine accepts no work until
+    /// [`Machine::restore`].
+    pub fn fail(&mut self) -> Vec<Resident> {
+        self.down = true;
+        self.cores_used = 0;
+        self.memory_used = 0;
+        let mut evicted = std::mem::take(&mut self.running);
+        evicted.append(&mut self.suspended);
+        evicted
+    }
+
+    /// Brings a failed machine back online, empty.
+    pub fn restore(&mut self) {
+        self.down = false;
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Machine id.
+    pub fn id(&self) -> MachineId {
+        self.config.id
+    }
+
+    /// Cores currently occupied by running jobs.
+    pub fn cores_used(&self) -> u32 {
+        self.cores_used
+    }
+
+    /// Cores currently free.
+    pub fn cores_free(&self) -> u32 {
+        self.config.cores - self.cores_used
+    }
+
+    /// Memory currently occupied (running **and** suspended residents).
+    pub fn memory_used(&self) -> u64 {
+        self.memory_used
+    }
+
+    /// Memory currently free.
+    pub fn memory_free(&self) -> u64 {
+        self.config.memory_mb - self.memory_used
+    }
+
+    /// Jobs currently running here.
+    pub fn running(&self) -> &[Resident] {
+        &self.running
+    }
+
+    /// Jobs currently suspended here.
+    pub fn suspended(&self) -> &[Resident] {
+        &self.suspended
+    }
+
+    /// True if the machine could run the footprint when completely idle —
+    /// the *eligibility* test (job requirements vs machine capability).
+    /// Deliberately ignores downtime: a failed machine is still *capable*,
+    /// so jobs queue for it rather than bouncing as unrunnable.
+    pub fn can_ever_run(&self, res: Resources) -> bool {
+        res.cores <= self.config.cores && res.memory_mb <= self.config.memory_mb
+    }
+
+    /// True if the footprint fits right now without preemption — the
+    /// *availability* test.
+    pub fn can_run_now(&self, res: Resources) -> bool {
+        !self.down && res.cores <= self.cores_free() && res.memory_mb <= self.memory_free()
+    }
+
+    /// Plans a preemption: which running jobs must be suspended so that a
+    /// job with footprint `res` and priority `priority` fits.
+    ///
+    /// Only **strictly lower-priority** jobs are candidates. Victims are
+    /// chosen lowest-priority-first, most-recently-started-first (minimizing
+    /// discarded progress). Suspension frees cores but *not* memory, so if
+    /// free memory is insufficient the plan fails regardless of victims.
+    ///
+    /// Returns the victim list (possibly empty if the job already fits), or
+    /// `None` if no feasible plan exists.
+    pub fn preemption_plan(&self, res: Resources, priority: Priority) -> Option<Vec<JobId>> {
+        if self.down || !self.can_ever_run(res) || res.memory_mb > self.memory_free() {
+            return None;
+        }
+        if res.cores <= self.cores_free() {
+            return Some(Vec::new());
+        }
+        let mut candidates: Vec<&Resident> = self
+            .running
+            .iter()
+            .filter(|r| priority.can_preempt(r.priority))
+            .collect();
+        // Lowest priority first; among equals, most recently started first.
+        candidates.sort_by(|a, b| a.priority.cmp(&b.priority).then(b.since.cmp(&a.since)));
+        let needed = res.cores - self.cores_free();
+        let mut freed = 0u32;
+        let mut victims = Vec::new();
+        for r in candidates {
+            if freed >= needed {
+                break;
+            }
+            freed += r.resources.cores;
+            victims.push(r.job);
+        }
+        if freed >= needed {
+            Some(victims)
+        } else {
+            None
+        }
+    }
+
+    /// Starts a job on this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint does not currently fit — callers must check
+    /// [`Machine::can_run_now`] (or execute a preemption plan) first.
+    pub fn start(&mut self, now: SimTime, job: JobId, res: Resources, priority: Priority) {
+        assert!(
+            self.can_run_now(res),
+            "start called without capacity on {} for {}",
+            self.config.id,
+            job
+        );
+        self.cores_used += res.cores;
+        self.memory_used += res.memory_mb;
+        self.running.push(Resident {
+            job,
+            resources: res,
+            priority,
+            since: now,
+        });
+    }
+
+    /// Suspends a running job in place: cores are freed, memory stays
+    /// resident.
+    ///
+    /// Returns the resident entry, or `None` if the job is not running here.
+    pub fn suspend(&mut self, now: SimTime, job: JobId) -> Option<Resident> {
+        let idx = self.running.iter().position(|r| r.job == job)?;
+        let mut r = self.running.swap_remove(idx);
+        self.cores_used -= r.resources.cores;
+        r.since = now;
+        self.suspended.push(r);
+        Some(r)
+    }
+
+    /// Resumes a suspended job (cores are re-acquired).
+    ///
+    /// Returns `None` (leaving state untouched) if the job is not suspended
+    /// here or its cores no longer fit.
+    pub fn resume(&mut self, now: SimTime, job: JobId) -> Option<Resident> {
+        let idx = self.suspended.iter().position(|r| r.job == job)?;
+        if self.suspended[idx].resources.cores > self.cores_free() {
+            return None;
+        }
+        let mut r = self.suspended.swap_remove(idx);
+        self.cores_used += r.resources.cores;
+        r.since = now;
+        self.running.push(r);
+        Some(r)
+    }
+
+    /// The suspended jobs that could be resumed with current free cores,
+    /// in resume order: highest priority first, earliest-suspended first.
+    pub fn resumable(&self) -> Vec<JobId> {
+        let mut order: Vec<&Resident> = self.suspended.iter().collect();
+        order.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.since.cmp(&b.since)));
+        let mut free = self.cores_free();
+        let mut out = Vec::new();
+        for r in order {
+            if r.resources.cores <= free {
+                free -= r.resources.cores;
+                out.push(r.job);
+            }
+        }
+        out
+    }
+
+    /// Removes a running job (completion): frees cores and memory.
+    ///
+    /// Returns the resident entry, or `None` if the job is not running here.
+    pub fn release(&mut self, job: JobId) -> Option<Resident> {
+        let idx = self.running.iter().position(|r| r.job == job)?;
+        let r = self.running.swap_remove(idx);
+        self.cores_used -= r.resources.cores;
+        self.memory_used -= r.resources.memory_mb;
+        Some(r)
+    }
+
+    /// Removes a suspended job (rescheduled away): frees its memory.
+    ///
+    /// Returns the resident entry, or `None` if the job is not suspended
+    /// here.
+    pub fn remove_suspended(&mut self, job: JobId) -> Option<Resident> {
+        let idx = self.suspended.iter().position(|r| r.job == job)?;
+        let r = self.suspended.swap_remove(idx);
+        self.memory_used -= r.resources.memory_mb;
+        Some(r)
+    }
+
+    /// Internal consistency check, used by tests and debug assertions.
+    pub fn check_invariants(&self) -> bool {
+        let cores: u32 = self.running.iter().map(|r| r.resources.cores).sum();
+        let mem: u64 = self
+            .running
+            .iter()
+            .chain(self.suspended.iter())
+            .map(|r| r.resources.memory_mb)
+            .sum();
+        cores == self.cores_used
+            && mem == self.memory_used
+            && self.cores_used <= self.config.cores
+            && self.memory_used <= self.config.memory_mb
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("id", &self.config.id)
+            .field("cores", &format_args!("{}/{}", self.cores_used, self.config.cores))
+            .field(
+                "memory_mb",
+                &format_args!("{}/{}", self.memory_used, self.config.memory_mb),
+            )
+            .field("running", &self.running.len())
+            .field("suspended", &self.suspended.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(cores: u32, mem: u64) -> Machine {
+        Machine::new(MachineConfig::new(MachineId(0), cores, mem))
+    }
+
+    fn res(cores: u32, mem: u64) -> Resources {
+        Resources {
+            cores,
+            memory_mb: mem,
+        }
+    }
+
+    fn t(m: u64) -> SimTime {
+        SimTime::from_minutes(m)
+    }
+
+    #[test]
+    fn capacity_tracking() {
+        let mut m = mk(4, 8000);
+        assert!(m.can_run_now(res(4, 8000)));
+        m.start(t(0), JobId(1), res(2, 3000), Priority::LOW);
+        assert_eq!(m.cores_free(), 2);
+        assert_eq!(m.memory_free(), 5000);
+        assert!(m.can_run_now(res(2, 5000)));
+        assert!(!m.can_run_now(res(3, 1000)));
+        assert!(!m.can_run_now(res(1, 6000)));
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn eligibility_vs_availability() {
+        let mut m = mk(2, 4000);
+        m.start(t(0), JobId(1), res(2, 1000), Priority::LOW);
+        assert!(m.can_ever_run(res(2, 4000)));
+        assert!(!m.can_run_now(res(1, 1000)));
+        assert!(!m.can_ever_run(res(3, 1000)));
+        assert!(!m.can_ever_run(res(1, 5000)));
+    }
+
+    #[test]
+    fn suspension_frees_cores_keeps_memory() {
+        let mut m = mk(4, 8000);
+        m.start(t(0), JobId(1), res(4, 4000), Priority::LOW);
+        assert_eq!(m.cores_free(), 0);
+        m.suspend(t(5), JobId(1)).expect("job running");
+        assert_eq!(m.cores_free(), 4);
+        assert_eq!(m.memory_free(), 4000); // memory still held
+        assert_eq!(m.suspended().len(), 1);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn resume_restores_cores() {
+        let mut m = mk(4, 8000);
+        m.start(t(0), JobId(1), res(2, 1000), Priority::LOW);
+        m.suspend(t(1), JobId(1)).unwrap();
+        let r = m.resume(t(9), JobId(1)).expect("resumable");
+        assert_eq!(r.since, t(9));
+        assert_eq!(m.cores_used(), 2);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn resume_fails_without_cores() {
+        let mut m = mk(4, 8000);
+        m.start(t(0), JobId(1), res(3, 1000), Priority::LOW);
+        m.suspend(t(1), JobId(1)).unwrap();
+        m.start(t(1), JobId(2), res(3, 1000), Priority::HIGH);
+        assert!(m.resume(t(2), JobId(1)).is_none());
+        assert_eq!(m.suspended().len(), 1, "failed resume must not lose the job");
+    }
+
+    #[test]
+    fn preemption_plan_picks_lowest_priority_most_recent() {
+        let mut m = mk(4, 16_000);
+        m.start(t(0), JobId(1), res(1, 100), Priority::new(2));
+        m.start(t(5), JobId(2), res(1, 100), Priority::new(1));
+        m.start(t(9), JobId(3), res(1, 100), Priority::new(1));
+        m.start(t(2), JobId(4), res(1, 100), Priority::new(3));
+        // Need 2 cores for a HIGH job: should pick the two priority-1 jobs,
+        // most recent (job3) first.
+        let plan = m
+            .preemption_plan(res(2, 100), Priority::HIGH)
+            .expect("feasible");
+        assert_eq!(plan, vec![JobId(3), JobId(2)]);
+    }
+
+    #[test]
+    fn preemption_plan_empty_when_fits() {
+        let mut m = mk(4, 8000);
+        m.start(t(0), JobId(1), res(1, 100), Priority::LOW);
+        let plan = m.preemption_plan(res(1, 100), Priority::HIGH).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn preemption_infeasible_against_equal_priority() {
+        let mut m = mk(2, 8000);
+        m.start(t(0), JobId(1), res(2, 100), Priority::HIGH);
+        assert!(m.preemption_plan(res(1, 100), Priority::HIGH).is_none());
+        assert!(m.preemption_plan(res(1, 100), Priority::LOW).is_none());
+    }
+
+    #[test]
+    fn preemption_infeasible_when_memory_short() {
+        let mut m = mk(4, 4000);
+        m.start(t(0), JobId(1), res(4, 3500), Priority::LOW);
+        // Suspending frees cores but not the 3500 MB, so a 1000 MB job
+        // cannot be placed.
+        assert!(m.preemption_plan(res(1, 1000), Priority::HIGH).is_none());
+        // A small-memory job can.
+        assert!(m.preemption_plan(res(1, 400), Priority::HIGH).is_some());
+    }
+
+    #[test]
+    fn resumable_orders_by_priority_then_suspension_time() {
+        let mut m = mk(8, 64_000);
+        for (id, prio, start) in [
+            (1u64, Priority::LOW, 0u64),
+            (2, Priority::HIGH, 1),
+            (3, Priority::LOW, 2),
+        ] {
+            m.start(t(start), JobId(id), res(2, 100), prio);
+            m.suspend(t(start + 10), JobId(id)).unwrap();
+        }
+        assert_eq!(
+            m.resumable(),
+            vec![JobId(2), JobId(1), JobId(3)],
+            "high priority first, then earliest suspended"
+        );
+    }
+
+    #[test]
+    fn resumable_respects_core_budget() {
+        let mut m = mk(4, 64_000);
+        m.start(t(0), JobId(1), res(3, 100), Priority::LOW);
+        m.suspend(t(1), JobId(1)).unwrap();
+        m.start(t(2), JobId(2), res(2, 100), Priority::LOW);
+        m.suspend(t(3), JobId(2)).unwrap();
+        m.start(t(4), JobId(3), res(2, 100), Priority::LOW);
+        // 2 cores busy, 2 free: job1 (3 cores) does not fit, job2 (2) does.
+        assert_eq!(m.resumable(), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn release_and_remove_suspended_free_resources() {
+        let mut m = mk(4, 8000);
+        m.start(t(0), JobId(1), res(2, 2000), Priority::LOW);
+        m.start(t(0), JobId(2), res(2, 2000), Priority::LOW);
+        m.suspend(t(1), JobId(2)).unwrap();
+        m.release(JobId(1)).expect("running");
+        assert_eq!(m.cores_used(), 0);
+        assert_eq!(m.memory_used(), 2000);
+        m.remove_suspended(JobId(2)).expect("suspended");
+        assert_eq!(m.memory_used(), 0);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn missing_jobs_return_none() {
+        let mut m = mk(4, 8000);
+        assert!(m.suspend(t(0), JobId(9)).is_none());
+        assert!(m.resume(t(0), JobId(9)).is_none());
+        assert!(m.release(JobId(9)).is_none());
+        assert!(m.remove_suspended(JobId(9)).is_none());
+    }
+
+    #[test]
+    fn scaled_wall_rounds_up_and_scales() {
+        let cfg = MachineConfig::new(MachineId(0), 1, 1000).with_speed_milli(2000);
+        assert_eq!(cfg.scaled_wall(SimDuration::from_minutes(100)).as_minutes(), 50);
+        let slow = MachineConfig::new(MachineId(0), 1, 1000).with_speed_milli(300);
+        assert_eq!(slow.scaled_wall(SimDuration::from_minutes(10)).as_minutes(), 34);
+        // Minimum one minute even for zero-runtime jobs.
+        assert_eq!(slow.scaled_wall(SimDuration::ZERO).as_minutes(), 1);
+    }
+
+    #[test]
+    fn failure_evicts_everyone_and_blocks_work() {
+        let mut m = mk(4, 8000);
+        m.start(t(0), JobId(1), res(1, 1000), Priority::LOW);
+        m.start(t(0), JobId(2), res(1, 1000), Priority::LOW);
+        m.suspend(t(1), JobId(2)).unwrap();
+        let evicted = m.fail();
+        assert_eq!(evicted.len(), 2);
+        assert!(m.is_down());
+        assert_eq!(m.cores_used(), 0);
+        assert_eq!(m.memory_used(), 0);
+        // Still *capable* (jobs may queue for it) but not *available*.
+        assert!(m.can_ever_run(res(1, 1)));
+        assert!(!m.can_run_now(res(1, 1)));
+        assert!(m.preemption_plan(res(1, 1), Priority::HIGH).is_none());
+        assert!(m.check_invariants());
+        m.restore();
+        assert!(m.can_run_now(res(4, 8000)));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Start { cores: u32, mem: u64, prio: u8 },
+            Suspend(usize),
+            Resume(usize),
+            Release(usize),
+            RemoveSuspended(usize),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (1u32..3, 64u64..2000, 0u8..12)
+                    .prop_map(|(cores, mem, prio)| Op::Start { cores, mem, prio }),
+                (0usize..64).prop_map(Op::Suspend),
+                (0usize..64).prop_map(Op::Resume),
+                (0usize..64).prop_map(Op::Release),
+                (0usize..64).prop_map(Op::RemoveSuspended),
+            ]
+        }
+
+        proptest! {
+            /// Machine counters stay consistent with residency under any
+            /// valid operation sequence; capacity is never exceeded.
+            #[test]
+            fn prop_machine_invariants(ops in proptest::collection::vec(arb_op(), 1..100)) {
+                let mut m = Machine::new(MachineConfig::new(MachineId(0), 4, 4096));
+                let mut next = 0u64;
+                let mut ids: Vec<JobId> = Vec::new();
+                for (step, op) in ops.into_iter().enumerate() {
+                    let t = SimTime::from_minutes(step as u64);
+                    match op {
+                        Op::Start { cores, mem, prio } => {
+                            let res = Resources { cores, memory_mb: mem };
+                            if m.can_run_now(res) {
+                                let id = JobId(next);
+                                next += 1;
+                                m.start(t, id, res, Priority::new(prio));
+                                ids.push(id);
+                            }
+                        }
+                        Op::Suspend(i) => {
+                            if let Some(&id) = ids.get(i % ids.len().max(1)) {
+                                m.suspend(t, id);
+                            }
+                        }
+                        Op::Resume(i) => {
+                            if let Some(&id) = ids.get(i % ids.len().max(1)) {
+                                m.resume(t, id);
+                            }
+                        }
+                        Op::Release(i) => {
+                            if let Some(&id) = ids.get(i % ids.len().max(1)) {
+                                m.release(id);
+                            }
+                        }
+                        Op::RemoveSuspended(i) => {
+                            if let Some(&id) = ids.get(i % ids.len().max(1)) {
+                                m.remove_suspended(id);
+                            }
+                        }
+                    }
+                    prop_assert!(m.check_invariants());
+                    prop_assert!(m.cores_used() <= m.config().cores);
+                    prop_assert!(m.memory_used() <= m.config().memory_mb);
+                }
+            }
+
+            /// A feasible preemption plan, when executed, always makes room
+            /// for the incoming footprint.
+            #[test]
+            fn prop_preemption_plan_is_sufficient(
+                seeds in proptest::collection::vec((1u32..3, 0u8..5), 1..8),
+                incoming_cores in 1u32..5,
+                incoming_prio in 4u8..15,
+            ) {
+                let mut m = Machine::new(MachineConfig::new(MachineId(0), 4, 65536));
+                for (i, (cores, prio)) in seeds.iter().enumerate() {
+                    let res = Resources { cores: *cores, memory_mb: 10 };
+                    if m.can_run_now(res) {
+                        m.start(SimTime::from_minutes(i as u64), JobId(i as u64), res, Priority::new(*prio));
+                    }
+                }
+                let want = Resources { cores: incoming_cores, memory_mb: 10 };
+                if let Some(victims) = m.preemption_plan(want, Priority::new(incoming_prio)) {
+                    for v in victims {
+                        m.suspend(SimTime::from_minutes(100), v).expect("victim runs");
+                    }
+                    prop_assert!(m.can_run_now(want), "plan must free enough capacity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without capacity")]
+    fn start_without_capacity_panics() {
+        let mut m = mk(1, 1000);
+        m.start(t(0), JobId(1), res(1, 1000), Priority::LOW);
+        m.start(t(0), JobId(2), res(1, 1000), Priority::LOW);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        MachineConfig::new(MachineId(0), 1, 1).with_speed_milli(0);
+    }
+}

@@ -1,0 +1,882 @@
+//! The physical pool manager: machine list, wait queue, dispatch,
+//! host-level preemption and capacity-freeing cycles.
+//!
+//! Protocol reproduced from §2.1 of the paper: when a job is assigned to the
+//! pool, the manager scans its machine list for the first *eligible and
+//! available* machine and starts the job there. If every eligible machine is
+//! busy and some eligible machine runs a strictly lower-priority job, that
+//! job is suspended and the new one takes its place; otherwise the new job
+//! queues. If **no** machine in the pool is eligible at all, the job is
+//! bounced back to the virtual pool manager ([`SubmitOutcome::Ineligible`]).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+
+use crate::ids::{JobId, MachineId, PoolId};
+use crate::job::{JobSpec, Resources};
+use crate::machine::{Machine, MachineConfig};
+use crate::priority::Priority;
+
+/// Static description of a pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// The pool's identifier.
+    pub id: PoolId,
+    /// Machines in the pool, in dispatch-scan order.
+    pub machines: Vec<MachineConfig>,
+}
+
+impl PoolConfig {
+    /// A pool of `n` identical machines.
+    pub fn uniform(id: PoolId, n: u32, cores: u32, memory_mb: u64) -> Self {
+        PoolConfig {
+            id,
+            machines: (0..n)
+                .map(|i| MachineConfig::new(MachineId(i), cores, memory_mb))
+                .collect(),
+        }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> u32 {
+        self.machines.iter().map(|m| m.cores).sum()
+    }
+
+    /// Returns a copy with every machine's core count halved (rounded up to
+    /// at least 1) — the paper's **high load** scenario construction ("we
+    /// reduce the number of compute cores available to each pool by half
+    /// while keeping the submitted job trace unchanged").
+    pub fn halved_cores(&self) -> PoolConfig {
+        PoolConfig {
+            id: self.id,
+            machines: self
+                .machines
+                .iter()
+                .map(|m| {
+                    let mut c = m.clone();
+                    c.cores = (m.cores / 2).max(1);
+                    c
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A job sitting in the pool's wait queue, with everything needed to start
+/// it later without consulting external state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEntry {
+    /// The waiting job.
+    pub job: JobId,
+    /// Its footprint.
+    pub resources: Resources,
+    /// Its priority.
+    pub priority: Priority,
+    /// Base runtime (unscaled).
+    pub runtime: SimDuration,
+    /// When it entered this queue.
+    pub enqueued_at: SimTime,
+}
+
+/// Something the pool did that the simulator must react to (scheduling or
+/// cancelling completion events, updating job records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolAction {
+    /// A job began executing; its completion is `wall` from now.
+    Started {
+        /// The started job.
+        job: JobId,
+        /// Host machine.
+        machine: MachineId,
+        /// Wall-clock execution length on that machine.
+        wall: SimDuration,
+    },
+    /// A running job was preempted and suspended in place.
+    Suspended {
+        /// The suspended job.
+        job: JobId,
+        /// Host machine.
+        machine: MachineId,
+    },
+    /// A suspended job resumed on its machine; the simulator computes the
+    /// new completion instant from the job's remaining wall time.
+    Resumed {
+        /// The resumed job.
+        job: JobId,
+        /// Host machine.
+        machine: MachineId,
+    },
+}
+
+/// Result of submitting a job to the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job was placed (possibly after preempting victims); the actions
+    /// include one `Started` for the submitted job and a `Suspended` per
+    /// victim, in execution order.
+    Dispatched(Vec<PoolAction>),
+    /// All eligible machines are saturated and non-preemptible; the job is
+    /// in the wait queue.
+    Queued,
+    /// No machine in this pool can ever run the job; the virtual pool
+    /// manager should try the next pool.
+    Ineligible,
+}
+
+/// Cumulative per-pool statistics over a run — the operator's view of
+/// where preemption storms and queue buildups happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Job starts (initial dispatches, queue starts, restarts).
+    pub starts: u64,
+    /// Preemption (suspension) events in this pool.
+    pub suspensions: u64,
+    /// Jobs that entered the wait queue.
+    pub enqueues: u64,
+    /// Largest wait-queue length observed.
+    pub peak_queue: usize,
+    /// Largest concurrent suspended-job count observed.
+    pub peak_suspended: usize,
+}
+
+/// Queue key: higher priority first, FIFO within a priority.
+type QueueKey = (std::cmp::Reverse<u8>, u64);
+
+/// A physical pool: machines plus a priority wait queue.
+pub struct PhysicalPool {
+    id: PoolId,
+    machines: Vec<Machine>,
+    queue: BTreeMap<QueueKey, WaitEntry>,
+    queue_index: HashMap<JobId, QueueKey>,
+    queue_seq: u64,
+    running_on: HashMap<JobId, MachineId>,
+    suspended_on: HashMap<JobId, MachineId>,
+    total_cores: u32,
+    busy_cores: u32,
+    stats: PoolStats,
+}
+
+impl PhysicalPool {
+    /// Builds an idle pool from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if machine ids are not the dense sequence `0..n` in order —
+    /// the pool uses machine ids as indices into its scan list.
+    pub fn new(config: PoolConfig) -> Self {
+        for (i, m) in config.machines.iter().enumerate() {
+            assert_eq!(
+                m.id.as_usize(),
+                i,
+                "machine ids must be dense and in order within a pool"
+            );
+        }
+        let total_cores = config.total_cores();
+        PhysicalPool {
+            id: config.id,
+            machines: config.machines.into_iter().map(Machine::new).collect(),
+            queue: BTreeMap::new(),
+            queue_index: HashMap::new(),
+            queue_seq: 0,
+            running_on: HashMap::new(),
+            suspended_on: HashMap::new(),
+            total_cores,
+            busy_cores: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Cumulative statistics since construction.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// The pool id.
+    pub fn id(&self) -> PoolId {
+        self.id
+    }
+
+    /// Total cores across all machines.
+    pub fn total_cores(&self) -> u32 {
+        self.total_cores
+    }
+
+    /// Cores currently running jobs. Maintained incrementally, so this is
+    /// `O(1)` — scheduling policies call it on every decision.
+    pub fn busy_cores(&self) -> u32 {
+        self.busy_cores
+    }
+
+    /// Core utilization in `[0, 1]` — the signal `ResSusUtil`-style policies
+    /// select pools by.
+    pub fn utilization(&self) -> f64 {
+        if self.total_cores == 0 {
+            return 0.0;
+        }
+        f64::from(self.busy_cores()) / f64::from(self.total_cores)
+    }
+
+    /// Number of jobs in the wait queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of suspended jobs across the pool's machines.
+    pub fn suspended_count(&self) -> usize {
+        self.suspended_on.len()
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.running_on.len()
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Since when a job has been waiting in this pool's queue, if it is.
+    pub fn waiting_since(&self, job: JobId) -> Option<SimTime> {
+        let key = self.queue_index.get(&job)?;
+        self.queue.get(key).map(|e| e.enqueued_at)
+    }
+
+    /// The machine a job is suspended on, if it is suspended here.
+    pub fn suspended_machine(&self, job: JobId) -> Option<MachineId> {
+        self.suspended_on.get(&job).copied()
+    }
+
+    /// The machine a job is running on, if it is running here.
+    pub fn running_machine(&self, job: JobId) -> Option<MachineId> {
+        self.running_on.get(&job).copied()
+    }
+
+    /// Iterates the wait queue in dispatch order (priority desc, FIFO).
+    pub fn waiting_jobs(&self) -> impl Iterator<Item = &WaitEntry> {
+        self.queue.values()
+    }
+
+    /// True if any machine could ever run the footprint (the pool-level
+    /// eligibility test).
+    pub fn is_eligible(&self, res: Resources) -> bool {
+        self.machines.iter().any(|m| m.can_ever_run(res))
+    }
+
+    /// Submits a job to this pool (paper §2.1 dispatch protocol).
+    pub fn submit(&mut self, now: SimTime, spec: &JobSpec) -> SubmitOutcome {
+        let res = spec.resources;
+        if !self.is_eligible(res) {
+            return SubmitOutcome::Ineligible;
+        }
+        // 1. First eligible machine with free capacity.
+        if let Some(idx) = self
+            .machines
+            .iter()
+            .position(|m| m.can_ever_run(res) && m.can_run_now(res))
+        {
+            let wall = self.machines[idx].config().scaled_wall(spec.runtime);
+            let mid = self.machines[idx].id();
+            self.machines[idx].start(now, spec.id, res, spec.priority);
+            self.running_on.insert(spec.id, mid);
+            self.busy_cores += res.cores;
+            self.stats.starts += 1;
+            debug_assert!(self.machines[idx].check_invariants());
+            return SubmitOutcome::Dispatched(vec![PoolAction::Started {
+                job: spec.id,
+                machine: mid,
+                wall,
+            }]);
+        }
+        // 2. Preemption: among eligible machines with a feasible plan, pick
+        // the one whose victims lose the least progress (most recently
+        // started). Suspending the freshest jobs minimizes the work a
+        // rescheduling restart will discard.
+        let mut best: Option<(usize, Vec<JobId>, SimTime)> = None;
+        for idx in 0..self.machines.len() {
+            if !self.machines[idx].can_ever_run(res) {
+                continue;
+            }
+            let Some(victims) = self.machines[idx].preemption_plan(res, spec.priority) else {
+                continue;
+            };
+            debug_assert!(!victims.is_empty(), "empty plan implies can_run_now");
+            // Freshest plan = latest earliest-start among its victims.
+            let earliest_start = victims
+                .iter()
+                .filter_map(|v| {
+                    self.machines[idx]
+                        .running()
+                        .iter()
+                        .find(|r| r.job == *v)
+                        .map(|r| r.since)
+                })
+                .min()
+                .unwrap_or(SimTime::ZERO);
+            let better = match &best {
+                Some((_, _, best_start)) => earliest_start > *best_start,
+                None => true,
+            };
+            if better {
+                best = Some((idx, victims, earliest_start));
+            }
+        }
+        if let Some((idx, victims, _)) = best {
+            let mid = self.machines[idx].id();
+            let mut actions = Vec::with_capacity(victims.len() + 1);
+            for victim in victims {
+                let r = self.machines[idx]
+                    .suspend(now, victim)
+                    .expect("planned victim is running");
+                self.busy_cores -= r.resources.cores;
+                self.running_on.remove(&victim);
+                self.suspended_on.insert(victim, mid);
+                self.stats.suspensions += 1;
+                self.stats.peak_suspended = self.stats.peak_suspended.max(self.suspended_on.len());
+                actions.push(PoolAction::Suspended {
+                    job: victim,
+                    machine: mid,
+                });
+            }
+            let wall = self.machines[idx].config().scaled_wall(spec.runtime);
+            self.machines[idx].start(now, spec.id, res, spec.priority);
+            self.running_on.insert(spec.id, mid);
+            self.busy_cores += res.cores;
+            self.stats.starts += 1;
+            actions.push(PoolAction::Started {
+                job: spec.id,
+                machine: mid,
+                wall,
+            });
+            debug_assert!(self.machines[idx].check_invariants());
+            return SubmitOutcome::Dispatched(actions);
+        }
+        // 3. Queue.
+        self.enqueue(now, spec);
+        SubmitOutcome::Queued
+    }
+
+    fn enqueue(&mut self, now: SimTime, spec: &JobSpec) {
+        let key = (std::cmp::Reverse(spec.priority.level()), self.queue_seq);
+        self.queue_seq += 1;
+        self.queue.insert(
+            key,
+            WaitEntry {
+                job: spec.id,
+                resources: spec.resources,
+                priority: spec.priority,
+                runtime: spec.runtime,
+                enqueued_at: now,
+            },
+        );
+        self.queue_index.insert(spec.id, key);
+        self.stats.enqueues += 1;
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+    }
+
+    /// A running job completed: frees its resources, then resumes suspended
+    /// jobs on that machine and dispatches waiting jobs onto the freed
+    /// capacity.
+    ///
+    /// Returns the follow-on actions (`Resumed` / `Started`). Returns `None`
+    /// if the job is not running in this pool.
+    pub fn release(&mut self, now: SimTime, job: JobId) -> Option<Vec<PoolAction>> {
+        let mid = self.running_on.remove(&job)?;
+        let idx = mid.as_usize();
+        let r = self.machines[idx].release(job).expect("index says running");
+        self.busy_cores -= r.resources.cores;
+        Some(self.capacity_cycle(now, idx))
+    }
+
+    /// Removes a waiting job from the queue (a wait-rescheduling decision).
+    ///
+    /// Returns the entry, or `None` if the job is not waiting here.
+    pub fn remove_waiting(&mut self, job: JobId) -> Option<WaitEntry> {
+        let key = self.queue_index.remove(&job)?;
+        self.queue.remove(&key)
+    }
+
+    /// Removes a suspended job from its machine (a suspend-rescheduling
+    /// decision): frees its resident memory, which may admit queued jobs.
+    ///
+    /// Returns the follow-on actions, or `None` if the job is not suspended
+    /// here.
+    pub fn remove_suspended(&mut self, now: SimTime, job: JobId) -> Option<Vec<PoolAction>> {
+        let mid = self.suspended_on.remove(&job)?;
+        let idx = mid.as_usize();
+        self.machines[idx]
+            .remove_suspended(job)
+            .expect("index says suspended");
+        Some(self.capacity_cycle(now, idx))
+    }
+
+    /// After capacity freed on machine `idx`: resume suspended residents
+    /// (highest priority, earliest suspended first), then start queued jobs
+    /// that now fit, repeating until nothing changes.
+    ///
+    /// Design choice (DESIGN.md §3): suspended residents take freed capacity
+    /// before the wait queue — they already hold memory on the host and
+    /// suspension is meant to be temporary.
+    fn capacity_cycle(&mut self, now: SimTime, idx: usize) -> Vec<PoolAction> {
+        let mut actions = Vec::new();
+        let mid = self.machines[idx].id();
+        // 1. Resume.
+        for job in self.machines[idx].resumable() {
+            let r = self.machines[idx].resume(now, job).expect("resumable fits");
+            self.busy_cores += r.resources.cores;
+            self.suspended_on.remove(&job);
+            self.running_on.insert(job, mid);
+            actions.push(PoolAction::Resumed { job, machine: mid });
+        }
+        // 2. Dispatch queue onto this machine while anything fits.
+        loop {
+            let candidate = self
+                .queue
+                .iter()
+                .find(|(_, e)| self.machines[idx].can_run_now(e.resources))
+                .map(|(k, _)| *k);
+            let Some(key) = candidate else { break };
+            let entry = self.queue.remove(&key).expect("key just found");
+            self.queue_index.remove(&entry.job);
+            let wall = self.machines[idx].config().scaled_wall(entry.runtime);
+            self.machines[idx].start(now, entry.job, entry.resources, entry.priority);
+            self.running_on.insert(entry.job, mid);
+            self.busy_cores += entry.resources.cores;
+            self.stats.starts += 1;
+            actions.push(PoolAction::Started {
+                job: entry.job,
+                machine: mid,
+                wall,
+            });
+        }
+        debug_assert!(self.machines[idx].check_invariants());
+        actions
+    }
+
+    /// Fails a machine: every resident job is evicted (the caller must
+    /// resubmit them — host-level state is lost, so they restart from
+    /// scratch). Returns `(running, suspended)` evicted job ids, or `None`
+    /// if the machine is already down or out of range.
+    pub fn fail_machine(&mut self, machine: MachineId) -> Option<(Vec<JobId>, Vec<JobId>)> {
+        let idx = machine.as_usize();
+        if idx >= self.machines.len() || self.machines[idx].is_down() {
+            return None;
+        }
+        let mut running = Vec::new();
+        let mut suspended = Vec::new();
+        for r in self.machines[idx].fail() {
+            if self.running_on.remove(&r.job).is_some() {
+                self.busy_cores -= r.resources.cores;
+                running.push(r.job);
+            } else if self.suspended_on.remove(&r.job).is_some() {
+                suspended.push(r.job);
+            }
+        }
+        self.total_cores -= self.machines[idx].config().cores;
+        Some((running, suspended))
+    }
+
+    /// Restores a failed machine and immediately dispatches queued work
+    /// onto it. Returns the follow-on actions, or `None` if the machine
+    /// was not down.
+    pub fn restore_machine(&mut self, now: SimTime, machine: MachineId) -> Option<Vec<PoolAction>> {
+        let idx = machine.as_usize();
+        if idx >= self.machines.len() || !self.machines[idx].is_down() {
+            return None;
+        }
+        self.machines[idx].restore();
+        self.total_cores += self.machines[idx].config().cores;
+        Some(self.capacity_cycle(now, idx))
+    }
+
+    /// Pool-level invariant check used by tests: index maps agree with
+    /// machine residency and capacity counters are consistent.
+    pub fn check_invariants(&self) -> bool {
+        let machines_ok = self.machines.iter().all(Machine::check_invariants);
+        let running: usize = self.machines.iter().map(|m| m.running().len()).sum();
+        let suspended: usize = self.machines.iter().map(|m| m.suspended().len()).sum();
+        let busy: u32 = self.machines.iter().map(Machine::cores_used).sum();
+        machines_ok
+            && running == self.running_on.len()
+            && suspended == self.suspended_on.len()
+            && self.queue.len() == self.queue_index.len()
+            && busy == self.busy_cores
+    }
+}
+
+impl fmt::Debug for PhysicalPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalPool")
+            .field("id", &self.id)
+            .field("machines", &self.machines.len())
+            .field("busy_cores", &self.busy_cores())
+            .field("total_cores", &self.total_cores)
+            .field("waiting", &self.queue.len())
+            .field("suspended", &self.suspended_on.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::Priority;
+
+    fn t(m: u64) -> SimTime {
+        SimTime::from_minutes(m)
+    }
+
+    fn d(m: u64) -> SimDuration {
+        SimDuration::from_minutes(m)
+    }
+
+    fn spec(id: u64, prio: Priority, runtime: u64) -> JobSpec {
+        JobSpec::new(JobId(id), t(0), d(runtime)).with_priority(prio)
+    }
+
+    fn small_pool() -> PhysicalPool {
+        // 2 machines × 2 cores × 4 GB.
+        PhysicalPool::new(PoolConfig::uniform(PoolId(0), 2, 2, 4096))
+    }
+
+    #[test]
+    fn dispatch_to_first_available_machine() {
+        let mut p = small_pool();
+        let out = p.submit(t(0), &spec(1, Priority::LOW, 100));
+        let SubmitOutcome::Dispatched(actions) = out else {
+            panic!("expected dispatch, got {out:?}")
+        };
+        assert_eq!(
+            actions,
+            vec![PoolAction::Started {
+                job: JobId(1),
+                machine: MachineId(0),
+                wall: d(100)
+            }]
+        );
+        assert_eq!(p.busy_cores(), 1);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn fills_machines_in_scan_order() {
+        let mut p = small_pool();
+        for id in 1..=4 {
+            assert!(matches!(
+                p.submit(t(0), &spec(id, Priority::LOW, 10)),
+                SubmitOutcome::Dispatched(_)
+            ));
+        }
+        assert_eq!(p.busy_cores(), 4);
+        assert_eq!(p.utilization(), 1.0);
+        // Fifth job queues.
+        assert_eq!(p.submit(t(1), &spec(5, Priority::LOW, 10)), SubmitOutcome::Queued);
+        assert_eq!(p.queue_len(), 1);
+        assert_eq!(p.waiting_since(JobId(5)), Some(t(1)));
+    }
+
+    #[test]
+    fn high_priority_preempts_low() {
+        let mut p = small_pool();
+        for id in 1..=4 {
+            p.submit(t(0), &spec(id, Priority::LOW, 100));
+        }
+        let out = p.submit(t(5), &spec(9, Priority::HIGH, 50));
+        let SubmitOutcome::Dispatched(actions) = out else {
+            panic!("expected preemption dispatch")
+        };
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(actions[0], PoolAction::Suspended { machine: MachineId(0), .. }));
+        assert!(matches!(
+            actions[1],
+            PoolAction::Started { job: JobId(9), machine: MachineId(0), .. }
+        ));
+        assert_eq!(p.suspended_count(), 1);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn equal_priority_queues_instead_of_preempting() {
+        let mut p = small_pool();
+        for id in 1..=4 {
+            p.submit(t(0), &spec(id, Priority::HIGH, 100));
+        }
+        assert_eq!(p.submit(t(5), &spec(9, Priority::HIGH, 50)), SubmitOutcome::Queued);
+        assert_eq!(p.suspended_count(), 0);
+    }
+
+    #[test]
+    fn ineligible_when_no_machine_big_enough() {
+        let mut p = small_pool();
+        let big = JobSpec::new(JobId(1), t(0), d(10)).with_cores(8);
+        assert_eq!(p.submit(t(0), &big), SubmitOutcome::Ineligible);
+        let fat = JobSpec::new(JobId(2), t(0), d(10)).with_memory_mb(1 << 20);
+        assert_eq!(p.submit(t(0), &fat), SubmitOutcome::Ineligible);
+    }
+
+    #[test]
+    fn completion_resumes_suspended_before_queue() {
+        let mut p = small_pool();
+        // Fill machine 0 with two low jobs, machine 1 with two low jobs.
+        for id in 1..=4 {
+            p.submit(t(0), &spec(id, Priority::LOW, 100));
+        }
+        // Preempt on machine 0 with a 2-core high job (suspends jobs 1+2).
+        let high = JobSpec::new(JobId(9), t(1), d(30))
+            .with_priority(Priority::HIGH)
+            .with_cores(2);
+        let SubmitOutcome::Dispatched(a) = p.submit(t(1), &high) else {
+            panic!()
+        };
+        assert_eq!(a.iter().filter(|x| matches!(x, PoolAction::Suspended { .. })).count(), 2);
+        // Queue a low job as well.
+        p.submit(t(2), &spec(20, Priority::LOW, 10));
+        assert_eq!(p.queue_len(), 1);
+        // High job completes: suspended jobs resume first and fill the
+        // machine; queued job stays.
+        let actions = p.release(t(31), JobId(9)).expect("running");
+        let resumed: Vec<_> = actions
+            .iter()
+            .filter(|x| matches!(x, PoolAction::Resumed { .. }))
+            .collect();
+        assert_eq!(resumed.len(), 2);
+        assert_eq!(p.queue_len(), 1, "no room left for the queued job");
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn completion_starts_queued_in_priority_then_fifo_order() {
+        let mut p = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 1, 4096));
+        p.submit(t(0), &spec(1, Priority::HIGH, 50)); // occupies the core
+        p.submit(t(1), &spec(2, Priority::LOW, 10));
+        p.submit(t(2), &spec(3, Priority::HIGH, 10)); // equal prio: queues
+        p.submit(t(3), &spec(4, Priority::LOW, 10));
+        assert_eq!(p.queue_len(), 3);
+        let actions = p.release(t(50), JobId(1)).expect("running");
+        // Highest-priority waiter (job 3) starts on the freed core.
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            PoolAction::Started { job: JobId(3), .. }
+        ));
+        assert_eq!(p.queue_len(), 2);
+    }
+
+    #[test]
+    fn preemption_then_completion_resume_cycle() {
+        let mut p = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 1, 4096));
+        p.submit(t(0), &spec(1, Priority::LOW, 50));
+        let out = p.submit(t(10), &spec(2, Priority::HIGH, 20));
+        assert!(matches!(out, SubmitOutcome::Dispatched(_)));
+        assert_eq!(p.suspended_count(), 1);
+        let actions = p.release(t(30), JobId(2)).expect("high job running");
+        assert_eq!(
+            actions,
+            vec![PoolAction::Resumed {
+                job: JobId(1),
+                machine: MachineId(0)
+            }]
+        );
+        assert_eq!(p.suspended_count(), 0);
+        assert_eq!(p.running_machine(JobId(1)), Some(MachineId(0)));
+    }
+
+    #[test]
+    fn remove_waiting_for_rescheduling() {
+        let mut p = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 1, 4096));
+        p.submit(t(0), &spec(1, Priority::LOW, 50));
+        p.submit(t(1), &spec(2, Priority::LOW, 10));
+        let entry = p.remove_waiting(JobId(2)).expect("waiting");
+        assert_eq!(entry.enqueued_at, t(1));
+        assert_eq!(p.queue_len(), 0);
+        assert!(p.remove_waiting(JobId(2)).is_none());
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn remove_suspended_frees_memory_and_dispatches() {
+        // One machine: 2 cores, 4096 MB. Suspended job holds 3000 MB.
+        let mut p = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 2, 4096));
+        let fat_low = JobSpec::new(JobId(1), t(0), d(100))
+            .with_priority(Priority::LOW)
+            .with_cores(2)
+            .with_memory_mb(3000);
+        p.submit(t(0), &fat_low);
+        let high = JobSpec::new(JobId(2), t(1), d(50))
+            .with_priority(Priority::HIGH)
+            .with_cores(1)
+            .with_memory_mb(1000);
+        assert!(matches!(p.submit(t(1), &high), SubmitOutcome::Dispatched(_)));
+        // A queued job needing 2000 MB cannot start while job 1 sits
+        // suspended holding 3000 MB.
+        let waiter = JobSpec::new(JobId(3), t(2), d(10))
+            .with_priority(Priority::LOW)
+            .with_cores(1)
+            .with_memory_mb(2000);
+        assert_eq!(p.submit(t(2), &waiter), SubmitOutcome::Queued);
+        // Reschedule job 1 away: its memory frees, job 3 starts.
+        let actions = p.remove_suspended(t(3), JobId(1)).expect("suspended");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, PoolAction::Started { job: JobId(3), .. })));
+        assert_eq!(p.queue_len(), 0);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn release_unknown_job_is_none() {
+        let mut p = small_pool();
+        assert!(p.release(t(0), JobId(77)).is_none());
+        assert!(p.remove_suspended(t(0), JobId(77)).is_none());
+    }
+
+    #[test]
+    fn utilization_tracks_busy_cores() {
+        let mut p = small_pool();
+        assert_eq!(p.utilization(), 0.0);
+        p.submit(t(0), &spec(1, Priority::LOW, 10));
+        assert!((p.utilization() - 0.25).abs() < 1e-9);
+        let two_core = JobSpec::new(JobId(2), t(0), d(10)).with_cores(2);
+        p.submit(t(0), &two_core);
+        assert!((p.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halved_cores_scenario_transform() {
+        let cfg = PoolConfig::uniform(PoolId(0), 3, 4, 1024);
+        let halved = cfg.halved_cores();
+        assert_eq!(halved.total_cores(), 6);
+        let single = PoolConfig::uniform(PoolId(0), 1, 1, 1024).halved_cores();
+        assert_eq!(single.total_cores(), 1, "cores never drop below 1");
+    }
+
+    #[test]
+    fn pool_stats_accumulate() {
+        let mut p = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 1, 4096));
+        p.submit(t(0), &spec(1, Priority::LOW, 50));
+        p.submit(t(1), &spec(2, Priority::LOW, 10)); // queues
+        p.submit(t(2), &spec(3, Priority::HIGH, 10)); // preempts job 1
+        let s = p.stats();
+        assert_eq!(s.starts, 2);
+        assert_eq!(s.suspensions, 1);
+        assert_eq!(s.enqueues, 1);
+        assert_eq!(s.peak_queue, 1);
+        assert_eq!(s.peak_suspended, 1);
+        // High job completes: the suspended job resumes first (no new
+        // start); when it finishes, the queued job finally starts.
+        p.release(t(12), JobId(3));
+        assert_eq!(p.stats().starts, 2);
+        p.release(t(62), JobId(1));
+        assert_eq!(p.stats().starts, 3);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One random pool operation.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Submit { prio: u8, cores: u32, mem: u64, runtime: u64 },
+            Release(usize),
+            RemoveWaiting(usize),
+            RemoveSuspended(usize),
+            FailMachine(u32),
+            RestoreMachine(u32),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u8..12, 1u32..3, 64u64..3000, 1u64..300).prop_map(
+                    |(prio, cores, mem, runtime)| Op::Submit { prio, cores, mem, runtime }
+                ),
+                (0usize..200).prop_map(Op::Release),
+                (0usize..200).prop_map(Op::RemoveWaiting),
+                (0usize..200).prop_map(Op::RemoveSuspended),
+                (0u32..4).prop_map(Op::FailMachine),
+                (0u32..4).prop_map(Op::RestoreMachine),
+            ]
+        }
+
+        proptest! {
+            /// The pool's internal indexes and counters stay consistent
+            /// under arbitrary operation sequences, and every action it
+            /// reports references a job it actually knows about.
+            #[test]
+            fn prop_pool_invariants_under_random_ops(
+                ops in proptest::collection::vec(arb_op(), 1..120),
+            ) {
+                let mut pool = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 4, 2, 4096));
+                let mut next_id = 0u64;
+                let mut known: Vec<JobId> = Vec::new();
+                let mut now = 0u64;
+                for op in ops {
+                    now += 1;
+                    let t = SimTime::from_minutes(now);
+                    match op {
+                        Op::Submit { prio, cores, mem, runtime } => {
+                            let spec = JobSpec::new(
+                                JobId(next_id),
+                                t,
+                                SimDuration::from_minutes(runtime),
+                            )
+                            .with_priority(Priority::new(prio))
+                            .with_cores(cores)
+                            .with_memory_mb(mem);
+                            next_id += 1;
+                            match pool.submit(t, &spec) {
+                                SubmitOutcome::Dispatched(actions) => {
+                                    let started_self = actions.iter().any(|a| {
+                                        matches!(a, PoolAction::Started { job, .. } if *job == spec.id)
+                                    });
+                                    prop_assert!(started_self);
+                                    known.push(spec.id);
+                                }
+                                SubmitOutcome::Queued => known.push(spec.id),
+                                SubmitOutcome::Ineligible => {}
+                            }
+                        }
+                        Op::Release(i) => {
+                            if let Some(&job) = known.get(i % known.len().max(1)) {
+                                pool.release(t, job); // None if not running: fine
+                            }
+                        }
+                        Op::RemoveWaiting(i) => {
+                            if let Some(&job) = known.get(i % known.len().max(1)) {
+                                pool.remove_waiting(job);
+                            }
+                        }
+                        Op::RemoveSuspended(i) => {
+                            if let Some(&job) = known.get(i % known.len().max(1)) {
+                                pool.remove_suspended(t, job);
+                            }
+                        }
+                        Op::FailMachine(m) => {
+                            pool.fail_machine(MachineId(m));
+                        }
+                        Op::RestoreMachine(m) => {
+                            pool.restore_machine(t, MachineId(m));
+                        }
+                    }
+                    prop_assert!(pool.check_invariants(), "invariants violated after {op:?}");
+                    prop_assert!(pool.busy_cores() <= pool.total_cores());
+                    prop_assert!(pool.utilization() <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wait_queue_orders_priority_then_fifo() {
+        let mut p = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 1, 1024));
+        p.submit(t(0), &spec(1, Priority::HIGH, 1000)); // occupies the core
+        p.submit(t(1), &spec(2, Priority::LOW, 10));
+        p.submit(t(2), &spec(3, Priority::HIGH, 10));
+        p.submit(t(3), &spec(4, Priority::LOW, 10));
+        p.submit(t(4), &spec(5, Priority::HIGH, 10));
+        let order: Vec<JobId> = p.waiting_jobs().map(|e| e.job).collect();
+        assert_eq!(order, vec![JobId(3), JobId(5), JobId(2), JobId(4)]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Point-in-time views of pool and cluster state.
+//!
+//! Snapshots serve two consumers: the per-minute sampling that produces
+//! Figure 4 (suspension count and utilization over time), and scheduling
+//! policies (`ResSusUtil` et al.) that rank candidate pools by load.
+
+use std::fmt;
+
+use crate::ids::PoolId;
+use crate::pool::PhysicalPool;
+
+/// A pool's load at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSnapshot {
+    /// Which pool.
+    pub id: PoolId,
+    /// Total cores in the pool.
+    pub total_cores: u32,
+    /// Cores running jobs.
+    pub busy_cores: u32,
+    /// Jobs in the wait queue.
+    pub waiting: usize,
+    /// Suspended jobs resident on machines.
+    pub suspended: usize,
+    /// Running jobs.
+    pub running: usize,
+}
+
+impl PoolSnapshot {
+    /// Captures a pool's current state.
+    pub fn capture(pool: &PhysicalPool) -> Self {
+        PoolSnapshot {
+            id: pool.id(),
+            total_cores: pool.total_cores(),
+            busy_cores: pool.busy_cores(),
+            waiting: pool.queue_len(),
+            suspended: pool.suspended_count(),
+            running: pool.running_count(),
+        }
+    }
+
+    /// Core utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_cores == 0 {
+            0.0
+        } else {
+            f64::from(self.busy_cores) / f64::from(self.total_cores)
+        }
+    }
+}
+
+impl From<&PhysicalPool> for PoolSnapshot {
+    fn from(pool: &PhysicalPool) -> Self {
+        PoolSnapshot::capture(pool)
+    }
+}
+
+/// The whole site at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterSnapshot {
+    /// Per-pool views, indexed by pool id.
+    pub pools: Vec<PoolSnapshot>,
+}
+
+impl ClusterSnapshot {
+    /// Captures every pool.
+    pub fn capture<'a>(pools: impl IntoIterator<Item = &'a PhysicalPool>) -> Self {
+        ClusterSnapshot {
+            pools: pools.into_iter().map(PoolSnapshot::capture).collect(),
+        }
+    }
+
+    /// Site-wide core utilization in `[0, 1]` (Figure 4's dotted line).
+    pub fn utilization(&self) -> f64 {
+        let total: u64 = self.pools.iter().map(|p| u64::from(p.total_cores)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.pools.iter().map(|p| u64::from(p.busy_cores)).sum();
+        busy as f64 / total as f64
+    }
+
+    /// Site-wide suspended-job count (Figure 4's solid line).
+    pub fn suspended_total(&self) -> usize {
+        self.pools.iter().map(|p| p.suspended).sum()
+    }
+
+    /// Site-wide wait-queue length.
+    pub fn waiting_total(&self) -> usize {
+        self.pools.iter().map(|p| p.waiting).sum()
+    }
+
+    /// The pool with the lowest utilization among `candidates`; ties break
+    /// to the lowest pool id for determinism. Returns `None` if the
+    /// candidate list is empty.
+    pub fn least_utilized(&self, candidates: &[PoolId]) -> Option<PoolId> {
+        candidates
+            .iter()
+            .filter_map(|id| self.pools.get(id.as_usize()))
+            .min_by(|a, b| {
+                a.utilization()
+                    .partial_cmp(&b.utilization())
+                    .expect("utilization is never NaN")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|p| p.id)
+    }
+
+    /// The candidate pool with the shortest wait queue (extension policy
+    /// `ResSusQueue`); ties break to the lowest pool id.
+    pub fn shortest_queue(&self, candidates: &[PoolId]) -> Option<PoolId> {
+        candidates
+            .iter()
+            .filter_map(|id| self.pools.get(id.as_usize()))
+            .min_by(|a, b| a.waiting.cmp(&b.waiting).then(a.id.cmp(&b.id)))
+            .map(|p| p.id)
+    }
+}
+
+impl fmt::Display for ClusterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "util {:.1}% | suspended {} | waiting {}",
+            self.utilization() * 100.0,
+            self.suspended_total(),
+            self.waiting_total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::pool::PoolConfig;
+    use netbatch_sim_engine::time::{SimDuration, SimTime};
+
+    fn snap(stats: &[(u32, u32, usize)]) -> ClusterSnapshot {
+        ClusterSnapshot {
+            pools: stats
+                .iter()
+                .enumerate()
+                .map(|(i, &(total, busy, waiting))| PoolSnapshot {
+                    id: PoolId(i as u16),
+                    total_cores: total,
+                    busy_cores: busy,
+                    waiting,
+                    suspended: 0,
+                    running: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregate_utilization_weights_by_cores() {
+        let s = snap(&[(100, 100, 0), (300, 0, 0)]);
+        assert!((s.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_utilized_picks_minimum_with_deterministic_ties() {
+        let s = snap(&[(10, 5, 0), (10, 2, 0), (10, 2, 0), (10, 9, 0)]);
+        let all: Vec<PoolId> = (0..4).map(PoolId).collect();
+        assert_eq!(s.least_utilized(&all), Some(PoolId(1)));
+        // Restricting candidates respects the restriction.
+        assert_eq!(s.least_utilized(&[PoolId(0), PoolId(3)]), Some(PoolId(0)));
+        assert_eq!(s.least_utilized(&[]), None);
+    }
+
+    #[test]
+    fn shortest_queue_policy() {
+        let s = snap(&[(10, 0, 7), (10, 0, 3), (10, 0, 3)]);
+        let all: Vec<PoolId> = (0..3).map(PoolId).collect();
+        assert_eq!(s.shortest_queue(&all), Some(PoolId(1)));
+    }
+
+    #[test]
+    fn capture_reflects_live_pool() {
+        let mut pool = crate::pool::PhysicalPool::new(PoolConfig::uniform(PoolId(3), 2, 2, 4096));
+        pool.submit(
+            SimTime::ZERO,
+            &JobSpec::new(1.into(), SimTime::ZERO, SimDuration::from_minutes(5)),
+        );
+        let s = PoolSnapshot::capture(&pool);
+        assert_eq!(s.id, PoolId(3));
+        assert_eq!(s.busy_cores, 1);
+        assert_eq!(s.running, 1);
+        assert!((s.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_is_zeroed() {
+        let s = ClusterSnapshot::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.suspended_total(), 0);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Initial schedulers: how the virtual pool manager picks the pool a newly
+//! submitted job is sent to (§3.2.1 of the paper).
+//!
+//! The scheduler produces a *preference order* over the job's candidate
+//! pools; the VPM tries them in order and the job lands in the first pool
+//! with any eligible machine (pools with none bounce it back).
+
+use netbatch_cluster::ids::PoolId;
+use netbatch_cluster::job::JobSpec;
+use netbatch_cluster::snapshot::ClusterSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// A virtual-pool-manager scheduling discipline.
+pub trait InitialScheduler: std::fmt::Debug + Send {
+    /// Human-readable name (appears in reports).
+    fn name(&self) -> &'static str;
+
+    /// Orders the candidate pools for one job, most preferred first.
+    ///
+    /// `candidates` is the job's affinity-filtered pool set; `view` is the
+    /// current cluster snapshot.
+    fn order(&mut self, job: &JobSpec, candidates: &[PoolId], view: &ClusterSnapshot)
+        -> Vec<PoolId>;
+}
+
+/// NetBatch's default: distribute jobs across candidate pools in sequential
+/// order, advancing one position per job.
+///
+/// "The virtual pool managers also need not maintain any statistics of
+/// their physical pools" — the whole state is one cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at the first pool.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl InitialScheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn order(
+        &mut self,
+        _job: &JobSpec,
+        candidates: &[PoolId],
+        _view: &ClusterSnapshot,
+    ) -> Vec<PoolId> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let start = self.cursor % candidates.len();
+        self.cursor = self.cursor.wrapping_add(1);
+        let mut order = Vec::with_capacity(candidates.len());
+        order.extend_from_slice(&candidates[start..]);
+        order.extend_from_slice(&candidates[..start]);
+        order
+    }
+}
+
+/// The §3.2.2 alternative: send each job to the candidate pool with the
+/// lowest current utilization (ties to the lowest pool id), then the rest
+/// in increasing-utilization order.
+///
+/// The paper notes this "requires the virtual pool manager to know the
+/// current situation in every physical pool at any time, which can be
+/// impractical" — the information-staleness ablation quantifies that cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationBased;
+
+impl UtilizationBased {
+    /// Creates a utilization-based scheduler.
+    pub fn new() -> Self {
+        UtilizationBased
+    }
+}
+
+impl InitialScheduler for UtilizationBased {
+    fn name(&self) -> &'static str {
+        "utilization-based"
+    }
+
+    fn order(
+        &mut self,
+        _job: &JobSpec,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+    ) -> Vec<PoolId> {
+        let mut order: Vec<PoolId> = candidates.to_vec();
+        order.sort_by(|a, b| {
+            let ua = view
+                .pools
+                .get(a.as_usize())
+                .map_or(0.0, |p| p.utilization());
+            let ub = view
+                .pools
+                .get(b.as_usize())
+                .map_or(0.0, |p| p.utilization());
+            ua.partial_cmp(&ub)
+                .expect("utilization is never NaN")
+                .then(a.cmp(b))
+        });
+        order
+    }
+}
+
+/// Which initial scheduler to instantiate — the serializable experiment
+/// configuration handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InitialKind {
+    /// NetBatch's default round-robin.
+    #[default]
+    RoundRobin,
+    /// Lowest-utilization-first.
+    UtilizationBased,
+}
+
+impl InitialKind {
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Box<dyn InitialScheduler> {
+        match self {
+            InitialKind::RoundRobin => Box::new(RoundRobin::new()),
+            InitialKind::UtilizationBased => Box::new(UtilizationBased::new()),
+        }
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            InitialKind::RoundRobin => "round-robin",
+            InitialKind::UtilizationBased => "utilization-based",
+        }
+    }
+}
+
+impl std::fmt::Display for InitialKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbatch_cluster::snapshot::PoolSnapshot;
+    use netbatch_sim_engine::time::{SimDuration, SimTime};
+
+    fn job() -> JobSpec {
+        JobSpec::new(1.into(), SimTime::ZERO, SimDuration::from_minutes(10))
+    }
+
+    fn view(utils: &[(u32, u32)]) -> ClusterSnapshot {
+        ClusterSnapshot {
+            pools: utils
+                .iter()
+                .enumerate()
+                .map(|(i, &(total, busy))| PoolSnapshot {
+                    id: PoolId(i as u16),
+                    total_cores: total,
+                    busy_cores: busy,
+                    waiting: 0,
+                    suspended: 0,
+                    running: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn pools(n: u16) -> Vec<PoolId> {
+        (0..n).map(PoolId).collect()
+    }
+
+    #[test]
+    fn round_robin_rotates_across_jobs() {
+        let mut rr = RoundRobin::new();
+        let v = view(&[(1, 0); 3]);
+        let c = pools(3);
+        assert_eq!(rr.order(&job(), &c, &v)[0], PoolId(0));
+        assert_eq!(rr.order(&job(), &c, &v)[0], PoolId(1));
+        assert_eq!(rr.order(&job(), &c, &v)[0], PoolId(2));
+        assert_eq!(rr.order(&job(), &c, &v)[0], PoolId(0));
+    }
+
+    #[test]
+    fn round_robin_order_is_a_rotation() {
+        let mut rr = RoundRobin::new();
+        let v = view(&[(1, 0); 4]);
+        rr.order(&job(), &pools(4), &v);
+        let second = rr.order(&job(), &pools(4), &v);
+        assert_eq!(second, vec![PoolId(1), PoolId(2), PoolId(3), PoolId(0)]);
+    }
+
+    #[test]
+    fn round_robin_handles_empty_candidates() {
+        let mut rr = RoundRobin::new();
+        assert!(rr.order(&job(), &[], &view(&[])).is_empty());
+    }
+
+    #[test]
+    fn utilization_based_prefers_least_loaded() {
+        let mut ub = UtilizationBased::new();
+        let v = view(&[(10, 9), (10, 1), (10, 5)]);
+        let order = ub.order(&job(), &pools(3), &v);
+        assert_eq!(order, vec![PoolId(1), PoolId(2), PoolId(0)]);
+    }
+
+    #[test]
+    fn utilization_based_ties_break_by_id() {
+        let mut ub = UtilizationBased::new();
+        let v = view(&[(10, 5), (10, 5), (10, 5)]);
+        let order = ub.order(&job(), &pools(3), &v);
+        assert_eq!(order, pools(3));
+    }
+
+    #[test]
+    fn utilization_based_respects_candidate_filter() {
+        let mut ub = UtilizationBased::new();
+        let v = view(&[(10, 0), (10, 9), (10, 5)]);
+        let order = ub.order(&job(), &[PoolId(1), PoolId(2)], &v);
+        assert_eq!(order, vec![PoolId(2), PoolId(1)]);
+    }
+
+    #[test]
+    fn kind_builds_matching_scheduler() {
+        assert_eq!(InitialKind::RoundRobin.build().name(), "round-robin");
+        assert_eq!(
+            InitialKind::UtilizationBased.build().name(),
+            "utilization-based"
+        );
+        assert_eq!(InitialKind::RoundRobin.to_string(), "round-robin");
+    }
+}

@@ -1,0 +1,11 @@
+//! Scheduling policy layer: initial schedulers (virtual-pool-manager
+//! dispatch order) and dynamic rescheduling strategies.
+
+pub mod initial;
+pub mod resched;
+
+pub use initial::{InitialKind, InitialScheduler, RoundRobin, UtilizationBased};
+pub use resched::{
+    Decision, DupSus, MigrateSus, NoRes, PoolSelector, ResSus, ResSusWait, ResSusWaitSmart,
+    ReschedPolicy, SmartWeights, StrategyKind, PAPER_WAIT_THRESHOLD,
+};

@@ -1,0 +1,802 @@
+//! Dynamic rescheduling strategies — the paper's §3 contribution.
+//!
+//! A [`ReschedPolicy`] is consulted at two hook points:
+//!
+//! * **on suspension** — a running job was just preempted. The policy may
+//!   restart it (from scratch) in an alternate pool, or leave it suspended
+//!   in place to resume later (`NoRes`'s only behaviour).
+//! * **on wait timeout** — a job has sat in a pool's wait queue past the
+//!   policy's threshold. The policy may pull it out and resubmit it to an
+//!   alternate pool; the timer then re-arms, giving the job "multiple
+//!   second chances" (§3.3).
+//!
+//! The five paper strategies (`NoRes`, `ResSusUtil`, `ResSusRand`,
+//! `ResSusWaitUtil`, `ResSusWaitRand`) plus the queue-length extension are
+//! all compositions of two choices: *which jobs* to reschedule (suspended
+//! only, or suspended + waiting) and *how to pick the alternate pool*
+//! (lowest utilization, uniformly random, shortest queue).
+
+use netbatch_cluster::ids::PoolId;
+use netbatch_cluster::job::JobSpec;
+use netbatch_cluster::snapshot::ClusterSnapshot;
+use netbatch_sim_engine::rng::DetRng;
+use netbatch_sim_engine::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How an alternate pool is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolSelector {
+    /// The candidate pool with the lowest current utilization. If no
+    /// candidate is *strictly* less utilized than the current pool, the job
+    /// stays — "ensuring that rescheduling will not negatively impact
+    /// system performance" (§3.2.1, high-load discussion).
+    LowestUtilization,
+    /// A uniformly random candidate other than the current pool.
+    Random,
+    /// The candidate pool with the shortest wait queue (extension policy:
+    /// the signal the paper's ResSusRand analysis suggests matters most).
+    ShortestQueue,
+}
+
+impl PoolSelector {
+    /// Picks the alternate pool, or `None` to keep the job where it is.
+    pub fn select(
+        self,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+    ) -> Option<PoolId> {
+        match self {
+            PoolSelector::LowestUtilization => {
+                let target = view.least_utilized(candidates)?;
+                if target == current {
+                    return None;
+                }
+                let cur_util = view.pools.get(current.as_usize())?.utilization();
+                let tgt_util = view.pools.get(target.as_usize())?.utilization();
+                (tgt_util < cur_util).then_some(target)
+            }
+            PoolSelector::Random => {
+                let others: Vec<PoolId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != current)
+                    .collect();
+                if others.is_empty() {
+                    None
+                } else {
+                    Some(others[rng.next_below(others.len() as u64) as usize])
+                }
+            }
+            PoolSelector::ShortestQueue => {
+                let target = view.shortest_queue(candidates)?;
+                if target == current {
+                    return None;
+                }
+                let cur_q = view.pools.get(current.as_usize())?.waiting;
+                let tgt_q = view.pools.get(target.as_usize())?.waiting;
+                (tgt_q < cur_q || view.pools.get(target.as_usize())?.utilization() < 1.0)
+                    .then_some(target)
+            }
+        }
+    }
+}
+
+/// What to do with a freshly suspended job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Leave it suspended in place to resume later (`NoRes` behaviour).
+    Stay,
+    /// Abandon its progress and restart it from scratch at the pool —
+    /// the paper's rescheduling strategies.
+    Restart(PoolId),
+    /// Move it to the pool *keeping its progress*, paying a migration
+    /// delay and a virtualization slowdown (the Condor/VMware alternative
+    /// §2.3 discusses; extension).
+    Migrate(PoolId),
+    /// Leave it suspended AND launch a duplicate at the pool; first copy
+    /// to finish wins (the paper's §5 future-work "job duplication";
+    /// extension).
+    Duplicate(PoolId),
+}
+
+/// A dynamic rescheduling strategy.
+pub trait ReschedPolicy: std::fmt::Debug + Send {
+    /// Name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Called right after `job` is suspended in `current`.
+    fn on_suspended(
+        &mut self,
+        job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+    ) -> Decision;
+
+    /// The waiting-time threshold after which queued jobs are considered
+    /// for rescheduling; `None` disables wait rescheduling entirely.
+    fn wait_threshold(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Called when `job` has waited in `current`'s queue past the
+    /// threshold. Returning `Some(pool)` dequeues and resubmits it there.
+    fn on_waiting(
+        &mut self,
+        _job: &JobSpec,
+        _current: PoolId,
+        _candidates: &[PoolId],
+        _view: &ClusterSnapshot,
+        _rng: &mut DetRng,
+    ) -> Option<PoolId> {
+        None
+    }
+}
+
+/// The baseline: never reschedule; suspended jobs wait in place to resume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoRes;
+
+impl ReschedPolicy for NoRes {
+    fn name(&self) -> &'static str {
+        "NoRes"
+    }
+
+    fn on_suspended(
+        &mut self,
+        _job: &JobSpec,
+        _current: PoolId,
+        _candidates: &[PoolId],
+        _view: &ClusterSnapshot,
+        _rng: &mut DetRng,
+    ) -> Decision {
+        Decision::Stay
+    }
+}
+
+/// Reschedules suspended jobs using a pool selector (§3.2:
+/// `ResSusUtil` / `ResSusRand`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResSus {
+    selector: PoolSelector,
+}
+
+impl ResSus {
+    /// `ResSusUtil`: restart suspended jobs at the least-utilized pool.
+    pub fn util() -> Self {
+        ResSus {
+            selector: PoolSelector::LowestUtilization,
+        }
+    }
+
+    /// `ResSusRand`: restart suspended jobs at a random alternate pool.
+    pub fn random() -> Self {
+        ResSus {
+            selector: PoolSelector::Random,
+        }
+    }
+
+    /// Extension: restart suspended jobs at the shortest-queue pool.
+    pub fn queue() -> Self {
+        ResSus {
+            selector: PoolSelector::ShortestQueue,
+        }
+    }
+}
+
+impl ReschedPolicy for ResSus {
+    fn name(&self) -> &'static str {
+        match self.selector {
+            PoolSelector::LowestUtilization => "ResSusUtil",
+            PoolSelector::Random => "ResSusRand",
+            PoolSelector::ShortestQueue => "ResSusQueue",
+        }
+    }
+
+    fn on_suspended(
+        &mut self,
+        _job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+    ) -> Decision {
+        match self.selector.select(current, candidates, view, rng) {
+            Some(pool) => Decision::Restart(pool),
+            None => Decision::Stay,
+        }
+    }
+}
+
+/// Reschedules both suspended jobs and jobs stuck in wait queues past a
+/// threshold (§3.3: `ResSusWaitUtil` / `ResSusWaitRand`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResSusWait {
+    selector: PoolSelector,
+    threshold: SimDuration,
+}
+
+/// The paper's wait threshold: 30 minutes, "about twice the expected
+/// average waiting time in the original system".
+pub const PAPER_WAIT_THRESHOLD: SimDuration = SimDuration::from_minutes(30);
+
+impl ResSusWait {
+    /// `ResSusWaitUtil` with the paper's 30-minute threshold.
+    pub fn util() -> Self {
+        ResSusWait {
+            selector: PoolSelector::LowestUtilization,
+            threshold: PAPER_WAIT_THRESHOLD,
+        }
+    }
+
+    /// `ResSusWaitRand` with the paper's 30-minute threshold.
+    pub fn random() -> Self {
+        ResSusWait {
+            selector: PoolSelector::Random,
+            threshold: PAPER_WAIT_THRESHOLD,
+        }
+    }
+
+    /// Overrides the waiting threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_threshold(mut self, threshold: SimDuration) -> Self {
+        assert!(!threshold.is_zero(), "wait threshold must be positive");
+        self.threshold = threshold;
+        self
+    }
+}
+
+impl ReschedPolicy for ResSusWait {
+    fn name(&self) -> &'static str {
+        match self.selector {
+            PoolSelector::LowestUtilization => "ResSusWaitUtil",
+            PoolSelector::Random => "ResSusWaitRand",
+            PoolSelector::ShortestQueue => "ResSusWaitQueue",
+        }
+    }
+
+    fn on_suspended(
+        &mut self,
+        _job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+    ) -> Decision {
+        match self.selector.select(current, candidates, view, rng) {
+            Some(pool) => Decision::Restart(pool),
+            None => Decision::Stay,
+        }
+    }
+
+    fn wait_threshold(&self) -> Option<SimDuration> {
+        Some(self.threshold)
+    }
+
+    fn on_waiting(
+        &mut self,
+        _job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+    ) -> Option<PoolId> {
+        self.selector.select(current, candidates, view, rng)
+    }
+}
+
+/// Migration-based rescheduling (extension): move suspended jobs to the
+/// least-utilized pool *keeping their progress*, at the cost of a transfer
+/// delay and a virtualization slowdown. This is the checkpoint/VM
+/// alternative the paper's §2.3 weighs against restarting ("running chip
+/// simulation workloads on virtualized hosts often lead to performance
+/// overhead between 10% to 20%").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateSus {
+    selector: PoolSelector,
+}
+
+impl MigrateSus {
+    /// Migrate suspended jobs to the least-utilized pool.
+    pub fn util() -> Self {
+        MigrateSus {
+            selector: PoolSelector::LowestUtilization,
+        }
+    }
+}
+
+impl ReschedPolicy for MigrateSus {
+    fn name(&self) -> &'static str {
+        "MigrateSusUtil"
+    }
+
+    fn on_suspended(
+        &mut self,
+        _job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+    ) -> Decision {
+        match self.selector.select(current, candidates, view, rng) {
+            Some(pool) => Decision::Migrate(pool),
+            None => Decision::Stay,
+        }
+    }
+}
+
+/// Duplication-based rescheduling (extension; the paper's §5 future work
+/// on "job duplication techniques" and the redundant-execution related
+/// work): leave the suspended job in place *and* launch a clone at the
+/// least-utilized pool; the first copy to finish wins and the other is
+/// cancelled. Never loses progress, but burns redundant capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DupSus {
+    selector: PoolSelector,
+}
+
+impl DupSus {
+    /// Duplicate suspended jobs into the least-utilized pool.
+    pub fn util() -> Self {
+        DupSus {
+            selector: PoolSelector::LowestUtilization,
+        }
+    }
+}
+
+impl ReschedPolicy for DupSus {
+    fn name(&self) -> &'static str {
+        "DupSusUtil"
+    }
+
+    fn on_suspended(
+        &mut self,
+        _job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+    ) -> Decision {
+        match self.selector.select(current, candidates, view, rng) {
+            Some(pool) => Decision::Duplicate(pool),
+            None => Decision::Stay,
+        }
+    }
+}
+
+/// Multi-metric pool scoring (extension; the paper's §5 future work:
+/// "the use of multiple metrics (e.g., utilization, queue lengths,
+/// prediction of job completion times within a pool) in combination for
+/// making rescheduling decisions").
+///
+/// Each candidate pool gets a score (lower is better):
+///
+/// ```text
+/// score = w_util  × utilization
+///       + w_queue × (waiting jobs / total cores)
+///       + w_wait  × (waiting jobs / free cores)   // crude wait predictor
+/// ```
+///
+/// The third term approximates the expected queueing delay: how many
+/// waiting jobs compete for each currently free core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmartWeights {
+    /// Weight of current utilization.
+    pub w_util: f64,
+    /// Weight of queue length (normalized by pool size).
+    pub w_queue: f64,
+    /// Weight of the expected-wait predictor.
+    pub w_wait: f64,
+}
+
+impl Default for SmartWeights {
+    fn default() -> Self {
+        SmartWeights {
+            w_util: 1.0,
+            w_queue: 2.0,
+            w_wait: 1.0,
+        }
+    }
+}
+
+impl SmartWeights {
+    /// Scores one pool; lower is better.
+    pub fn score(&self, pool: &netbatch_cluster::snapshot::PoolSnapshot) -> f64 {
+        let total = f64::from(pool.total_cores.max(1));
+        let free = f64::from((pool.total_cores - pool.busy_cores).max(1));
+        self.w_util * pool.utilization()
+            + self.w_queue * (pool.waiting as f64 / total)
+            + self.w_wait * (pool.waiting as f64 / free)
+    }
+
+    /// The best-scoring candidate, or `None` if the current pool already
+    /// scores no worse than every alternative.
+    pub fn select(
+        &self,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+    ) -> Option<PoolId> {
+        let best = candidates
+            .iter()
+            .filter_map(|id| view.pools.get(id.as_usize()))
+            .min_by(|a, b| {
+                self.score(a)
+                    .partial_cmp(&self.score(b))
+                    .expect("scores are finite")
+                    .then(a.id.cmp(&b.id))
+            })?;
+        if best.id == current {
+            return None;
+        }
+        let cur = view.pools.get(current.as_usize())?;
+        (self.score(best) < self.score(cur)).then_some(best.id)
+    }
+}
+
+/// Smart (multi-metric) rescheduling of suspended and waiting jobs —
+/// the future-work composite policy, comparable against
+/// `ResSusWaitUtil`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResSusWaitSmart {
+    weights: SmartWeights,
+    threshold: SimDuration,
+}
+
+impl ResSusWaitSmart {
+    /// Default weights, paper threshold (30 minutes).
+    pub fn new() -> Self {
+        ResSusWaitSmart {
+            weights: SmartWeights::default(),
+            threshold: PAPER_WAIT_THRESHOLD,
+        }
+    }
+
+    /// Overrides the scoring weights.
+    pub fn with_weights(mut self, weights: SmartWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+}
+
+impl Default for ResSusWaitSmart {
+    fn default() -> Self {
+        ResSusWaitSmart::new()
+    }
+}
+
+impl ReschedPolicy for ResSusWaitSmart {
+    fn name(&self) -> &'static str {
+        "ResSusWaitSmart"
+    }
+
+    fn on_suspended(
+        &mut self,
+        _job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        _rng: &mut DetRng,
+    ) -> Decision {
+        match self.weights.select(current, candidates, view) {
+            Some(pool) => Decision::Restart(pool),
+            None => Decision::Stay,
+        }
+    }
+
+    fn wait_threshold(&self) -> Option<SimDuration> {
+        Some(self.threshold)
+    }
+
+    fn on_waiting(
+        &mut self,
+        _job: &JobSpec,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        _rng: &mut DetRng,
+    ) -> Option<PoolId> {
+        self.weights.select(current, candidates, view)
+    }
+}
+
+/// Which rescheduling strategy to instantiate — the serializable experiment
+/// configuration handle covering the paper's five strategies plus
+/// extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Baseline: no rescheduling.
+    #[default]
+    NoRes,
+    /// Restart suspended jobs at the least-utilized pool.
+    ResSusUtil,
+    /// Restart suspended jobs at a random pool.
+    ResSusRand,
+    /// Also reschedule waiting jobs (lowest utilization).
+    ResSusWaitUtil,
+    /// Also reschedule waiting jobs (random pool).
+    ResSusWaitRand,
+    /// Extension: restart suspended jobs at the shortest-queue pool.
+    ResSusQueue,
+    /// Extension: *migrate* suspended jobs (progress kept, overhead paid).
+    MigrateSusUtil,
+    /// Extension: *duplicate* suspended jobs (first finisher wins).
+    DupSusUtil,
+    /// Extension: multi-metric (utilization + queue + predicted wait)
+    /// rescheduling of suspended and waiting jobs.
+    ResSusWaitSmart,
+}
+
+impl StrategyKind {
+    /// All strategies evaluated in the paper, in table order.
+    pub const PAPER_SUSPEND_ONLY: [StrategyKind; 3] = [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusRand,
+    ];
+
+    /// The §3.3 combined strategies, in table order.
+    pub const PAPER_WITH_WAIT: [StrategyKind; 3] = [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusWaitUtil,
+        StrategyKind::ResSusWaitRand,
+    ];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn ReschedPolicy> {
+        match self {
+            StrategyKind::NoRes => Box::new(NoRes),
+            StrategyKind::ResSusUtil => Box::new(ResSus::util()),
+            StrategyKind::ResSusRand => Box::new(ResSus::random()),
+            StrategyKind::ResSusWaitUtil => Box::new(ResSusWait::util()),
+            StrategyKind::ResSusWaitRand => Box::new(ResSusWait::random()),
+            StrategyKind::ResSusQueue => Box::new(ResSus::queue()),
+            StrategyKind::MigrateSusUtil => Box::new(MigrateSus::util()),
+            StrategyKind::DupSusUtil => Box::new(DupSus::util()),
+            StrategyKind::ResSusWaitSmart => Box::new(ResSusWaitSmart::new()),
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::NoRes => "NoRes",
+            StrategyKind::ResSusUtil => "ResSusUtil",
+            StrategyKind::ResSusRand => "ResSusRand",
+            StrategyKind::ResSusWaitUtil => "ResSusWaitUtil",
+            StrategyKind::ResSusWaitRand => "ResSusWaitRand",
+            StrategyKind::ResSusQueue => "ResSusQueue",
+            StrategyKind::MigrateSusUtil => "MigrateSusUtil",
+            StrategyKind::DupSusUtil => "DupSusUtil",
+            StrategyKind::ResSusWaitSmart => "ResSusWaitSmart",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbatch_cluster::snapshot::PoolSnapshot;
+    use netbatch_sim_engine::time::SimTime;
+
+    fn job() -> JobSpec {
+        JobSpec::new(1.into(), SimTime::ZERO, SimDuration::from_minutes(10))
+    }
+
+    fn view(stats: &[(u32, u32, usize)]) -> ClusterSnapshot {
+        ClusterSnapshot {
+            pools: stats
+                .iter()
+                .enumerate()
+                .map(|(i, &(total, busy, waiting))| PoolSnapshot {
+                    id: PoolId(i as u16),
+                    total_cores: total,
+                    busy_cores: busy,
+                    waiting,
+                    suspended: 0,
+                    running: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn pools(n: u16) -> Vec<PoolId> {
+        (0..n).map(PoolId).collect()
+    }
+
+    #[test]
+    fn nores_never_moves() {
+        let mut p = NoRes;
+        let v = view(&[(10, 10, 0), (10, 0, 0)]);
+        let mut rng = DetRng::from_seed_u64(0);
+        assert_eq!(
+            p.on_suspended(&job(), PoolId(0), &pools(2), &v, &mut rng),
+            Decision::Stay
+        );
+        assert_eq!(p.wait_threshold(), None);
+        assert_eq!(p.name(), "NoRes");
+    }
+
+    #[test]
+    fn res_sus_util_moves_to_least_utilized() {
+        let mut p = ResSus::util();
+        let v = view(&[(10, 9, 0), (10, 2, 0), (10, 5, 0)]);
+        let mut rng = DetRng::from_seed_u64(0);
+        assert_eq!(
+            p.on_suspended(&job(), PoolId(0), &pools(3), &v, &mut rng),
+            Decision::Restart(PoolId(1))
+        );
+    }
+
+    #[test]
+    fn res_sus_util_stays_when_current_is_least_utilized() {
+        // "If all alternate pools are even more utilized than the current
+        // pool, ResSusUtil will simply retain the suspended job."
+        let mut p = ResSus::util();
+        let v = view(&[(10, 2, 0), (10, 5, 0), (10, 9, 0)]);
+        let mut rng = DetRng::from_seed_u64(0);
+        assert_eq!(
+            p.on_suspended(&job(), PoolId(0), &pools(3), &v, &mut rng),
+            Decision::Stay
+        );
+        // Ties also stay (no strict improvement).
+        let v = view(&[(10, 5, 0), (10, 5, 0)]);
+        assert_eq!(
+            p.on_suspended(&job(), PoolId(0), &pools(2), &v, &mut rng),
+            Decision::Stay
+        );
+    }
+
+    #[test]
+    fn res_sus_rand_picks_among_other_candidates() {
+        let mut p = ResSus::random();
+        let v = view(&[(10, 0, 0); 4]);
+        let mut rng = DetRng::from_seed_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let Decision::Restart(t) = p.on_suspended(&job(), PoolId(2), &pools(4), &v, &mut rng)
+            else {
+                panic!("alternates exist")
+            };
+            assert_ne!(t, PoolId(2), "random never picks the current pool");
+            seen.insert(t);
+        }
+        assert_eq!(seen.len(), 3, "all alternates eventually chosen");
+    }
+
+    #[test]
+    fn res_sus_rand_stays_with_single_candidate() {
+        let mut p = ResSus::random();
+        let v = view(&[(10, 0, 0)]);
+        let mut rng = DetRng::from_seed_u64(1);
+        assert_eq!(
+            p.on_suspended(&job(), PoolId(0), &[PoolId(0)], &v, &mut rng),
+            Decision::Stay
+        );
+    }
+
+    #[test]
+    fn wait_variants_expose_threshold_and_wait_hook() {
+        let mut p = ResSusWait::util();
+        assert_eq!(p.wait_threshold(), Some(SimDuration::from_minutes(30)));
+        let v = view(&[(10, 9, 5), (10, 1, 0)]);
+        let mut rng = DetRng::from_seed_u64(2);
+        assert_eq!(
+            p.on_waiting(&job(), PoolId(0), &pools(2), &v, &mut rng),
+            Some(PoolId(1))
+        );
+        let custom = ResSusWait::random().with_threshold(SimDuration::from_minutes(5));
+        assert_eq!(custom.wait_threshold(), Some(SimDuration::from_minutes(5)));
+    }
+
+    #[test]
+    fn shortest_queue_extension_prefers_short_queues() {
+        let mut p = ResSus::queue();
+        let v = view(&[(10, 5, 9), (10, 9, 1), (10, 9, 4)]);
+        let mut rng = DetRng::from_seed_u64(3);
+        assert_eq!(
+            p.on_suspended(&job(), PoolId(0), &pools(3), &v, &mut rng),
+            Decision::Restart(PoolId(1))
+        );
+        assert_eq!(p.name(), "ResSusQueue");
+    }
+
+    #[test]
+    fn strategy_kind_builds_all_variants() {
+        for kind in [
+            StrategyKind::NoRes,
+            StrategyKind::ResSusUtil,
+            StrategyKind::ResSusRand,
+            StrategyKind::ResSusWaitUtil,
+            StrategyKind::ResSusWaitRand,
+            StrategyKind::ResSusQueue,
+            StrategyKind::MigrateSusUtil,
+            StrategyKind::DupSusUtil,
+            StrategyKind::ResSusWaitSmart,
+        ] {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(StrategyKind::PAPER_SUSPEND_ONLY.len(), 3);
+        assert_eq!(StrategyKind::PAPER_WITH_WAIT.len(), 3);
+    }
+
+    #[test]
+    fn migrate_and_dup_policies_issue_their_decisions() {
+        let v = view(&[(10, 9, 0), (10, 1, 0)]);
+        let mut rng = DetRng::from_seed_u64(4);
+        let mut m = MigrateSus::util();
+        assert_eq!(
+            m.on_suspended(&job(), PoolId(0), &pools(2), &v, &mut rng),
+            Decision::Migrate(PoolId(1))
+        );
+        let mut d = DupSus::util();
+        assert_eq!(
+            d.on_suspended(&job(), PoolId(0), &pools(2), &v, &mut rng),
+            Decision::Duplicate(PoolId(1))
+        );
+        // Both stay when no better pool exists.
+        let flat = view(&[(10, 1, 0), (10, 9, 0)]);
+        assert_eq!(
+            m.on_suspended(&job(), PoolId(0), &pools(2), &flat, &mut rng),
+            Decision::Stay
+        );
+        assert_eq!(
+            d.on_suspended(&job(), PoolId(0), &pools(2), &flat, &mut rng),
+            Decision::Stay
+        );
+    }
+
+    #[test]
+    fn smart_selector_penalizes_queues_and_load() {
+        let w = SmartWeights::default();
+        // Pool 1: empty. Pool 0: busy. Pool 2: idle cores but a deep queue.
+        let v = view(&[(10, 9, 0), (10, 1, 0), (10, 1, 20)]);
+        assert_eq!(w.select(PoolId(0), &pools(3), &v), Some(PoolId(1)));
+        // From the empty pool, nothing is better: stay.
+        assert_eq!(w.select(PoolId(1), &pools(3), &v), None);
+        // The deep-queued pool scores worse than the busy one.
+        let p0 = &v.pools[0];
+        let p2 = &v.pools[2];
+        assert!(w.score(p2) > w.score(p0));
+    }
+
+    #[test]
+    fn smart_policy_restarts_and_reschedules_waiting() {
+        let mut p = ResSusWaitSmart::new();
+        let v = view(&[(10, 9, 4), (10, 1, 0)]);
+        let mut rng = DetRng::from_seed_u64(0);
+        assert_eq!(
+            p.on_suspended(&job(), PoolId(0), &pools(2), &v, &mut rng),
+            Decision::Restart(PoolId(1))
+        );
+        assert_eq!(
+            p.on_waiting(&job(), PoolId(0), &pools(2), &v, &mut rng),
+            Some(PoolId(1))
+        );
+        assert_eq!(p.wait_threshold(), Some(PAPER_WAIT_THRESHOLD));
+    }
+
+    #[test]
+    fn default_strategies_match_nores_baseline() {
+        assert_eq!(StrategyKind::default(), StrategyKind::NoRes);
+        assert_eq!(StrategyKind::NoRes.to_string(), "NoRes");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        ResSusWait::util().with_threshold(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,1502 @@
+//! The NetBatch simulator: the open equivalent of Intel's ASCA
+//! ("Agent-based Simulator for Compute Allocation") that the paper's
+//! evaluation runs on.
+//!
+//! It wires together the cluster model (pools, machines, preemption), a
+//! virtual pool manager driven by an [`InitialScheduler`], a dynamic
+//! [`ReschedPolicy`], and the discrete-event kernel. Like ASCA it can
+//! sample the state of every component each minute for post-analysis
+//! (Figure 4) and runs a submitted trace until every job completes (§3.1:
+//! "we execute these jobs on the ASCA simulator until all 248000 jobs are
+//! completed").
+
+use std::collections::VecDeque;
+
+use netbatch_cluster::ids::{JobId, MachineId, PoolId};
+use netbatch_cluster::job::{JobRecord, JobSpec};
+use netbatch_cluster::pool::{PhysicalPool, PoolAction, SubmitOutcome};
+use netbatch_cluster::snapshot::ClusterSnapshot;
+use netbatch_metrics::timeseries::TimeSeries;
+use netbatch_sim_engine::executor::{Control, Executor, Handler, RunOutcome, Scheduler};
+use netbatch_sim_engine::rng::DetRng;
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+use netbatch_workload::scenarios::SiteSpec;
+
+use crate::policy::initial::{InitialKind, InitialScheduler};
+use crate::policy::resched::{Decision, ReschedPolicy, StrategyKind};
+
+/// Simulator configuration: the experiment's policy axes plus extension
+/// knobs (all defaults match the paper's setup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Virtual-pool-manager scheduler.
+    pub initial: InitialKind,
+    /// Dynamic rescheduling strategy.
+    pub strategy: StrategyKind,
+    /// Fixed per-restart cost (data/binary transfer), accounted as
+    /// rescheduling waste. Zero in the paper's experiments; an ablation
+    /// knob here (the paper's future-work "rescheduling associated
+    /// overheads").
+    pub restart_overhead: SimDuration,
+    /// Per-minute state sampling for Figure 4-style series. `None`
+    /// disables sampling (faster for table experiments).
+    pub sample_interval: Option<SimDuration>,
+    /// Maximum number of restarts per job; `None` = unbounded (the paper's
+    /// setting). An ablation knob against restart churn.
+    pub max_restarts: Option<u32>,
+    /// Age of the load information policies see. Zero (the paper's
+    /// idealized oracle) means decisions always see fresh utilization;
+    /// larger values model WAN propagation latency, the practicality
+    /// caveat of §3.2.2.
+    pub view_staleness: SimDuration,
+    /// Seed for policy randomness (`ResSusRand` et al.).
+    pub seed: u64,
+    /// Machine failures to inject (extension; DESIGN.md §8). Each failure
+    /// evicts every resident job — evicted jobs restart from scratch
+    /// through the virtual pool manager, their lost progress accounted as
+    /// rescheduling waste.
+    pub failures: Vec<MachineFailure>,
+    /// Migration cost model, used by `MigrateSusUtil` (extension).
+    pub migration: MigrationParams,
+    /// Virtual-pool-manager topology (the paper's Figure 1: each site's
+    /// VPM connects to a subset of the physical pools). `None` = a single
+    /// VPM connected to every pool (the single-site evaluation setup).
+    pub topology: Option<VpmTopology>,
+}
+
+/// A multi-VPM deployment: which pools each virtual pool manager serves
+/// and whether rescheduling may cross VPM boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VpmTopology {
+    /// Pool set per VPM. Jobs are assigned to VPMs round-robin by job id
+    /// (stand-in for "submitted by users at that site").
+    pub vpms: Vec<Vec<PoolId>>,
+    /// If true, rescheduling may target any eligible pool site-wide
+    /// (the paper's future-work "inter-site rescheduling"); if false,
+    /// rescheduling stays within the job's home VPM's pools.
+    pub inter_site_resched: bool,
+    /// Extra restart overhead charged when a rescheduling move crosses
+    /// VPM boundaries (WAN data/binary transfer).
+    pub inter_site_overhead: SimDuration,
+}
+
+impl VpmTopology {
+    /// Splits `pool_count` pools into `vpms` contiguous groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpms` is zero or exceeds `pool_count`.
+    pub fn contiguous(pool_count: u16, vpms: u16) -> Self {
+        assert!(vpms > 0 && vpms <= pool_count, "need 1..=pool_count VPMs");
+        let per = pool_count.div_ceil(vpms);
+        let groups = (0..vpms)
+            .map(|v| {
+                (v * per..((v + 1) * per).min(pool_count))
+                    .map(PoolId)
+                    .collect()
+            })
+            .collect();
+        VpmTopology {
+            vpms: groups,
+            inter_site_resched: false,
+            inter_site_overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Enables inter-site rescheduling with the given per-move overhead.
+    pub fn with_inter_site(mut self, overhead: SimDuration) -> Self {
+        self.inter_site_resched = true;
+        self.inter_site_overhead = overhead;
+        self
+    }
+
+    /// The VPM a job with this id and affinity submits to: users submit
+    /// to a site whose VPM actually serves pools their job can run in
+    /// (round-robin by job id among those). Falls back to VPM 0 when no
+    /// VPM serves the affinity (the job will be reported unrunnable).
+    pub fn vpm_for(&self, job: JobId, affinity_pools: &[PoolId]) -> usize {
+        let eligible: Vec<usize> = self
+            .vpms
+            .iter()
+            .enumerate()
+            .filter(|(_, pools)| affinity_pools.iter().any(|p| pools.contains(p)))
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            0
+        } else {
+            eligible[(job.as_u64() % eligible.len() as u64) as usize]
+        }
+    }
+}
+
+/// The cost of moving a job with its progress (checkpoint/VM migration),
+/// per the paper's §2.3 discussion of virtualization overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationParams {
+    /// Transfer delay before the job can resume at the target pool
+    /// (checkpoint + data + binary movement).
+    pub delay: SimDuration,
+    /// Per-mille slowdown on the remaining work (1150 = the migrated copy
+    /// needs 15% more wall time, mid-range of the paper's "performance
+    /// overhead between 10% to 20%" for virtualized hosts).
+    pub slowdown_milli: u32,
+}
+
+impl Default for MigrationParams {
+    fn default() -> Self {
+        MigrationParams {
+            delay: SimDuration::from_minutes(30),
+            slowdown_milli: 1150,
+        }
+    }
+}
+
+/// One injected machine failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineFailure {
+    /// The pool containing the machine.
+    pub pool: PoolId,
+    /// The machine to fail.
+    pub machine: MachineId,
+    /// When it fails.
+    pub at: SimTime,
+    /// How long it stays down; `None` = forever.
+    pub down_for: Option<SimDuration>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            initial: InitialKind::RoundRobin,
+            strategy: StrategyKind::NoRes,
+            restart_overhead: SimDuration::ZERO,
+            sample_interval: None,
+            max_restarts: None,
+            view_staleness: SimDuration::ZERO,
+            seed: 1,
+            failures: Vec::new(),
+            migration: MigrationParams::default(),
+            topology: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with the given policy axes and paper defaults elsewhere.
+    pub fn new(initial: InitialKind, strategy: StrategyKind) -> Self {
+        SimConfig {
+            initial,
+            strategy,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Enables ASCA-style per-minute sampling.
+    pub fn with_sampling(mut self) -> Self {
+        self.sample_interval = Some(SimDuration::MINUTE);
+        self
+    }
+}
+
+/// The simulation's event alphabet (public for the `Handler` impl; not
+/// constructible outside this module in any useful way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A job's submission reaches the virtual pool manager.
+    Submit(JobId),
+    /// A running job finishes (cancelled and rescheduled on suspension).
+    Complete(JobId),
+    /// A waiting job's rescheduling timer fires.
+    WaitCheck(JobId),
+    /// Periodic state sampling.
+    Sample,
+    /// An injected machine failure fires.
+    MachineDown(PoolId, MachineId),
+    /// A failed machine comes back online.
+    MachineUp(PoolId, MachineId),
+    /// A migrating job arrives at its target pool.
+    MigrateArrive(JobId, PoolId),
+}
+
+/// Counters describing a finished run, beyond per-job records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Jobs that completed.
+    pub completed: u64,
+    /// Jobs no pool could ever run (should be zero for generated traces).
+    pub unrunnable: u64,
+    /// Preemption (suspension) events.
+    pub suspensions: u64,
+    /// Restarts triggered from the suspended state.
+    pub restarts_from_suspend: u64,
+    /// Restarts triggered from wait queues.
+    pub restarts_from_wait: u64,
+    /// Jobs evicted by injected machine failures.
+    pub failure_evictions: u64,
+    /// Migrations performed (progress kept).
+    pub migrations: u64,
+    /// Duplicate copies launched.
+    pub duplicates_launched: u64,
+    /// Races won by the duplicate copy rather than the original.
+    pub duplicates_won: u64,
+    /// Events processed by the kernel.
+    pub events: u64,
+}
+
+/// The simulator itself. Construct with [`Simulator::new`], run with
+/// [`Simulator::run_to_completion`], then read results through
+/// [`Simulator::jobs`], [`Simulator::counters`] and the sampled series.
+pub struct Simulator {
+    pools: Vec<PhysicalPool>,
+    jobs: Vec<JobRecord>,
+    initial: Box<dyn InitialScheduler>,
+    policy: Box<dyn ReschedPolicy>,
+    policy_rng: DetRng,
+    config: SimConfig,
+    pool_count: u16,
+    // Cached cluster view for policies, refreshed per view_staleness.
+    view_cache: Option<(SimTime, ClusterSnapshot)>,
+    // Progress.
+    total_jobs: u64,
+    counters: RunCounters,
+    // Wait-check re-arms per waiting stint (livelock guard; reset on start).
+    wait_checks: Vec<u32>,
+    // Remaining runtime a migrating job resubmits with, parked while the
+    // transfer delay elapses.
+    migrating: std::collections::HashMap<JobId, SimDuration>,
+    // Home VPM per job (empty when no topology is configured).
+    vpm_assignment: Vec<usize>,
+    // original -> duplicate and duplicate -> original links.
+    dup_of: std::collections::HashMap<JobId, JobId>,
+    // Job ids that are duplicate (shadow) copies, excluded from metrics.
+    shadows: std::collections::HashSet<JobId>,
+    // Figure-4 series (populated when sampling is enabled).
+    suspended_series: TimeSeries,
+    utilization_series: TimeSeries,
+    waiting_series: TimeSeries,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("pools", &self.pools.len())
+            .field("jobs", &self.jobs.len())
+            .field("strategy", &self.policy.name())
+            .field("initial", &self.initial.name())
+            .field("completed", &self.counters.completed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator over `site` with the given submitted jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if job ids are not the dense sequence `0..n` in submission
+    /// order (what [`netbatch_workload::Trace::to_specs`] produces).
+    pub fn new(site: &SiteSpec, specs: Vec<JobSpec>, config: SimConfig) -> Self {
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.id.as_usize(), i, "job ids must be dense and ordered");
+        }
+        let pools: Vec<PhysicalPool> = site
+            .pools
+            .iter()
+            .map(|p| PhysicalPool::new(p.clone()))
+            .collect();
+        let pool_count = pools.len() as u16;
+        let total_jobs = specs.len() as u64;
+        let policy_rng = DetRng::from_seed_u64(config.seed).stream("policy");
+        let wait_checks = vec![0; specs.len()];
+        let vpm_assignment = match config.topology.as_ref() {
+            Some(topo) => specs
+                .iter()
+                .map(|s| topo.vpm_for(s.id, &s.affinity.candidates(pool_count)))
+                .collect(),
+            None => Vec::new(),
+        };
+        Simulator {
+            pools,
+            jobs: specs.into_iter().map(JobRecord::new).collect(),
+            wait_checks,
+            vpm_assignment,
+            migrating: std::collections::HashMap::new(),
+            dup_of: std::collections::HashMap::new(),
+            shadows: std::collections::HashSet::new(),
+            initial: config.initial.build(),
+            policy: config.strategy.build(),
+            policy_rng,
+            pool_count,
+            view_cache: None,
+            total_jobs,
+            counters: RunCounters::default(),
+            suspended_series: TimeSeries::new(),
+            utilization_series: TimeSeries::new(),
+            waiting_series: TimeSeries::new(),
+            config,
+        }
+    }
+
+    /// Like [`Simulator::new`] but with an explicitly constructed
+    /// rescheduling policy (for policies with non-default parameters, e.g.
+    /// custom [`crate::policy::SmartWeights`]). `config.strategy` is kept
+    /// for labeling only.
+    pub fn with_policy(
+        site: &SiteSpec,
+        specs: Vec<JobSpec>,
+        config: SimConfig,
+        policy: Box<dyn ReschedPolicy>,
+    ) -> Self {
+        let mut sim = Simulator::new(site, specs, config);
+        sim.policy = policy;
+        sim
+    }
+
+    /// Runs the whole trace until every job completes (the paper's run
+    /// discipline). Returns the run counters.
+    pub fn run_to_completion(mut self) -> SimOutput {
+        let mut executor = Executor::new();
+        for job in &self.jobs {
+            executor.seed_event(job.spec().submit_time, Ev::Submit(job.id()));
+        }
+        if self.config.sample_interval.is_some() {
+            executor.seed_event(SimTime::ZERO, Ev::Sample);
+        }
+        for f in self.config.failures.clone() {
+            executor.seed_event(f.at, Ev::MachineDown(f.pool, f.machine));
+            if let Some(d) = f.down_for {
+                executor.seed_event(f.at + d, Ev::MachineUp(f.pool, f.machine));
+            }
+        }
+        let stats = executor.run(&mut self);
+        assert_eq!(
+            stats.outcome,
+            RunOutcome::Drained,
+            "simulation should drain, not stop early"
+        );
+        self.counters.events = stats.events_processed;
+        debug_assert!(self.pools.iter().all(PhysicalPool::check_invariants));
+        // Duplicate (shadow) copies are bookkeeping, not submitted jobs:
+        // drop them from the reported population.
+        let shadows = self.shadows;
+        let jobs: Vec<JobRecord> = self
+            .jobs
+            .into_iter()
+            .filter(|j| !shadows.contains(&j.id()))
+            .collect();
+        let pool_stats = self
+            .pools
+            .iter()
+            .map(|p| (p.id(), p.stats()))
+            .collect();
+        SimOutput {
+            jobs,
+            counters: self.counters,
+            pool_stats,
+            end_time: stats.end_time,
+            suspended_series: self.suspended_series,
+            utilization_series: self.utilization_series,
+            waiting_series: self.waiting_series,
+        }
+    }
+
+    // ---- internals ----
+
+    /// The policy's (possibly stale) cluster view.
+    fn view(&mut self, now: SimTime) -> ClusterSnapshot {
+        let fresh_needed = match &self.view_cache {
+            Some((at, _)) => now.since(*at) > self.config.view_staleness,
+            None => true,
+        };
+        if fresh_needed {
+            let snap = ClusterSnapshot::capture(self.pools.iter());
+            self.view_cache = Some((now, snap));
+        }
+        self.view_cache
+            .as_ref()
+            .map(|(_, s)| s.clone())
+            .expect("cache just filled")
+    }
+
+    /// Invalidate the view when staleness is zero so every decision sees
+    /// current state (the paper's oracle assumption).
+    fn touch_view(&mut self) {
+        if self.config.view_staleness.is_zero() {
+            self.view_cache = None;
+        }
+    }
+
+    /// The pools this job may be rescheduled to: affinity candidates that
+    /// also have at least one machine capable of running it, and — under a
+    /// multi-VPM topology without inter-site rescheduling — belong to the
+    /// job's home VPM.
+    fn eligible_candidates(&self, spec: &JobSpec) -> Vec<PoolId> {
+        let home = self.home_pools(spec.id);
+        spec.affinity
+            .candidates(self.pool_count)
+            .into_iter()
+            .filter(|p| home.is_none_or(|pools| pools.contains(p)))
+            .filter(|p| self.pools[p.as_usize()].is_eligible(spec.resources))
+            .collect()
+    }
+
+    /// The job's home VPM pool set, unless rescheduling is site-global.
+    fn home_pools(&self, job: JobId) -> Option<&[PoolId]> {
+        let topo = self.config.topology.as_ref()?;
+        if topo.inter_site_resched {
+            return None;
+        }
+        Some(&topo.vpms[self.vpm_assignment[job.as_usize()]])
+    }
+
+    /// The restart overhead for moving `job` to `target`: the base cost
+    /// plus the inter-site surcharge when the move leaves the home VPM.
+    fn move_overhead(&self, job: JobId, target: PoolId) -> SimDuration {
+        let mut overhead = self.config.restart_overhead;
+        if let Some(topo) = self.config.topology.as_ref() {
+            let home = &topo.vpms[self.vpm_assignment[job.as_usize()]];
+            if !home.contains(&target) {
+                overhead += topo.inter_site_overhead;
+            }
+        }
+        overhead
+    }
+
+    /// Initial-routing candidates: affinity ∩ the home VPM's pools (a VPM
+    /// only dispatches to pools it is connected to, Figure 1).
+    fn initial_candidates(&self, spec: &JobSpec) -> Vec<PoolId> {
+        let candidates = spec.affinity.candidates(self.pool_count);
+        match self.config.topology.as_ref() {
+            Some(topo) => {
+                let home = &topo.vpms[self.vpm_assignment[spec.id.as_usize()]];
+                candidates
+                    .into_iter()
+                    .filter(|p| home.contains(p))
+                    .collect()
+            }
+            None => candidates,
+        }
+    }
+
+    /// Routes a job through the virtual pool manager: try pools in the
+    /// initial scheduler's preference order, bouncing on ineligibility.
+    fn route_via_vpm(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let spec = self.jobs[job.as_usize()].spec().clone();
+        let candidates = self.initial_candidates(&spec);
+        let view = self.view(now);
+        let order = self.initial.order(&spec, &candidates, &view);
+        for pool in order {
+            match self.try_pool(pool, &spec, now, sched) {
+                Some(()) => return,
+                None => continue,
+            }
+        }
+        // No pool can ever run this job.
+        self.counters.unrunnable += 1;
+    }
+
+    /// Tries one pool; `Some(())` if the job was dispatched or queued
+    /// there, `None` if the pool is ineligible.
+    fn try_pool(
+        &mut self,
+        pool: PoolId,
+        spec: &JobSpec,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) -> Option<()> {
+        match self.pools[pool.as_usize()].submit(now, spec) {
+            SubmitOutcome::Dispatched(actions) => {
+                self.touch_view();
+                self.apply_actions(pool, actions, now, sched);
+                Some(())
+            }
+            SubmitOutcome::Queued => {
+                self.touch_view();
+                let rec = &mut self.jobs[spec.id.as_usize()];
+                rec.enqueue(now, pool).expect("job routed while at VPM");
+                self.arm_wait_timer(spec.id, now, sched);
+                Some(())
+            }
+            SubmitOutcome::Ineligible => None,
+        }
+    }
+
+    /// The most wait-check timer re-arms a job may consume per waiting
+    /// stint — a backstop against livelock when a waiting job can never
+    /// start (e.g. every capable machine failed permanently).
+    const MAX_WAIT_CHECKS: u32 = 10_000;
+
+    /// Arms the wait-rescheduling timer for a freshly queued job, if the
+    /// strategy reschedules waiting jobs.
+    fn arm_wait_timer(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        if let Some(threshold) = self.policy.wait_threshold() {
+            if self.wait_checks[job.as_usize()] >= Self::MAX_WAIT_CHECKS {
+                return;
+            }
+            self.wait_checks[job.as_usize()] += 1;
+            let id = sched.schedule_at(now + threshold, Ev::WaitCheck(job));
+            self.jobs[job.as_usize()].wait_timer_event = Some(id);
+        }
+    }
+
+    /// Applies a batch of pool actions, then runs rescheduling decisions
+    /// for any jobs the batch suspended. Rescheduling can cascade (a
+    /// restarted job may preempt in its new pool); the worklist makes the
+    /// cascade iterative and bounded.
+    fn apply_actions(
+        &mut self,
+        pool: PoolId,
+        actions: Vec<PoolAction>,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let mut suspended: VecDeque<(JobId, PoolId)> = VecDeque::new();
+        self.apply_batch(pool, actions, now, sched, &mut suspended);
+        while let Some((job, at_pool)) = suspended.pop_front() {
+            self.decide_suspended(job, at_pool, now, sched, &mut suspended);
+        }
+    }
+
+    /// Bookkeeping for one action batch; newly suspended jobs are pushed
+    /// onto the worklist rather than decided inline.
+    fn apply_batch(
+        &mut self,
+        pool: PoolId,
+        actions: Vec<PoolAction>,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+        suspended: &mut VecDeque<(JobId, PoolId)>,
+    ) {
+        for action in actions {
+            match action {
+                PoolAction::Started { job, machine, wall } => {
+                    self.wait_checks[job.as_usize()] = 0;
+                    let rec = &mut self.jobs[job.as_usize()];
+                    if let Some(timer) = rec.wait_timer_event.take() {
+                        sched.cancel(timer);
+                    }
+                    rec.start(now, pool, machine, wall)
+                        .expect("pool starts only routed jobs");
+                    rec.completion_event = Some(sched.schedule_at(now + wall, Ev::Complete(job)));
+                }
+                PoolAction::Suspended { job, machine: _ } => {
+                    let rec = &mut self.jobs[job.as_usize()];
+                    if let Some(ev) = rec.completion_event.take() {
+                        sched.cancel(ev);
+                    }
+                    rec.suspend(now).expect("pool suspends only running jobs");
+                    self.counters.suspensions += 1;
+                    suspended.push_back((job, pool));
+                }
+                PoolAction::Resumed { job, machine: _ } => {
+                    let rec = &mut self.jobs[job.as_usize()];
+                    rec.resume(now).expect("pool resumes only suspended jobs");
+                    let wall = rec.remaining_wall();
+                    rec.completion_event = Some(sched.schedule_at(now + wall, Ev::Complete(job)));
+                }
+            }
+        }
+    }
+
+    /// Consults the rescheduling policy for one freshly suspended job and
+    /// executes its decision.
+    fn decide_suspended(
+        &mut self,
+        job: JobId,
+        at_pool: PoolId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+        suspended: &mut VecDeque<(JobId, PoolId)>,
+    ) {
+        let rec = &self.jobs[job.as_usize()];
+        // The job may already have been resumed (or even completed) by a
+        // cascade that ran between its suspension and this decision.
+        if self.pools[at_pool.as_usize()].suspended_machine(job).is_none() {
+            return;
+        }
+        if let Some(cap) = self.config.max_restarts {
+            if rec.restarts_from_suspend() + rec.restarts_from_wait() >= cap {
+                return;
+            }
+        }
+        let spec = rec.spec().clone();
+        let candidates = self.eligible_candidates(&spec);
+        let view = self.view(now);
+        let decision =
+            self.policy
+                .on_suspended(&spec, at_pool, &candidates, &view, &mut self.policy_rng);
+        match decision {
+            Decision::Stay => {}
+            Decision::Restart(target) => {
+                // Pull the job out of its pool (frees its resident memory,
+                // which may start queued jobs there)...
+                let actions = self.pools[at_pool.as_usize()]
+                    .remove_suspended(now, job)
+                    .expect("checked suspended above");
+                self.touch_view();
+                let overhead = self.move_overhead(job, target);
+                self.jobs[job.as_usize()]
+                    .abort_for_restart(now, overhead)
+                    .expect("suspended jobs can abort");
+                self.counters.restarts_from_suspend += 1;
+                self.apply_batch(at_pool, actions, now, sched, suspended);
+                // ...and restart it from scratch at the chosen pool.
+                self.restart_at(job, target, now, sched, suspended);
+            }
+            Decision::Migrate(target) => {
+                let actions = self.pools[at_pool.as_usize()]
+                    .remove_suspended(now, job)
+                    .expect("checked suspended above");
+                self.touch_view();
+                let remaining = self.jobs[job.as_usize()]
+                    .migrate_out(now, self.config.migration.delay)
+                    .expect("suspended jobs can migrate");
+                // The migrated copy runs `slowdown` slower (§2.3's 10-20%
+                // virtualization overhead), minimum one minute.
+                let slowed = (remaining.as_minutes()
+                    * u64::from(self.config.migration.slowdown_milli))
+                .div_ceil(1000)
+                .max(1);
+                self.migrating
+                    .insert(job, SimDuration::from_minutes(slowed));
+                self.counters.migrations += 1;
+                self.apply_batch(at_pool, actions, now, sched, suspended);
+                sched.schedule_at(
+                    now + self.config.migration.delay,
+                    Ev::MigrateArrive(job, target),
+                );
+            }
+            Decision::Duplicate(target) => {
+                // Only one live duplicate per original, and shadows never
+                // spawn their own duplicates.
+                if self.dup_of.contains_key(&job) || self.shadows.contains(&job) {
+                    return;
+                }
+                let clone_id = JobId(self.jobs.len() as u64);
+                let mut clone_spec = spec.clone();
+                clone_spec.id = clone_id;
+                self.jobs.push(JobRecord::new(clone_spec));
+                self.wait_checks.push(0);
+                if !self.vpm_assignment.is_empty() {
+                    let home = self.vpm_assignment[job.as_usize()];
+                    self.vpm_assignment.push(home);
+                }
+                self.shadows.insert(clone_id);
+                self.dup_of.insert(job, clone_id);
+                self.dup_of.insert(clone_id, job);
+                self.counters.duplicates_launched += 1;
+                self.jobs[clone_id.as_usize()]
+                    .submit(now)
+                    .expect("fresh clone");
+                self.restart_at(clone_id, target, now, sched, suspended);
+            }
+        }
+    }
+
+    /// Submits a restarted job directly to `target`, collecting any
+    /// preemptions it causes onto the worklist.
+    fn restart_at(
+        &mut self,
+        job: JobId,
+        target: PoolId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+        suspended: &mut VecDeque<(JobId, PoolId)>,
+    ) {
+        let spec = self.jobs[job.as_usize()].spec().clone();
+        match self.pools[target.as_usize()].submit(now, &spec) {
+            SubmitOutcome::Dispatched(actions) => {
+                self.touch_view();
+                self.apply_batch(target, actions, now, sched, suspended);
+            }
+            SubmitOutcome::Queued => {
+                self.touch_view();
+                self.jobs[job.as_usize()]
+                    .enqueue(now, target)
+                    .expect("job at VPM after abort");
+                self.arm_wait_timer(job, now, sched);
+            }
+            SubmitOutcome::Ineligible => {
+                // Policies only pick eligible candidates, but defend anyway:
+                // route through the VPM.
+                self.route_via_vpm(job, now, sched);
+            }
+        }
+    }
+
+    fn handle_complete(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let rec = &mut self.jobs[job.as_usize()];
+        let netbatch_cluster::job::JobPhase::Running { pool, .. } = rec.phase() else {
+            unreachable!("completion events are cancelled on suspension/restart");
+        };
+        rec.completion_event = None;
+        rec.complete(now).expect("phase checked running");
+        if !self.shadows.contains(&job) {
+            self.counters.completed += 1;
+        }
+        let actions = self.pools[pool.as_usize()]
+            .release(now, job)
+            .expect("running job releases");
+        self.touch_view();
+        self.apply_actions(pool, actions, now, sched);
+        self.resolve_duplicate_race(job, now, sched);
+    }
+
+    /// If `finisher` is half of a duplicate pair, cancel the other copy
+    /// and settle the accounting: the loser's execution was redundant and
+    /// is charged to the original as rescheduling waste.
+    fn resolve_duplicate_race(
+        &mut self,
+        finisher: JobId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let Some(loser) = self.dup_of.remove(&finisher) else {
+            return;
+        };
+        self.dup_of.remove(&loser);
+        let clone_won = self.shadows.contains(&finisher);
+        // Cancel the loser's pending events and evict it from its pool.
+        let rec = &mut self.jobs[loser.as_usize()];
+        if let Some(ev) = rec.completion_event.take() {
+            sched.cancel(ev);
+        }
+        if let Some(timer) = rec.wait_timer_event.take() {
+            sched.cancel(timer);
+        }
+        use netbatch_cluster::job::JobPhase;
+        match rec.phase() {
+            JobPhase::Running { pool, .. } => {
+                let actions = self.pools[pool.as_usize()]
+                    .release(now, loser)
+                    .expect("loser was running");
+                self.touch_view();
+                self.apply_actions(pool, actions, now, sched);
+            }
+            JobPhase::Suspended { pool, .. } => {
+                let actions = self.pools[pool.as_usize()]
+                    .remove_suspended(now, loser)
+                    .expect("loser was suspended");
+                self.touch_view();
+                self.apply_actions(pool, actions, now, sched);
+            }
+            JobPhase::Waiting { pool } => {
+                self.pools[pool.as_usize()]
+                    .remove_waiting(loser)
+                    .expect("loser was waiting");
+            }
+            JobPhase::AtVpm | JobPhase::Created | JobPhase::Completed => {}
+        }
+        // Settle: the ORIGINAL record carries the metrics.
+        if clone_won {
+            // The loser is the original; stamp it completed (this also
+            // closes its open run/suspend/wait segment).
+            self.counters.duplicates_won += 1;
+            let original = loser;
+            let rec = &mut self.jobs[original.as_usize()];
+            if !rec.is_completed() {
+                rec.finish_by_proxy(now).expect("original is active");
+                self.counters.completed += 1;
+            }
+            // Everything the original executed produced nothing — the
+            // clone's result was used.
+            let wasted = rec.run_time();
+            rec.add_external_waste(wasted);
+        } else {
+            // The loser is the clone; close its running segment if any,
+            // then charge its redundant execution to the original.
+            let clone = loser;
+            let rec = &mut self.jobs[clone.as_usize()];
+            if !rec.is_completed() {
+                rec.finish_by_proxy(now).expect("clone is active");
+            }
+            let wasted = rec.run_time();
+            self.jobs[finisher.as_usize()].add_external_waste(wasted);
+        }
+    }
+
+    fn handle_wait_check(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let rec = &self.jobs[job.as_usize()];
+        let netbatch_cluster::job::JobPhase::Waiting { pool } = rec.phase() else {
+            return; // Started or moved in the meantime; timer is stale.
+        };
+        let Some(threshold) = self.policy.wait_threshold() else {
+            return;
+        };
+        let waited = now.since(rec.phase_since());
+        if waited < threshold {
+            // Re-arm for the remainder (can happen after requeueing races).
+            if self.wait_checks[job.as_usize()] < Self::MAX_WAIT_CHECKS {
+                self.wait_checks[job.as_usize()] += 1;
+                let id = sched.schedule_at(rec.phase_since() + threshold, Ev::WaitCheck(job));
+                self.jobs[job.as_usize()].wait_timer_event = Some(id);
+            }
+            return;
+        }
+        if let Some(cap) = self.config.max_restarts {
+            if rec.restarts_from_suspend() + rec.restarts_from_wait() >= cap {
+                return;
+            }
+        }
+        let spec = rec.spec().clone();
+        let candidates = self.eligible_candidates(&spec);
+        let view = self.view(now);
+        let decision =
+            self.policy
+                .on_waiting(&spec, pool, &candidates, &view, &mut self.policy_rng);
+        match decision {
+            Some(target) if target != pool => {
+                self.pools[pool.as_usize()]
+                    .remove_waiting(job)
+                    .expect("phase says waiting");
+                let overhead = self.move_overhead(job, target);
+                self.jobs[job.as_usize()]
+                    .abort_for_restart(now, overhead)
+                    .expect("waiting jobs can abort");
+                self.counters.restarts_from_wait += 1;
+                let mut suspended = VecDeque::new();
+                self.restart_at(job, target, now, sched, &mut suspended);
+                while let Some((j, p)) = suspended.pop_front() {
+                    self.decide_suspended(j, p, now, sched, &mut suspended);
+                }
+            }
+            _ => {
+                // Stay put; check again one threshold later (bounded).
+                if self.wait_checks[job.as_usize()] < Self::MAX_WAIT_CHECKS {
+                    self.wait_checks[job.as_usize()] += 1;
+                    let id = sched.schedule_at(now + threshold, Ev::WaitCheck(job));
+                    self.jobs[job.as_usize()].wait_timer_event = Some(id);
+                }
+            }
+        }
+    }
+
+    fn handle_migrate_arrive(
+        &mut self,
+        job: JobId,
+        target: PoolId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let Some(remaining) = self.migrating.remove(&job) else {
+            return; // job was finished by other means in transit
+        };
+        if self.jobs[job.as_usize()].is_completed() {
+            return;
+        }
+        // Submit a spec carrying only the remaining (slowed) work.
+        let mut spec = self.jobs[job.as_usize()].spec().clone();
+        spec.runtime = remaining;
+        let mut suspended = VecDeque::new();
+        match self.pools[target.as_usize()].submit(now, &spec) {
+            SubmitOutcome::Dispatched(actions) => {
+                self.touch_view();
+                self.apply_batch(target, actions, now, sched, &mut suspended);
+            }
+            SubmitOutcome::Queued => {
+                self.touch_view();
+                self.jobs[job.as_usize()]
+                    .enqueue(now, target)
+                    .expect("migrating job is at VPM");
+                self.arm_wait_timer(job, now, sched);
+            }
+            SubmitOutcome::Ineligible => {
+                // Defensive: route anywhere eligible, still with the
+                // remaining work only. Fall back to a full VPM route.
+                self.route_via_vpm(job, now, sched);
+            }
+        }
+        while let Some((j, p)) = suspended.pop_front() {
+            self.decide_suspended(j, p, now, sched, &mut suspended);
+        }
+    }
+
+    fn handle_machine_down(
+        &mut self,
+        pool: PoolId,
+        machine: MachineId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let Some((running, suspended)) = self.pools[pool.as_usize()].fail_machine(machine) else {
+            return; // already down or unknown machine
+        };
+        self.touch_view();
+        for job in running.iter().chain(&suspended) {
+            self.counters.failure_evictions += 1;
+            let rec = &mut self.jobs[job.as_usize()];
+            if let Some(ev) = rec.completion_event.take() {
+                sched.cancel(ev);
+            }
+            rec.abort_for_restart(now, self.config.restart_overhead)
+                .expect("evicted jobs were running or suspended");
+            self.route_via_vpm(*job, now, sched);
+        }
+    }
+
+    fn handle_machine_up(
+        &mut self,
+        pool: PoolId,
+        machine: MachineId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        if let Some(actions) = self.pools[pool.as_usize()].restore_machine(now, machine) {
+            self.touch_view();
+            self.apply_actions(pool, actions, now, sched);
+        }
+    }
+
+    fn handle_sample(&mut self, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let suspended: usize = self.pools.iter().map(PhysicalPool::suspended_count).sum();
+        let waiting: usize = self.pools.iter().map(PhysicalPool::queue_len).sum();
+        let busy: u64 = self.pools.iter().map(|p| u64::from(p.busy_cores())).sum();
+        let total: u64 = self.pools.iter().map(|p| u64::from(p.total_cores())).sum();
+        let util = if total == 0 {
+            0.0
+        } else {
+            busy as f64 / total as f64
+        };
+        self.suspended_series.push(now, suspended as f64);
+        self.utilization_series.push(now, util * 100.0);
+        self.waiting_series.push(now, waiting as f64);
+        let done = self.counters.completed + self.counters.unrunnable >= self.total_jobs;
+        if !done {
+            let interval = self
+                .config
+                .sample_interval
+                .expect("sampling event implies interval");
+            sched.schedule_at(now + interval, Ev::Sample);
+        }
+    }
+
+    /// Read access to the job records (used by tests).
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Run counters so far.
+    pub fn counters(&self) -> RunCounters {
+        self.counters
+    }
+}
+
+impl Handler for Simulator {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) -> Control {
+        match event {
+            Ev::Submit(job) => {
+                self.jobs[job.as_usize()]
+                    .submit(now)
+                    .expect("submit events fire once per job");
+                self.route_via_vpm(job, now, sched);
+            }
+            Ev::Complete(job) => self.handle_complete(job, now, sched),
+            Ev::WaitCheck(job) => {
+                self.jobs[job.as_usize()].wait_timer_event = None;
+                self.handle_wait_check(job, now, sched);
+            }
+            Ev::Sample => self.handle_sample(now, sched),
+            Ev::MachineDown(pool, machine) => self.handle_machine_down(pool, machine, now, sched),
+            Ev::MachineUp(pool, machine) => self.handle_machine_up(pool, machine, now, sched),
+            Ev::MigrateArrive(job, pool) => self.handle_migrate_arrive(job, pool, now, sched),
+        }
+        Control::Continue
+    }
+}
+
+/// Everything a finished run produces.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Final per-job records (all completed).
+    pub jobs: Vec<JobRecord>,
+    /// Aggregate counters.
+    pub counters: RunCounters,
+    /// Cumulative per-pool statistics (starts, suspensions, peaks).
+    pub pool_stats: Vec<(PoolId, netbatch_cluster::pool::PoolStats)>,
+    /// Virtual time when the last job completed.
+    pub end_time: SimTime,
+    /// Suspended-job count per sample (empty unless sampling enabled).
+    pub suspended_series: TimeSeries,
+    /// Utilization percentage per sample.
+    pub utilization_series: TimeSeries,
+    /// Waiting-job count per sample.
+    pub waiting_series: TimeSeries,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbatch_cluster::job::PoolAffinity;
+    use netbatch_cluster::pool::PoolConfig;
+    use netbatch_cluster::priority::Priority;
+
+    fn tiny_site(pools: u16, machines: u32, cores: u32) -> SiteSpec {
+        SiteSpec {
+            pools: (0..pools)
+                .map(|p| PoolConfig::uniform(PoolId(p), machines, cores, 16_384))
+                .collect(),
+        }
+    }
+
+    fn spec(id: u64, submit: u64, runtime: u64) -> JobSpec {
+        JobSpec::new(
+            JobId(id),
+            SimTime::from_minutes(submit),
+            SimDuration::from_minutes(runtime),
+        )
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let site = tiny_site(1, 1, 1);
+        let sim = Simulator::new(&site, vec![spec(0, 5, 100)], SimConfig::default());
+        let out = sim.run_to_completion();
+        assert_eq!(out.counters.completed, 1);
+        assert_eq!(out.end_time, SimTime::from_minutes(105));
+        let job = &out.jobs[0];
+        assert!(job.is_completed());
+        assert_eq!(job.completion_time().unwrap().as_minutes(), 100);
+        assert_eq!(job.wait_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn queued_job_waits_for_capacity() {
+        let site = tiny_site(1, 1, 1);
+        let jobs = vec![spec(0, 0, 60), spec(1, 10, 30)];
+        let out = Simulator::new(&site, jobs, SimConfig::default()).run_to_completion();
+        assert_eq!(out.counters.completed, 2);
+        // Job 1 waits 0..60 submit=10 → waits 50, runs 60..90.
+        let j1 = &out.jobs[1];
+        assert_eq!(j1.wait_time().as_minutes(), 50);
+        assert_eq!(j1.completion_time().unwrap().as_minutes(), 80);
+    }
+
+    #[test]
+    fn preemption_suspends_and_resumes_with_nores() {
+        let site = tiny_site(1, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 40, 20).with_priority(Priority::HIGH),
+        ];
+        let out = Simulator::new(&site, jobs, SimConfig::default()).run_to_completion();
+        let low = &out.jobs[0];
+        assert!(low.was_suspended());
+        assert_eq!(low.suspend_time().as_minutes(), 20);
+        // Low: runs 0..40, suspended 40..60, runs 60..120.
+        assert_eq!(low.completion_time().unwrap().as_minutes(), 120);
+        assert_eq!(out.counters.suspensions, 1);
+        assert_eq!(out.counters.restarts_from_suspend, 0);
+        // High job was never delayed.
+        assert_eq!(out.jobs[1].completion_time().unwrap().as_minutes(), 20);
+    }
+
+    #[test]
+    fn res_sus_util_restarts_in_empty_pool() {
+        // Pool 0 busy with a high job; pool 1 idle. The suspended low job
+        // should restart in pool 1 and finish sooner than staying put.
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 40, 500).with_priority(Priority::HIGH),
+        ];
+        // Round-robin sends job 0 to pool 0 and job 1 to ... pool 1! Make
+        // job 1 affine to pool 0 to force the preemption.
+        let jobs = vec![
+            jobs[0].clone(),
+            jobs[1]
+                .clone()
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        let low = &out.jobs[0];
+        assert_eq!(out.counters.restarts_from_suspend, 1);
+        // Restarted from scratch in pool 1 at t=40: completes at 140.
+        assert_eq!(low.completed_at().unwrap().as_minutes(), 140);
+        assert_eq!(low.resched_waste().as_minutes(), 40, "40 minutes discarded");
+        assert_eq!(low.suspend_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn res_sus_util_stays_when_alternatives_are_busier() {
+        // Both pools single-core; pool 1 is fully busy with a long job, so
+        // the suspended job must stay in pool 0 (NoRes-equivalent outcome).
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 1000), // occupies pool 1 (RR starts at pool 0... order below)
+            spec(1, 1, 100),
+            spec(2, 40, 20).with_priority(Priority::HIGH),
+        ];
+        // RR: job0→pool0, job1→pool1, job2→pool0? cursor: job2 order starts
+        // at pool0 again (third call → start index 2 % 2 = 0). To pin
+        // behaviour, make job2 affine to the pool job1 runs in.
+        let jobs = vec![
+            jobs[0].clone().with_affinity(PoolAffinity::Subset(vec![PoolId(1)])),
+            jobs[1].clone().with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+            jobs[2].clone().with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        let low = &out.jobs[1];
+        assert!(low.was_suspended());
+        assert_eq!(out.counters.restarts_from_suspend, 0, "no better pool exists");
+        assert_eq!(low.suspend_time().as_minutes(), 20);
+    }
+
+    #[test]
+    fn wait_rescheduling_moves_stuck_job() {
+        // Pool 1's single core is occupied for 1000 minutes; pool 0 is
+        // idle. The round-robin cursor routes job 1 to pool 1 (its order
+        // starts at index 1 on the second job), where it queues; after the
+        // 30-minute threshold ResSusWaitUtil moves it to idle pool 0.
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 1000).with_affinity(PoolAffinity::Subset(vec![PoolId(1)])),
+            spec(1, 5, 50).with_affinity(PoolAffinity::Subset(vec![PoolId(0), PoolId(1)])),
+        ];
+        let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        let j = &out.jobs[1];
+        assert_eq!(out.counters.restarts_from_wait, 1);
+        assert_eq!(j.restarts_from_wait(), 1);
+        // Queued at t=5, moved at t=35, runs 35..85.
+        assert_eq!(j.wait_time().as_minutes(), 30);
+        assert_eq!(j.completed_at().unwrap().as_minutes(), 85);
+        assert_eq!(out.counters.completed, 2);
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let site = tiny_site(1, 1, 1);
+        let jobs = vec![spec(0, 0, 10)];
+        let cfg = SimConfig::default().with_sampling();
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert!(!out.utilization_series.is_empty());
+        // Utilization is 100% while the job runs.
+        assert!(out.utilization_series.max().unwrap() > 99.0);
+        assert_eq!(out.suspended_series.max().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let site = tiny_site(3, 2, 2);
+        let jobs: Vec<JobSpec> = (0..50)
+            .map(|i| {
+                let mut s = spec(i, i, 30 + (i * 7) % 200);
+                if i % 5 == 0 {
+                    s = s.with_priority(Priority::HIGH);
+                }
+                s
+            })
+            .collect();
+        let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitRand);
+        let a = Simulator::new(&site, jobs.clone(), cfg.clone()).run_to_completion();
+        let b = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.end_time, b.end_time);
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.completed_at(), jb.completed_at());
+            assert_eq!(ja.wasted_completion_time(), jb.wasted_completion_time());
+        }
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_strategy() {
+        let site = tiny_site(3, 2, 2);
+        let jobs: Vec<JobSpec> = (0..80)
+            .map(|i| {
+                let mut s = spec(i, i * 2, 20 + (i * 13) % 150);
+                if i % 4 == 0 {
+                    s = s
+                        .with_priority(Priority::HIGH)
+                        .with_affinity(PoolAffinity::Subset(vec![PoolId(0)]));
+                }
+                s
+            })
+            .collect();
+        for strategy in [
+            StrategyKind::NoRes,
+            StrategyKind::ResSusUtil,
+            StrategyKind::ResSusRand,
+            StrategyKind::ResSusWaitUtil,
+            StrategyKind::ResSusWaitRand,
+            StrategyKind::ResSusQueue,
+        ] {
+            for initial in [InitialKind::RoundRobin, InitialKind::UtilizationBased] {
+                let cfg = SimConfig::new(initial, strategy);
+                let out = Simulator::new(&site, jobs.clone(), cfg).run_to_completion();
+                assert_eq!(
+                    out.counters.completed, 80,
+                    "{strategy:?}/{initial:?} must complete all jobs"
+                );
+                assert!(out.jobs.iter().all(JobRecord::is_completed));
+            }
+        }
+    }
+
+    #[test]
+    fn max_restarts_caps_rescheduling() {
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 10, 500).with_priority(Priority::HIGH)
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+        cfg.max_restarts = Some(0);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(out.counters.restarts_from_suspend, 0, "cap of zero disables restarts");
+        assert!(out.jobs[0].was_suspended());
+    }
+
+    #[test]
+    fn restart_overhead_is_accounted() {
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 40, 500)
+                .with_priority(Priority::HIGH)
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+        cfg.restart_overhead = SimDuration::from_minutes(15);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        let low = &out.jobs[0];
+        assert_eq!(low.resched_waste().as_minutes(), 40 + 15);
+    }
+
+    #[test]
+    fn machine_failure_evicts_and_restarts_jobs() {
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![spec(0, 0, 100)];
+        let mut cfg = SimConfig::default();
+        cfg.failures = vec![MachineFailure {
+            pool: PoolId(0),
+            machine: netbatch_cluster::ids::MachineId(0),
+            at: SimTime::from_minutes(40),
+            down_for: None,
+        }];
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(out.counters.failure_evictions, 1);
+        assert_eq!(out.counters.completed, 1);
+        let job = &out.jobs[0];
+        // Ran 40 min on pool 0, evicted, restarted from scratch on pool 1.
+        assert_eq!(job.resched_waste().as_minutes(), 40);
+        assert_eq!(job.completed_at().unwrap().as_minutes(), 140);
+    }
+
+    #[test]
+    fn machine_recovers_and_serves_queue() {
+        // One pool, one machine. Failure at t=10 for 50 minutes; the job
+        // is evicted, requeues in the same pool (only pool), and restarts
+        // when the machine comes back.
+        let site = tiny_site(1, 1, 1);
+        let jobs = vec![spec(0, 0, 100)];
+        let mut cfg = SimConfig::default();
+        cfg.failures = vec![MachineFailure {
+            pool: PoolId(0),
+            machine: netbatch_cluster::ids::MachineId(0),
+            at: SimTime::from_minutes(10),
+            down_for: Some(SimDuration::from_minutes(50)),
+        }];
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(out.counters.completed, 1);
+        let job = &out.jobs[0];
+        // Restarts at t=60 when the machine recovers; completes at 160.
+        assert_eq!(job.completed_at().unwrap().as_minutes(), 160);
+        assert_eq!(job.wait_time().as_minutes(), 50);
+        assert_eq!(job.resched_waste().as_minutes(), 10);
+    }
+
+    #[test]
+    fn permanent_failure_leaves_jobs_waiting_for_capability() {
+        let site = tiny_site(1, 1, 1);
+        let jobs = vec![spec(0, 0, 100), spec(1, 50, 10)];
+        let mut cfg = SimConfig::default();
+        cfg.failures = vec![MachineFailure {
+            pool: PoolId(0),
+            machine: netbatch_cluster::ids::MachineId(0),
+            at: SimTime::from_minutes(10),
+            down_for: None,
+        }];
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        // A down machine is still *capable*, so the jobs queue for it
+        // rather than being dropped; with no recovery they never finish.
+        assert_eq!(out.counters.completed, 0);
+        assert_eq!(out.counters.unrunnable, 0);
+        assert!(out
+            .jobs
+            .iter()
+            .all(|j| matches!(j.phase(), netbatch_cluster::job::JobPhase::Waiting { .. })));
+    }
+
+    #[test]
+    fn migration_keeps_progress_across_pools() {
+        // Pool 0: low job preempted at t=40 by a long high job. Pool 1 is
+        // idle; migration moves the low job there with its progress, at a
+        // 30-minute delay and 15% slowdown on the remaining work.
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 40, 500)
+                .with_priority(Priority::HIGH)
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::MigrateSusUtil);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(out.counters.migrations, 1);
+        let low = &out.jobs[0];
+        // Ran 40 of 100; 60 remaining -> 69 slowed; arrives at t=70,
+        // completes at 139.
+        assert_eq!(low.completed_at().unwrap().as_minutes(), 139);
+        assert_eq!(low.migrations(), 1);
+        // Waste = the 30-minute transfer delay only (progress kept).
+        assert_eq!(low.resched_waste().as_minutes(), 30);
+        assert_eq!(low.run_time().as_minutes(), 40 + 69);
+    }
+
+    #[test]
+    fn duplication_first_finisher_wins() {
+        // Original suspended at t=40 under a 500-minute high job; the
+        // duplicate starts fresh in idle pool 1 and wins easily.
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 40, 500)
+                .with_priority(Priority::HIGH)
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::DupSusUtil);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(out.counters.duplicates_launched, 1);
+        assert_eq!(out.counters.duplicates_won, 1);
+        assert_eq!(out.counters.completed, 2);
+        // Shadow copies are excluded from the reported population.
+        assert_eq!(out.jobs.len(), 2);
+        let low = &out.jobs[0];
+        assert!(low.is_completed());
+        // Duplicate launched at t=40 in pool 1, runs 100 -> done at 140.
+        assert_eq!(low.completed_at().unwrap().as_minutes(), 140);
+        // The original's 40 minutes of discarded work plus the winning
+        // copy's redundant... no: the ORIGINAL never finished its attempt,
+        // so waste = the duplicate's run time charged externally? The
+        // winner ran usefully; the loser (original) ran 40 minutes that
+        // produced nothing. Accounting: external waste = shadow run time
+        // only when the shadow LOSES; here the original's 40 lost minutes
+        // stay in its own run_total. CT is what the metric cares about.
+        assert!(low.run_time().as_minutes() >= 40);
+    }
+
+    #[test]
+    fn duplication_original_wins_cancels_clone() {
+        // The high job is short, so the original resumes quickly and
+        // finishes before the duplicate (which starts from scratch).
+        let site = tiny_site(2, 1, 1);
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 90, 5)
+                .with_priority(Priority::HIGH)
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::DupSusUtil);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(out.counters.duplicates_launched, 1);
+        assert_eq!(out.counters.duplicates_won, 0, "original resumes and wins");
+        // Original: runs 0..90, suspended 90..95, resumes, done at 105.
+        let low = &out.jobs[0];
+        assert_eq!(low.completed_at().unwrap().as_minutes(), 105);
+        // The cancelled clone's partial execution is charged as waste.
+        assert!(low.resched_waste().as_minutes() > 0);
+        assert_eq!(out.counters.completed, 2);
+    }
+
+    #[test]
+    fn topology_confines_routing_and_rescheduling() {
+        use crate::simulator::VpmTopology;
+        // 4 pools, 2 VPMs: {0,1} and {2,3}. Job 0 belongs to VPM 0.
+        let site = tiny_site(4, 1, 1);
+        let topo = VpmTopology::contiguous(4, 2);
+        assert_eq!(topo.vpms.len(), 2);
+        assert_eq!(topo.vpms[0], vec![PoolId(0), PoolId(1)]);
+        // Job 0 (VPM 0) and a blocking high job pinned to pool 0: without
+        // inter-site rescheduling the suspended job may only escape to
+        // pool 1.
+        let jobs = vec![
+            spec(0, 0, 100).with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+            spec(1, 10, 500)
+                .with_priority(Priority::HIGH)
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        // Job 1's affinity {0, 2} spans both VPMs; id 1 assigns it to the
+        // second eligible VPM (VPM 1), whose only serving pool is 2 — so
+        // it runs there and job 0 is never preempted.
+        let jobs = vec![
+            jobs[0].clone(),
+            JobSpec::new(
+                netbatch_cluster::ids::JobId(1),
+                SimTime::from_minutes(10),
+                SimDuration::from_minutes(500),
+            )
+            .with_priority(Priority::HIGH)
+            .with_affinity(PoolAffinity::Subset(vec![PoolId(0), PoolId(2)])),
+        ];
+        let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+        cfg.topology = Some(topo);
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert_eq!(out.counters.completed, 2);
+        assert_eq!(out.counters.unrunnable, 0);
+        assert_eq!(out.counters.suspensions, 0);
+    }
+
+    #[test]
+    fn inter_site_rescheduling_pays_the_surcharge() {
+        use crate::simulator::VpmTopology;
+        // 2 pools, 2 VPMs of one pool each. Low job 0 (VPM 0, pool 0)
+        // gets preempted; without inter-site rescheduling it cannot move
+        // (pool 0 is its entire home); with it, it restarts at pool 1 and
+        // pays the WAN surcharge.
+        let site = tiny_site(2, 1, 1);
+        // Ids map to VPMs round-robin: job 0 -> VPM 0, job 1 -> VPM 1,
+        // job 2 -> VPM 0. The preempting high job must live in VPM 0, so
+        // it gets id 2; id 1 is a small filler job for VPM 1 that is done
+        // long before the preemption.
+        let jobs = vec![
+            spec(0, 0, 100),
+            spec(1, 0, 5).with_affinity(PoolAffinity::Subset(vec![PoolId(1)])),
+            spec(2, 40, 500)
+                .with_priority(Priority::HIGH)
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+        ];
+        let confined = {
+            let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+            cfg.topology = Some(VpmTopology::contiguous(2, 2));
+            Simulator::new(&site, jobs.clone(), cfg).run_to_completion()
+        };
+        assert_eq!(confined.counters.restarts_from_suspend, 0);
+        assert!(confined.jobs[0].suspend_time().as_minutes() > 0);
+        let wan = {
+            let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+            cfg.topology = Some(
+                VpmTopology::contiguous(2, 2)
+                    .with_inter_site(SimDuration::from_minutes(45)),
+            );
+            Simulator::new(&site, jobs, cfg).run_to_completion()
+        };
+        assert_eq!(wan.counters.restarts_from_suspend, 1);
+        // Waste = 40 minutes discarded + 45 minutes WAN surcharge.
+        assert_eq!(wan.jobs[0].resched_waste().as_minutes(), 40 + 45);
+        assert_eq!(wan.counters.completed, 3);
+    }
+
+    #[test]
+    fn unrunnable_jobs_are_counted_not_hung() {
+        let site = tiny_site(1, 1, 1);
+        let jobs = vec![spec(0, 0, 10).with_cores(64)];
+        let out = Simulator::new(&site, jobs, SimConfig::default()).run_to_completion();
+        assert_eq!(out.counters.unrunnable, 1);
+        assert_eq!(out.counters.completed, 0);
+    }
+}

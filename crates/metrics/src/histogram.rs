@@ -1,0 +1,199 @@
+//! Logarithmic histograms for heavy-tailed durations.
+//!
+//! NetBatch suspension and completion times span five orders of magnitude
+//! (minutes to >100k minutes, Figure 2), so fixed-width bins are useless.
+//! [`LogHistogram`] bins by powers of a configurable base.
+
+use std::fmt;
+
+/// A histogram with logarithmically sized bins.
+///
+/// Bin `i` covers `[base^i, base^(i+1))`; values below 1 land in a dedicated
+/// underflow bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    base: f64,
+    underflow: u64,
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with the given base (> 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base ≤ 1`.
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "histogram base must exceed 1");
+        LogHistogram {
+            base,
+            underflow: 0,
+            bins: Vec::new(),
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Decade bins (base 10) — matches Figure 2's axis.
+    pub fn decades() -> Self {
+        LogHistogram::new(10.0)
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative values (durations are non-negative).
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan() && x >= 0.0, "invalid histogram observation {x}");
+        self.count += 1;
+        self.sum += x;
+        if x < 1.0 {
+            self.underflow += 1;
+            return;
+        }
+        let bin = x.log(self.base).floor() as usize;
+        if bin >= self.bins.len() {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations below 1.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Iterates `(bin_low, bin_high, count)` for non-empty log bins.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                (
+                    self.base.powi(i as i32),
+                    self.base.powi(i as i32 + 1),
+                    c,
+                )
+            })
+    }
+
+    /// Renders a compact ASCII bar chart, for harness output.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>12} | {}\n", "<1", self.underflow));
+        }
+        for (lo, hi, c) in self.iter_bins() {
+            let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>5}-{:<6} | {:<width$} {}\n",
+                lo as u64,
+                hi as u64,
+                "#".repeat(bar_len),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::decades()
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "log-histogram(base={}, n={}, mean={:.1})",
+            self.base,
+            self.count,
+            self.mean()
+        )
+    }
+}
+
+impl Extend<f64> for LogHistogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_by_decade() {
+        let mut h = LogHistogram::decades();
+        h.extend([0.5, 1.0, 5.0, 10.0, 99.0, 100.0, 5000.0]);
+        assert_eq!(h.underflow(), 1);
+        let bins: Vec<(f64, f64, u64)> = h.iter_bins().collect();
+        assert_eq!(bins[0], (1.0, 10.0, 2));
+        assert_eq!(bins[1], (10.0, 100.0, 2));
+        assert_eq!(bins[2], (100.0, 1000.0, 1));
+        assert_eq!(bins[3], (1000.0, 10000.0, 1));
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn mean_tracks_all_samples() {
+        let mut h = LogHistogram::decades();
+        h.extend([1.0, 3.0]);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_rendering_is_nonempty() {
+        let mut h = LogHistogram::decades();
+        h.extend([0.1, 2.0, 20.0, 20.0]);
+        let s = h.render_ascii(20);
+        assert!(s.contains("<1"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.iter_bins().count(), 0);
+        assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed 1")]
+    fn bad_base_rejected() {
+        LogHistogram::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram observation")]
+    fn negative_rejected() {
+        LogHistogram::decades().record(-1.0);
+    }
+}

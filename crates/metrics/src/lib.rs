@@ -1,0 +1,41 @@
+//! # netbatch-metrics
+//!
+//! The measurement substrate for the NetBatch dynamic-rescheduling
+//! reproduction: everything needed to compute and present the paper's
+//! metrics.
+//!
+//! * [`summary`] — streaming (Welford) and retained sample statistics;
+//! * [`cdf`] — empirical CDFs with log-x series (Figure 2);
+//! * [`histogram`] — logarithmic histograms for heavy-tailed durations;
+//! * [`timeseries`] — per-minute sampling with 100-minute aggregation
+//!   (Figure 4);
+//! * [`waste`] — the AvgWCT decomposition into wait / suspend / rescheduling
+//!   waste (Figure 3, Tables 1–5);
+//! * [`table`] — plain-text and markdown table rendering for the harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use netbatch_metrics::cdf::Cdf;
+//!
+//! // Suspension times in minutes.
+//! let cdf: Cdf = [30.0, 437.0, 905.0, 1500.0, 120.0].into_iter().collect();
+//! assert_eq!(cdf.median(), Some(437.0));
+//! assert!(cdf.at(1100.0) > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod histogram;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+pub mod waste;
+
+pub use cdf::Cdf;
+pub use histogram::LogHistogram;
+pub use summary::{OnlineStats, SampleSet};
+pub use table::{Align, Table};
+pub use timeseries::TimeSeries;
+pub use waste::WasteBreakdown;

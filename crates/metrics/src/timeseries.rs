@@ -1,0 +1,194 @@
+//! Sampled time series with interval aggregation.
+//!
+//! The paper's Figure 4 samples suspension count and utilization every
+//! minute, then aggregates to 100-minute averages. [`TimeSeries`] stores the
+//! per-minute samples; [`TimeSeries::aggregate`] produces the 100-minute
+//! series.
+
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+
+/// A time-ordered sequence of `(instant, value)` samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the previous sample (series must be
+    /// recorded in time order) or `value` is NaN.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        assert!(!value.is_nan(), "NaN sample rejected");
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(at >= last, "samples must be time-ordered: {at} < {last}");
+        }
+        self.samples.push((at, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Mean of all sample values; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum sample value, `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| a.partial_cmp(b).expect("no NaNs"))
+    }
+
+    /// Averages samples into fixed-width buckets: returns one
+    /// `(bucket_start, mean)` pair per non-empty bucket, in time order.
+    /// With `bucket = 100` minutes this reproduces Figure 4's aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn aggregate(&self, bucket: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        let width = bucket.as_minutes();
+        let mut out: Vec<(SimTime, f64)> = Vec::new();
+        let mut cur_bucket: Option<(u64, f64, u64)> = None; // (index, sum, n)
+        for &(t, v) in &self.samples {
+            let idx = t.as_minutes() / width;
+            match cur_bucket {
+                Some((b, sum, n)) if b == idx => cur_bucket = Some((b, sum + v, n + 1)),
+                Some((b, sum, n)) => {
+                    out.push((SimTime::from_minutes(b * width), sum / n as f64));
+                    cur_bucket = Some((idx, v, 1));
+                    debug_assert!(idx > b);
+                }
+                None => cur_bucket = Some((idx, v, 1)),
+            }
+        }
+        if let Some((b, sum, n)) = cur_bucket {
+            out.push((SimTime::from_minutes(b * width), sum / n as f64));
+        }
+        out
+    }
+
+    /// Time-weighted mean between consecutive samples over the sampled span
+    /// (each value holds until the next sample). Falls back to the plain
+    /// mean when fewer than two samples exist.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return self.mean();
+        }
+        let mut weighted = 0.0;
+        let mut span = 0u64;
+        for pair in self.samples.windows(2) {
+            let dt = pair[1].0.since(pair[0].0).as_minutes();
+            weighted += pair[0].1 * dt as f64;
+            span += dt;
+        }
+        if span == 0 {
+            self.mean()
+        } else {
+            weighted / span as f64
+        }
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(m: u64) -> SimTime {
+        SimTime::from_minutes(m)
+    }
+
+    #[test]
+    fn aggregation_averages_buckets() {
+        let mut s = TimeSeries::new();
+        for m in 0..200 {
+            s.push(t(m), if m < 100 { 10.0 } else { 30.0 });
+        }
+        let agg = s.aggregate(SimDuration::from_minutes(100));
+        assert_eq!(agg, vec![(t(0), 10.0), (t(100), 30.0)]);
+    }
+
+    #[test]
+    fn aggregation_skips_empty_buckets() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 1.0);
+        s.push(t(950), 5.0);
+        let agg = s.aggregate(SimDuration::from_minutes(100));
+        assert_eq!(agg, vec![(t(0), 1.0), (t(900), 5.0)]);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut s = TimeSeries::new();
+        s.extend([(t(0), 1.0), (t(1), 2.0), (t(2), 6.0)]);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_accounts_for_gaps() {
+        let mut s = TimeSeries::new();
+        // value 0 for 90 minutes, then 10 for 10 minutes.
+        s.push(t(0), 0.0);
+        s.push(t(90), 10.0);
+        s.push(t(100), 10.0);
+        assert!((s.time_weighted_mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), None);
+        assert!(s.aggregate(SimDuration::HOUR).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_rejected() {
+        let mut s = TimeSeries::new();
+        s.push(t(5), 1.0);
+        s.push(t(4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_rejected() {
+        TimeSeries::new().aggregate(SimDuration::ZERO);
+    }
+}

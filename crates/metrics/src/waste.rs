@@ -1,0 +1,152 @@
+//! The paper's wasted-completion-time decomposition.
+//!
+//! AvgWCT (§3.1) is the mean, over all jobs, of the time a job "exists in
+//! NetBatch but does not make progress towards job completion", split into
+//! three components: (c1) wait time, (c2) suspend time, (c3) time wasted by
+//! rescheduling restarts. Figure 3 plots these as a stacked bar per
+//! strategy.
+
+use std::fmt;
+use std::ops::Add;
+
+use netbatch_sim_engine::time::SimDuration;
+
+/// Totals (not averages) of the three waste components over a job
+/// population, plus the population size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WasteBreakdown {
+    /// Σ wait time — component (c1).
+    pub wait: SimDuration,
+    /// Σ suspend time — component (c2).
+    pub suspend: SimDuration,
+    /// Σ time wasted by rescheduling — component (c3).
+    pub resched: SimDuration,
+    /// Number of jobs aggregated.
+    pub jobs: u64,
+}
+
+impl WasteBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        WasteBreakdown::default()
+    }
+
+    /// Accumulates one job's components.
+    pub fn add_job(&mut self, wait: SimDuration, suspend: SimDuration, resched: SimDuration) {
+        self.wait += wait;
+        self.suspend += suspend;
+        self.resched += resched;
+        self.jobs += 1;
+    }
+
+    /// Total wasted time across the population.
+    pub fn total(&self) -> SimDuration {
+        self.wait + self.suspend + self.resched
+    }
+
+    /// Mean wait time per job (c1 component of AvgWCT).
+    pub fn avg_wait(&self) -> f64 {
+        self.per_job(self.wait)
+    }
+
+    /// Mean suspend time per job (c2).
+    pub fn avg_suspend(&self) -> f64 {
+        self.per_job(self.suspend)
+    }
+
+    /// Mean rescheduling waste per job (c3).
+    pub fn avg_resched(&self) -> f64 {
+        self.per_job(self.resched)
+    }
+
+    /// AvgWCT: mean total wasted completion time per job.
+    pub fn avg_total(&self) -> f64 {
+        self.per_job(self.total())
+    }
+
+    fn per_job(&self, d: SimDuration) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            d.as_minutes_f64() / self.jobs as f64
+        }
+    }
+}
+
+impl Add for WasteBreakdown {
+    type Output = WasteBreakdown;
+
+    fn add(self, rhs: WasteBreakdown) -> WasteBreakdown {
+        WasteBreakdown {
+            wait: self.wait + rhs.wait,
+            suspend: self.suspend + rhs.suspend,
+            resched: self.resched + rhs.resched,
+            jobs: self.jobs + rhs.jobs,
+        }
+    }
+}
+
+impl fmt::Display for WasteBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AvgWCT {:.1} = wait {:.1} + suspend {:.1} + resched {:.1} (n={})",
+            self.avg_total(),
+            self.avg_wait(),
+            self.avg_suspend(),
+            self.avg_resched(),
+            self.jobs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(m: u64) -> SimDuration {
+        SimDuration::from_minutes(m)
+    }
+
+    #[test]
+    fn averages_divide_by_population() {
+        let mut w = WasteBreakdown::new();
+        w.add_job(d(10), d(20), d(0));
+        w.add_job(d(30), d(0), d(4));
+        assert_eq!(w.jobs, 2);
+        assert!((w.avg_wait() - 20.0).abs() < 1e-12);
+        assert!((w.avg_suspend() - 10.0).abs() < 1e-12);
+        assert!((w.avg_resched() - 2.0).abs() < 1e-12);
+        assert!((w.avg_total() - 32.0).abs() < 1e-12);
+        assert_eq!(w.total(), d(64));
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let w = WasteBreakdown::new();
+        assert_eq!(w.avg_total(), 0.0);
+        assert_eq!(w.total(), SimDuration::ZERO);
+        assert!(!w.to_string().is_empty());
+    }
+
+    #[test]
+    fn add_merges_populations() {
+        let mut a = WasteBreakdown::new();
+        a.add_job(d(10), d(0), d(0));
+        let mut b = WasteBreakdown::new();
+        b.add_job(d(0), d(30), d(6));
+        let c = a + b;
+        assert_eq!(c.jobs, 2);
+        assert_eq!(c.total(), d(46));
+        assert!((c.avg_total() - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_sum_to_total_average() {
+        let mut w = WasteBreakdown::new();
+        w.add_job(d(7), d(11), d(13));
+        w.add_job(d(1), d(2), d(3));
+        let parts = w.avg_wait() + w.avg_suspend() + w.avg_resched();
+        assert!((parts - w.avg_total()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,472 @@
+//! The simulation driver: clock + event queue + handler loop.
+//!
+//! The executor owns the virtual clock and the pending-event set and feeds
+//! events to a [`Handler`] in deterministic order. Handlers schedule further
+//! events through the [`Scheduler`] view they receive, which also enforces
+//! causality (no scheduling into the past).
+
+use std::fmt;
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// The handler's verdict after processing one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep running.
+    #[default]
+    Continue,
+    /// Stop the run after this event; [`Executor::run`] returns.
+    Stop,
+}
+
+/// A simulation component that reacts to events.
+///
+/// Implementations receive each event together with a [`Scheduler`] through
+/// which they may schedule or cancel future events.
+pub trait Handler {
+    /// The event alphabet of this simulation.
+    type Event;
+
+    /// Processes one event occurring at `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>)
+        -> Control;
+}
+
+/// The event-scheduling capability handed to handlers.
+///
+/// Wraps the executor's queue and clock so that handlers can only schedule
+/// into the present or future.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> fmt::Debug for Scheduler<'_, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — that would violate causality and
+    /// always indicates a bug in the calling model.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at}, current time is {}",
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if it was still
+    /// pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Why an [`Executor::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The handler returned [`Control::Stop`].
+    Stopped,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The step budget was exhausted with events still pending.
+    StepBudgetExhausted,
+}
+
+/// Summary statistics for a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Number of events delivered to the handler.
+    pub events_processed: u64,
+    /// Virtual time when the run ended.
+    pub end_time: SimTime,
+}
+
+/// The simulation executor: owns the clock and the future-event set.
+///
+/// # Examples
+///
+/// ```
+/// use netbatch_sim_engine::executor::{Control, Executor, Handler, Scheduler};
+/// use netbatch_sim_engine::time::{SimDuration, SimTime};
+///
+/// struct Counter(u32);
+/// impl Handler for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _now: SimTime, _e: (), sched: &mut Scheduler<'_, ()>) -> Control {
+///         self.0 += 1;
+///         if self.0 < 3 {
+///             sched.schedule_in(SimDuration::MINUTE, ());
+///         }
+///         Control::Continue
+///     }
+/// }
+///
+/// let mut ex = Executor::new();
+/// ex.seed_event(SimTime::ZERO, ());
+/// let mut counter = Counter(0);
+/// let stats = ex.run(&mut counter);
+/// assert_eq!(counter.0, 3);
+/// assert_eq!(stats.end_time, SimTime::from_minutes(2));
+/// ```
+pub struct Executor<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: SimTime,
+    step_budget: u64,
+    events_processed: u64,
+}
+
+impl<E> Executor<E> {
+    /// Creates an executor starting at time zero with no horizon or step
+    /// limit.
+    pub fn new() -> Self {
+        Executor {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: SimTime::MAX,
+            step_budget: u64::MAX,
+            events_processed: 0,
+        }
+    }
+
+    /// Sets an inclusive time horizon: events strictly after it are not
+    /// delivered.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets a maximum number of events to deliver across all `run` calls —
+    /// a backstop against accidental event storms.
+    pub fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules an event before the run starts (or between runs).
+    pub fn seed_event(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot seed event at {at}, current time is {}",
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Runs the event loop until the queue drains, the handler stops it, or
+    /// a limit is hit.
+    pub fn run<H: Handler<Event = E>>(&mut self, handler: &mut H) -> RunStats {
+        loop {
+            if self.events_processed >= self.step_budget {
+                return self.stats(RunOutcome::StepBudgetExhausted);
+            }
+            let Some(next_time) = self.queue.peek_time() else {
+                return self.stats(RunOutcome::Drained);
+            };
+            if next_time > self.horizon {
+                self.now = self.horizon;
+                return self.stats(RunOutcome::HorizonReached);
+            }
+            let (time, event) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(time >= self.now, "event queue delivered out of order");
+            self.now = time;
+            self.events_processed += 1;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            if handler.handle(time, event, &mut sched) == Control::Stop {
+                return self.stats(RunOutcome::Stopped);
+            }
+        }
+    }
+
+    fn stats(&self, outcome: RunOutcome) -> RunStats {
+        RunStats {
+            outcome,
+            events_processed: self.events_processed,
+            end_time: self.now,
+        }
+    }
+}
+
+impl<E> Default for Executor<E> {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl<E> fmt::Debug for Executor<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick,
+        Stop,
+    }
+
+    struct Recorder {
+        seen: Vec<(u64, &'static str)>,
+    }
+
+    impl Handler for Recorder {
+        type Event = Ev;
+
+        fn handle(&mut self, now: SimTime, event: Ev, _s: &mut Scheduler<'_, Ev>) -> Control {
+            match event {
+                Ev::Tick => {
+                    self.seen.push((now.as_minutes(), "tick"));
+                    Control::Continue
+                }
+                Ev::Stop => {
+                    self.seen.push((now.as_minutes(), "stop"));
+                    Control::Stop
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drains_in_order() {
+        let mut ex = Executor::new();
+        ex.seed_event(SimTime::from_minutes(5), Ev::Tick);
+        ex.seed_event(SimTime::from_minutes(1), Ev::Tick);
+        let mut r = Recorder { seen: vec![] };
+        let stats = ex.run(&mut r);
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        assert_eq!(r.seen, vec![(1, "tick"), (5, "tick")]);
+        assert_eq!(stats.end_time, SimTime::from_minutes(5));
+    }
+
+    #[test]
+    fn stop_control_halts_run() {
+        let mut ex = Executor::new();
+        ex.seed_event(SimTime::from_minutes(1), Ev::Stop);
+        ex.seed_event(SimTime::from_minutes(2), Ev::Tick);
+        let mut r = Recorder { seen: vec![] };
+        let stats = ex.run(&mut r);
+        assert_eq!(stats.outcome, RunOutcome::Stopped);
+        assert_eq!(r.seen.len(), 1);
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut ex = Executor::new().with_horizon(SimTime::from_minutes(10));
+        ex.seed_event(SimTime::from_minutes(10), Ev::Tick);
+        ex.seed_event(SimTime::from_minutes(11), Ev::Tick);
+        let mut r = Recorder { seen: vec![] };
+        let stats = ex.run(&mut r);
+        assert_eq!(stats.outcome, RunOutcome::HorizonReached);
+        assert_eq!(r.seen, vec![(10, "tick")]);
+        assert_eq!(stats.end_time, SimTime::from_minutes(10));
+    }
+
+    #[test]
+    fn step_budget_bounds_events() {
+        struct Bomb;
+        impl Handler for Bomb {
+            type Event = ();
+            fn handle(&mut self, _n: SimTime, _e: (), s: &mut Scheduler<'_, ()>) -> Control {
+                s.schedule_in(SimDuration::MINUTE, ());
+                Control::Continue
+            }
+        }
+        let mut ex = Executor::new().with_step_budget(100);
+        ex.seed_event(SimTime::ZERO, ());
+        let stats = ex.run(&mut Bomb);
+        assert_eq!(stats.outcome, RunOutcome::StepBudgetExhausted);
+        assert_eq!(stats.events_processed, 100);
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        struct Chain {
+            fired: Vec<u64>,
+        }
+        impl Handler for Chain {
+            type Event = u64;
+            fn handle(&mut self, now: SimTime, e: u64, s: &mut Scheduler<'_, u64>) -> Control {
+                self.fired.push(now.as_minutes());
+                if e > 0 {
+                    s.schedule_in(SimDuration::from_minutes(10), e - 1);
+                }
+                Control::Continue
+            }
+        }
+        let mut ex = Executor::new();
+        ex.seed_event(SimTime::ZERO, 3u64);
+        let mut c = Chain { fired: vec![] };
+        ex.run(&mut c);
+        assert_eq!(c.fired, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn scheduler_cancel_works_from_handler() {
+        struct Canceller {
+            pending: Option<EventId>,
+            delivered: u32,
+        }
+        impl Handler for Canceller {
+            type Event = u8;
+            fn handle(&mut self, _n: SimTime, e: u8, s: &mut Scheduler<'_, u8>) -> Control {
+                self.delivered += 1;
+                if e == 0 {
+                    // First event cancels the second.
+                    let id = self.pending.take().expect("id stored");
+                    assert!(s.cancel(id));
+                }
+                Control::Continue
+            }
+        }
+        let mut ex = Executor::new();
+        ex.seed_event(SimTime::from_minutes(1), 0u8);
+        let victim = ex.seed_event(SimTime::from_minutes(2), 1u8);
+        let mut h = Canceller {
+            pending: Some(victim),
+            delivered: 0,
+        };
+        let stats = ex.run(&mut h);
+        assert_eq!(h.delivered, 1);
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event at")]
+    fn scheduling_into_past_panics() {
+        struct PastScheduler;
+        impl Handler for PastScheduler {
+            type Event = ();
+            fn handle(&mut self, _n: SimTime, _e: (), s: &mut Scheduler<'_, ()>) -> Control {
+                s.schedule_at(SimTime::ZERO, ());
+                Control::Continue
+            }
+        }
+        let mut ex = Executor::new();
+        ex.seed_event(SimTime::from_minutes(5), ());
+        ex.run(&mut PastScheduler);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        struct Collect {
+            seen: Vec<(u64, u32)>,
+        }
+        impl Handler for Collect {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, e: u32, _s: &mut Scheduler<'_, u32>) -> Control {
+                self.seen.push((now.as_minutes(), e));
+                Control::Continue
+            }
+        }
+
+        proptest! {
+            /// Arbitrary seeded schedules are delivered in non-decreasing
+            /// time order with FIFO ties, exactly once each.
+            #[test]
+            fn prop_delivery_order(times in proptest::collection::vec(0u64..10_000, 1..150)) {
+                let mut ex = Executor::new();
+                for (i, &t) in times.iter().enumerate() {
+                    ex.seed_event(SimTime::from_minutes(t), i as u32);
+                }
+                let mut h = Collect { seen: vec![] };
+                let stats = ex.run(&mut h);
+                prop_assert_eq!(stats.outcome, RunOutcome::Drained);
+                prop_assert_eq!(h.seen.len(), times.len());
+                for w in h.seen.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0, "time order violated");
+                    if w[0].0 == w[1].0 {
+                        prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+                    }
+                }
+                let mut delivered: Vec<u32> = h.seen.iter().map(|&(_, e)| e).collect();
+                delivered.sort_unstable();
+                prop_assert_eq!(delivered, (0..times.len() as u32).collect::<Vec<_>>());
+            }
+
+            /// A horizon never lets an event past it through, and the
+            /// executor's clock never exceeds the horizon.
+            #[test]
+            fn prop_horizon_is_respected(
+                times in proptest::collection::vec(0u64..10_000, 1..100),
+                horizon in 0u64..10_000,
+            ) {
+                let mut ex = Executor::new().with_horizon(SimTime::from_minutes(horizon));
+                for (i, &t) in times.iter().enumerate() {
+                    ex.seed_event(SimTime::from_minutes(t), i as u32);
+                }
+                let mut h = Collect { seen: vec![] };
+                let stats = ex.run(&mut h);
+                prop_assert!(h.seen.iter().all(|&(t, _)| t <= horizon));
+                prop_assert!(stats.end_time <= SimTime::from_minutes(horizon));
+                let expected = times.iter().filter(|&&t| t <= horizon).count();
+                prop_assert_eq!(h.seen.len(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn run_resumes_after_stop() {
+        let mut ex = Executor::new();
+        ex.seed_event(SimTime::from_minutes(1), Ev::Stop);
+        ex.seed_event(SimTime::from_minutes(2), Ev::Tick);
+        let mut r = Recorder { seen: vec![] };
+        assert_eq!(ex.run(&mut r).outcome, RunOutcome::Stopped);
+        assert_eq!(ex.run(&mut r).outcome, RunOutcome::Drained);
+        assert_eq!(r.seen, vec![(1, "stop"), (2, "tick")]);
+    }
+}

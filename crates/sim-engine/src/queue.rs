@@ -1,0 +1,350 @@
+//! The pending-event set: a cancellable priority queue ordered by time.
+//!
+//! Determinism is the load-bearing property here. Two events scheduled for
+//! the same minute are delivered in the order they were scheduled (FIFO by
+//! sequence number), so a simulation run is a pure function of its inputs
+//! and seed. Cancellation is lazy: cancelled entries stay in the heap and
+//! are skipped on pop, which keeps both operations `O(log n)`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A handle identifying a scheduled event, usable to cancel it later.
+///
+/// Handles are unique per [`EventQueue`] for the queue's lifetime; they are
+/// never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Returns the raw sequence number, mainly for logging.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev#{}", self.0)
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    event: E,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap, we want the earliest
+// (time, id) on top.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.id).cmp(&(self.time, self.id))
+    }
+}
+
+/// A deterministic, cancellable future-event set.
+///
+/// # Examples
+///
+/// ```
+/// use netbatch_sim_engine::queue::EventQueue;
+/// use netbatch_sim_engine::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_minutes(5), "later");
+/// q.schedule(SimTime::from_minutes(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_minutes(), e), (1, "sooner"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids scheduled but not yet delivered or cancelled.
+    pending: HashSet<EventId>,
+    /// Ids cancelled but still physically present in the heap.
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    scheduled_total: u64,
+    cancelled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            ..EventQueue::new()
+        }
+    }
+
+    /// Schedules `event` to fire at `time` and returns a handle that can be
+    /// passed to [`EventQueue::cancel`].
+    ///
+    /// Events scheduled for the same instant fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.scheduled_total += 1;
+        self.pending.insert(id);
+        self.heap.push(Entry { time, id, event });
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired or been cancelled.
+    /// Cancelling an already-delivered handle is a no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending.remove(&id) {
+            return false;
+        }
+        self.cancelled.insert(id);
+        self.cancelled_total += 1;
+        true
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.pending.remove(&entry.id);
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Returns the time of the earliest pending (non-cancelled) event
+    /// without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Returns the number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events ever cancelled on this queue.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .field("cancelled_total", &self.cancelled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_minutes(30), 'c');
+        q.schedule(SimTime::from_minutes(10), 'a');
+        q.schedule(SimTime::from_minutes(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_minutes(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_minutes(1), "x");
+        q.schedule(SimTime::from_minutes(2), "y");
+        assert!(q.cancel(id));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("y"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_minutes(1), ());
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+        assert_eq!(q.cancelled_total(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_rejected() {
+        let mut q = EventQueue::<()>::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_delivery_is_noop() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_minutes(1), "x");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(id));
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.cancelled_total(), 0);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let first = q.schedule(SimTime::from_minutes(1), "x");
+        q.schedule(SimTime::from_minutes(9), "y");
+        q.cancel(first);
+        assert_eq!(q.peek_time(), Some(SimTime::from_minutes(9)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::<u8>::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q = EventQueue::<u8>::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+
+    proptest! {
+        /// Popping yields a non-decreasing sequence of times, regardless of
+        /// insertion order.
+        #[test]
+        fn prop_pop_order_is_monotone(times in proptest::collection::vec(0u64..10_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_minutes(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut count = 0usize;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                count += 1;
+            }
+            prop_assert_eq!(count, times.len());
+        }
+
+        /// Same-time events preserve scheduling order even mixed with other
+        /// times (stability).
+        #[test]
+        fn prop_same_time_fifo(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_minutes(t), i);
+            }
+            let mut last_seq_at_time: std::collections::HashMap<u64, usize> = Default::default();
+            while let Some((t, seq)) = q.pop() {
+                if let Some(&prev) = last_seq_at_time.get(&t.as_minutes()) {
+                    prop_assert!(seq > prev);
+                }
+                last_seq_at_time.insert(t.as_minutes(), seq);
+            }
+        }
+
+        /// len() always equals scheduled - popped - cancelled.
+        #[test]
+        fn prop_len_accounting(ops in proptest::collection::vec(0u8..3, 1..300)) {
+            let mut q = EventQueue::new();
+            let mut ids = Vec::new();
+            let mut live: i64 = 0;
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        ids.push(q.schedule(SimTime::from_minutes(i as u64 % 17), i));
+                        live += 1;
+                    }
+                    1 => {
+                        if let Some(id) = ids.pop() {
+                            if q.cancel(id) {
+                                live -= 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        if q.pop().is_some() {
+                            live -= 1;
+                            // popped id may still be in `ids`; cancelling it later is a no-op
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len() as i64, live.max(0));
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Pool-affinity assignment for generated jobs.
+//!
+//! §2.3 of the paper: "latency sensitive jobs with high priority are usually
+//! configured to only run in specific sets of physical pools", which is why
+//! bursts overwhelm some pools while others idle. The picker reproduces
+//! that: a job class can be unrestricted, pinned to a fixed subset, or given
+//! a random small subset per burst/job.
+
+use netbatch_sim_engine::rng::DetRng;
+
+/// How a job class chooses its eligible pools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AffinityPicker {
+    /// No restriction (the empty affinity list = any pool).
+    Any,
+    /// Every job in the class is pinned to this subset.
+    Fixed(Vec<u16>),
+    /// Each job gets `subset_size` pools chosen uniformly without
+    /// replacement from `0..pool_count`.
+    RandomSubset {
+        /// Number of pools at the site.
+        pool_count: u16,
+        /// Pools per job.
+        subset_size: u16,
+    },
+}
+
+impl AffinityPicker {
+    /// Produces the affinity list for one job. `Any` yields the empty list
+    /// (trace convention for "no restriction").
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `RandomSubset` is configured with `subset_size` of zero
+    /// or larger than `pool_count`.
+    pub fn pick(&self, rng: &mut DetRng) -> Vec<u16> {
+        match self {
+            AffinityPicker::Any => Vec::new(),
+            AffinityPicker::Fixed(pools) => pools.clone(),
+            AffinityPicker::RandomSubset {
+                pool_count,
+                subset_size,
+            } => {
+                assert!(
+                    *subset_size > 0 && subset_size <= pool_count,
+                    "subset size must be in 1..=pool_count"
+                );
+                // Partial Fisher–Yates over a scratch index vector.
+                let mut pools: Vec<u16> = (0..*pool_count).collect();
+                for i in 0..*subset_size as usize {
+                    let j = i + rng.next_below((*pool_count as usize - i) as u64) as usize;
+                    pools.swap(i, j);
+                }
+                let mut subset: Vec<u16> = pools[..*subset_size as usize].to_vec();
+                subset.sort_unstable();
+                subset
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn any_is_empty() {
+        let mut rng = DetRng::from_seed_u64(0);
+        assert!(AffinityPicker::Any.pick(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn fixed_returns_the_subset() {
+        let mut rng = DetRng::from_seed_u64(0);
+        let p = AffinityPicker::Fixed(vec![2, 5]);
+        assert_eq!(p.pick(&mut rng), vec![2, 5]);
+    }
+
+    #[test]
+    fn random_subset_has_right_size_and_no_duplicates() {
+        let mut rng = DetRng::from_seed_u64(1);
+        let p = AffinityPicker::RandomSubset {
+            pool_count: 20,
+            subset_size: 4,
+        };
+        for _ in 0..100 {
+            let s = p.pick(&mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, unique: {s:?}");
+            assert!(s.iter().all(|&x| x < 20));
+        }
+    }
+
+    #[test]
+    fn random_subset_covers_all_pools_eventually() {
+        let mut rng = DetRng::from_seed_u64(2);
+        let p = AffinityPicker::RandomSubset {
+            pool_count: 8,
+            subset_size: 2,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.extend(p.pick(&mut rng));
+        }
+        assert_eq!(seen.len(), 8, "every pool should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "subset size")]
+    fn oversized_subset_panics() {
+        AffinityPicker::RandomSubset {
+            pool_count: 3,
+            subset_size: 4,
+        }
+        .pick(&mut DetRng::from_seed_u64(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_subset_valid(seed in any::<u64>(), pool_count in 1u16..50, size_frac in 0.01f64..1.0) {
+            let subset_size = ((f64::from(pool_count) * size_frac).ceil() as u16).clamp(1, pool_count);
+            let p = AffinityPicker::RandomSubset { pool_count, subset_size };
+            let s = p.pick(&mut DetRng::from_seed_u64(seed));
+            prop_assert_eq!(s.len(), subset_size as usize);
+            let unique: std::collections::HashSet<_> = s.iter().collect();
+            prop_assert_eq!(unique.len(), s.len());
+        }
+    }
+}

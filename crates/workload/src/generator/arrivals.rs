@@ -1,0 +1,386 @@
+//! Arrival processes: when jobs hit the virtual pool manager.
+//!
+//! Two models cover the paper's trace phenomenology: a homogeneous Poisson
+//! stream for the low-priority background, and a two-state burst process
+//! (an MMPP) for high-priority work — "higher priority jobs tend to be
+//! bursty in nature … job suspension can spike suddenly due to the arrival
+//! of a large number of higher priority jobs and last from several hours to
+//! a week" (§2.3).
+
+use std::fmt;
+
+use netbatch_sim_engine::rng::DetRng;
+
+use crate::distributions::{Distribution, Exponential};
+
+/// Generates arrival instants (in minutes) over a half-open window.
+pub trait ArrivalProcess: fmt::Debug {
+    /// Returns the sorted arrival minutes in `[start, end)`.
+    fn generate(&self, rng: &mut DetRng, start: u64, end: u64) -> Vec<u64>;
+
+    /// The long-run arrival rate (jobs per minute), for calibration.
+    fn rate(&self) -> f64;
+}
+
+/// Homogeneous Poisson arrivals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    rate_per_minute: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson process with the given rate (jobs per minute).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_minute` is positive and finite.
+    pub fn new(rate_per_minute: f64) -> Self {
+        assert!(
+            rate_per_minute > 0.0 && rate_per_minute.is_finite(),
+            "arrival rate must be positive"
+        );
+        PoissonArrivals { rate_per_minute }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn generate(&self, rng: &mut DetRng, start: u64, end: u64) -> Vec<u64> {
+        let gap = Exponential::with_rate(self.rate_per_minute);
+        let mut t = start as f64;
+        let mut out = Vec::new();
+        loop {
+            t += gap.sample(rng);
+            if t >= end as f64 {
+                return out;
+            }
+            out.push(t as u64);
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate_per_minute
+    }
+}
+
+/// A two-state Markov-modulated Poisson process: alternating *quiet* and
+/// *burst* phases with exponentially distributed lengths, each phase with
+/// its own Poisson arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstArrivals {
+    /// Arrival rate during quiet phases (jobs/min).
+    pub quiet_rate: f64,
+    /// Arrival rate during burst phases (jobs/min).
+    pub burst_rate: f64,
+    /// Mean quiet-phase length in minutes.
+    pub mean_quiet_len: f64,
+    /// Mean burst-phase length in minutes.
+    pub mean_burst_len: f64,
+    /// Whether the process starts in a burst phase. The paper's evaluation
+    /// window is chosen *because* it contains a burst; setting this true
+    /// reproduces such burst-conditioned windows deterministically.
+    pub start_in_burst: bool,
+}
+
+impl BurstArrivals {
+    /// Creates a burst process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive/non-finite or
+    /// `burst_rate < quiet_rate`.
+    pub fn new(quiet_rate: f64, burst_rate: f64, mean_quiet_len: f64, mean_burst_len: f64) -> Self {
+        for v in [quiet_rate, burst_rate, mean_quiet_len, mean_burst_len] {
+            assert!(v > 0.0 && v.is_finite(), "burst parameters must be positive");
+        }
+        assert!(
+            burst_rate >= quiet_rate,
+            "burst rate must be at least the quiet rate"
+        );
+        BurstArrivals {
+            quiet_rate,
+            burst_rate,
+            mean_quiet_len,
+            mean_burst_len,
+            start_in_burst: false,
+        }
+    }
+
+    /// Starts the process in a burst phase (burst-conditioned windows).
+    pub fn starting_in_burst(mut self) -> Self {
+        self.start_in_burst = true;
+        self
+    }
+
+    /// Fraction of time spent in burst phases.
+    pub fn burst_fraction(&self) -> f64 {
+        self.mean_burst_len / (self.mean_burst_len + self.mean_quiet_len)
+    }
+}
+
+impl ArrivalProcess for BurstArrivals {
+    fn generate(&self, rng: &mut DetRng, start: u64, end: u64) -> Vec<u64> {
+        let quiet_len = Exponential::with_mean(self.mean_quiet_len);
+        let burst_len = Exponential::with_mean(self.mean_burst_len);
+        let mut out = Vec::new();
+        let mut t = start as f64;
+        let mut in_burst = self.start_in_burst;
+        while t < end as f64 {
+            let (phase_len, rate) = if in_burst {
+                (burst_len.sample(rng), self.burst_rate)
+            } else {
+                (quiet_len.sample(rng), self.quiet_rate)
+            };
+            let phase_end = (t + phase_len).min(end as f64);
+            let gap = Exponential::with_rate(rate);
+            let mut a = t;
+            loop {
+                a += gap.sample(rng);
+                if a >= phase_end {
+                    break;
+                }
+                out.push(a as u64);
+            }
+            t = phase_end;
+            in_burst = !in_burst;
+        }
+        out
+    }
+
+    fn rate(&self) -> f64 {
+        let bf = self.burst_fraction();
+        bf * self.burst_rate + (1.0 - bf) * self.quiet_rate
+    }
+}
+
+/// Arrivals with a diurnal (and weekend) profile: a base Poisson rate
+/// modulated by hour-of-day and day-of-week factors. Real batch platforms
+/// show strong submit-rate cycles — engineers submit during working hours —
+/// which shape the utilization timeline (Figure 4's banding).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalArrivals {
+    /// Mean arrival rate (jobs/min) averaged over a full week.
+    pub mean_rate: f64,
+    /// Peak-to-trough ratio of the daily cycle (1.0 = flat).
+    pub day_swing: f64,
+    /// Weekend rate as a fraction of the weekday rate.
+    pub weekend_factor: f64,
+}
+
+impl DiurnalArrivals {
+    /// Creates a diurnal process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_rate > 0`, `day_swing ≥ 1`, and
+    /// `weekend_factor ∈ (0, 1]`.
+    pub fn new(mean_rate: f64, day_swing: f64, weekend_factor: f64) -> Self {
+        assert!(mean_rate > 0.0 && mean_rate.is_finite(), "rate must be positive");
+        assert!(day_swing >= 1.0 && day_swing.is_finite(), "day swing must be >= 1");
+        assert!(
+            weekend_factor > 0.0 && weekend_factor <= 1.0,
+            "weekend factor must be in (0, 1]"
+        );
+        DiurnalArrivals {
+            mean_rate,
+            day_swing,
+            weekend_factor,
+        }
+    }
+
+    /// The instantaneous rate multiplier at minute `t` (mean 1 over a week
+    /// up to weekend scaling normalization).
+    fn modulation(&self, minute: u64) -> f64 {
+        const DAY: u64 = 24 * 60;
+        const WEEK: u64 = 7 * DAY;
+        let day_pos = (minute % DAY) as f64 / DAY as f64;
+        // Peak at 14:00, trough at 02:00 (cosine centred on 14h).
+        let phase = std::f64::consts::TAU * (day_pos - 14.0 / 24.0);
+        let amp = (self.day_swing - 1.0) / (self.day_swing + 1.0);
+        let daily = 1.0 + amp * phase.cos();
+        let weekday = (minute % WEEK) / DAY; // 0..6, day 5/6 = weekend
+        let weekend = if weekday >= 5 { self.weekend_factor } else { 1.0 };
+        daily * weekend
+    }
+
+    /// The peak instantaneous rate, used for thinning.
+    fn peak_rate(&self) -> f64 {
+        let amp = (self.day_swing - 1.0) / (self.day_swing + 1.0);
+        self.mean_rate * (1.0 + amp)
+    }
+}
+
+impl ArrivalProcess for DiurnalArrivals {
+    fn generate(&self, rng: &mut DetRng, start: u64, end: u64) -> Vec<u64> {
+        // Thinning (Lewis-Shedler): draw from a homogeneous process at the
+        // peak rate, accept with probability rate(t)/peak.
+        let peak = self.peak_rate();
+        let gap = Exponential::with_rate(peak);
+        let mut out = Vec::new();
+        let mut t = start as f64;
+        loop {
+            t += gap.sample(rng);
+            if t >= end as f64 {
+                return out;
+            }
+            let minute = t as u64;
+            let accept = self.mean_rate * self.modulation(minute) / peak;
+            if rng.next_f64() < accept {
+                out.push(minute);
+            }
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        // Mean over the week: 5 weekdays at 1, 2 weekend days at the factor
+        // (the daily cosine averages out).
+        self.mean_rate * (5.0 + 2.0 * self.weekend_factor) / 7.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_count_matches_rate() {
+        let p = PoissonArrivals::new(0.5);
+        let mut rng = DetRng::from_seed_u64(1);
+        let arrivals = p.generate(&mut rng, 0, 100_000);
+        let rate = arrivals.len() as f64 / 100_000.0;
+        assert!((rate - 0.5).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_window() {
+        let p = PoissonArrivals::new(1.0);
+        let mut rng = DetRng::from_seed_u64(2);
+        let arrivals = p.generate(&mut rng, 500, 1500);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|&a| (500..1500).contains(&a)));
+        assert!(!arrivals.is_empty());
+    }
+
+    #[test]
+    fn burst_process_is_burstier_than_poisson() {
+        // Same long-run rate; compare variance of per-window counts.
+        let burst = BurstArrivals::new(0.01, 2.0, 2000.0, 200.0);
+        let poisson = PoissonArrivals::new(burst.rate());
+        let mut rng_a = DetRng::from_seed_u64(3);
+        let mut rng_b = DetRng::from_seed_u64(4);
+        let horizon = 500_000;
+        let window = 1000u64;
+        let var = |arrivals: &[u64]| {
+            let mut counts = vec![0f64; (horizon / window) as usize];
+            for &a in arrivals {
+                counts[(a / window) as usize] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64
+        };
+        let vb = var(&burst.generate(&mut rng_a, 0, horizon));
+        let vp = var(&poisson.generate(&mut rng_b, 0, horizon));
+        assert!(
+            vb > 3.0 * vp,
+            "burst variance {vb} should dwarf poisson variance {vp}"
+        );
+    }
+
+    #[test]
+    fn burst_long_run_rate_matches_formula() {
+        let b = BurstArrivals::new(0.1, 1.0, 900.0, 100.0);
+        let mut rng = DetRng::from_seed_u64(5);
+        let arrivals = b.generate(&mut rng, 0, 2_000_000);
+        let emp = arrivals.len() as f64 / 2_000_000.0;
+        assert!(
+            (emp / b.rate() - 1.0).abs() < 0.1,
+            "empirical {emp} vs theoretical {}",
+            b.rate()
+        );
+    }
+
+    #[test]
+    fn empty_window_produces_nothing() {
+        let p = PoissonArrivals::new(1.0);
+        let mut rng = DetRng::from_seed_u64(6);
+        assert!(p.generate(&mut rng, 100, 100).is_empty());
+        let b = BurstArrivals::new(0.1, 1.0, 10.0, 10.0);
+        assert!(b.generate(&mut rng, 100, 100).is_empty());
+    }
+
+    #[test]
+    fn starting_in_burst_produces_immediate_arrivals() {
+        let quiet = BurstArrivals::new(0.001, 2.0, 50_000.0, 2_000.0);
+        let stormy = quiet.starting_in_burst();
+        let mut rng_a = DetRng::from_seed_u64(9);
+        let mut rng_b = DetRng::from_seed_u64(9);
+        let lazy = quiet.generate(&mut rng_a, 0, 5_000);
+        let eager = stormy.generate(&mut rng_b, 0, 5_000);
+        assert!(eager.len() > 10 * lazy.len().max(1), "{} vs {}", eager.len(), lazy.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = BurstArrivals::new(0.05, 0.8, 300.0, 60.0);
+        let a = p.generate(&mut DetRng::from_seed_u64(7), 0, 10_000);
+        let b = p.generate(&mut DetRng::from_seed_u64(7), 0, 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diurnal_day_night_and_weekend_cycles() {
+        let d = DiurnalArrivals::new(1.0, 4.0, 0.3);
+        let mut rng = DetRng::from_seed_u64(10);
+        // Four weeks for stable statistics.
+        let arrivals = d.generate(&mut rng, 0, 4 * 7 * 24 * 60);
+        // Afternoon (13:00-15:00) busier than pre-dawn (01:00-03:00) on weekdays.
+        let bucket = |h_lo: u64, h_hi: u64, weekend: bool| -> usize {
+            arrivals
+                .iter()
+                .filter(|&&a| {
+                    let day = (a % (7 * 1440)) / 1440;
+                    let hour = (a % 1440) / 60;
+                    (day >= 5) == weekend && (h_lo..h_hi).contains(&hour)
+                })
+                .count()
+        };
+        let afternoon = bucket(13, 15, false);
+        let night = bucket(1, 3, false);
+        assert!(
+            afternoon > 2 * night,
+            "afternoon {afternoon} should dwarf night {night}"
+        );
+        // Weekends are quieter than weekdays (per-day average).
+        let weekday_total = arrivals
+            .iter()
+            .filter(|&&a| (a % (7 * 1440)) / 1440 < 5)
+            .count() as f64
+            / 5.0;
+        let weekend_total = arrivals
+            .iter()
+            .filter(|&&a| (a % (7 * 1440)) / 1440 >= 5)
+            .count() as f64
+            / 2.0;
+        assert!(weekend_total < 0.6 * weekday_total);
+        // Long-run rate is close to the analytic value.
+        let emp = arrivals.len() as f64 / (4.0 * 7.0 * 24.0 * 60.0);
+        assert!((emp / d.rate() - 1.0).abs() < 0.1, "rate {emp} vs {}", d.rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "day swing")]
+    fn diurnal_rejects_sub_unit_swing() {
+        DiurnalArrivals::new(1.0, 0.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        PoissonArrivals::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the quiet rate")]
+    fn burst_rejects_inverted_rates() {
+        BurstArrivals::new(1.0, 0.5, 10.0, 10.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's §2.3 motivation, reproduced as a runnable scenario: a burst
+//! of latency-sensitive high-priority jobs pinned to two pools overwhelms
+//! them and mass-suspends low-priority work — while the rest of the site
+//! idles at low utilization. Dynamic rescheduling drains the suspended jobs
+//! into that idle capacity.
+//!
+//! Run with `cargo run --release --example burst_storm`.
+
+use netbatch::core::experiment::Experiment;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::SimConfig;
+use netbatch::metrics::table::Table;
+use netbatch::sim_engine::time::SimDuration;
+use netbatch::workload::distributions::LogNormal;
+use netbatch::workload::generator::{
+    AffinityPicker, BurstArrivals, JobClass, PoissonArrivals, Stream, WorkloadSpec,
+};
+use netbatch::workload::scenarios::SiteSpec;
+
+fn main() {
+    // A 10%-scale site: 20 heterogeneous pools.
+    let site = SiteSpec::paper_site(0.1);
+    println!(
+        "site: {} pools, {} cores",
+        site.pools.len(),
+        site.total_cores()
+    );
+
+    // Background: steady low-priority work across the whole site at ~35%
+    // offered utilization.
+    let background = Stream::new(
+        JobClass::new("background", 0, Box::new(LogNormal::with_median(200.0, 1.0))),
+        Box::new(PoissonArrivals::new(2.2)),
+    );
+    // The storm: one owner group fires a dense multi-day burst into pools
+    // 0 and 1 only — a sharp onset that catches low jobs mid-run.
+    let storm = Stream::new(
+        JobClass::new("storm", 10, Box::new(LogNormal::with_median(240.0, 0.8)))
+            .with_affinity(AffinityPicker::Fixed(vec![0, 1])),
+        Box::new(BurstArrivals::new(0.001, 4.0, 20_000.0, 4_000.0).starting_in_burst()),
+    );
+    let spec = WorkloadSpec::new(0, 10_080).stream(background).stream(storm);
+    let trace = spec.generate(7);
+    println!(
+        "trace: {} jobs ({} high-priority)",
+        trace.len(),
+        trace.iter().filter(|r| r.priority >= 10).count()
+    );
+
+    let mut table = Table::new([
+        "strategy",
+        "suspended jobs",
+        "AvgCT susp",
+        "AvgST",
+        "peak suspended",
+        "AvgWCT",
+    ]);
+    for strategy in [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusWaitRand,
+    ] {
+        let mut config = SimConfig::new(InitialKind::RoundRobin, strategy).with_sampling();
+        config.sample_interval = Some(SimDuration::from_minutes(10));
+        let result = Experiment::new(site.clone(), trace.clone(), config).run();
+        table.row([
+            strategy.name().to_string(),
+            result.suspended_jobs().to_string(),
+            format!("{:.0}", result.avg_ct_suspended),
+            format!("{:.0}", result.avg_st),
+            format!("{:.0}", result.suspended_series.max().unwrap_or(0.0)),
+            format!("{:.1}", result.avg_wct()),
+        ]);
+        if strategy == StrategyKind::NoRes {
+            // Show the storm profile: suspended-job count over time.
+            let agg = result
+                .suspended_series
+                .aggregate(SimDuration::from_minutes(500));
+            println!("\nsuspended jobs over the week under NoRes (one row = ~8.3h):");
+            let max = agg.iter().map(|&(_, v)| v).fold(1.0, f64::max);
+            for (t, v) in agg {
+                println!(
+                    "  t+{:>6}m {:>5.0} {}",
+                    t.as_minutes(),
+                    v,
+                    "#".repeat(((v / max) * 50.0).round() as usize)
+                );
+            }
+            println!();
+        }
+    }
+    print!("{table}");
+    println!("\nRescheduling drains the suspended backlog into idle pools: the peak");
+    println!("suspended count collapses to zero and per-job wasted time drops, at the");
+    println!("price of re-running the preempted jobs' lost progress elsewhere.");
+}

@@ -1,0 +1,74 @@
+//! Sweep every rescheduling strategy against both initial schedulers on
+//! one scenario — the full policy matrix, including the shortest-queue
+//! extension the paper's analysis suggests.
+//!
+//! Run with `cargo run --release --example policy_shootout [scale]`.
+
+use netbatch::core::experiment::Experiment;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::SimConfig;
+use netbatch::metrics::table::Table;
+use netbatch::workload::scenarios::ScenarioParams;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let params = ScenarioParams::normal_week(scale);
+    let site = params.build_site().halved(); // high load: the discriminating regime
+    let trace = params.generate_trace();
+    println!(
+        "policy shootout | high load | scale {scale} | {} jobs | {} cores\n",
+        trace.len(),
+        site.total_cores()
+    );
+    let mut table = Table::new([
+        "initial",
+        "strategy",
+        "susp%",
+        "AvgCT(susp)",
+        "AvgCT(all)",
+        "AvgWCT",
+        "moves",
+    ]);
+    for initial in [InitialKind::RoundRobin, InitialKind::UtilizationBased] {
+        for strategy in [
+            StrategyKind::NoRes,
+            StrategyKind::ResSusUtil,
+            StrategyKind::ResSusRand,
+            StrategyKind::ResSusQueue,
+            StrategyKind::ResSusWaitUtil,
+            StrategyKind::ResSusWaitRand,
+            StrategyKind::ResSusWaitSmart,
+            StrategyKind::MigrateSusUtil,
+            StrategyKind::DupSusUtil,
+        ] {
+            let r = Experiment::new(
+                site.clone(),
+                trace.clone(),
+                SimConfig::new(initial, strategy),
+            )
+            .run();
+            let moves = r.counters.restarts_from_suspend
+                + r.counters.restarts_from_wait
+                + r.counters.migrations
+                + r.counters.duplicates_launched;
+            table.row([
+                initial.name().to_string(),
+                strategy.name().to_string(),
+                format!("{:.2}%", r.suspend_rate * 100.0),
+                format!("{:.0}", r.avg_ct_suspended),
+                format!("{:.0}", r.avg_ct_all),
+                format!("{:.1}", r.avg_wct()),
+                moves.to_string(),
+            ]);
+        }
+    }
+    print!("{table}");
+    println!("\nReading guide: ResSusUtil should beat NoRes everywhere; ResSusRand");
+    println!("degrades without wait rescheduling but matches ResSusWaitUtil with it.");
+    println!("Extensions: ResSusQueue sits between Util and Rand; ResSusWaitSmart");
+    println!("(multi-metric) edges out ResSusWaitUtil; MigrateSusUtil keeps progress;");
+    println!("DupSusUtil trades redundant work for the best suspended-job latency.");
+}

@@ -1,0 +1,68 @@
+//! Offline trace analysis, mirroring the paper's §2 trace-driven study:
+//! generate (or load) a trace, characterize its composition, arrival
+//! burstiness and offered load, export it to CSV, and read it back.
+//!
+//! Run with `cargo run --release --example trace_analysis [path.csv]` —
+//! with a path argument the trace is also written there.
+
+use netbatch::metrics::table::Table;
+use netbatch::sim_engine::time::SimDuration;
+use netbatch::workload::analysis::{arrival_series, burstiness, TraceAnalysis};
+use netbatch::workload::io::{read_csv, write_csv};
+use netbatch::workload::scenarios::ScenarioParams;
+
+fn main() {
+    let params = ScenarioParams::normal_week(0.1);
+    let trace = params.generate_trace();
+    let site = params.build_site();
+    let analysis = TraceAnalysis::of(&trace);
+
+    let mut t = Table::new(["property", "value"]);
+    t.row(["jobs", &analysis.jobs.to_string()]);
+    t.row([
+        "high-priority jobs",
+        &format!("{} ({:.1}%)", analysis.high_jobs, analysis.high_fraction() * 100.0),
+    ]);
+    t.row(["pool-restricted jobs", &analysis.restricted_jobs.to_string()]);
+    t.row(["mean runtime (min)", &format!("{:.0}", analysis.mean_runtime)]);
+    t.row(["median runtime (min)", &format!("{:.0}", analysis.median_runtime)]);
+    t.row(["p99 runtime (min)", &format!("{:.0}", analysis.p99_runtime)]);
+    t.row(["max runtime (min)", &format!("{:.0}", analysis.max_runtime)]);
+    t.row(["mean cores", &format!("{:.2}", analysis.mean_cores)]);
+    t.row(["span (min)", &analysis.span_minutes.to_string()]);
+    t.row([
+        "offered utilization",
+        &format!("{:.1}%", analysis.offered_utilization(site.total_cores()) * 100.0),
+    ]);
+    print!("{t}");
+
+    // Burstiness: high-priority streams should be much burstier than the
+    // Poisson background (the paper's §2.3 observation).
+    let bucket = SimDuration::HOUR;
+    println!(
+        "\narrival burstiness (CV of hourly counts): all {:.2}",
+        burstiness(&trace, bucket)
+    );
+    let series = arrival_series(&trace, SimDuration::from_minutes(500));
+    let max = series.samples().iter().map(|&(_, v)| v).fold(1.0, f64::max);
+    println!("\narrivals per ~8h interval:");
+    for &(t, v) in series.samples() {
+        println!(
+            "  t+{:>6}m {:>5.0} {}",
+            t.as_minutes(),
+            v,
+            "#".repeat(((v / max) * 50.0) as usize)
+        );
+    }
+
+    // Round-trip through the CSV codec (the interface for real traces).
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &trace).expect("serialize trace");
+    let back = read_csv(buf.as_slice()).expect("parse trace");
+    assert_eq!(back, trace);
+    println!("\nCSV round-trip: {} bytes, {} records — OK", buf.len(), back.len());
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &buf).expect("write trace file");
+        println!("trace written to {path}");
+    }
+}

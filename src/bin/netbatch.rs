@@ -1,0 +1,472 @@
+//! `netbatch` — the command-line front end.
+//!
+//! ```text
+//! netbatch generate --scenario normal --scale 0.1 --out trace.csv
+//! netbatch analyze trace.csv
+//! netbatch simulate --scenario normal --strategy ResSusWaitUtil
+//! netbatch simulate --trace trace.csv --strategy ResSusUtil --initial util
+//! ```
+//!
+//! Everything the library exposes for experiments — scenario generation,
+//! trace analysis, policy simulation — without writing Rust. Argument
+//! parsing is hand-rolled (the workspace carries no CLI dependency).
+
+use std::process::ExitCode;
+
+use netbatch::core::experiment::Experiment;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::SimConfig;
+use netbatch::sim_engine::time::SimDuration;
+use netbatch::workload::analysis::TraceAnalysis;
+use netbatch::workload::io::{read_csv, write_csv};
+use netbatch::workload::scenarios::{ScenarioParams, SiteSpec};
+use netbatch::workload::trace::Trace;
+
+const USAGE: &str = "\
+netbatch — dynamic rescheduling on a NetBatch-like platform (Middleware 2010 reproduction)
+
+USAGE:
+  netbatch generate [--scenario normal|highsus|year] [--scale S] [--seed N] --out FILE
+  netbatch analyze FILE [--scale S]
+  netbatch simulate [--trace FILE | --scenario NAME] [--scale S] [--seed N]
+                    [--strategy NAME] [--initial rr|util] [--high-load]
+                    [--restart-overhead MIN] [--staleness MIN] [--max-restarts N]
+                    [--sample] [--series-out FILE]
+  netbatch strategies
+  netbatch help
+
+Strategies: NoRes ResSusUtil ResSusRand ResSusWaitUtil ResSusWaitRand
+            ResSusQueue ResSusWaitSmart MigrateSusUtil DupSusUtil
+
+`--scale` scales the site and arrival rates together (default 0.1).
+The paper's full tables live in the bench harness:
+  cargo run --release -p netbatch-bench --bin repro_all
+";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Generate {
+        scenario: String,
+        scale: f64,
+        seed: Option<u64>,
+        out: String,
+    },
+    Analyze {
+        file: String,
+        scale: f64,
+    },
+    Simulate {
+        trace: Option<String>,
+        scenario: String,
+        scale: f64,
+        seed: Option<u64>,
+        strategy: StrategyKind,
+        initial: InitialKind,
+        high_load: bool,
+        restart_overhead: u64,
+        staleness: u64,
+        max_restarts: Option<u32>,
+        sample: bool,
+        series_out: Option<String>,
+    },
+    Strategies,
+    Help,
+}
+
+fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
+    let all = [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusRand,
+        StrategyKind::ResSusWaitUtil,
+        StrategyKind::ResSusWaitRand,
+        StrategyKind::ResSusQueue,
+        StrategyKind::ResSusWaitSmart,
+        StrategyKind::MigrateSusUtil,
+        StrategyKind::DupSusUtil,
+    ];
+    all.into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown strategy `{name}` (try `netbatch strategies`)"))
+}
+
+fn parse_initial(name: &str) -> Result<InitialKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "rr" | "round-robin" | "roundrobin" => Ok(InitialKind::RoundRobin),
+        "util" | "utilization" | "utilization-based" => Ok(InitialKind::UtilizationBased),
+        other => Err(format!("unknown initial scheduler `{other}` (rr|util)")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    // Flag scanner shared by the subcommands.
+    let mut flags: Vec<(String, Option<String>)> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = !matches!(name, "sample" | "high-load");
+            if takes_value {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_string(), Some(v.to_string())));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else {
+            positional.push(a.to_string());
+            i += 1;
+        }
+    }
+    let get = |name: &str| -> Option<String> {
+        flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.clone())
+    };
+    let has = |name: &str| flags.iter().any(|(n, _)| n == name);
+    let num = |name: &str, default: f64| -> Result<f64, String> {
+        match get(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            None => Ok(default),
+        }
+    };
+    let int = |name: &str| -> Result<Option<u64>, String> {
+        match get(name) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+            None => Ok(None),
+        }
+    };
+
+    match cmd {
+        "generate" => Ok(Command::Generate {
+            scenario: get("scenario").unwrap_or_else(|| "normal".into()),
+            scale: num("scale", 0.1)?,
+            seed: int("seed")?,
+            out: get("out").ok_or("generate needs --out FILE")?,
+        }),
+        "analyze" => Ok(Command::Analyze {
+            file: positional
+                .first()
+                .cloned()
+                .ok_or("analyze needs a trace file argument")?,
+            scale: num("scale", 0.1)?,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            trace: get("trace"),
+            scenario: get("scenario").unwrap_or_else(|| "normal".into()),
+            scale: num("scale", 0.1)?,
+            seed: int("seed")?,
+            strategy: parse_strategy(&get("strategy").unwrap_or_else(|| "NoRes".into()))?,
+            initial: parse_initial(&get("initial").unwrap_or_else(|| "rr".into()))?,
+            high_load: has("high-load"),
+            restart_overhead: int("restart-overhead")?.unwrap_or(0),
+            staleness: int("staleness")?.unwrap_or(0),
+            max_restarts: int("max-restarts")?.map(|v| v as u32),
+            sample: has("sample"),
+            series_out: get("series-out"),
+        }),
+        "strategies" => Ok(Command::Strategies),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command `{other}`; try `netbatch help`")),
+    }
+}
+
+fn scenario_params(name: &str, scale: f64, seed: Option<u64>) -> Result<ScenarioParams, String> {
+    let mut params = match name {
+        "normal" => ScenarioParams::normal_week(scale),
+        "highsus" | "high-suspension" => ScenarioParams::high_suspension_week(scale),
+        "year" => ScenarioParams::year(scale),
+        other => return Err(format!("unknown scenario `{other}` (normal|highsus|year)")),
+    };
+    if let Some(seed) = seed {
+        params.seed = seed;
+    }
+    Ok(params)
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Strategies => {
+            for s in [
+                StrategyKind::NoRes,
+                StrategyKind::ResSusUtil,
+                StrategyKind::ResSusRand,
+                StrategyKind::ResSusWaitUtil,
+                StrategyKind::ResSusWaitRand,
+                StrategyKind::ResSusQueue,
+                StrategyKind::ResSusWaitSmart,
+                StrategyKind::MigrateSusUtil,
+                StrategyKind::DupSusUtil,
+            ] {
+                println!("{}", s.name());
+            }
+            Ok(())
+        }
+        Command::Generate {
+            scenario,
+            scale,
+            seed,
+            out,
+        } => {
+            let params = scenario_params(&scenario, scale, seed)?;
+            let trace = params.generate_trace();
+            let file = std::fs::File::create(&out)
+                .map_err(|e| format!("cannot create {out}: {e}"))?;
+            write_csv(file, &trace).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} jobs ({} scenario, scale {scale}) to {out}",
+                trace.len(),
+                scenario
+            );
+            Ok(())
+        }
+        Command::Analyze { file, scale } => {
+            let trace = load_trace(&file)?;
+            let site = SiteSpec::paper_site(scale);
+            let a = TraceAnalysis::of(&trace);
+            println!("jobs                 {}", a.jobs);
+            println!(
+                "high-priority        {} ({:.1}%)",
+                a.high_jobs,
+                a.high_fraction() * 100.0
+            );
+            println!("pool-restricted      {}", a.restricted_jobs);
+            println!("mean runtime         {:.0} min", a.mean_runtime);
+            println!("median runtime       {:.0} min", a.median_runtime);
+            println!("p99 runtime          {:.0} min", a.p99_runtime);
+            println!("mean cores           {:.2}", a.mean_cores);
+            println!("span                 {} min", a.span_minutes);
+            println!(
+                "offered utilization  {:.1}% (vs paper_site at scale {scale}: {} cores)",
+                a.offered_utilization(site.total_cores()) * 100.0,
+                site.total_cores()
+            );
+            Ok(())
+        }
+        Command::Simulate {
+            trace,
+            scenario,
+            scale,
+            seed,
+            strategy,
+            initial,
+            high_load,
+            restart_overhead,
+            staleness,
+            max_restarts,
+            sample,
+            series_out,
+        } => {
+            let params = scenario_params(&scenario, scale, seed)?;
+            let trace = match trace {
+                Some(path) => load_trace(&path)?,
+                None => params.generate_trace(),
+            };
+            let mut site = params.build_site();
+            if high_load {
+                site = site.halved();
+            }
+            let mut config = SimConfig::new(initial, strategy);
+            config.restart_overhead = SimDuration::from_minutes(restart_overhead);
+            config.view_staleness = SimDuration::from_minutes(staleness);
+            config.max_restarts = max_restarts;
+            if let Some(seed) = seed {
+                config.seed = seed;
+            }
+            if sample || series_out.is_some() {
+                config = config.with_sampling();
+            }
+            let t0 = std::time::Instant::now();
+            let r = Experiment::new(site, trace, config).run();
+            println!(
+                "{} | {} initial{}",
+                strategy.name(),
+                initial.name(),
+                if high_load { " | high load" } else { "" }
+            );
+            println!("jobs                 {}", r.total_jobs);
+            println!("suspend rate         {:.2}%", r.suspend_rate * 100.0);
+            println!("AvgCT (suspended)    {:.1} min", r.avg_ct_suspended);
+            println!("AvgCT (all)          {:.1} min", r.avg_ct_all);
+            println!("AvgST                {:.1} min", r.avg_st);
+            println!(
+                "AvgWCT               {:.1} min (wait {:.1} + suspend {:.1} + resched {:.1})",
+                r.avg_wct(),
+                r.waste.avg_wait(),
+                r.waste.avg_suspend(),
+                r.waste.avg_resched()
+            );
+            println!(
+                "restarts             {} from suspension, {} from queues",
+                r.counters.restarts_from_suspend, r.counters.restarts_from_wait
+            );
+            if r.counters.migrations + r.counters.duplicates_launched > 0 {
+                println!(
+                    "migrations/dups      {} / {}",
+                    r.counters.migrations, r.counters.duplicates_launched
+                );
+            }
+            println!(
+                "simulated {} events in {:.2}s",
+                r.counters.events,
+                t0.elapsed().as_secs_f64()
+            );
+            let hot = r.hottest_pools(5);
+            if hot.iter().any(|(_, s)| s.suspensions > 0) {
+                println!("hottest pools (by preemptions):");
+                for (pool, s) in hot {
+                    if s.suspensions == 0 {
+                        continue;
+                    }
+                    println!(
+                        "  {pool}: {} suspensions, peak queue {}, peak suspended {}",
+                        s.suspensions, s.peak_queue, s.peak_suspended
+                    );
+                }
+            }
+            if let Some(path) = series_out {
+                use std::io::Write;
+                let mut f = std::fs::File::create(&path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                writeln!(f, "minute,suspended,utilization_pct,waiting").map_err(|e| e.to_string())?;
+                for ((&(t, s), &(_, u)), &(_, w)) in r
+                    .suspended_series
+                    .samples()
+                    .iter()
+                    .zip(r.utilization_series.samples())
+                    .zip(r.waiting_series.samples())
+                {
+                    writeln!(f, "{},{s},{u:.2},{w}", t.as_minutes()).map_err(|e| e.to_string())?;
+                }
+                println!("series written to {path}");
+            }
+            Ok(())
+        }
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_csv(file).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse_args(&args("generate --scenario year --scale 0.05 --out t.csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                scenario: "year".into(),
+                scale: 0.05,
+                seed: None,
+                out: "t.csv".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_simulate_with_all_flags() {
+        let cmd = parse_args(&args(
+            "simulate --strategy ResSusWaitRand --initial util --high-load \
+             --restart-overhead 15 --staleness 30 --max-restarts 4 --sample --seed 9",
+        ))
+        .unwrap();
+        let Command::Simulate {
+            strategy,
+            initial,
+            high_load,
+            restart_overhead,
+            staleness,
+            max_restarts,
+            sample,
+            seed,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert_eq!(strategy, StrategyKind::ResSusWaitRand);
+        assert_eq!(initial, InitialKind::UtilizationBased);
+        assert!(high_load && sample);
+        assert_eq!(restart_overhead, 15);
+        assert_eq!(staleness, 30);
+        assert_eq!(max_restarts, Some(4));
+        assert_eq!(seed, Some(9));
+    }
+
+    #[test]
+    fn strategy_names_parse_case_insensitively() {
+        assert_eq!(parse_strategy("ressusutil").unwrap(), StrategyKind::ResSusUtil);
+        assert_eq!(
+            parse_strategy("MigrateSusUtil").unwrap(),
+            StrategyKind::MigrateSusUtil
+        );
+        assert!(parse_strategy("bogus").is_err());
+    }
+
+    #[test]
+    fn missing_values_are_reported() {
+        assert!(parse_args(&args("generate --out")).unwrap_err().contains("--out"));
+        assert!(parse_args(&args("generate")).unwrap_err().contains("--out"));
+        assert!(parse_args(&args("analyze")).unwrap_err().contains("trace file"));
+        assert!(parse_args(&args("frobnicate")).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_and_strategies_parse() {
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("strategies")).unwrap(), Command::Strategies);
+    }
+
+    #[test]
+    fn scenario_params_respects_seed() {
+        let p = scenario_params("normal", 0.01, Some(7)).unwrap();
+        assert_eq!(p.seed, 7);
+        assert!(scenario_params("nope", 1.0, None).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration tests: full scenario → simulator → metrics,
+//! across every policy combination.
+
+use netbatch::core::experiment::Experiment;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::SimConfig;
+use netbatch::workload::scenarios::ScenarioParams;
+
+const TEST_SCALE: f64 = 0.02;
+
+fn all_strategies() -> [StrategyKind; 6] {
+    [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusRand,
+        StrategyKind::ResSusWaitUtil,
+        StrategyKind::ResSusWaitRand,
+        StrategyKind::ResSusQueue,
+    ]
+}
+
+#[test]
+fn every_policy_combination_completes_the_whole_trace() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    for initial in [InitialKind::RoundRobin, InitialKind::UtilizationBased] {
+        for strategy in all_strategies() {
+            let r = Experiment::new(site.clone(), trace.clone(), SimConfig::new(initial, strategy))
+                .run();
+            assert_eq!(
+                r.counters.completed, r.total_jobs,
+                "{initial:?}/{strategy:?} left jobs unfinished"
+            );
+            assert_eq!(r.counters.unrunnable, 0, "generated jobs must all be runnable");
+        }
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let make = || {
+        Experiment::new(
+            params.build_site(),
+            params.generate_trace(),
+            SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitRand),
+        )
+        .run()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.suspend_rate, b.suspend_rate);
+    assert_eq!(a.avg_ct_all, b.avg_ct_all);
+    assert_eq!(a.avg_ct_suspended, b.avg_ct_suspended);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.end_time, b.end_time);
+}
+
+#[test]
+fn different_seeds_produce_different_randomized_runs() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let mut cfg_a = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusRand);
+    cfg_a.seed = 1;
+    let mut cfg_b = cfg_a.clone();
+    cfg_b.seed = 2;
+    let a = Experiment::new(site.clone(), trace.clone(), cfg_a).run();
+    let b = Experiment::new(site, trace, cfg_b).run();
+    // Different policy seeds must not change the workload, only decisions.
+    assert_eq!(a.total_jobs, b.total_jobs);
+    assert_ne!(
+        (a.counters.restarts_from_suspend, a.avg_ct_suspended.to_bits()),
+        (b.counters.restarts_from_suspend, b.avg_ct_suspended.to_bits()),
+        "different seeds should steer random rescheduling differently"
+    );
+}
+
+#[test]
+fn waste_components_sum_to_avg_wct() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let r = Experiment::new(
+        params.build_site(),
+        params.generate_trace(),
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil),
+    )
+    .run();
+    let parts = r.waste.avg_wait() + r.waste.avg_suspend() + r.waste.avg_resched();
+    assert!((parts - r.avg_wct()).abs() < 1e-9);
+}
+
+#[test]
+fn suspension_population_is_consistent() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let r = Experiment::new(
+        params.build_site(),
+        params.generate_trace(),
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes),
+    )
+    .run();
+    // Suspend rate × jobs == suspension-time sample count.
+    let expected = (r.suspend_rate * r.total_jobs as f64).round() as u64;
+    assert_eq!(r.suspended_jobs(), expected);
+    // Mean of the samples == AvgST.
+    if r.suspended_jobs() > 0 {
+        let mean =
+            r.suspension_times.iter().sum::<f64>() / r.suspension_times.len() as f64;
+        assert!((mean - r.avg_st).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn sampling_does_not_change_outcomes() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let plain = Experiment::new(
+        site.clone(),
+        trace.clone(),
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil),
+    )
+    .run();
+    let sampled = Experiment::new(
+        site,
+        trace,
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil).with_sampling(),
+    )
+    .run();
+    assert_eq!(plain.avg_ct_all, sampled.avg_ct_all);
+    assert_eq!(plain.suspend_rate, sampled.suspend_rate);
+    assert!(!sampled.utilization_series.is_empty());
+    assert!(plain.utilization_series.is_empty());
+}
+
+#[test]
+fn restart_overhead_only_hurts() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let free = Experiment::new(
+        site.clone(),
+        trace.clone(),
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil),
+    )
+    .run();
+    let mut costly_cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+    costly_cfg.restart_overhead = netbatch::sim_engine::time::SimDuration::from_minutes(120);
+    let costly = Experiment::new(site, trace, costly_cfg).run();
+    assert!(
+        costly.waste.avg_resched() >= free.waste.avg_resched(),
+        "per-restart overhead must not reduce rescheduling waste"
+    );
+}
+
+#[test]
+fn high_load_is_strictly_worse_for_the_baseline() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let trace = params.generate_trace();
+    let normal = Experiment::new(
+        params.build_site(),
+        trace.clone(),
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes),
+    )
+    .run();
+    let high = Experiment::new(
+        params.build_site().halved(),
+        trace,
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes),
+    )
+    .run();
+    assert!(high.avg_ct_all > normal.avg_ct_all);
+    assert!(high.avg_wct() > normal.avg_wct());
+}
