@@ -2,11 +2,14 @@
 //! evaluation regime. These measure the reproduction substrate itself
 //! (events/second of the ASCA-equivalent), not the paper's metrics.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netbatch_cluster::job::{JobSpec, Resources};
+use netbatch_cluster::pool::PhysicalPool;
 use netbatch_core::experiment::Experiment;
 use netbatch_core::policy::{InitialKind, StrategyKind};
 use netbatch_core::simulator::SimConfig;
-use netbatch_workload::scenarios::ScenarioParams;
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+use netbatch_workload::scenarios::{ScenarioParams, SiteSpec};
 
 const BENCH_SCALE: f64 = 0.02;
 
@@ -85,5 +88,48 @@ fn bench_sampling_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_week_scenarios, bench_sampling_overhead);
+/// The dispatch decision in isolation: the indexed first-fit query against
+/// the retained reference linear scan, on the paper-scale large pool
+/// (680 machines at scale 1.0) packed to ~96% occupancy so free capacity
+/// sits at the tail of the scan order — the regime the index targets.
+fn bench_dispatch_hot_path(c: &mut Criterion) {
+    let config = SiteSpec::paper_site(1.0).pools.swap_remove(0);
+    let mut pool = PhysicalPool::new(config);
+    let mut id: u64 = 0;
+    // Pack with 2-core jobs until only the last few machines have headroom.
+    for _ in 0..1500 {
+        id += 1;
+        let spec = JobSpec::new(id.into(), SimTime::ZERO, SimDuration::from_minutes(60))
+            .with_cores(2)
+            .with_memory_mb(4_096);
+        pool.submit(SimTime::ZERO, &spec);
+    }
+    // A small ask that only tail machines can absorb, and a large ask that
+    // nothing can (the linear scan's worst case: it must visit every machine).
+    let tail_fit = Resources {
+        cores: 2,
+        memory_mb: 4_096,
+    };
+    let no_fit = Resources {
+        cores: 8,
+        memory_mb: 32_768,
+    };
+    let mut group = c.benchmark_group("dispatch_hot_path");
+    for (label, res) in [("tail_fit", tail_fit), ("no_fit", no_fit)] {
+        group.bench_function(BenchmarkId::new("indexed", label), |b| {
+            b.iter(|| pool.indexed_first_fit(black_box(res)))
+        });
+        group.bench_function(BenchmarkId::new("reference_scan", label), |b| {
+            b.iter(|| pool.reference_first_fit(black_box(res)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_week_scenarios,
+    bench_sampling_overhead,
+    bench_dispatch_hot_path
+);
 criterion_main!(benches);

@@ -83,6 +83,9 @@ fn main() {
     }
     println!(
         "{:<14} {:>14.0} {:>12.0} {:>9.1}   (restart-based reference)",
-        "ResSusUtil", restart.avg_ct_suspended, restart.avg_ct_all, restart.avg_wct()
+        "ResSusUtil",
+        restart.avg_ct_suspended,
+        restart.avg_ct_all,
+        restart.avg_wct()
     );
 }

@@ -40,8 +40,7 @@ fn main() {
         run(
             &format!("4 VPMs, inter-site (+{overhead}m WAN)"),
             Some(
-                VpmTopology::contiguous(20, 4)
-                    .with_inter_site(SimDuration::from_minutes(overhead)),
+                VpmTopology::contiguous(20, 4).with_inter_site(SimDuration::from_minutes(overhead)),
             ),
         );
     }

@@ -35,7 +35,11 @@ fn main() {
                 r.avg_ct_all,
                 r.avg_wct(),
                 restarts,
-                if r.avg_wct() < nores.avg_wct() { "yes" } else { "NO" }
+                if r.avg_wct() < nores.avg_wct() {
+                    "yes"
+                } else {
+                    "NO"
+                }
             );
         }
     }

@@ -2,7 +2,9 @@
 //! third metric suggested by the paper's diagnosis that random selection
 //! fails by "choosing a pool that already has a lot of waiting jobs".
 
-use netbatch_bench::runner::{build_scenario, print_reductions, run_strategies, scale_from_env, Load};
+use netbatch_bench::runner::{
+    build_scenario, print_reductions, run_strategies, scale_from_env, Load,
+};
 use netbatch_core::policy::{InitialKind, StrategyKind};
 use netbatch_metrics::table::Table;
 

@@ -3,7 +3,9 @@
 //! predicted-wait signal — compared against the published strategies, plus
 //! a weight sweep showing each signal's marginal value.
 
-use netbatch_bench::runner::{build_scenario, print_reductions, run_strategies, scale_from_env, Load};
+use netbatch_bench::runner::{
+    build_scenario, print_reductions, run_strategies, scale_from_env, Load,
+};
 use netbatch_core::policy::{InitialKind, StrategyKind};
 use netbatch_core::simulator::SimConfig;
 use netbatch_metrics::table::Table;
@@ -41,10 +43,38 @@ fn main() {
     println!("\nweight sweep (w_util, w_queue, w_wait):");
     use netbatch_core::policy::{ResSusWaitSmart, SmartWeights};
     for (label, w) in [
-        ("all signals (1,2,1)", SmartWeights { w_util: 1.0, w_queue: 2.0, w_wait: 1.0 }),
-        ("utilization only", SmartWeights { w_util: 1.0, w_queue: 0.0, w_wait: 0.0 }),
-        ("queue length only", SmartWeights { w_util: 0.0, w_queue: 1.0, w_wait: 0.0 }),
-        ("predicted wait only", SmartWeights { w_util: 0.0, w_queue: 0.0, w_wait: 1.0 }),
+        (
+            "all signals (1,2,1)",
+            SmartWeights {
+                w_util: 1.0,
+                w_queue: 2.0,
+                w_wait: 1.0,
+            },
+        ),
+        (
+            "utilization only",
+            SmartWeights {
+                w_util: 1.0,
+                w_queue: 0.0,
+                w_wait: 0.0,
+            },
+        ),
+        (
+            "queue length only",
+            SmartWeights {
+                w_util: 0.0,
+                w_queue: 1.0,
+                w_wait: 0.0,
+            },
+        ),
+        (
+            "predicted wait only",
+            SmartWeights {
+                w_util: 0.0,
+                w_queue: 0.0,
+                w_wait: 1.0,
+            },
+        ),
     ] {
         // Run through the simulator with a custom-weight policy by using
         // the Experiment API against a hand-built config: StrategyKind

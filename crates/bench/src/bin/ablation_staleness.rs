@@ -33,7 +33,12 @@ fn main() {
             r.avg_wct()
         );
     }
-    let rand = run_cell(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusRand);
+    let rand = run_cell(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusRand,
+    );
     println!(
         "{:<22} {:>12.1} {:>11.1} {:>9.1}   (needs no signal)",
         "ResSusRand reference",

@@ -44,7 +44,15 @@ fn main() {
     };
     println!(
         "{:<16} {:>9} {:>12} {:>10} {:>9} {:>8} {:>9} {:>8} {:>8}",
-        "strategy", "susp%", "AvgCT(s)", "AvgCT(all)", "AvgST", "AvgWCT", "avgWait", "restS", "restW"
+        "strategy",
+        "susp%",
+        "AvgCT(s)",
+        "AvgCT(all)",
+        "AvgST",
+        "AvgWCT",
+        "avgWait",
+        "restS",
+        "restW"
     );
     for &strategy in strategies {
         let t0 = std::time::Instant::now();
@@ -68,14 +76,25 @@ fn main() {
             .collect();
         if !restarted.is_empty() {
             let n = restarted.len() as f64;
-            let wait: f64 = restarted.iter().map(|j| j.wait_time().as_minutes_f64()).sum::<f64>() / n;
-            let waste: f64 = restarted.iter().map(|j| j.resched_waste().as_minutes_f64()).sum::<f64>() / n;
+            let wait: f64 = restarted
+                .iter()
+                .map(|j| j.wait_time().as_minutes_f64())
+                .sum::<f64>()
+                / n;
+            let waste: f64 = restarted
+                .iter()
+                .map(|j| j.resched_waste().as_minutes_f64())
+                .sum::<f64>()
+                / n;
             let ct: f64 = restarted
                 .iter()
                 .map(|j| j.completion_time().unwrap().as_minutes_f64())
                 .sum::<f64>()
                 / n;
-            let multi = restarted.iter().filter(|j| j.restarts_from_suspend() > 1).count();
+            let multi = restarted
+                .iter()
+                .filter(|j| j.restarts_from_suspend() > 1)
+                .count();
             println!(
                 "    restarted-from-suspend: n={} meanCT={ct:.0} meanWait={wait:.0} meanWaste={waste:.0} multi-restart={multi}",
                 restarted.len()

@@ -45,8 +45,14 @@ fn main() {
     let mean = cdf.mean();
     let above = 1.0 - cdf.at(figure2::TAIL_THRESHOLD_MIN);
     println!("\n                      measured     paper");
-    println!("median suspension   {median:>9.0}  {:>9.0}", figure2::MEDIAN_MIN);
-    println!("mean suspension     {mean:>9.0}  {:>9.0}", figure2::MEAN_MIN);
+    println!(
+        "median suspension   {median:>9.0}  {:>9.0}",
+        figure2::MEDIAN_MIN
+    );
+    println!(
+        "mean suspension     {mean:>9.0}  {:>9.0}",
+        figure2::MEAN_MIN
+    );
     println!(
         "fraction > {:.0} min {:>8.1}%  {:>8.1}%",
         figure2::TAIL_THRESHOLD_MIN,

@@ -44,9 +44,6 @@ fn main() {
     }
     println!("\npaper (approximate, read off the bar chart):");
     for (name, w, s, x) in figure3::COMPONENTS {
-        println!(
-            "{name:<14} {w:>8.1} {s:>9.1} {x:>9.1} {:>8.1}",
-            w + s + x
-        );
+        println!("{name:<14} {w:>8.1} {s:>9.1} {x:>9.1} {:>8.1}", w + s + x);
     }
 }

@@ -68,9 +68,15 @@ fn main() {
         .collect();
     let mean_util = in_horizon.iter().sum::<f64>() / in_horizon.len().max(1) as f64;
     let (lo, hi) = figure4::TYPICAL_UTILIZATION_BAND_PCT;
-    let in_band = in_horizon.iter().filter(|&&u| (lo..=hi).contains(&u)).count() as f64
+    let in_band = in_horizon
+        .iter()
+        .filter(|&&u| (lo..=hi).contains(&u))
+        .count() as f64
         / in_horizon.len().max(1) as f64;
-    println!("\nmean utilization: {mean_util:.1}% (paper: around {:.0}%)", figure4::MEAN_UTILIZATION_PCT);
+    println!(
+        "\nmean utilization: {mean_util:.1}% (paper: around {:.0}%)",
+        figure4::MEAN_UTILIZATION_PCT
+    );
     println!(
         "time in the paper's typical {lo:.0}-{hi:.0}% band: {:.0}%",
         in_band * 100.0

@@ -1,0 +1,75 @@
+//! Wall-clock dispatch-throughput baseline, tracked across PRs.
+//!
+//! Runs the paper's week scenario at `NETBATCH_SCALE` (default 0.1) for
+//! every strategy × load cell, measuring wall-clock time and simulator
+//! events per second, and writes the results to `BENCH_dispatch.json` in
+//! the current directory. Unlike the Criterion benches (relative,
+//! per-machine), this file is meant to be committed so the perf trajectory
+//! of the dispatch hot path is visible in review diffs.
+//!
+//! Usage: `cargo run --release -p netbatch-bench --bin perf_baseline`
+
+use std::time::Instant;
+
+use netbatch_bench::runner::{build_scenario, run_cell, scale_from_env, Load};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+
+struct Cell {
+    load: &'static str,
+    strategy: &'static str,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let strategies = [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusRand,
+        StrategyKind::ResSusWaitUtil,
+        StrategyKind::ResSusWaitRand,
+    ];
+    let mut cells = Vec::new();
+    let total_start = Instant::now();
+    for (load, label) in [(Load::Normal, "normal"), (Load::High, "high")] {
+        let (site, trace) = build_scenario(load, scale);
+        for strategy in strategies {
+            let start = Instant::now();
+            let result = run_cell(&site, &trace, InitialKind::RoundRobin, strategy);
+            let wall = start.elapsed();
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let events = result.counters.events;
+            let events_per_sec = events as f64 / wall.as_secs_f64().max(1e-9);
+            println!(
+                "{label:>6} load | {:<14} {wall_ms:>9.1} ms  {events:>9} events  {events_per_sec:>12.0} ev/s",
+                strategy.name(),
+            );
+            cells.push(Cell {
+                load: label,
+                strategy: strategy.name(),
+                wall_ms,
+                events,
+                events_per_sec,
+            });
+        }
+    }
+    let total_wall_ms = total_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.1},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"load\": \"{}\", \"strategy\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \"events_per_sec\": {:.0}}}{comma}\n",
+            c.load, c.strategy, c.wall_ms, c.events, c.events_per_sec
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_dispatch.json", &json).expect("write BENCH_dispatch.json");
+    println!("\ntotal: {total_wall_ms:.1} ms at scale {scale} -> BENCH_dispatch.json");
+}

@@ -65,7 +65,11 @@ fn main() {
         InitialKind::UtilizationBased,
         &StrategyKind::PAPER_SUSPEND_ONLY,
     );
-    print_comparison("Table 3: high load, utilization-based initial", &t3, &TABLE_3);
+    print_comparison(
+        "Table 3: high load, utilization-based initial",
+        &t3,
+        &TABLE_3,
+    );
     print_reductions(&t3);
     markdown.push_str("\n### Table 3 (high load, utilization-based initial)\n\n");
     markdown.push_str(&markdown_comparison(&t3, &TABLE_3));
@@ -76,7 +80,11 @@ fn main() {
         InitialKind::RoundRobin,
         &StrategyKind::PAPER_WITH_WAIT,
     );
-    print_comparison("Table 4: wait rescheduling, round-robin initial", &t4, &TABLE_4);
+    print_comparison(
+        "Table 4: wait rescheduling, round-robin initial",
+        &t4,
+        &TABLE_4,
+    );
     print_reductions(&t4);
     markdown.push_str("\n### Table 4 (wait rescheduling, round-robin initial)\n\n");
     markdown.push_str(&markdown_comparison(&t4, &TABLE_4));
@@ -121,7 +129,10 @@ fn main() {
     let tail = 1.0 - cdf.at(figure2::TAIL_THRESHOLD_MIN);
     println!("\n== Figure 2: suspension-time distribution (year trace) ==");
     println!("                    measured     paper");
-    println!("median            {median:>9.0} {:>9.0}", figure2::MEDIAN_MIN);
+    println!(
+        "median            {median:>9.0} {:>9.0}",
+        figure2::MEDIAN_MIN
+    );
     println!("mean              {mean:>9.0} {:>9.0}", figure2::MEAN_MIN);
     println!(
         "frac > 1100 min   {:>8.1}% {:>8.1}%",
@@ -282,7 +293,10 @@ fn main() {
     checks.push(check(
         "F2: suspension times are heavy-tailed (median well below mean)",
         median < mean && tail > 0.05,
-        format!("median {median:.0}, mean {mean:.0}, tail {:.0}%", tail * 100.0),
+        format!(
+            "median {median:.0}, mean {mean:.0}, tail {:.0}%",
+            tail * 100.0
+        ),
     ));
     checks.push(check(
         "F4: mean utilization in the paper's typical band",

@@ -3,7 +3,9 @@
 //! reduction over all jobs and 44% over suspended jobs for ResSusUtil.
 
 use netbatch_bench::paper::high_suspension;
-use netbatch_bench::runner::{print_comparison, print_reductions, reduction, run_strategies, scale_from_env};
+use netbatch_bench::runner::{
+    print_comparison, print_reductions, reduction, run_strategies, scale_from_env,
+};
 use netbatch_core::policy::{InitialKind, StrategyKind};
 use netbatch_workload::scenarios::ScenarioParams;
 

@@ -56,7 +56,14 @@ pub const TABLE_1: [PaperRow; 3] = [
 pub const TABLE_2: [PaperRow; 3] = [
     row(StrategyKind::NoRes, 0.0126, 5846.1, 988.7, 4402.4, 450.1),
     row(StrategyKind::ResSusUtil, 0.0183, 1475.1, 962.2, 86.2, 423.9),
-    row(StrategyKind::ResSusRand, 0.0160, 6485.0, 1180.0, 73.2, 636.3),
+    row(
+        StrategyKind::ResSusRand,
+        0.0160,
+        6485.0,
+        1180.0,
+        73.2,
+        636.3,
+    ),
 ];
 
 /// Table 3: suspended-job rescheduling with the utilization-based initial
@@ -64,23 +71,58 @@ pub const TABLE_2: [PaperRow; 3] = [
 pub const TABLE_3: [PaperRow; 3] = [
     row(StrategyKind::NoRes, 0.0150, 5936.0, 994.2, 4916.0, 456.6),
     row(StrategyKind::ResSusUtil, 0.0172, 1466.9, 946.2, 84.5, 407.6),
-    row(StrategyKind::ResSusRand, 0.0162, 7979.9, 1229.9, 72.3, 686.8),
+    row(
+        StrategyKind::ResSusRand,
+        0.0162,
+        7979.9,
+        1229.9,
+        72.3,
+        686.8,
+    ),
 ];
 
 /// Table 4: combined suspended + waiting rescheduling, round-robin initial
 /// scheduler (high load, 30-minute wait threshold).
 pub const TABLE_4: [PaperRow; 3] = [
     row(StrategyKind::NoRes, 0.0126, 5846.1, 988.7, 4402.4, 450.1),
-    row(StrategyKind::ResSusWaitUtil, 0.0146, 1224.3, 951.4, 72.7, 414.2),
-    row(StrategyKind::ResSusWaitRand, 0.0150, 1417.0, 954.7, 62.3, 417.6),
+    row(
+        StrategyKind::ResSusWaitUtil,
+        0.0146,
+        1224.3,
+        951.4,
+        72.7,
+        414.2,
+    ),
+    row(
+        StrategyKind::ResSusWaitRand,
+        0.0150,
+        1417.0,
+        954.7,
+        62.3,
+        417.6,
+    ),
 ];
 
 /// Table 5: combined rescheduling with the utilization-based initial
 /// scheduler (high load).
 pub const TABLE_5: [PaperRow; 3] = [
     row(StrategyKind::NoRes, 0.0150, 5936.0, 994.2, 4916.0, 456.6),
-    row(StrategyKind::ResSusWaitUtil, 0.0174, 1467.2, 937.9, 84.5, 402.0),
-    row(StrategyKind::ResSusWaitRand, 0.0171, 1603.1, 935.7, 100.6, 399.7),
+    row(
+        StrategyKind::ResSusWaitUtil,
+        0.0174,
+        1467.2,
+        937.9,
+        84.5,
+        402.0,
+    ),
+    row(
+        StrategyKind::ResSusWaitRand,
+        0.0171,
+        1603.1,
+        935.7,
+        100.6,
+        399.7,
+    ),
 ];
 
 /// Figure 2's published suspension-time distribution summary (minutes,

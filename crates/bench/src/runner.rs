@@ -79,17 +79,16 @@ pub fn run_strategies(
     initial: InitialKind,
     strategies: &[StrategyKind],
 ) -> Vec<ExperimentResult> {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = strategies
             .iter()
-            .map(|&strategy| scope.spawn(move |_| run_cell(site, trace, initial, strategy)))
+            .map(|&strategy| scope.spawn(move || run_cell(site, trace, initial, strategy)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment thread panicked"))
             .collect()
     })
-    .expect("scope")
 }
 
 /// Prints a measured-vs-paper comparison table.

@@ -6,13 +6,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a job across the whole cluster. Dense and allocation-ordered,
 /// so it doubles as an index into the simulator's job table.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobId(pub u64);
 
 impl JobId {
@@ -40,9 +36,7 @@ impl From<u64> for JobId {
 }
 
 /// Identifies a physical pool at a site (the paper's site has 20).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PoolId(pub u16);
 
 impl PoolId {
@@ -70,9 +64,7 @@ impl From<u16> for PoolId {
 }
 
 /// Identifies a machine within its pool (pool-local index).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MachineId(pub u32);
 
 impl MachineId {
@@ -102,9 +94,7 @@ impl From<u32> for MachineId {
 /// Identifies a *task*: a set of jobs whose results are only useful when all
 /// (or a high percentage) complete — the paper's §2.2 chip-simulation
 /// productivity unit.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TaskId(pub u32);
 
 impl TaskId {

@@ -1,0 +1,390 @@
+//! Incremental machine-availability indexing for the pool dispatch hot path.
+//!
+//! The paper's §2.1 dispatch protocol picks the *first* (lowest-id) machine
+//! that is both eligible and available, which a naive implementation scans
+//! the machine list for on every submit — O(machines) per event, the
+//! dominant cost at the paper's scale (680-machine pools, 248k jobs/week).
+//!
+//! [`AvailabilityIndex`] replaces the scan: machines are grouped into
+//! *capacity classes* (identical static `(cores, memory_mb)` configuration)
+//! and, within each class, bucketed by their current free capacity
+//! `(free_cores, free_memory)`. Buckets hold machine indices in ordered
+//! sets, so the lowest-id available machine in a bucket is `O(log n)` and a
+//! full first-fit query is `O(classes · buckets)` with each bucket visited
+//! only when it can actually satisfy the footprint. The pool keeps the
+//! index in sync with one `O(log n)` [`AvailabilityIndex::sync`] call after
+//! every machine mutation (start / suspend / resume / release / fail /
+//! restore).
+//!
+//! **Behavior preservation:** a machine appears in a bucket iff it is up
+//! and the bucket key equals its exact free capacity, and bucket sets are
+//! ordered by machine index, so [`AvailabilityIndex::first_fit`] returns
+//! precisely the machine the reference linear scan
+//! (`position(|m| m.can_ever_run(res) && m.can_run_now(res))`) would find.
+//! `PhysicalPool` cross-checks this with the retained reference scan in
+//! debug builds and under property tests.
+//!
+//! The module also provides [`MinMultiset`], the ordered counting multiset
+//! behind the pool's two other O(1) short-circuits: the lowest running
+//! priority (skip preemption planning when nothing is preemptible) and the
+//! wait queue's minimum footprint (stop `capacity_cycle` scans when the
+//! freed machine cannot fit anything waiting).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::job::Resources;
+use crate::machine::Machine;
+
+/// Machines sharing one static `(cores, memory_mb)` configuration, with
+/// their current free capacity bucketed for ordered first-fit queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CapacityClass {
+    /// Static core count of every machine in the class.
+    cores: u32,
+    /// Static memory of every machine in the class.
+    memory_mb: u64,
+    /// `free_cores → free_memory → machine indices` for every *up* machine
+    /// in the class. Nested (rather than keyed by the pair) so a memory
+    /// range query never walks buckets below the requested floor.
+    buckets: BTreeMap<u32, BTreeMap<u64, BTreeSet<usize>>>,
+}
+
+impl CapacityClass {
+    /// The lowest machine index in this class that can run `res` right
+    /// now, or `None`.
+    fn first_fit(&self, res: Resources) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for mem_buckets in self.buckets.range(res.cores..).map(|(_, b)| b) {
+            for set in mem_buckets.range(res.memory_mb..).map(|(_, s)| s) {
+                if let Some(&idx) = set.first() {
+                    best = Some(best.map_or(idx, |b| b.min(idx)));
+                }
+            }
+        }
+        best
+    }
+
+    fn insert(&mut self, key: (u32, u64), idx: usize) {
+        self.buckets
+            .entry(key.0)
+            .or_default()
+            .entry(key.1)
+            .or_default()
+            .insert(idx);
+    }
+
+    fn remove(&mut self, key: (u32, u64), idx: usize) {
+        let mem_buckets = self.buckets.get_mut(&key.0).expect("bucket level exists");
+        let set = mem_buckets.get_mut(&key.1).expect("bucket exists");
+        let removed = set.remove(&idx);
+        debug_assert!(removed, "machine {idx} missing from its bucket");
+        if set.is_empty() {
+            mem_buckets.remove(&key.1);
+            if mem_buckets.is_empty() {
+                self.buckets.remove(&key.0);
+            }
+        }
+    }
+}
+
+/// The per-machine slot tracked by the index: which class the machine
+/// belongs to and which bucket it currently sits in (`None` while down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    class: usize,
+    bucket: Option<(u32, u64)>,
+}
+
+/// Incremental index over a pool's machines answering *"which machine does
+/// first-fit dispatch choose?"* and *"is any machine eligible?"* without
+/// scanning the machine list.
+///
+/// Owned and kept in sync by `PhysicalPool`; see the module docs for the
+/// structure and the behavior-preservation argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityIndex {
+    classes: Vec<CapacityClass>,
+    slots: Vec<Slot>,
+}
+
+impl AvailabilityIndex {
+    /// Builds the index for a machine list, grouping by static
+    /// configuration and placing every machine in its current bucket.
+    pub fn new(machines: &[Machine]) -> Self {
+        let mut classes: Vec<CapacityClass> = Vec::new();
+        let mut slots = Vec::with_capacity(machines.len());
+        for (idx, m) in machines.iter().enumerate() {
+            let (cores, memory_mb) = (m.config().cores, m.config().memory_mb);
+            let class = classes
+                .iter()
+                .position(|c| c.cores == cores && c.memory_mb == memory_mb)
+                .unwrap_or_else(|| {
+                    classes.push(CapacityClass {
+                        cores,
+                        memory_mb,
+                        buckets: BTreeMap::new(),
+                    });
+                    classes.len() - 1
+                });
+            let bucket = (!m.is_down()).then(|| (m.cores_free(), m.memory_free()));
+            if let Some(key) = bucket {
+                classes[class].insert(key, idx);
+            }
+            slots.push(Slot { class, bucket });
+        }
+        AvailabilityIndex { classes, slots }
+    }
+
+    /// Number of distinct capacity classes (the `classes` factor in the
+    /// query complexity).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Re-syncs machine `idx` after any state change (start / suspend /
+    /// resume / release / fail / restore). `O(log n)`.
+    pub fn sync(&mut self, idx: usize, machine: &Machine) {
+        let new_bucket =
+            (!machine.is_down()).then(|| (machine.cores_free(), machine.memory_free()));
+        let slot = self.slots[idx];
+        if slot.bucket == new_bucket {
+            return;
+        }
+        if let Some(old) = slot.bucket {
+            self.classes[slot.class].remove(old, idx);
+        }
+        if let Some(new) = new_bucket {
+            self.classes[slot.class].insert(new, idx);
+        }
+        self.slots[idx].bucket = new_bucket;
+    }
+
+    /// True if any machine (up **or down** — eligibility deliberately
+    /// ignores downtime, matching `Machine::can_ever_run`) could run the
+    /// footprint when idle. `O(classes)`: class membership is static.
+    pub fn is_eligible(&self, res: Resources) -> bool {
+        self.classes
+            .iter()
+            .any(|c| res.cores <= c.cores && res.memory_mb <= c.memory_mb)
+    }
+
+    /// The lowest-index machine that can run `res` *right now* — exactly
+    /// the machine the seed's linear first-fit scan would pick (the class
+    /// check reproduces `can_ever_run`; bucket membership reproduces
+    /// `can_run_now`).
+    pub fn first_fit(&self, res: Resources) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for class in &self.classes {
+            if res.cores > class.cores || res.memory_mb > class.memory_mb {
+                continue;
+            }
+            if let Some(idx) = class.first_fit(res) {
+                best = Some(best.map_or(idx, |b| b.min(idx)));
+            }
+        }
+        best
+    }
+
+    /// Full consistency check against the live machine list (used by
+    /// `PhysicalPool::check_invariants` and property tests): rebuilding
+    /// from scratch must reproduce the incrementally-maintained state.
+    pub fn check_consistency(&self, machines: &[Machine]) -> bool {
+        *self == AvailabilityIndex::new(machines)
+    }
+}
+
+/// An ordered counting multiset with O(log n) insert/remove and O(log n)
+/// minimum, used for the pool's running-priority and queue-footprint
+/// summaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MinMultiset<T: Ord + Copy> {
+    counts: BTreeMap<T, usize>,
+    len: usize,
+}
+
+impl<T: Ord + Copy> MinMultiset<T> {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        MinMultiset {
+            counts: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Adds one occurrence of `value`.
+    pub fn insert(&mut self, value: T) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not present — the pool's bookkeeping inserts
+    /// and removes in strict pairs, so absence is a logic error.
+    pub fn remove(&mut self, value: T) {
+        let count = self
+            .counts
+            .get_mut(&value)
+            .expect("value present in multiset");
+        *count -= 1;
+        if *count == 0 {
+            self.counts.remove(&value);
+        }
+        self.len -= 1;
+    }
+
+    /// The smallest value present, or `None` when empty.
+    pub fn min(&self) -> Option<T> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Total number of occurrences.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no occurrences are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, MachineId};
+    use crate::machine::MachineConfig;
+    use crate::priority::Priority;
+    use netbatch_sim_engine::time::SimTime;
+
+    fn res(cores: u32, mem: u64) -> Resources {
+        Resources {
+            cores,
+            memory_mb: mem,
+        }
+    }
+
+    /// A heterogeneous machine list: two 2-core/4 GB, one 4-core/8 GB, one
+    /// 1-core/2 GB (classes in id order).
+    fn machines() -> Vec<Machine> {
+        [(2u32, 4096u64), (2, 4096), (4, 8192), (1, 2048)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c, m))| Machine::new(MachineConfig::new(MachineId(i as u32), c, m)))
+            .collect()
+    }
+
+    fn reference_first_fit(machines: &[Machine], res: Resources) -> Option<usize> {
+        machines
+            .iter()
+            .position(|m| m.can_ever_run(res) && m.can_run_now(res))
+    }
+
+    #[test]
+    fn groups_identical_configs_into_one_class() {
+        let ms = machines();
+        let idx = AvailabilityIndex::new(&ms);
+        assert_eq!(idx.class_count(), 3);
+    }
+
+    #[test]
+    fn first_fit_matches_reference_on_idle_pool() {
+        let ms = machines();
+        let idx = AvailabilityIndex::new(&ms);
+        for (c, m) in [(1, 100), (2, 4096), (3, 100), (4, 8192), (5, 1), (1, 9000)] {
+            assert_eq!(
+                idx.first_fit(res(c, m)),
+                reference_first_fit(&ms, res(c, m)),
+                "footprint ({c}, {m})"
+            );
+        }
+    }
+
+    #[test]
+    fn sync_tracks_starts_and_releases() {
+        let mut ms = machines();
+        let mut idx = AvailabilityIndex::new(&ms);
+        // Fill machine 0 completely; first fit for 2 cores moves to machine 1.
+        ms[0].start(SimTime::ZERO, JobId(1), res(2, 1000), Priority::LOW);
+        idx.sync(0, &ms[0]);
+        assert_eq!(idx.first_fit(res(2, 100)), Some(1));
+        assert_eq!(
+            idx.first_fit(res(2, 100)),
+            reference_first_fit(&ms, res(2, 100))
+        );
+        ms[0].release(JobId(1)).unwrap();
+        idx.sync(0, &ms[0]);
+        assert_eq!(idx.first_fit(res(2, 100)), Some(0));
+        assert!(idx.check_consistency(&ms));
+    }
+
+    #[test]
+    fn down_machines_leave_their_buckets_but_stay_eligible() {
+        let mut ms = machines();
+        let mut idx = AvailabilityIndex::new(&ms);
+        ms[2].fail();
+        idx.sync(2, &ms[2]);
+        assert_eq!(
+            idx.first_fit(res(4, 100)),
+            None,
+            "only the 4-core machine fits"
+        );
+        assert!(idx.is_eligible(res(4, 100)), "eligibility ignores downtime");
+        ms[2].restore();
+        idx.sync(2, &ms[2]);
+        assert_eq!(idx.first_fit(res(4, 100)), Some(2));
+        assert!(idx.check_consistency(&ms));
+    }
+
+    #[test]
+    fn redundant_sync_is_a_no_op() {
+        let ms = machines();
+        let mut idx = AvailabilityIndex::new(&ms);
+        let before = idx.clone();
+        idx.sync(0, &ms[0]);
+        assert_eq!(idx, before);
+    }
+
+    #[test]
+    fn memory_floor_prunes_without_missing_matches() {
+        // One machine with lots of free cores but little free memory must
+        // not shadow a later machine with enough of both.
+        let mut ms = machines();
+        ms[2].start(SimTime::ZERO, JobId(1), res(1, 8000), Priority::LOW);
+        let idx = AvailabilityIndex::new(&ms);
+        assert_eq!(idx.first_fit(res(3, 1000)), None);
+        assert_eq!(idx.first_fit(res(2, 3000)), Some(0));
+        assert_eq!(
+            idx.first_fit(res(1, 2000)),
+            reference_first_fit(&ms, res(1, 2000))
+        );
+    }
+
+    #[test]
+    fn min_multiset_tracks_minimum_through_churn() {
+        let mut s = MinMultiset::new();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        s.insert(5u32);
+        s.insert(2);
+        s.insert(2);
+        s.insert(9);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.len(), 4);
+        s.remove(2);
+        assert_eq!(s.min(), Some(2), "one occurrence of the min remains");
+        s.remove(2);
+        assert_eq!(s.min(), Some(5));
+        s.remove(5);
+        s.remove(9);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "value present")]
+    fn min_multiset_remove_absent_panics() {
+        MinMultiset::<u32>::new().remove(1);
+    }
+}

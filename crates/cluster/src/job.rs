@@ -6,7 +6,6 @@ use std::fmt;
 
 use netbatch_sim_engine::queue::EventId;
 use netbatch_sim_engine::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{JobId, PoolId, TaskId};
 use crate::priority::Priority;
@@ -16,7 +15,7 @@ use crate::priority::Priority;
 /// Latency-sensitive high-priority jobs at Intel are "configured to only run
 /// in specific sets of physical pools" (§2.3) — the root cause of suspension
 /// bursts at 40% global utilization. `Any` jobs may run everywhere.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum PoolAffinity {
     /// Eligible for every pool at the site.
     #[default]
@@ -53,7 +52,7 @@ impl PoolAffinity {
 }
 
 /// The resource footprint a job occupies while running.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Resources {
     /// Cores occupied while running (released while suspended).
     pub cores: u32,
@@ -98,7 +97,7 @@ impl Default for Resources {
 ///     .with_cores(2);
 /// assert_eq!(spec.resources.cores, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// Unique job identifier.
     pub id: JobId,

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ids;
+pub mod index;
 pub mod job;
 pub mod machine;
 pub mod pool;
@@ -42,6 +43,7 @@ pub mod priority;
 pub mod snapshot;
 
 pub use ids::{JobId, MachineId, PoolId, TaskId};
+pub use index::{AvailabilityIndex, MinMultiset};
 pub use job::{JobPhase, JobRecord, JobSpec, PhaseError, PoolAffinity, Resources};
 pub use machine::{Machine, MachineConfig};
 pub use pool::{PhysicalPool, PoolAction, PoolConfig, PoolStats, SubmitOutcome, WaitEntry};

@@ -9,14 +9,13 @@
 use std::fmt;
 
 use netbatch_sim_engine::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{JobId, MachineId};
 use crate::job::Resources;
 use crate::priority::Priority;
 
 /// Static description of a machine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Pool-local identifier.
     pub id: MachineId,
@@ -84,6 +83,11 @@ pub struct Machine {
     cores_used: u32,
     memory_used: u64,
     down: bool,
+    /// Cached minimum over `running[..].priority`, kept current on every
+    /// start/suspend/release/resume/fail so the pool's preemption planner
+    /// can skip machines (and whole pools) with nothing preemptible in
+    /// O(1) instead of walking residents.
+    min_running_prio: Option<Priority>,
 }
 
 impl Machine {
@@ -96,6 +100,7 @@ impl Machine {
             cores_used: 0,
             memory_used: 0,
             down: false,
+            min_running_prio: None,
         }
     }
 
@@ -111,6 +116,7 @@ impl Machine {
         self.down = true;
         self.cores_used = 0;
         self.memory_used = 0;
+        self.min_running_prio = None;
         let mut evicted = std::mem::take(&mut self.running);
         evicted.append(&mut self.suspended);
         evicted
@@ -159,6 +165,21 @@ impl Machine {
     /// Jobs currently suspended here.
     pub fn suspended(&self) -> &[Resident] {
         &self.suspended
+    }
+
+    /// The lowest priority among jobs currently running here (`None` when
+    /// idle). Cached, so O(1) — the pool's preemption short-circuit reads
+    /// this for every eligible machine.
+    pub fn min_running_priority(&self) -> Option<Priority> {
+        self.min_running_prio
+    }
+
+    /// Recomputes the cached running-priority minimum after a resident
+    /// carrying the current minimum leaves the running set.
+    fn refresh_min_running(&mut self, departed: Priority) {
+        if self.min_running_prio == Some(departed) {
+            self.min_running_prio = self.running.iter().map(|r| r.priority).min();
+        }
     }
 
     /// True if the machine could run the footprint when completely idle —
@@ -231,6 +252,7 @@ impl Machine {
         );
         self.cores_used += res.cores;
         self.memory_used += res.memory_mb;
+        self.min_running_prio = Some(self.min_running_prio.map_or(priority, |m| m.min(priority)));
         self.running.push(Resident {
             job,
             resources: res,
@@ -247,6 +269,7 @@ impl Machine {
         let idx = self.running.iter().position(|r| r.job == job)?;
         let mut r = self.running.swap_remove(idx);
         self.cores_used -= r.resources.cores;
+        self.refresh_min_running(r.priority);
         r.since = now;
         self.suspended.push(r);
         Some(r)
@@ -263,6 +286,10 @@ impl Machine {
         }
         let mut r = self.suspended.swap_remove(idx);
         self.cores_used += r.resources.cores;
+        self.min_running_prio = Some(
+            self.min_running_prio
+                .map_or(r.priority, |m| m.min(r.priority)),
+        );
         r.since = now;
         self.running.push(r);
         Some(r)
@@ -292,6 +319,7 @@ impl Machine {
         let r = self.running.swap_remove(idx);
         self.cores_used -= r.resources.cores;
         self.memory_used -= r.resources.memory_mb;
+        self.refresh_min_running(r.priority);
         Some(r)
     }
 
@@ -319,6 +347,7 @@ impl Machine {
             && mem == self.memory_used
             && self.cores_used <= self.config.cores
             && self.memory_used <= self.config.memory_mb
+            && self.min_running_prio == self.running.iter().map(|r| r.priority).min()
     }
 }
 
@@ -326,7 +355,10 @@ impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Machine")
             .field("id", &self.config.id)
-            .field("cores", &format_args!("{}/{}", self.cores_used, self.config.cores))
+            .field(
+                "cores",
+                &format_args!("{}/{}", self.cores_used, self.config.cores),
+            )
             .field(
                 "memory_mb",
                 &format_args!("{}/{}", self.memory_used, self.config.memory_mb),
@@ -409,7 +441,11 @@ mod tests {
         m.suspend(t(1), JobId(1)).unwrap();
         m.start(t(1), JobId(2), res(3, 1000), Priority::HIGH);
         assert!(m.resume(t(2), JobId(1)).is_none());
-        assert_eq!(m.suspended().len(), 1, "failed resume must not lose the job");
+        assert_eq!(
+            m.suspended().len(),
+            1,
+            "failed resume must not lose the job"
+        );
     }
 
     #[test]
@@ -510,11 +546,39 @@ mod tests {
     #[test]
     fn scaled_wall_rounds_up_and_scales() {
         let cfg = MachineConfig::new(MachineId(0), 1, 1000).with_speed_milli(2000);
-        assert_eq!(cfg.scaled_wall(SimDuration::from_minutes(100)).as_minutes(), 50);
+        assert_eq!(
+            cfg.scaled_wall(SimDuration::from_minutes(100)).as_minutes(),
+            50
+        );
         let slow = MachineConfig::new(MachineId(0), 1, 1000).with_speed_milli(300);
-        assert_eq!(slow.scaled_wall(SimDuration::from_minutes(10)).as_minutes(), 34);
+        assert_eq!(
+            slow.scaled_wall(SimDuration::from_minutes(10)).as_minutes(),
+            34
+        );
         // Minimum one minute even for zero-runtime jobs.
         assert_eq!(slow.scaled_wall(SimDuration::ZERO).as_minutes(), 1);
+    }
+
+    #[test]
+    fn min_running_priority_tracks_residency_changes() {
+        let mut m = mk(4, 16_000);
+        assert_eq!(m.min_running_priority(), None);
+        m.start(t(0), JobId(1), res(1, 100), Priority::new(5));
+        m.start(t(1), JobId(2), res(1, 100), Priority::new(2));
+        m.start(t(2), JobId(3), res(1, 100), Priority::new(8));
+        assert_eq!(m.min_running_priority(), Some(Priority::new(2)));
+        // Suspending the minimum re-derives from the remaining running set.
+        m.suspend(t(3), JobId(2)).unwrap();
+        assert_eq!(m.min_running_priority(), Some(Priority::new(5)));
+        // Resuming it brings the minimum back down.
+        m.resume(t(4), JobId(2)).unwrap();
+        assert_eq!(m.min_running_priority(), Some(Priority::new(2)));
+        m.release(JobId(2)).unwrap();
+        m.release(JobId(1)).unwrap();
+        assert_eq!(m.min_running_priority(), Some(Priority::new(8)));
+        m.release(JobId(3)).unwrap();
+        assert_eq!(m.min_running_priority(), None);
+        assert!(m.check_invariants());
     }
 
     #[test]
@@ -552,8 +616,11 @@ mod tests {
 
         fn arb_op() -> impl Strategy<Value = Op> {
             prop_oneof![
-                (1u32..3, 64u64..2000, 0u8..12)
-                    .prop_map(|(cores, mem, prio)| Op::Start { cores, mem, prio }),
+                (1u32..3, 64u64..2000, 0u8..12).prop_map(|(cores, mem, prio)| Op::Start {
+                    cores,
+                    mem,
+                    prio
+                }),
                 (0usize..64).prop_map(Op::Suspend),
                 (0usize..64).prop_map(Op::Resume),
                 (0usize..64).prop_map(Op::Release),

@@ -2,12 +2,18 @@
 //! host-level preemption and capacity-freeing cycles.
 //!
 //! Protocol reproduced from §2.1 of the paper: when a job is assigned to the
-//! pool, the manager scans its machine list for the first *eligible and
-//! available* machine and starts the job there. If every eligible machine is
-//! busy and some eligible machine runs a strictly lower-priority job, that
-//! job is suspended and the new one takes its place; otherwise the new job
-//! queues. If **no** machine in the pool is eligible at all, the job is
-//! bounced back to the virtual pool manager ([`SubmitOutcome::Ineligible`]).
+//! pool, the manager picks the first *eligible and available* machine and
+//! starts the job there. If every eligible machine is busy and some eligible
+//! machine runs a strictly lower-priority job, that job is suspended and the
+//! new one takes its place; otherwise the new job queues. If **no** machine
+//! in the pool is eligible at all, the job is bounced back to the virtual
+//! pool manager ([`SubmitOutcome::Ineligible`]).
+//!
+//! The "first eligible and available machine" is resolved through the
+//! incremental [`AvailabilityIndex`] rather than a linear scan — same
+//! chosen machine (verified against the retained reference scan,
+//! [`PhysicalPool::reference_first_fit`], in debug builds and property
+//! tests), O(classes·log n) instead of O(machines) per dispatch.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -15,6 +21,7 @@ use std::fmt;
 use netbatch_sim_engine::time::{SimDuration, SimTime};
 
 use crate::ids::{JobId, MachineId, PoolId};
+use crate::index::{AvailabilityIndex, MinMultiset};
 use crate::job::{JobSpec, Resources};
 use crate::machine::{Machine, MachineConfig};
 use crate::priority::Priority;
@@ -156,6 +163,17 @@ pub struct PhysicalPool {
     total_cores: u32,
     busy_cores: u32,
     stats: PoolStats,
+    /// Free-capacity index over `machines`, re-synced after every machine
+    /// mutation; answers first-fit and eligibility without scanning.
+    index: AvailabilityIndex,
+    /// Priorities of all running jobs in the pool. Its minimum tells
+    /// `submit` in O(1) whether *any* preemption plan can exist.
+    running_prios: MinMultiset<Priority>,
+    /// Core footprints of all waiting jobs: `capacity_cycle` stops
+    /// scanning the queue once the freed machine can't cover the minimum.
+    queue_cores: MinMultiset<u32>,
+    /// Memory footprints of all waiting jobs (same cutoff, memory axis).
+    queue_mem: MinMultiset<u64>,
 }
 
 impl PhysicalPool {
@@ -174,9 +192,11 @@ impl PhysicalPool {
             );
         }
         let total_cores = config.total_cores();
+        let machines: Vec<Machine> = config.machines.into_iter().map(Machine::new).collect();
+        let index = AvailabilityIndex::new(&machines);
         PhysicalPool {
             id: config.id,
-            machines: config.machines.into_iter().map(Machine::new).collect(),
+            machines,
             queue: BTreeMap::new(),
             queue_index: HashMap::new(),
             queue_seq: 0,
@@ -185,7 +205,18 @@ impl PhysicalPool {
             total_cores,
             busy_cores: 0,
             stats: PoolStats::default(),
+            index,
+            running_prios: MinMultiset::new(),
+            queue_cores: MinMultiset::new(),
+            queue_mem: MinMultiset::new(),
         }
+    }
+
+    /// Re-syncs the availability index for machine `idx` after any state
+    /// change. Every mutation path funnels through this, keeping index and
+    /// machines in lock-step.
+    fn sync_index(&mut self, idx: usize) {
+        self.index.sync(idx, &self.machines[idx]);
     }
 
     /// Cumulative statistics since construction.
@@ -260,9 +291,36 @@ impl PhysicalPool {
     }
 
     /// True if any machine could ever run the footprint (the pool-level
-    /// eligibility test).
+    /// eligibility test). O(classes): class membership is static, so the
+    /// index answers without touching the machine list.
     pub fn is_eligible(&self, res: Resources) -> bool {
-        self.machines.iter().any(|m| m.can_ever_run(res))
+        let eligible = self.index.is_eligible(res);
+        debug_assert_eq!(eligible, self.machines.iter().any(|m| m.can_ever_run(res)));
+        eligible
+    }
+
+    /// The machine first-fit dispatch would choose right now, resolved
+    /// through the availability index. Exposed (with
+    /// [`PhysicalPool::reference_first_fit`]) for differential testing.
+    pub fn indexed_first_fit(&self, res: Resources) -> Option<MachineId> {
+        self.index.first_fit(res).map(|i| self.machines[i].id())
+    }
+
+    /// The seed's original linear first-fit scan, retained as the reference
+    /// the index is differentially checked against: the first machine in id
+    /// order that is both eligible and available.
+    pub fn reference_first_fit(&self, res: Resources) -> Option<MachineId> {
+        self.machines
+            .iter()
+            .position(|m| m.can_ever_run(res) && m.can_run_now(res))
+            .map(|i| self.machines[i].id())
+    }
+
+    /// The lowest priority among running jobs anywhere in the pool, O(1).
+    /// `None` means the pool runs nothing — and, either way, a submit with
+    /// priority ≤ this value cannot trigger a preemption.
+    pub fn lowest_running_priority(&self) -> Option<Priority> {
+        self.running_prios.min()
     }
 
     /// Submits a job to this pool (paper §2.1 dispatch protocol).
@@ -271,16 +329,21 @@ impl PhysicalPool {
         if !self.is_eligible(res) {
             return SubmitOutcome::Ineligible;
         }
-        // 1. First eligible machine with free capacity.
-        if let Some(idx) = self
-            .machines
-            .iter()
-            .position(|m| m.can_ever_run(res) && m.can_run_now(res))
-        {
+        // 1. First eligible machine with free capacity — indexed query,
+        // cross-checked against the reference linear scan in debug builds.
+        let first_fit = self.index.first_fit(res);
+        debug_assert_eq!(
+            first_fit.map(|i| self.machines[i].id()),
+            self.reference_first_fit(res),
+            "availability index diverged from the reference scan"
+        );
+        if let Some(idx) = first_fit {
             let wall = self.machines[idx].config().scaled_wall(spec.runtime);
             let mid = self.machines[idx].id();
             self.machines[idx].start(now, spec.id, res, spec.priority);
+            self.sync_index(idx);
             self.running_on.insert(spec.id, mid);
+            self.running_prios.insert(spec.priority);
             self.busy_cores += res.cores;
             self.stats.starts += 1;
             debug_assert!(self.machines[idx].check_invariants());
@@ -294,9 +357,30 @@ impl PhysicalPool {
         // the one whose victims lose the least progress (most recently
         // started). Suspending the freshest jobs minimizes the work a
         // rescheduling restart will discard.
+        //
+        // Short-circuit: step 1 failed, so any feasible plan has at least
+        // one victim, which must run at strictly lower priority. If no job
+        // in the pool does (O(1) via the running-priority minimum), no plan
+        // exists anywhere — skip straight to the queue.
+        if !self
+            .running_prios
+            .min()
+            .is_some_and(|lowest| spec.priority.can_preempt(lowest))
+        {
+            self.enqueue(now, spec);
+            return SubmitOutcome::Queued;
+        }
         let mut best: Option<(usize, Vec<JobId>, SimTime)> = None;
         for idx in 0..self.machines.len() {
             if !self.machines[idx].can_ever_run(res) {
+                continue;
+            }
+            // Same argument per machine: no strictly-lower-priority job
+            // running here means no feasible plan here (cached, O(1)).
+            if !self.machines[idx]
+                .min_running_priority()
+                .is_some_and(|lowest| spec.priority.can_preempt(lowest))
+            {
                 continue;
             }
             let Some(victims) = self.machines[idx].preemption_plan(res, spec.priority) else {
@@ -332,6 +416,7 @@ impl PhysicalPool {
                     .expect("planned victim is running");
                 self.busy_cores -= r.resources.cores;
                 self.running_on.remove(&victim);
+                self.running_prios.remove(r.priority);
                 self.suspended_on.insert(victim, mid);
                 self.stats.suspensions += 1;
                 self.stats.peak_suspended = self.stats.peak_suspended.max(self.suspended_on.len());
@@ -342,7 +427,9 @@ impl PhysicalPool {
             }
             let wall = self.machines[idx].config().scaled_wall(spec.runtime);
             self.machines[idx].start(now, spec.id, res, spec.priority);
+            self.sync_index(idx);
             self.running_on.insert(spec.id, mid);
+            self.running_prios.insert(spec.priority);
             self.busy_cores += res.cores;
             self.stats.starts += 1;
             actions.push(PoolAction::Started {
@@ -372,6 +459,8 @@ impl PhysicalPool {
             },
         );
         self.queue_index.insert(spec.id, key);
+        self.queue_cores.insert(spec.resources.cores);
+        self.queue_mem.insert(spec.resources.memory_mb);
         self.stats.enqueues += 1;
         self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
     }
@@ -387,6 +476,7 @@ impl PhysicalPool {
         let idx = mid.as_usize();
         let r = self.machines[idx].release(job).expect("index says running");
         self.busy_cores -= r.resources.cores;
+        self.running_prios.remove(r.priority);
         Some(self.capacity_cycle(now, idx))
     }
 
@@ -395,7 +485,12 @@ impl PhysicalPool {
     /// Returns the entry, or `None` if the job is not waiting here.
     pub fn remove_waiting(&mut self, job: JobId) -> Option<WaitEntry> {
         let key = self.queue_index.remove(&job)?;
-        self.queue.remove(&key)
+        let entry = self.queue.remove(&key);
+        if let Some(e) = &entry {
+            self.queue_cores.remove(e.resources.cores);
+            self.queue_mem.remove(e.resources.memory_mb);
+        }
+        entry
     }
 
     /// Removes a suspended job from its machine (a suspend-rescheduling
@@ -428,10 +523,34 @@ impl PhysicalPool {
             self.busy_cores += r.resources.cores;
             self.suspended_on.remove(&job);
             self.running_on.insert(job, mid);
+            self.running_prios.insert(r.priority);
             actions.push(PoolAction::Resumed { job, machine: mid });
         }
-        // 2. Dispatch queue onto this machine while anything fits.
+        // 2. Dispatch queue onto this machine while anything fits. The
+        // queue's min-footprint summary bounds the scan: once the machine
+        // can't cover even the smallest waiting core or memory ask,
+        // nothing in the queue fits and the O(queue) scan is skipped.
         loop {
+            let machine = &self.machines[idx];
+            let can_fit_something = !machine.is_down()
+                && self
+                    .queue_cores
+                    .min()
+                    .is_some_and(|c| c <= machine.cores_free())
+                && self
+                    .queue_mem
+                    .min()
+                    .is_some_and(|m| m <= machine.memory_free());
+            if !can_fit_something {
+                debug_assert!(
+                    !self
+                        .queue
+                        .values()
+                        .any(|e| self.machines[idx].can_run_now(e.resources)),
+                    "min-footprint cutoff skipped a dispatchable entry"
+                );
+                break;
+            }
             let candidate = self
                 .queue
                 .iter()
@@ -440,9 +559,12 @@ impl PhysicalPool {
             let Some(key) = candidate else { break };
             let entry = self.queue.remove(&key).expect("key just found");
             self.queue_index.remove(&entry.job);
+            self.queue_cores.remove(entry.resources.cores);
+            self.queue_mem.remove(entry.resources.memory_mb);
             let wall = self.machines[idx].config().scaled_wall(entry.runtime);
             self.machines[idx].start(now, entry.job, entry.resources, entry.priority);
             self.running_on.insert(entry.job, mid);
+            self.running_prios.insert(entry.priority);
             self.busy_cores += entry.resources.cores;
             self.stats.starts += 1;
             actions.push(PoolAction::Started {
@@ -451,6 +573,7 @@ impl PhysicalPool {
                 wall,
             });
         }
+        self.sync_index(idx);
         debug_assert!(self.machines[idx].check_invariants());
         actions
     }
@@ -469,11 +592,13 @@ impl PhysicalPool {
         for r in self.machines[idx].fail() {
             if self.running_on.remove(&r.job).is_some() {
                 self.busy_cores -= r.resources.cores;
+                self.running_prios.remove(r.priority);
                 running.push(r.job);
             } else if self.suspended_on.remove(&r.job).is_some() {
                 suspended.push(r.job);
             }
         }
+        self.sync_index(idx);
         self.total_cores -= self.machines[idx].config().cores;
         Some((running, suspended))
     }
@@ -492,17 +617,33 @@ impl PhysicalPool {
     }
 
     /// Pool-level invariant check used by tests: index maps agree with
-    /// machine residency and capacity counters are consistent.
+    /// machine residency, capacity counters are consistent, and the
+    /// incremental availability index and min-summaries match a rebuild
+    /// from scratch.
     pub fn check_invariants(&self) -> bool {
         let machines_ok = self.machines.iter().all(Machine::check_invariants);
         let running: usize = self.machines.iter().map(|m| m.running().len()).sum();
         let suspended: usize = self.machines.iter().map(|m| m.suspended().len()).sum();
         let busy: u32 = self.machines.iter().map(Machine::cores_used).sum();
+        let prios_ok = self.running_prios.len() == self.running_on.len()
+            && self.running_prios.min()
+                == self
+                    .machines
+                    .iter()
+                    .filter_map(Machine::min_running_priority)
+                    .min();
+        let queue_summary_ok = self.queue_cores.len() == self.queue.len()
+            && self.queue_mem.len() == self.queue.len()
+            && self.queue_cores.min() == self.queue.values().map(|e| e.resources.cores).min()
+            && self.queue_mem.min() == self.queue.values().map(|e| e.resources.memory_mb).min();
         machines_ok
             && running == self.running_on.len()
             && suspended == self.suspended_on.len()
             && self.queue.len() == self.queue_index.len()
             && busy == self.busy_cores
+            && self.index.check_consistency(&self.machines)
+            && prios_ok
+            && queue_summary_ok
     }
 }
 
@@ -572,7 +713,10 @@ mod tests {
         assert_eq!(p.busy_cores(), 4);
         assert_eq!(p.utilization(), 1.0);
         // Fifth job queues.
-        assert_eq!(p.submit(t(1), &spec(5, Priority::LOW, 10)), SubmitOutcome::Queued);
+        assert_eq!(
+            p.submit(t(1), &spec(5, Priority::LOW, 10)),
+            SubmitOutcome::Queued
+        );
         assert_eq!(p.queue_len(), 1);
         assert_eq!(p.waiting_since(JobId(5)), Some(t(1)));
     }
@@ -588,10 +732,20 @@ mod tests {
             panic!("expected preemption dispatch")
         };
         assert_eq!(actions.len(), 2);
-        assert!(matches!(actions[0], PoolAction::Suspended { machine: MachineId(0), .. }));
+        assert!(matches!(
+            actions[0],
+            PoolAction::Suspended {
+                machine: MachineId(0),
+                ..
+            }
+        ));
         assert!(matches!(
             actions[1],
-            PoolAction::Started { job: JobId(9), machine: MachineId(0), .. }
+            PoolAction::Started {
+                job: JobId(9),
+                machine: MachineId(0),
+                ..
+            }
         ));
         assert_eq!(p.suspended_count(), 1);
         assert!(p.check_invariants());
@@ -603,7 +757,10 @@ mod tests {
         for id in 1..=4 {
             p.submit(t(0), &spec(id, Priority::HIGH, 100));
         }
-        assert_eq!(p.submit(t(5), &spec(9, Priority::HIGH, 50)), SubmitOutcome::Queued);
+        assert_eq!(
+            p.submit(t(5), &spec(9, Priority::HIGH, 50)),
+            SubmitOutcome::Queued
+        );
         assert_eq!(p.suspended_count(), 0);
     }
 
@@ -630,7 +787,12 @@ mod tests {
         let SubmitOutcome::Dispatched(a) = p.submit(t(1), &high) else {
             panic!()
         };
-        assert_eq!(a.iter().filter(|x| matches!(x, PoolAction::Suspended { .. })).count(), 2);
+        assert_eq!(
+            a.iter()
+                .filter(|x| matches!(x, PoolAction::Suspended { .. }))
+                .count(),
+            2
+        );
         // Queue a low job as well.
         p.submit(t(2), &spec(20, Priority::LOW, 10));
         assert_eq!(p.queue_len(), 1);
@@ -708,7 +870,10 @@ mod tests {
             .with_priority(Priority::HIGH)
             .with_cores(1)
             .with_memory_mb(1000);
-        assert!(matches!(p.submit(t(1), &high), SubmitOutcome::Dispatched(_)));
+        assert!(matches!(
+            p.submit(t(1), &high),
+            SubmitOutcome::Dispatched(_)
+        ));
         // A queued job needing 2000 MB cannot start while job 1 sits
         // suspended holding 3000 MB.
         let waiter = JobSpec::new(JobId(3), t(2), d(10))
@@ -779,7 +944,12 @@ mod tests {
         /// One random pool operation.
         #[derive(Debug, Clone)]
         enum Op {
-            Submit { prio: u8, cores: u32, mem: u64, runtime: u64 },
+            Submit {
+                prio: u8,
+                cores: u32,
+                mem: u64,
+                runtime: u64,
+            },
             Release(usize),
             RemoveWaiting(usize),
             RemoveSuspended(usize),
@@ -790,7 +960,12 @@ mod tests {
         fn arb_op() -> impl Strategy<Value = Op> {
             prop_oneof![
                 (0u8..12, 1u32..3, 64u64..3000, 1u64..300).prop_map(
-                    |(prio, cores, mem, runtime)| Op::Submit { prio, cores, mem, runtime }
+                    |(prio, cores, mem, runtime)| Op::Submit {
+                        prio,
+                        cores,
+                        mem,
+                        runtime
+                    }
                 ),
                 (0usize..200).prop_map(Op::Release),
                 (0usize..200).prop_map(Op::RemoveWaiting),
@@ -800,7 +975,91 @@ mod tests {
             ]
         }
 
+        /// A pool mixing three capacity classes (so class grouping, bucket
+        /// maintenance, and cross-class minimums are all exercised).
+        fn heterogeneous_pool() -> PhysicalPool {
+            let machines = [(2u32, 4096u64), (4, 8192), (2, 4096), (1, 2048), (4, 8192)]
+                .into_iter()
+                .enumerate()
+                .map(|(i, (c, m))| MachineConfig::new(MachineId(i as u32), c, m))
+                .collect();
+            PhysicalPool::new(PoolConfig {
+                id: PoolId(0),
+                machines,
+            })
+        }
+
         proptest! {
+            /// Differential check for the tentpole index: under arbitrary
+            /// submit/release/suspend/fail/restore sequences on a
+            /// heterogeneous pool, the indexed first-fit query picks
+            /// exactly the machine the seed's reference linear scan picks,
+            /// for a sweep of probe footprints after every operation.
+            #[test]
+            fn prop_indexed_dispatch_matches_reference_scan(
+                ops in proptest::collection::vec(arb_op(), 1..120),
+            ) {
+                let mut pool = heterogeneous_pool();
+                let mut next_id = 0u64;
+                let mut known: Vec<JobId> = Vec::new();
+                let mut now = 0u64;
+                let probes = [
+                    (1u32, 64u64), (1, 1500), (1, 3000), (1, 6000),
+                    (2, 64), (2, 2500), (3, 4000), (4, 8192), (5, 64),
+                ];
+                for op in ops {
+                    now += 1;
+                    let t = SimTime::from_minutes(now);
+                    match op {
+                        Op::Submit { prio, cores, mem, runtime } => {
+                            let spec = JobSpec::new(
+                                JobId(next_id),
+                                t,
+                                SimDuration::from_minutes(runtime),
+                            )
+                            .with_priority(Priority::new(prio))
+                            .with_cores(cores)
+                            .with_memory_mb(mem);
+                            next_id += 1;
+                            if !matches!(pool.submit(t, &spec), SubmitOutcome::Ineligible) {
+                                known.push(spec.id);
+                            }
+                        }
+                        Op::Release(i) => {
+                            if let Some(&job) = known.get(i % known.len().max(1)) {
+                                pool.release(t, job);
+                            }
+                        }
+                        Op::RemoveWaiting(i) => {
+                            if let Some(&job) = known.get(i % known.len().max(1)) {
+                                pool.remove_waiting(job);
+                            }
+                        }
+                        Op::RemoveSuspended(i) => {
+                            if let Some(&job) = known.get(i % known.len().max(1)) {
+                                pool.remove_suspended(t, job);
+                            }
+                        }
+                        Op::FailMachine(m) => {
+                            pool.fail_machine(MachineId(m));
+                        }
+                        Op::RestoreMachine(m) => {
+                            pool.restore_machine(t, MachineId(m));
+                        }
+                    }
+                    for (cores, mem) in probes {
+                        let res = Resources { cores, memory_mb: mem };
+                        prop_assert_eq!(
+                            pool.indexed_first_fit(res),
+                            pool.reference_first_fit(res),
+                            "index diverged for probe ({}, {}) after {:?}",
+                            cores, mem, op
+                        );
+                    }
+                    prop_assert!(pool.check_invariants(), "invariants violated after {op:?}");
+                }
+            }
+
             /// The pool's internal indexes and counters stay consistent
             /// under arbitrary operation sequences, and every action it
             /// reports references a job it actually knows about.

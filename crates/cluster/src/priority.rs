@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A job's scheduling priority. Larger values are more important.
 ///
 /// The paper's environment is effectively two-class (owner/high vs
@@ -25,9 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!Priority::LOW.can_preempt(Priority::HIGH));
 /// assert!(!Priority::HIGH.can_preempt(Priority::HIGH)); // equal never preempts
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Priority(pub u8);
 
 impl Priority {

@@ -8,6 +8,7 @@ use std::fmt;
 
 use crate::ids::PoolId;
 use crate::pool::PhysicalPool;
+use crate::priority::Priority;
 
 /// A pool's load at one instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,10 @@ pub struct PoolSnapshot {
     pub suspended: usize,
     /// Running jobs.
     pub running: usize,
+    /// Lowest priority among running jobs (`None` when idle) — the pool's
+    /// O(1) preemptibility signal: a job can only preempt here if its
+    /// priority is strictly above this.
+    pub lowest_running_priority: Option<Priority>,
 }
 
 impl PoolSnapshot {
@@ -36,6 +41,7 @@ impl PoolSnapshot {
             waiting: pool.queue_len(),
             suspended: pool.suspended_count(),
             running: pool.running_count(),
+            lowest_running_priority: pool.lowest_running_priority(),
         }
     }
 
@@ -148,6 +154,7 @@ mod tests {
                     waiting,
                     suspended: 0,
                     running: 0,
+                    lowest_running_priority: None,
                 })
                 .collect(),
         }

@@ -82,7 +82,10 @@ pub struct ExperimentResult {
     /// Waiting-job count samples.
     pub waiting_series: TimeSeries,
     /// Cumulative per-pool statistics.
-    pub pool_stats: Vec<(netbatch_cluster::ids::PoolId, netbatch_cluster::pool::PoolStats)>,
+    pub pool_stats: Vec<(
+        netbatch_cluster::ids::PoolId,
+        netbatch_cluster::pool::PoolStats,
+    )>,
 }
 
 impl ExperimentResult {
@@ -135,7 +138,13 @@ impl ExperimentResult {
     }
 
     /// The pools with the most preemption activity, descending.
-    pub fn hottest_pools(&self, n: usize) -> Vec<(netbatch_cluster::ids::PoolId, netbatch_cluster::pool::PoolStats)> {
+    pub fn hottest_pools(
+        &self,
+        n: usize,
+    ) -> Vec<(
+        netbatch_cluster::ids::PoolId,
+        netbatch_cluster::pool::PoolStats,
+    )> {
         let mut pools = self.pool_stats.clone();
         pools.sort_by(|a, b| b.1.suspensions.cmp(&a.1.suspensions).then(a.0.cmp(&b.0)));
         pools.truncate(n);
@@ -220,10 +229,7 @@ mod tests {
     #[test]
     fn experiment_computes_paper_metrics() {
         // Pool 0: long low job; high job preempts it at t=40 for 20 min.
-        let trace = Trace::from_records(vec![
-            rec(0, 100, 0, vec![0]),
-            rec(40, 20, 10, vec![0]),
-        ]);
+        let trace = Trace::from_records(vec![rec(0, 100, 0, vec![0]), rec(40, 20, 10, vec![0])]);
         let exp = Experiment::new(tiny_site(), trace, SimConfig::default());
         let r = exp.run();
         assert_eq!(r.total_jobs, 2);
@@ -262,10 +268,7 @@ mod tests {
 
     #[test]
     fn suspension_cdf_matches_samples() {
-        let trace = Trace::from_records(vec![
-            rec(0, 100, 0, vec![0]),
-            rec(40, 20, 10, vec![0]),
-        ]);
+        let trace = Trace::from_records(vec![rec(0, 100, 0, vec![0]), rec(40, 20, 10, vec![0])]);
         let r = Experiment::new(tiny_site(), trace, SimConfig::default()).run();
         let cdf = r.suspension_cdf();
         assert_eq!(cdf.len(), 1);

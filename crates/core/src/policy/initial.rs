@@ -8,7 +8,6 @@
 use netbatch_cluster::ids::PoolId;
 use netbatch_cluster::job::JobSpec;
 use netbatch_cluster::snapshot::ClusterSnapshot;
-use serde::{Deserialize, Serialize};
 
 /// A virtual-pool-manager scheduling discipline.
 pub trait InitialScheduler: std::fmt::Debug + Send {
@@ -19,8 +18,12 @@ pub trait InitialScheduler: std::fmt::Debug + Send {
     ///
     /// `candidates` is the job's affinity-filtered pool set; `view` is the
     /// current cluster snapshot.
-    fn order(&mut self, job: &JobSpec, candidates: &[PoolId], view: &ClusterSnapshot)
-        -> Vec<PoolId>;
+    fn order(
+        &mut self,
+        job: &JobSpec,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+    ) -> Vec<PoolId>;
 }
 
 /// NetBatch's default: distribute jobs across candidate pools in sequential
@@ -70,7 +73,7 @@ impl InitialScheduler for RoundRobin {
 /// The paper notes this "requires the virtual pool manager to know the
 /// current situation in every physical pool at any time, which can be
 /// impractical" — the information-staleness ablation quantifies that cost.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UtilizationBased;
 
 impl UtilizationBased {
@@ -111,7 +114,7 @@ impl InitialScheduler for UtilizationBased {
 
 /// Which initial scheduler to instantiate — the serializable experiment
 /// configuration handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InitialKind {
     /// NetBatch's default round-robin.
     #[default]
@@ -166,6 +169,7 @@ mod tests {
                     waiting: 0,
                     suspended: 0,
                     running: 0,
+                    lowest_running_priority: None,
                 })
                 .collect(),
         }

@@ -21,10 +21,9 @@ use netbatch_cluster::job::JobSpec;
 use netbatch_cluster::snapshot::ClusterSnapshot;
 use netbatch_sim_engine::rng::DetRng;
 use netbatch_sim_engine::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// How an alternate pool is selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoolSelector {
     /// The candidate pool with the lowest current utilization. If no
     /// candidate is *strictly* less utilized than the current pool, the job
@@ -509,7 +508,7 @@ impl ReschedPolicy for ResSusWaitSmart {
 /// Which rescheduling strategy to instantiate — the serializable experiment
 /// configuration handle covering the paper's five strategies plus
 /// extensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StrategyKind {
     /// Baseline: no rescheduling.
     #[default]
@@ -607,6 +606,7 @@ mod tests {
                     waiting,
                     suspended: 0,
                     running: 0,
+                    lowest_running_priority: None,
                 })
                 .collect(),
         }

@@ -385,11 +385,7 @@ impl Simulator {
             .into_iter()
             .filter(|j| !shadows.contains(&j.id()))
             .collect();
-        let pool_stats = self
-            .pools
-            .iter()
-            .map(|p| (p.id(), p.stats()))
-            .collect();
+        let pool_stats = self.pools.iter().map(|p| (p.id(), p.stats())).collect();
         SimOutput {
             jobs,
             counters: self.counters,
@@ -612,7 +608,10 @@ impl Simulator {
         let rec = &self.jobs[job.as_usize()];
         // The job may already have been resumed (or even completed) by a
         // cascade that ran between its suspension and this decision.
-        if self.pools[at_pool.as_usize()].suspended_machine(job).is_none() {
+        if self.pools[at_pool.as_usize()]
+            .suspended_machine(job)
+            .is_none()
+        {
             return;
         }
         if let Some(cap) = self.config.max_restarts {
@@ -1098,7 +1097,7 @@ mod tests {
         // Pool 0 busy with a high job; pool 1 idle. The suspended low job
         // should restart in pool 1 and finish sooner than staying put.
         let site = tiny_site(2, 1, 1);
-        let jobs = vec![
+        let jobs = [
             spec(0, 0, 100),
             spec(1, 40, 500).with_priority(Priority::HIGH),
         ];
@@ -1125,7 +1124,7 @@ mod tests {
         // Both pools single-core; pool 1 is fully busy with a long job, so
         // the suspended job must stay in pool 0 (NoRes-equivalent outcome).
         let site = tiny_site(2, 1, 1);
-        let jobs = vec![
+        let jobs = [
             spec(0, 0, 1000), // occupies pool 1 (RR starts at pool 0... order below)
             spec(1, 1, 100),
             spec(2, 40, 20).with_priority(Priority::HIGH),
@@ -1134,15 +1133,24 @@ mod tests {
         // at pool0 again (third call → start index 2 % 2 = 0). To pin
         // behaviour, make job2 affine to the pool job1 runs in.
         let jobs = vec![
-            jobs[0].clone().with_affinity(PoolAffinity::Subset(vec![PoolId(1)])),
-            jobs[1].clone().with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
-            jobs[2].clone().with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+            jobs[0]
+                .clone()
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(1)])),
+            jobs[1]
+                .clone()
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
+            jobs[2]
+                .clone()
+                .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
         ];
         let cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
         let out = Simulator::new(&site, jobs, cfg).run_to_completion();
         let low = &out.jobs[1];
         assert!(low.was_suspended());
-        assert_eq!(out.counters.restarts_from_suspend, 0, "no better pool exists");
+        assert_eq!(
+            out.counters.restarts_from_suspend, 0,
+            "no better pool exists"
+        );
         assert_eq!(low.suspend_time().as_minutes(), 20);
     }
 
@@ -1242,13 +1250,17 @@ mod tests {
         let site = tiny_site(2, 1, 1);
         let jobs = vec![
             spec(0, 0, 100),
-            spec(1, 10, 500).with_priority(Priority::HIGH)
+            spec(1, 10, 500)
+                .with_priority(Priority::HIGH)
                 .with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
         ];
         let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
         cfg.max_restarts = Some(0);
         let out = Simulator::new(&site, jobs, cfg).run_to_completion();
-        assert_eq!(out.counters.restarts_from_suspend, 0, "cap of zero disables restarts");
+        assert_eq!(
+            out.counters.restarts_from_suspend, 0,
+            "cap of zero disables restarts"
+        );
         assert!(out.jobs[0].was_suspended());
     }
 
@@ -1272,13 +1284,15 @@ mod tests {
     fn machine_failure_evicts_and_restarts_jobs() {
         let site = tiny_site(2, 1, 1);
         let jobs = vec![spec(0, 0, 100)];
-        let mut cfg = SimConfig::default();
-        cfg.failures = vec![MachineFailure {
-            pool: PoolId(0),
-            machine: netbatch_cluster::ids::MachineId(0),
-            at: SimTime::from_minutes(40),
-            down_for: None,
-        }];
+        let cfg = SimConfig {
+            failures: vec![MachineFailure {
+                pool: PoolId(0),
+                machine: netbatch_cluster::ids::MachineId(0),
+                at: SimTime::from_minutes(40),
+                down_for: None,
+            }],
+            ..SimConfig::default()
+        };
         let out = Simulator::new(&site, jobs, cfg).run_to_completion();
         assert_eq!(out.counters.failure_evictions, 1);
         assert_eq!(out.counters.completed, 1);
@@ -1295,13 +1309,15 @@ mod tests {
         // when the machine comes back.
         let site = tiny_site(1, 1, 1);
         let jobs = vec![spec(0, 0, 100)];
-        let mut cfg = SimConfig::default();
-        cfg.failures = vec![MachineFailure {
-            pool: PoolId(0),
-            machine: netbatch_cluster::ids::MachineId(0),
-            at: SimTime::from_minutes(10),
-            down_for: Some(SimDuration::from_minutes(50)),
-        }];
+        let cfg = SimConfig {
+            failures: vec![MachineFailure {
+                pool: PoolId(0),
+                machine: netbatch_cluster::ids::MachineId(0),
+                at: SimTime::from_minutes(10),
+                down_for: Some(SimDuration::from_minutes(50)),
+            }],
+            ..SimConfig::default()
+        };
         let out = Simulator::new(&site, jobs, cfg).run_to_completion();
         assert_eq!(out.counters.completed, 1);
         let job = &out.jobs[0];
@@ -1315,13 +1331,15 @@ mod tests {
     fn permanent_failure_leaves_jobs_waiting_for_capability() {
         let site = tiny_site(1, 1, 1);
         let jobs = vec![spec(0, 0, 100), spec(1, 50, 10)];
-        let mut cfg = SimConfig::default();
-        cfg.failures = vec![MachineFailure {
-            pool: PoolId(0),
-            machine: netbatch_cluster::ids::MachineId(0),
-            at: SimTime::from_minutes(10),
-            down_for: None,
-        }];
+        let cfg = SimConfig {
+            failures: vec![MachineFailure {
+                pool: PoolId(0),
+                machine: netbatch_cluster::ids::MachineId(0),
+                at: SimTime::from_minutes(10),
+                down_for: None,
+            }],
+            ..SimConfig::default()
+        };
         let out = Simulator::new(&site, jobs, cfg).run_to_completion();
         // A down machine is still *capable*, so the jobs queue for it
         // rather than being dropped; with no recovery they never finish.
@@ -1424,7 +1442,7 @@ mod tests {
         // Job 0 (VPM 0) and a blocking high job pinned to pool 0: without
         // inter-site rescheduling the suspended job may only escape to
         // pool 1.
-        let jobs = vec![
+        let jobs = [
             spec(0, 0, 100).with_affinity(PoolAffinity::Subset(vec![PoolId(0)])),
             spec(1, 10, 500)
                 .with_priority(Priority::HIGH)
@@ -1479,10 +1497,8 @@ mod tests {
         assert!(confined.jobs[0].suspend_time().as_minutes() > 0);
         let wan = {
             let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
-            cfg.topology = Some(
-                VpmTopology::contiguous(2, 2)
-                    .with_inter_site(SimDuration::from_minutes(45)),
-            );
+            cfg.topology =
+                Some(VpmTopology::contiguous(2, 2).with_inter_site(SimDuration::from_minutes(45)));
             Simulator::new(&site, jobs, cfg).run_to_completion()
         };
         assert_eq!(wan.counters.restarts_from_suspend, 1);

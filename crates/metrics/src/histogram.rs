@@ -86,13 +86,7 @@ impl LogHistogram {
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                (
-                    self.base.powi(i as i32),
-                    self.base.powi(i as i32 + 1),
-                    c,
-                )
-            })
+            .map(|(i, &c)| (self.base.powi(i as i32), self.base.powi(i as i32 + 1), c))
     }
 
     /// Renders a compact ASCII bar chart, for harness output.

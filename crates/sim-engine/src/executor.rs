@@ -29,8 +29,12 @@ pub trait Handler {
     type Event;
 
     /// Processes one event occurring at `now`.
-    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>)
-        -> Control;
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        sched: &mut Scheduler<'_, Self::Event>,
+    ) -> Control;
 }
 
 /// The event-scheduling capability handed to handlers.

@@ -2,19 +2,14 @@
 //!
 //! Reproducibility is a requirement of the benchmark harness: every table in
 //! the paper must regenerate identically from a seed. [`DetRng`] is a
-//! self-contained xoshiro256++ implementation (so results cannot drift with
-//! `rand` internals across versions) that also implements [`rand::rand_core::Rng`],
-//! letting callers use the full `rand` combinator surface on top of it.
+//! self-contained xoshiro256++ implementation with no external dependencies,
+//! so results cannot drift with third-party RNG internals across versions
+//! (and the workspace builds in fully offline environments).
 //!
 //! Independent simulation components get *streams* derived from a root seed
 //! ([`DetRng::stream`]), so adding a random draw to one component never
 //! perturbs another — the standard trick for variance-controlled simulation
 //! experiments.
-
-use std::convert::Infallible;
-
-use rand::rand_core::TryRng;
-use rand::SeedableRng;
 
 /// SplitMix64 step, used to expand seeds and derive stream keys.
 ///
@@ -33,11 +28,10 @@ fn splitmix64(state: &mut u64) -> u64 {
 ///
 /// ```
 /// use netbatch_sim_engine::rng::DetRng;
-/// use rand::RngExt;
 ///
-/// let mut root = DetRng::from_seed_u64(42);
+/// let root = DetRng::from_seed_u64(42);
 /// let mut arrivals = root.stream("arrivals");
-/// let x: f64 = arrivals.random();
+/// let x = arrivals.next_f64();
 /// assert!((0.0..1.0).contains(&x));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,22 +129,9 @@ impl DetRng {
             }
         }
     }
-}
 
-// Implementing the infallible `TryRng` gives us `rand_core::Rng` (and with
-// it the whole `rand::RngExt` combinator surface) via blanket impls.
-impl TryRng for DetRng {
-    type Error = Infallible;
-
-    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
-        Ok((self.next_u64_inner() >> 32) as u32)
-    }
-
-    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
-        Ok(self.next_u64_inner())
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+    /// Fills `dest` with random bytes, little-endian per 64-bit draw.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64_inner().to_le_bytes());
@@ -160,19 +141,6 @@ impl TryRng for DetRng {
             let bytes = self.next_u64_inner().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-        Ok(())
-    }
-}
-
-impl SeedableRng for DetRng {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        DetRng::from_seed_u64(u64::from_le_bytes(seed))
-    }
-
-    fn seed_from_u64(state: u64) -> Self {
-        DetRng::from_seed_u64(state)
     }
 }
 
@@ -180,7 +148,6 @@ impl SeedableRng for DetRng {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::{Rng as _, RngExt};
 
     #[test]
     fn same_seed_same_sequence() {
@@ -270,9 +237,9 @@ mod tests {
     }
 
     #[test]
-    fn works_with_rand_combinators() {
-        let mut rng = DetRng::from_seed_u64(17);
-        let v: u32 = rng.random_range(0..10);
+    fn bounded_draws_compose_with_streams() {
+        let mut rng = DetRng::from_seed_u64(17).stream("combinators");
+        let v = rng.next_below(10);
         assert!(v < 10);
     }
 

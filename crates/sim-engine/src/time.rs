@@ -21,7 +21,6 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!(t.as_minutes(), 120);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -116,7 +115,6 @@ impl From<u64> for SimTime {
 /// assert_eq!(d.as_minutes(), 25 * 60);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimDuration(u64);
 
 impl SimDuration {

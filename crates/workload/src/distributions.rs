@@ -297,7 +297,10 @@ impl WeightedChoice {
     ///
     /// Panics if empty, or any weight is negative, or all weights are zero.
     pub fn new(pairs: &[(f64, f64)]) -> Self {
-        assert!(!pairs.is_empty(), "weighted choice needs at least one value");
+        assert!(
+            !pairs.is_empty(),
+            "weighted choice needs at least one value"
+        );
         assert!(
             pairs.iter().all(|&(_, w)| w >= 0.0 && w.is_finite()),
             "weights must be non-negative"

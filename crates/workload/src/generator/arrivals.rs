@@ -90,7 +90,10 @@ impl BurstArrivals {
     /// `burst_rate < quiet_rate`.
     pub fn new(quiet_rate: f64, burst_rate: f64, mean_quiet_len: f64, mean_burst_len: f64) -> Self {
         for v in [quiet_rate, burst_rate, mean_quiet_len, mean_burst_len] {
-            assert!(v > 0.0 && v.is_finite(), "burst parameters must be positive");
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "burst parameters must be positive"
+            );
         }
         assert!(
             burst_rate >= quiet_rate,
@@ -174,8 +177,14 @@ impl DiurnalArrivals {
     /// Panics unless `mean_rate > 0`, `day_swing ≥ 1`, and
     /// `weekend_factor ∈ (0, 1]`.
     pub fn new(mean_rate: f64, day_swing: f64, weekend_factor: f64) -> Self {
-        assert!(mean_rate > 0.0 && mean_rate.is_finite(), "rate must be positive");
-        assert!(day_swing >= 1.0 && day_swing.is_finite(), "day swing must be >= 1");
+        assert!(
+            mean_rate > 0.0 && mean_rate.is_finite(),
+            "rate must be positive"
+        );
+        assert!(
+            day_swing >= 1.0 && day_swing.is_finite(),
+            "day swing must be >= 1"
+        );
         assert!(
             weekend_factor > 0.0 && weekend_factor <= 1.0,
             "weekend factor must be in (0, 1]"
@@ -198,7 +207,11 @@ impl DiurnalArrivals {
         let amp = (self.day_swing - 1.0) / (self.day_swing + 1.0);
         let daily = 1.0 + amp * phase.cos();
         let weekday = (minute % WEEK) / DAY; // 0..6, day 5/6 = weekend
-        let weekend = if weekday >= 5 { self.weekend_factor } else { 1.0 };
+        let weekend = if weekday >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        };
         daily * weekend
     }
 
@@ -315,7 +328,12 @@ mod tests {
         let mut rng_b = DetRng::from_seed_u64(9);
         let lazy = quiet.generate(&mut rng_a, 0, 5_000);
         let eager = stormy.generate(&mut rng_b, 0, 5_000);
-        assert!(eager.len() > 10 * lazy.len().max(1), "{} vs {}", eager.len(), lazy.len());
+        assert!(
+            eager.len() > 10 * lazy.len().max(1),
+            "{} vs {}",
+            eager.len(),
+            lazy.len()
+        );
     }
 
     #[test]
@@ -363,7 +381,11 @@ mod tests {
         assert!(weekend_total < 0.6 * weekday_total);
         // Long-run rate is close to the analytic value.
         let emp = arrivals.len() as f64 / (4.0 * 7.0 * 24.0 * 60.0);
-        assert!((emp / d.rate() - 1.0).abs() < 0.1, "rate {emp} vs {}", d.rate());
+        assert!(
+            (emp / d.rate() - 1.0).abs() < 0.1,
+            "rate {emp} vs {}",
+            d.rate()
+        );
     }
 
     #[test]

@@ -120,8 +120,7 @@ fn parse_line(line: &str) -> Result<TraceRecord, String> {
         return Err(format!("expected 7 fields, found {}", fields.len()));
     }
     fn num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
-        s.parse()
-            .map_err(|_| format!("invalid {name} value `{s}`"))
+        s.parse().map_err(|_| format!("invalid {name} value `{s}`"))
     }
     let affinity = if fields[5].is_empty() {
         Vec::new()

@@ -167,12 +167,7 @@ impl ScenarioParams {
             high_affinity_pools: 2,
             // Pool 3 (large) and the small pools are never burst targets:
             // they are the capacity rescheduling can escape to.
-            high_affinity_sets: Some(vec![
-                vec![0, 4],
-                vec![1, 6],
-                vec![2, 8],
-                vec![0, 10],
-            ]),
+            high_affinity_sets: Some(vec![vec![0, 4], vec![1, 6], vec![2, 8], vec![0, 10]]),
             seed: 20_101_108, // the conference date
         }
     }
@@ -302,8 +297,7 @@ mod tests {
         assert!(sizes[0] > sizes[10] && sizes[10] > sizes[19]);
         // Mixed machine shapes exist.
         let pool = &site.pools[0];
-        let cores: std::collections::HashSet<u32> =
-            pool.machines.iter().map(|m| m.cores).collect();
+        let cores: std::collections::HashSet<u32> = pool.machines.iter().map(|m| m.cores).collect();
         assert!(cores.contains(&2) && cores.contains(&4) && cores.contains(&8));
     }
 

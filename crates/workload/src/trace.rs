@@ -11,10 +11,9 @@ use netbatch_cluster::ids::{JobId, PoolId, TaskId};
 use netbatch_cluster::job::{JobSpec, PoolAffinity};
 use netbatch_cluster::priority::Priority;
 use netbatch_sim_engine::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One submitted job in a trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Submission minute (site-relative).
     pub submit_minute: u64,
@@ -57,7 +56,7 @@ impl TraceRecord {
 }
 
 /// A submission-time-ordered collection of trace records.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     records: Vec<TraceRecord>,
 }

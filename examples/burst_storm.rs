@@ -29,7 +29,11 @@ fn main() {
     // Background: steady low-priority work across the whole site at ~35%
     // offered utilization.
     let background = Stream::new(
-        JobClass::new("background", 0, Box::new(LogNormal::with_median(200.0, 1.0))),
+        JobClass::new(
+            "background",
+            0,
+            Box::new(LogNormal::with_median(200.0, 1.0)),
+        ),
         Box::new(PoissonArrivals::new(2.2)),
     );
     // The storm: one owner group fires a dense multi-day burst into pools
@@ -39,7 +43,9 @@ fn main() {
             .with_affinity(AffinityPicker::Fixed(vec![0, 1])),
         Box::new(BurstArrivals::new(0.001, 4.0, 20_000.0, 4_000.0).starting_in_burst()),
     );
-    let spec = WorkloadSpec::new(0, 10_080).stream(background).stream(storm);
+    let spec = WorkloadSpec::new(0, 10_080)
+        .stream(background)
+        .stream(storm);
     let trace = spec.generate(7);
     println!(
         "trace: {} jobs ({} high-priority)",

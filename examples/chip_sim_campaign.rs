@@ -29,9 +29,15 @@ fn main() {
     // restricted to pools 10-19 (where the design databases live); the
     // owners burst into the small pools 14-19 at high priority.
     let campaign = Stream::new(
-        JobClass::new("regression", 0, Box::new(LogNormal::with_median(180.0, 0.6)))
-            .with_task_size(24)
-            .with_affinity(AffinityPicker::Fixed(vec![10, 11, 12, 13, 14, 15, 16, 17, 18, 19])),
+        JobClass::new(
+            "regression",
+            0,
+            Box::new(LogNormal::with_median(180.0, 0.6)),
+        )
+        .with_task_size(24)
+        .with_affinity(AffinityPicker::Fixed(vec![
+            10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+        ])),
         Box::new(PoissonArrivals::new(1.2)),
     );
     // Owners' interactive bursts share the same pools at high priority.
@@ -55,7 +61,9 @@ fn main() {
         // Task completion = completion of the task's last job.
         let mut task_done: HashMap<TaskId, (u64, u64, u64)> = HashMap::new(); // (n, submit_min, done_max)
         for job in &out.jobs {
-            let Some(task) = job.spec().task else { continue };
+            let Some(task) = job.spec().task else {
+                continue;
+            };
             let done = job.completed_at().expect("all jobs complete").as_minutes();
             let submit = job.spec().submit_time.as_minutes();
             let e = task_done.entry(task).or_insert((0, u64::MAX, 0));
@@ -72,9 +80,7 @@ fn main() {
         }
         for job in &out.jobs {
             if job.spec().task.is_some() {
-                job_ct.push(
-                    job.completion_time().expect("complete").as_minutes_f64(),
-                );
+                job_ct.push(job.completion_time().expect("complete").as_minutes_f64());
             }
         }
         println!("\n== {strategy} ==");

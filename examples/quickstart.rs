@@ -89,12 +89,8 @@ fn main() {
 
     // The same machinery is usable directly: here is a single preemption
     // at pool level, no simulator involved.
-    let mut pool = netbatch::cluster::pool::PhysicalPool::new(PoolConfig::uniform(
-        PoolId(0),
-        1,
-        1,
-        4096,
-    ));
+    let mut pool =
+        netbatch::cluster::pool::PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 1, 4096));
     let low = JobSpec::new(100.into(), SimTime::ZERO, SimDuration::from_hours(5))
         .with_affinity(PoolAffinity::Subset(vec![PoolId(0)]));
     let high = JobSpec::new(101.into(), SimTime::ZERO, SimDuration::from_hours(1))

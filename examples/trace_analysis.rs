@@ -21,18 +21,34 @@ fn main() {
     t.row(["jobs", &analysis.jobs.to_string()]);
     t.row([
         "high-priority jobs",
-        &format!("{} ({:.1}%)", analysis.high_jobs, analysis.high_fraction() * 100.0),
+        &format!(
+            "{} ({:.1}%)",
+            analysis.high_jobs,
+            analysis.high_fraction() * 100.0
+        ),
     ]);
-    t.row(["pool-restricted jobs", &analysis.restricted_jobs.to_string()]);
-    t.row(["mean runtime (min)", &format!("{:.0}", analysis.mean_runtime)]);
-    t.row(["median runtime (min)", &format!("{:.0}", analysis.median_runtime)]);
+    t.row([
+        "pool-restricted jobs",
+        &analysis.restricted_jobs.to_string(),
+    ]);
+    t.row([
+        "mean runtime (min)",
+        &format!("{:.0}", analysis.mean_runtime),
+    ]);
+    t.row([
+        "median runtime (min)",
+        &format!("{:.0}", analysis.median_runtime),
+    ]);
     t.row(["p99 runtime (min)", &format!("{:.0}", analysis.p99_runtime)]);
     t.row(["max runtime (min)", &format!("{:.0}", analysis.max_runtime)]);
     t.row(["mean cores", &format!("{:.2}", analysis.mean_cores)]);
     t.row(["span (min)", &analysis.span_minutes.to_string()]);
     t.row([
         "offered utilization",
-        &format!("{:.1}%", analysis.offered_utilization(site.total_cores()) * 100.0),
+        &format!(
+            "{:.1}%",
+            analysis.offered_utilization(site.total_cores()) * 100.0
+        ),
     ]);
     print!("{t}");
 
@@ -60,7 +76,11 @@ fn main() {
     write_csv(&mut buf, &trace).expect("serialize trace");
     let back = read_csv(buf.as_slice()).expect("parse trace");
     assert_eq!(back, trace);
-    println!("\nCSV round-trip: {} bytes, {} records — OK", buf.len(), back.len());
+    println!(
+        "\nCSV round-trip: {} bytes, {} records — OK",
+        buf.len(),
+        back.len()
+    );
     if let Some(path) = std::env::args().nth(1) {
         std::fs::write(&path, &buf).expect("write trace file");
         println!("trace written to {path}");

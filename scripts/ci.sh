@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable locally or in CI. The workspace has no network
+# dependencies (see Cargo.toml): everything below works fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -228,8 +228,8 @@ fn run(cmd: Command) -> Result<(), String> {
         } => {
             let params = scenario_params(&scenario, scale, seed)?;
             let trace = params.generate_trace();
-            let file = std::fs::File::create(&out)
-                .map_err(|e| format!("cannot create {out}: {e}"))?;
+            let file =
+                std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
             write_csv(file, &trace).map_err(|e| e.to_string())?;
             println!(
                 "wrote {} jobs ({} scenario, scale {scale}) to {out}",
@@ -346,7 +346,8 @@ fn run(cmd: Command) -> Result<(), String> {
                 use std::io::Write;
                 let mut f = std::fs::File::create(&path)
                     .map_err(|e| format!("cannot create {path}: {e}"))?;
-                writeln!(f, "minute,suspended,utilization_pct,waiting").map_err(|e| e.to_string())?;
+                writeln!(f, "minute,suspended,utilization_pct,waiting")
+                    .map_err(|e| e.to_string())?;
                 for ((&(t, s), &(_, u)), &(_, w)) in r
                     .suspended_series
                     .samples()
@@ -440,7 +441,10 @@ mod tests {
 
     #[test]
     fn strategy_names_parse_case_insensitively() {
-        assert_eq!(parse_strategy("ressusutil").unwrap(), StrategyKind::ResSusUtil);
+        assert_eq!(
+            parse_strategy("ressusutil").unwrap(),
+            StrategyKind::ResSusUtil
+        );
         assert_eq!(
             parse_strategy("MigrateSusUtil").unwrap(),
             StrategyKind::MigrateSusUtil
@@ -450,17 +454,26 @@ mod tests {
 
     #[test]
     fn missing_values_are_reported() {
-        assert!(parse_args(&args("generate --out")).unwrap_err().contains("--out"));
+        assert!(parse_args(&args("generate --out"))
+            .unwrap_err()
+            .contains("--out"));
         assert!(parse_args(&args("generate")).unwrap_err().contains("--out"));
-        assert!(parse_args(&args("analyze")).unwrap_err().contains("trace file"));
-        assert!(parse_args(&args("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(parse_args(&args("analyze"))
+            .unwrap_err()
+            .contains("trace file"));
+        assert!(parse_args(&args("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]
     fn help_and_strategies_parse() {
         assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
-        assert_eq!(parse_args(&args("strategies")).unwrap(), Command::Strategies);
+        assert_eq!(
+            parse_args(&args("strategies")).unwrap(),
+            Command::Strategies
+        );
     }
 
     #[test]

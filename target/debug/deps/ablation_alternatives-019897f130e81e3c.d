@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alternatives-019897f130e81e3c.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/debug/deps/ablation_alternatives-019897f130e81e3c: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

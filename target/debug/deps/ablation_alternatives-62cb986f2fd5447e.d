@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alternatives-62cb986f2fd5447e.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/debug/deps/ablation_alternatives-62cb986f2fd5447e: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_failures-15baf706ce0fb87d.d: crates/bench/src/bin/ablation_failures.rs
+
+/root/repo/target/debug/deps/ablation_failures-15baf706ce0fb87d: crates/bench/src/bin/ablation_failures.rs
+
+crates/bench/src/bin/ablation_failures.rs:

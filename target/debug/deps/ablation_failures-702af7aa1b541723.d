@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_failures-702af7aa1b541723.d: crates/bench/src/bin/ablation_failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_failures-702af7aa1b541723.rmeta: crates/bench/src/bin/ablation_failures.rs Cargo.toml
+
+crates/bench/src/bin/ablation_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_failures-cf7ff6903f347bd2.d: crates/bench/src/bin/ablation_failures.rs
+
+/root/repo/target/debug/deps/ablation_failures-cf7ff6903f347bd2: crates/bench/src/bin/ablation_failures.rs
+
+crates/bench/src/bin/ablation_failures.rs:

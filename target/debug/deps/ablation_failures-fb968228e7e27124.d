@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_failures-fb968228e7e27124.d: crates/bench/src/bin/ablation_failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_failures-fb968228e7e27124.rmeta: crates/bench/src/bin/ablation_failures.rs Cargo.toml
+
+crates/bench/src/bin/ablation_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_intersite-5e55188a07477712.d: crates/bench/src/bin/ablation_intersite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_intersite-5e55188a07477712.rmeta: crates/bench/src/bin/ablation_intersite.rs Cargo.toml
+
+crates/bench/src/bin/ablation_intersite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_intersite-d09a31bbcae1b2bb.d: crates/bench/src/bin/ablation_intersite.rs
+
+/root/repo/target/debug/deps/ablation_intersite-d09a31bbcae1b2bb: crates/bench/src/bin/ablation_intersite.rs
+
+crates/bench/src/bin/ablation_intersite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_intersite-dad22ab9f6ce28e4.d: crates/bench/src/bin/ablation_intersite.rs
+
+/root/repo/target/debug/deps/ablation_intersite-dad22ab9f6ce28e4: crates/bench/src/bin/ablation_intersite.rs
+
+crates/bench/src/bin/ablation_intersite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_max_restarts-1c107074e368dfb0.d: crates/bench/src/bin/ablation_max_restarts.rs
+
+/root/repo/target/debug/deps/ablation_max_restarts-1c107074e368dfb0: crates/bench/src/bin/ablation_max_restarts.rs
+
+crates/bench/src/bin/ablation_max_restarts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_max_restarts-1e0062811d1eb7dd.d: crates/bench/src/bin/ablation_max_restarts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_max_restarts-1e0062811d1eb7dd.rmeta: crates/bench/src/bin/ablation_max_restarts.rs Cargo.toml
+
+crates/bench/src/bin/ablation_max_restarts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_max_restarts-d7720f7fb5667fe3.d: crates/bench/src/bin/ablation_max_restarts.rs
+
+/root/repo/target/debug/deps/ablation_max_restarts-d7720f7fb5667fe3: crates/bench/src/bin/ablation_max_restarts.rs
+
+crates/bench/src/bin/ablation_max_restarts.rs:

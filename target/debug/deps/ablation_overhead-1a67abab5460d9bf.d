@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-1a67abab5460d9bf.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-1a67abab5460d9bf: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-8cf3836fe0f10cb6.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-8cf3836fe0f10cb6: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_queue_policy-7995bdeb2c4acd8a.d: crates/bench/src/bin/ablation_queue_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_queue_policy-7995bdeb2c4acd8a.rmeta: crates/bench/src/bin/ablation_queue_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_queue_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_queue_policy-892445624f2284b7.d: crates/bench/src/bin/ablation_queue_policy.rs
+
+/root/repo/target/debug/deps/ablation_queue_policy-892445624f2284b7: crates/bench/src/bin/ablation_queue_policy.rs
+
+crates/bench/src/bin/ablation_queue_policy.rs:

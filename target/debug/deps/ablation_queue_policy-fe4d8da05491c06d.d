@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_queue_policy-fe4d8da05491c06d.d: crates/bench/src/bin/ablation_queue_policy.rs
+
+/root/repo/target/debug/deps/ablation_queue_policy-fe4d8da05491c06d: crates/bench/src/bin/ablation_queue_policy.rs
+
+crates/bench/src/bin/ablation_queue_policy.rs:

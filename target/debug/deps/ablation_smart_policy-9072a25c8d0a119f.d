@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_smart_policy-9072a25c8d0a119f.d: crates/bench/src/bin/ablation_smart_policy.rs
+
+/root/repo/target/debug/deps/ablation_smart_policy-9072a25c8d0a119f: crates/bench/src/bin/ablation_smart_policy.rs
+
+crates/bench/src/bin/ablation_smart_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_smart_policy-d30600c4effde74c.d: crates/bench/src/bin/ablation_smart_policy.rs
+
+/root/repo/target/debug/deps/ablation_smart_policy-d30600c4effde74c: crates/bench/src/bin/ablation_smart_policy.rs
+
+crates/bench/src/bin/ablation_smart_policy.rs:

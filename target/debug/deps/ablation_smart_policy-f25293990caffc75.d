@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_smart_policy-f25293990caffc75.d: crates/bench/src/bin/ablation_smart_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_smart_policy-f25293990caffc75.rmeta: crates/bench/src/bin/ablation_smart_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_smart_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

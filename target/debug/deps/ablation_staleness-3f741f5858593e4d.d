@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-3f741f5858593e4d.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-3f741f5858593e4d: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_staleness-592f557b4a1fe3d3.d: crates/bench/src/bin/ablation_staleness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_staleness-592f557b4a1fe3d3.rmeta: crates/bench/src/bin/ablation_staleness.rs Cargo.toml
+
+crates/bench/src/bin/ablation_staleness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

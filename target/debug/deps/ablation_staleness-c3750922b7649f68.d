@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_staleness-c3750922b7649f68.d: crates/bench/src/bin/ablation_staleness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_staleness-c3750922b7649f68.rmeta: crates/bench/src/bin/ablation_staleness.rs Cargo.toml
+
+crates/bench/src/bin/ablation_staleness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

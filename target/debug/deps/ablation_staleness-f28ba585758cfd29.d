@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_staleness-f28ba585758cfd29.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/debug/deps/ablation_staleness-f28ba585758cfd29: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

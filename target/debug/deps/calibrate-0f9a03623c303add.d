@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-0f9a03623c303add.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-0f9a03623c303add: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-45b3efc5ea150c9a.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-45b3efc5ea150c9a: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

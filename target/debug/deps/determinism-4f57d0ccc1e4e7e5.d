@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-4f57d0ccc1e4e7e5.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-4f57d0ccc1e4e7e5: tests/determinism.rs
+
+tests/determinism.rs:

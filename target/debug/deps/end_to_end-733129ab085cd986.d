@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-733129ab085cd986.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-733129ab085cd986: tests/end_to_end.rs
+
+tests/end_to_end.rs:

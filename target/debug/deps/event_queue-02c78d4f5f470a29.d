@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_queue-02c78d4f5f470a29.d: crates/bench/benches/event_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_queue-02c78d4f5f470a29.rmeta: crates/bench/benches/event_queue.rs Cargo.toml
+
+crates/bench/benches/event_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

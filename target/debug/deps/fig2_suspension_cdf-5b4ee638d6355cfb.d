@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_suspension_cdf-5b4ee638d6355cfb.d: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+/root/repo/target/debug/deps/fig2_suspension_cdf-5b4ee638d6355cfb: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+crates/bench/src/bin/fig2_suspension_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_suspension_cdf-8e8d710a58563ff9.d: crates/bench/src/bin/fig2_suspension_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_suspension_cdf-8e8d710a58563ff9.rmeta: crates/bench/src/bin/fig2_suspension_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig2_suspension_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_suspension_cdf-c791e24e34dd7292.d: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+/root/repo/target/debug/deps/fig2_suspension_cdf-c791e24e34dd7292: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+crates/bench/src/bin/fig2_suspension_cdf.rs:

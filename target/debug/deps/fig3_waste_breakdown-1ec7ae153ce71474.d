@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_waste_breakdown-1ec7ae153ce71474.d: crates/bench/src/bin/fig3_waste_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_waste_breakdown-1ec7ae153ce71474.rmeta: crates/bench/src/bin/fig3_waste_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig3_waste_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_waste_breakdown-49165729b72dcef5.d: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+/root/repo/target/debug/deps/fig3_waste_breakdown-49165729b72dcef5: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+crates/bench/src/bin/fig3_waste_breakdown.rs:

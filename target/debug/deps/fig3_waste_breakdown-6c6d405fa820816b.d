@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_waste_breakdown-6c6d405fa820816b.d: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+/root/repo/target/debug/deps/fig3_waste_breakdown-6c6d405fa820816b: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+crates/bench/src/bin/fig3_waste_breakdown.rs:

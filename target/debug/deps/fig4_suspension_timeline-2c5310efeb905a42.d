@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_suspension_timeline-2c5310efeb905a42.d: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+/root/repo/target/debug/deps/fig4_suspension_timeline-2c5310efeb905a42: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+crates/bench/src/bin/fig4_suspension_timeline.rs:

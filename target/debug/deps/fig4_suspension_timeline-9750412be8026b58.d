@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_suspension_timeline-9750412be8026b58.d: crates/bench/src/bin/fig4_suspension_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_suspension_timeline-9750412be8026b58.rmeta: crates/bench/src/bin/fig4_suspension_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig4_suspension_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

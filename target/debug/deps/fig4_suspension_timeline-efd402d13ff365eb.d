@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_suspension_timeline-efd402d13ff365eb.d: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+/root/repo/target/debug/deps/fig4_suspension_timeline-efd402d13ff365eb: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+crates/bench/src/bin/fig4_suspension_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle_invariants-caa93bd4c509f26b.d: tests/lifecycle_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle_invariants-caa93bd4c509f26b.rmeta: tests/lifecycle_invariants.rs Cargo.toml
+
+tests/lifecycle_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle_invariants-e3b63ba95c34fa2a.d: tests/lifecycle_invariants.rs
+
+/root/repo/target/debug/deps/lifecycle_invariants-e3b63ba95c34fa2a: tests/lifecycle_invariants.rs
+
+tests/lifecycle_invariants.rs:

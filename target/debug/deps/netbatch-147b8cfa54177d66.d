@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netbatch-147b8cfa54177d66.d: src/bin/netbatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetbatch-147b8cfa54177d66.rmeta: src/bin/netbatch.rs Cargo.toml
+
+src/bin/netbatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

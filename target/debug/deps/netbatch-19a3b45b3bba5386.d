@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netbatch-19a3b45b3bba5386.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetbatch-19a3b45b3bba5386.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

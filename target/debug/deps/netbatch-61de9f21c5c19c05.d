@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netbatch-61de9f21c5c19c05.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnetbatch-61de9f21c5c19c05.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnetbatch-61de9f21c5c19c05.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

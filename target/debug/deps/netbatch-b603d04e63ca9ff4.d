@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netbatch-b603d04e63ca9ff4.d: src/bin/netbatch.rs
+
+/root/repo/target/debug/deps/netbatch-b603d04e63ca9ff4: src/bin/netbatch.rs
+
+src/bin/netbatch.rs:

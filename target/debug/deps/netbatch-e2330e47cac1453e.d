@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netbatch-e2330e47cac1453e.d: src/lib.rs
+
+/root/repo/target/debug/deps/netbatch-e2330e47cac1453e: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netbatch-fe6ff175221d6809.d: src/bin/netbatch.rs
+
+/root/repo/target/debug/deps/netbatch-fe6ff175221d6809: src/bin/netbatch.rs
+
+src/bin/netbatch.rs:

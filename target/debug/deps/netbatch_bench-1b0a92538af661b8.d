@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netbatch_bench-1b0a92538af661b8.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetbatch_bench-1b0a92538af661b8.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

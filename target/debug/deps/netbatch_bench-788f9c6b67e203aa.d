@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netbatch_bench-788f9c6b67e203aa.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/netbatch_bench-788f9c6b67e203aa: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

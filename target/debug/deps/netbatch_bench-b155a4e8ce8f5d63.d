@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netbatch_bench-b155a4e8ce8f5d63.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libnetbatch_bench-b155a4e8ce8f5d63.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libnetbatch_bench-b155a4e8ce8f5d63.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/netbatch_cluster-5e150ea314ceb761.d: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetbatch_cluster-5e150ea314ceb761.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ids.rs:
+crates/cluster/src/index.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/pool.rs:
+crates/cluster/src/priority.rs:
+crates/cluster/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netbatch_cluster-be0b9eacd3ad9dd8.d: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+/root/repo/target/debug/deps/netbatch_cluster-be0b9eacd3ad9dd8: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ids.rs:
+crates/cluster/src/index.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/pool.rs:
+crates/cluster/src/priority.rs:
+crates/cluster/src/snapshot.rs:

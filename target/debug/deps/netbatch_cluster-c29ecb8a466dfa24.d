@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/netbatch_cluster-c29ecb8a466dfa24.d: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+/root/repo/target/debug/deps/libnetbatch_cluster-c29ecb8a466dfa24.rlib: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+/root/repo/target/debug/deps/libnetbatch_cluster-c29ecb8a466dfa24.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ids.rs:
+crates/cluster/src/index.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/pool.rs:
+crates/cluster/src/priority.rs:
+crates/cluster/src/snapshot.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netbatch_metrics-692452c795ca967e.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetbatch_metrics-692452c795ca967e.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/timeseries.rs:
+crates/metrics/src/waste.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

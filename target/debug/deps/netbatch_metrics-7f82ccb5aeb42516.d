@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netbatch_metrics-7f82ccb5aeb42516.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs
+
+/root/repo/target/debug/deps/netbatch_metrics-7f82ccb5aeb42516: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/timeseries.rs:
+crates/metrics/src/waste.rs:

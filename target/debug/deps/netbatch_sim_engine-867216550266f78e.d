@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/netbatch_sim_engine-867216550266f78e.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetbatch_sim_engine-867216550266f78e.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs Cargo.toml
+
+crates/sim-engine/src/lib.rs:
+crates/sim-engine/src/executor.rs:
+crates/sim-engine/src/queue.rs:
+crates/sim-engine/src/rng.rs:
+crates/sim-engine/src/sampler.rs:
+crates/sim-engine/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

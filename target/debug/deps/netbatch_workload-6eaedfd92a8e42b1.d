@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/netbatch_workload-6eaedfd92a8e42b1.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/distributions.rs crates/workload/src/generator/mod.rs crates/workload/src/generator/affinity.rs crates/workload/src/generator/arrivals.rs crates/workload/src/generator/jobs.rs crates/workload/src/io.rs crates/workload/src/scenarios.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetbatch_workload-6eaedfd92a8e42b1.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/distributions.rs crates/workload/src/generator/mod.rs crates/workload/src/generator/affinity.rs crates/workload/src/generator/arrivals.rs crates/workload/src/generator/jobs.rs crates/workload/src/io.rs crates/workload/src/scenarios.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/distributions.rs:
+crates/workload/src/generator/mod.rs:
+crates/workload/src/generator/affinity.rs:
+crates/workload/src/generator/arrivals.rs:
+crates/workload/src/generator/jobs.rs:
+crates/workload/src/io.rs:
+crates/workload/src/scenarios.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

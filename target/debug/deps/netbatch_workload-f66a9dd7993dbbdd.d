@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/netbatch_workload-f66a9dd7993dbbdd.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/distributions.rs crates/workload/src/generator/mod.rs crates/workload/src/generator/affinity.rs crates/workload/src/generator/arrivals.rs crates/workload/src/generator/jobs.rs crates/workload/src/io.rs crates/workload/src/scenarios.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libnetbatch_workload-f66a9dd7993dbbdd.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/distributions.rs crates/workload/src/generator/mod.rs crates/workload/src/generator/affinity.rs crates/workload/src/generator/arrivals.rs crates/workload/src/generator/jobs.rs crates/workload/src/io.rs crates/workload/src/scenarios.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libnetbatch_workload-f66a9dd7993dbbdd.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/distributions.rs crates/workload/src/generator/mod.rs crates/workload/src/generator/affinity.rs crates/workload/src/generator/arrivals.rs crates/workload/src/generator/jobs.rs crates/workload/src/io.rs crates/workload/src/scenarios.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/distributions.rs:
+crates/workload/src/generator/mod.rs:
+crates/workload/src/generator/affinity.rs:
+crates/workload/src/generator/arrivals.rs:
+crates/workload/src/generator/jobs.rs:
+crates/workload/src/io.rs:
+crates/workload/src/scenarios.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shape-4c98e10c0c166af8.d: tests/paper_shape.rs
+
+/root/repo/target/debug/deps/paper_shape-4c98e10c0c166af8: tests/paper_shape.rs
+
+tests/paper_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_baseline-27f6788840aa9c8d.d: crates/bench/src/bin/perf_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_baseline-27f6788840aa9c8d.rmeta: crates/bench/src/bin/perf_baseline.rs Cargo.toml
+
+crates/bench/src/bin/perf_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

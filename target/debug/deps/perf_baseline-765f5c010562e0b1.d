@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_baseline-765f5c010562e0b1.d: crates/bench/src/bin/perf_baseline.rs
+
+/root/repo/target/debug/deps/perf_baseline-765f5c010562e0b1: crates/bench/src/bin/perf_baseline.rs
+
+crates/bench/src/bin/perf_baseline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_baseline-b26461f1cfeda5c5.d: crates/bench/src/bin/perf_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_baseline-b26461f1cfeda5c5.rmeta: crates/bench/src/bin/perf_baseline.rs Cargo.toml
+
+crates/bench/src/bin/perf_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

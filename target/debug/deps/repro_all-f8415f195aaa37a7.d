@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-f8415f195aaa37a7.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-f8415f195aaa37a7: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-f984ee7d9c80ae87.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-f984ee7d9c80ae87: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

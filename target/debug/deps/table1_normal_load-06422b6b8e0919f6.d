@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_normal_load-06422b6b8e0919f6.d: crates/bench/src/bin/table1_normal_load.rs
+
+/root/repo/target/debug/deps/table1_normal_load-06422b6b8e0919f6: crates/bench/src/bin/table1_normal_load.rs
+
+crates/bench/src/bin/table1_normal_load.rs:

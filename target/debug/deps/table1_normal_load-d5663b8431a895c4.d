@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_normal_load-d5663b8431a895c4.d: crates/bench/src/bin/table1_normal_load.rs
+
+/root/repo/target/debug/deps/table1_normal_load-d5663b8431a895c4: crates/bench/src/bin/table1_normal_load.rs
+
+crates/bench/src/bin/table1_normal_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_normal_load-d6c757ac2cba2952.d: crates/bench/src/bin/table1_normal_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_normal_load-d6c757ac2cba2952.rmeta: crates/bench/src/bin/table1_normal_load.rs Cargo.toml
+
+crates/bench/src/bin/table1_normal_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_high_load-30900da5e6baa93c.d: crates/bench/src/bin/table2_high_load.rs
+
+/root/repo/target/debug/deps/table2_high_load-30900da5e6baa93c: crates/bench/src/bin/table2_high_load.rs
+
+crates/bench/src/bin/table2_high_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_high_load-464b160f1d84456e.d: crates/bench/src/bin/table2_high_load.rs
+
+/root/repo/target/debug/deps/table2_high_load-464b160f1d84456e: crates/bench/src/bin/table2_high_load.rs
+
+crates/bench/src/bin/table2_high_load.rs:

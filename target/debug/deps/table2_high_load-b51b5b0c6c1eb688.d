@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_high_load-b51b5b0c6c1eb688.d: crates/bench/src/bin/table2_high_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_high_load-b51b5b0c6c1eb688.rmeta: crates/bench/src/bin/table2_high_load.rs Cargo.toml
+
+crates/bench/src/bin/table2_high_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_high_load-ce1b9cf352462f7e.d: crates/bench/src/bin/table2_high_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_high_load-ce1b9cf352462f7e.rmeta: crates/bench/src/bin/table2_high_load.rs Cargo.toml
+
+crates/bench/src/bin/table2_high_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

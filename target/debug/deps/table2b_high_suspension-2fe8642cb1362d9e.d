@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2b_high_suspension-2fe8642cb1362d9e.d: crates/bench/src/bin/table2b_high_suspension.rs
+
+/root/repo/target/debug/deps/table2b_high_suspension-2fe8642cb1362d9e: crates/bench/src/bin/table2b_high_suspension.rs
+
+crates/bench/src/bin/table2b_high_suspension.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2b_high_suspension-4719704d5693f470.d: crates/bench/src/bin/table2b_high_suspension.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2b_high_suspension-4719704d5693f470.rmeta: crates/bench/src/bin/table2b_high_suspension.rs Cargo.toml
+
+crates/bench/src/bin/table2b_high_suspension.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

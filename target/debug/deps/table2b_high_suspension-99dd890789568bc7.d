@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2b_high_suspension-99dd890789568bc7.d: crates/bench/src/bin/table2b_high_suspension.rs
+
+/root/repo/target/debug/deps/table2b_high_suspension-99dd890789568bc7: crates/bench/src/bin/table2b_high_suspension.rs
+
+crates/bench/src/bin/table2b_high_suspension.rs:

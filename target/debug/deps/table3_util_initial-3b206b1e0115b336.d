@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_util_initial-3b206b1e0115b336.d: crates/bench/src/bin/table3_util_initial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_util_initial-3b206b1e0115b336.rmeta: crates/bench/src/bin/table3_util_initial.rs Cargo.toml
+
+crates/bench/src/bin/table3_util_initial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_util_initial-774e49791ba9ff40.d: crates/bench/src/bin/table3_util_initial.rs
+
+/root/repo/target/debug/deps/table3_util_initial-774e49791ba9ff40: crates/bench/src/bin/table3_util_initial.rs
+
+crates/bench/src/bin/table3_util_initial.rs:

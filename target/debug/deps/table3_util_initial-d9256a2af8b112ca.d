@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_util_initial-d9256a2af8b112ca.d: crates/bench/src/bin/table3_util_initial.rs
+
+/root/repo/target/debug/deps/table3_util_initial-d9256a2af8b112ca: crates/bench/src/bin/table3_util_initial.rs
+
+crates/bench/src/bin/table3_util_initial.rs:

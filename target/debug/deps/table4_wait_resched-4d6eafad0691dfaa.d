@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_wait_resched-4d6eafad0691dfaa.d: crates/bench/src/bin/table4_wait_resched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_wait_resched-4d6eafad0691dfaa.rmeta: crates/bench/src/bin/table4_wait_resched.rs Cargo.toml
+
+crates/bench/src/bin/table4_wait_resched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

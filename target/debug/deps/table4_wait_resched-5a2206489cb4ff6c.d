@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_wait_resched-5a2206489cb4ff6c.d: crates/bench/src/bin/table4_wait_resched.rs
+
+/root/repo/target/debug/deps/table4_wait_resched-5a2206489cb4ff6c: crates/bench/src/bin/table4_wait_resched.rs
+
+crates/bench/src/bin/table4_wait_resched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_wait_resched-758e266a871493a1.d: crates/bench/src/bin/table4_wait_resched.rs
+
+/root/repo/target/debug/deps/table4_wait_resched-758e266a871493a1: crates/bench/src/bin/table4_wait_resched.rs
+
+crates/bench/src/bin/table4_wait_resched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_wait_util_initial-01dacd2bc0e3dcbc.d: crates/bench/src/bin/table5_wait_util_initial.rs
+
+/root/repo/target/debug/deps/table5_wait_util_initial-01dacd2bc0e3dcbc: crates/bench/src/bin/table5_wait_util_initial.rs
+
+crates/bench/src/bin/table5_wait_util_initial.rs:

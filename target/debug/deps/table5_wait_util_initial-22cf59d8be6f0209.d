@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_wait_util_initial-22cf59d8be6f0209.d: crates/bench/src/bin/table5_wait_util_initial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_wait_util_initial-22cf59d8be6f0209.rmeta: crates/bench/src/bin/table5_wait_util_initial.rs Cargo.toml
+
+crates/bench/src/bin/table5_wait_util_initial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_wait_util_initial-bb393c61676d4924.d: crates/bench/src/bin/table5_wait_util_initial.rs
+
+/root/repo/target/debug/deps/table5_wait_util_initial-bb393c61676d4924: crates/bench/src/bin/table5_wait_util_initial.rs
+
+crates/bench/src/bin/table5_wait_util_initial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_generation-2a2750358f65f620.d: crates/bench/benches/trace_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_generation-2a2750358f65f620.rmeta: crates/bench/benches/trace_generation.rs Cargo.toml
+
+crates/bench/benches/trace_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-d164c3af51347fb6.d: tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/trace_roundtrip-d164c3af51347fb6: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/burst_storm-824809d1e455f8c2.d: examples/burst_storm.rs
+
+/root/repo/target/debug/examples/burst_storm-824809d1e455f8c2: examples/burst_storm.rs
+
+examples/burst_storm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/burst_storm-8fce13c0505d1708.d: examples/burst_storm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libburst_storm-8fce13c0505d1708.rmeta: examples/burst_storm.rs Cargo.toml
+
+examples/burst_storm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

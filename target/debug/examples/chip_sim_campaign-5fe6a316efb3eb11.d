@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chip_sim_campaign-5fe6a316efb3eb11.d: examples/chip_sim_campaign.rs
+
+/root/repo/target/debug/examples/chip_sim_campaign-5fe6a316efb3eb11: examples/chip_sim_campaign.rs
+
+examples/chip_sim_campaign.rs:

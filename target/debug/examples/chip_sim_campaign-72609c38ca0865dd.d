@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chip_sim_campaign-72609c38ca0865dd.d: examples/chip_sim_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchip_sim_campaign-72609c38ca0865dd.rmeta: examples/chip_sim_campaign.rs Cargo.toml
+
+examples/chip_sim_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-1f123a500bc862e1.d: examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-1f123a500bc862e1: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

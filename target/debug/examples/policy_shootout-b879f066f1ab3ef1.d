@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_shootout-b879f066f1ab3ef1.d: examples/policy_shootout.rs
+
+/root/repo/target/debug/examples/policy_shootout-b879f066f1ab3ef1: examples/policy_shootout.rs
+
+examples/policy_shootout.rs:

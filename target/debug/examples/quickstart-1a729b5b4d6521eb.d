@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1a729b5b4d6521eb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1a729b5b4d6521eb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_analysis-5aeb3068e603bcec.d: examples/trace_analysis.rs
+
+/root/repo/target/debug/examples/trace_analysis-5aeb3068e603bcec: examples/trace_analysis.rs
+
+examples/trace_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alternatives-1e229a6f7a1b292f.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/release/deps/ablation_alternatives-1e229a6f7a1b292f: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alternatives-6cf5748ffc656c90.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/release/deps/ablation_alternatives-6cf5748ffc656c90: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

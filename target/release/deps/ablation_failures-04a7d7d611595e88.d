@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_failures-04a7d7d611595e88.d: crates/bench/src/bin/ablation_failures.rs
+
+/root/repo/target/release/deps/ablation_failures-04a7d7d611595e88: crates/bench/src/bin/ablation_failures.rs
+
+crates/bench/src/bin/ablation_failures.rs:

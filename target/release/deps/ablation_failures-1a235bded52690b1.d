@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_failures-1a235bded52690b1.d: crates/bench/src/bin/ablation_failures.rs
+
+/root/repo/target/release/deps/ablation_failures-1a235bded52690b1: crates/bench/src/bin/ablation_failures.rs
+
+crates/bench/src/bin/ablation_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_intersite-b002f3e0b432dfcb.d: crates/bench/src/bin/ablation_intersite.rs
+
+/root/repo/target/release/deps/ablation_intersite-b002f3e0b432dfcb: crates/bench/src/bin/ablation_intersite.rs
+
+crates/bench/src/bin/ablation_intersite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_intersite-dd1dfc51a10369f1.d: crates/bench/src/bin/ablation_intersite.rs
+
+/root/repo/target/release/deps/ablation_intersite-dd1dfc51a10369f1: crates/bench/src/bin/ablation_intersite.rs
+
+crates/bench/src/bin/ablation_intersite.rs:

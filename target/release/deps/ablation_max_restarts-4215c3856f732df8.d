@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_max_restarts-4215c3856f732df8.d: crates/bench/src/bin/ablation_max_restarts.rs
+
+/root/repo/target/release/deps/ablation_max_restarts-4215c3856f732df8: crates/bench/src/bin/ablation_max_restarts.rs
+
+crates/bench/src/bin/ablation_max_restarts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_max_restarts-bd84a1b2b6d25f4f.d: crates/bench/src/bin/ablation_max_restarts.rs
+
+/root/repo/target/release/deps/ablation_max_restarts-bd84a1b2b6d25f4f: crates/bench/src/bin/ablation_max_restarts.rs
+
+crates/bench/src/bin/ablation_max_restarts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-0efde84a7d323565.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-0efde84a7d323565: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-4507f533614866d6.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-4507f533614866d6: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_queue_policy-0e8bdcc3c8856c44.d: crates/bench/src/bin/ablation_queue_policy.rs
+
+/root/repo/target/release/deps/ablation_queue_policy-0e8bdcc3c8856c44: crates/bench/src/bin/ablation_queue_policy.rs
+
+crates/bench/src/bin/ablation_queue_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_queue_policy-c550b25c2109a56a.d: crates/bench/src/bin/ablation_queue_policy.rs
+
+/root/repo/target/release/deps/ablation_queue_policy-c550b25c2109a56a: crates/bench/src/bin/ablation_queue_policy.rs
+
+crates/bench/src/bin/ablation_queue_policy.rs:

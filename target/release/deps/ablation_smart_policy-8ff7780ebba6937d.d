@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_smart_policy-8ff7780ebba6937d.d: crates/bench/src/bin/ablation_smart_policy.rs
+
+/root/repo/target/release/deps/ablation_smart_policy-8ff7780ebba6937d: crates/bench/src/bin/ablation_smart_policy.rs
+
+crates/bench/src/bin/ablation_smart_policy.rs:

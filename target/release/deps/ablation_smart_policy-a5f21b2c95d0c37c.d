@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_smart_policy-a5f21b2c95d0c37c.d: crates/bench/src/bin/ablation_smart_policy.rs
+
+/root/repo/target/release/deps/ablation_smart_policy-a5f21b2c95d0c37c: crates/bench/src/bin/ablation_smart_policy.rs
+
+crates/bench/src/bin/ablation_smart_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_staleness-1d903d5ad316b553.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/release/deps/ablation_staleness-1d903d5ad316b553: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

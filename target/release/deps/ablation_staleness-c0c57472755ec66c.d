@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_staleness-c0c57472755ec66c.d: crates/bench/src/bin/ablation_staleness.rs
+
+/root/repo/target/release/deps/ablation_staleness-c0c57472755ec66c: crates/bench/src/bin/ablation_staleness.rs
+
+crates/bench/src/bin/ablation_staleness.rs:

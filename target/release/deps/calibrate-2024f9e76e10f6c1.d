@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-2024f9e76e10f6c1.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-2024f9e76e10f6c1: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

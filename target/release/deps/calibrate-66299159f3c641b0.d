@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-66299159f3c641b0.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-66299159f3c641b0: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/event_queue-0430a1c13e8cf75e.d: crates/bench/benches/event_queue.rs
+
+/root/repo/target/release/deps/event_queue-0430a1c13e8cf75e: crates/bench/benches/event_queue.rs
+
+crates/bench/benches/event_queue.rs:

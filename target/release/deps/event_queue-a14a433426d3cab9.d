@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/event_queue-a14a433426d3cab9.d: crates/bench/benches/event_queue.rs
+
+/root/repo/target/release/deps/event_queue-a14a433426d3cab9: crates/bench/benches/event_queue.rs
+
+crates/bench/benches/event_queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_suspension_cdf-685b6e6541ca7faf.d: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+/root/repo/target/release/deps/fig2_suspension_cdf-685b6e6541ca7faf: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+crates/bench/src/bin/fig2_suspension_cdf.rs:

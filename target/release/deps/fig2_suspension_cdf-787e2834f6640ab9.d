@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_suspension_cdf-787e2834f6640ab9.d: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+/root/repo/target/release/deps/fig2_suspension_cdf-787e2834f6640ab9: crates/bench/src/bin/fig2_suspension_cdf.rs
+
+crates/bench/src/bin/fig2_suspension_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_waste_breakdown-0051333779886037.d: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+/root/repo/target/release/deps/fig3_waste_breakdown-0051333779886037: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+crates/bench/src/bin/fig3_waste_breakdown.rs:

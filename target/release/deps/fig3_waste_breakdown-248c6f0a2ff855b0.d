@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_waste_breakdown-248c6f0a2ff855b0.d: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+/root/repo/target/release/deps/fig3_waste_breakdown-248c6f0a2ff855b0: crates/bench/src/bin/fig3_waste_breakdown.rs
+
+crates/bench/src/bin/fig3_waste_breakdown.rs:

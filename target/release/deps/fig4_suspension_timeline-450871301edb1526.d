@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_suspension_timeline-450871301edb1526.d: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+/root/repo/target/release/deps/fig4_suspension_timeline-450871301edb1526: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+crates/bench/src/bin/fig4_suspension_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_suspension_timeline-ab6e8ee48e480e8d.d: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+/root/repo/target/release/deps/fig4_suspension_timeline-ab6e8ee48e480e8d: crates/bench/src/bin/fig4_suspension_timeline.rs
+
+crates/bench/src/bin/fig4_suspension_timeline.rs:

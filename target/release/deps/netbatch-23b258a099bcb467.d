@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netbatch-23b258a099bcb467.d: src/lib.rs
+
+/root/repo/target/release/deps/libnetbatch-23b258a099bcb467.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnetbatch-23b258a099bcb467.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

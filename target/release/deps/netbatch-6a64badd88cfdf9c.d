@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netbatch-6a64badd88cfdf9c.d: src/bin/netbatch.rs
+
+/root/repo/target/release/deps/netbatch-6a64badd88cfdf9c: src/bin/netbatch.rs
+
+src/bin/netbatch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/netbatch_bench-0113325f927186f4.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libnetbatch_bench-0113325f927186f4.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libnetbatch_bench-0113325f927186f4.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

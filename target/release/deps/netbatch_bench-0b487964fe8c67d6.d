@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netbatch_bench-0b487964fe8c67d6.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/netbatch_bench-0b487964fe8c67d6: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/netbatch_cluster-0de2bafd1fee4c30.d: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+/root/repo/target/release/deps/libnetbatch_cluster-0de2bafd1fee4c30.rlib: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+/root/repo/target/release/deps/libnetbatch_cluster-0de2bafd1fee4c30.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ids.rs:
+crates/cluster/src/index.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/pool.rs:
+crates/cluster/src/priority.rs:
+crates/cluster/src/snapshot.rs:

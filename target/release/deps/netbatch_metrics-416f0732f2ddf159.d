@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/netbatch_metrics-416f0732f2ddf159.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs
+
+/root/repo/target/release/deps/libnetbatch_metrics-416f0732f2ddf159.rlib: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs
+
+/root/repo/target/release/deps/libnetbatch_metrics-416f0732f2ddf159.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/timeseries.rs:
+crates/metrics/src/waste.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_baseline-0d63856bcbbc3403.d: crates/bench/src/bin/perf_baseline.rs
+
+/root/repo/target/release/deps/perf_baseline-0d63856bcbbc3403: crates/bench/src/bin/perf_baseline.rs
+
+crates/bench/src/bin/perf_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_baseline-2f22a231b54bf0f6.d: crates/bench/src/bin/perf_baseline.rs
+
+/root/repo/target/release/deps/perf_baseline-2f22a231b54bf0f6: crates/bench/src/bin/perf_baseline.rs
+
+crates/bench/src/bin/perf_baseline.rs:

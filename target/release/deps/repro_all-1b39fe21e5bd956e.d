@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-1b39fe21e5bd956e.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-1b39fe21e5bd956e: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

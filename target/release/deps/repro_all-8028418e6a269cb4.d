@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-8028418e6a269cb4.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-8028418e6a269cb4: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

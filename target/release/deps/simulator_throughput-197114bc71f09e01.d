@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_throughput-197114bc71f09e01.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/release/deps/simulator_throughput-197114bc71f09e01: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_throughput-46090e4b0ed00747.d: crates/bench/benches/simulator_throughput.rs
+
+/root/repo/target/release/deps/simulator_throughput-46090e4b0ed00747: crates/bench/benches/simulator_throughput.rs
+
+crates/bench/benches/simulator_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_normal_load-c776b45d4756942b.d: crates/bench/src/bin/table1_normal_load.rs
+
+/root/repo/target/release/deps/table1_normal_load-c776b45d4756942b: crates/bench/src/bin/table1_normal_load.rs
+
+crates/bench/src/bin/table1_normal_load.rs:

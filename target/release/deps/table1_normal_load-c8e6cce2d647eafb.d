@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_normal_load-c8e6cce2d647eafb.d: crates/bench/src/bin/table1_normal_load.rs
+
+/root/repo/target/release/deps/table1_normal_load-c8e6cce2d647eafb: crates/bench/src/bin/table1_normal_load.rs
+
+crates/bench/src/bin/table1_normal_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_high_load-4aff885aad9df52b.d: crates/bench/src/bin/table2_high_load.rs
+
+/root/repo/target/release/deps/table2_high_load-4aff885aad9df52b: crates/bench/src/bin/table2_high_load.rs
+
+crates/bench/src/bin/table2_high_load.rs:

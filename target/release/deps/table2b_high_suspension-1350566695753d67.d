@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2b_high_suspension-1350566695753d67.d: crates/bench/src/bin/table2b_high_suspension.rs
+
+/root/repo/target/release/deps/table2b_high_suspension-1350566695753d67: crates/bench/src/bin/table2b_high_suspension.rs
+
+crates/bench/src/bin/table2b_high_suspension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2b_high_suspension-70ff0d07c837fa0d.d: crates/bench/src/bin/table2b_high_suspension.rs
+
+/root/repo/target/release/deps/table2b_high_suspension-70ff0d07c837fa0d: crates/bench/src/bin/table2b_high_suspension.rs
+
+crates/bench/src/bin/table2b_high_suspension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_util_initial-3e2fda3bdb3b8532.d: crates/bench/src/bin/table3_util_initial.rs
+
+/root/repo/target/release/deps/table3_util_initial-3e2fda3bdb3b8532: crates/bench/src/bin/table3_util_initial.rs
+
+crates/bench/src/bin/table3_util_initial.rs:

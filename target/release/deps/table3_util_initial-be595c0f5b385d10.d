@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_util_initial-be595c0f5b385d10.d: crates/bench/src/bin/table3_util_initial.rs
+
+/root/repo/target/release/deps/table3_util_initial-be595c0f5b385d10: crates/bench/src/bin/table3_util_initial.rs
+
+crates/bench/src/bin/table3_util_initial.rs:

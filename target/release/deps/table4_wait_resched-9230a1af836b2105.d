@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_wait_resched-9230a1af836b2105.d: crates/bench/src/bin/table4_wait_resched.rs
+
+/root/repo/target/release/deps/table4_wait_resched-9230a1af836b2105: crates/bench/src/bin/table4_wait_resched.rs
+
+crates/bench/src/bin/table4_wait_resched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_wait_resched-b571f5c2a59a96e2.d: crates/bench/src/bin/table4_wait_resched.rs
+
+/root/repo/target/release/deps/table4_wait_resched-b571f5c2a59a96e2: crates/bench/src/bin/table4_wait_resched.rs
+
+crates/bench/src/bin/table4_wait_resched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_wait_util_initial-39a7d12062311d34.d: crates/bench/src/bin/table5_wait_util_initial.rs
+
+/root/repo/target/release/deps/table5_wait_util_initial-39a7d12062311d34: crates/bench/src/bin/table5_wait_util_initial.rs
+
+crates/bench/src/bin/table5_wait_util_initial.rs:

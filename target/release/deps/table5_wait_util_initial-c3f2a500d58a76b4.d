@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_wait_util_initial-c3f2a500d58a76b4.d: crates/bench/src/bin/table5_wait_util_initial.rs
+
+/root/repo/target/release/deps/table5_wait_util_initial-c3f2a500d58a76b4: crates/bench/src/bin/table5_wait_util_initial.rs
+
+crates/bench/src/bin/table5_wait_util_initial.rs:

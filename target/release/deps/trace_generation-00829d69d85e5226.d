@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_generation-00829d69d85e5226.d: crates/bench/benches/trace_generation.rs
+
+/root/repo/target/release/deps/trace_generation-00829d69d85e5226: crates/bench/benches/trace_generation.rs
+
+crates/bench/benches/trace_generation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_generation-eb8d69e1e2f39fe2.d: crates/bench/benches/trace_generation.rs
+
+/root/repo/target/release/deps/trace_generation-eb8d69e1e2f39fe2: crates/bench/benches/trace_generation.rs
+
+crates/bench/benches/trace_generation.rs:

@@ -1,0 +1,61 @@
+//! Same-seed determinism across the whole simulator: two runs of an
+//! identical scenario must produce **bit-identical** [`SimOutput`]s for
+//! every rescheduling strategy. This pins down that the availability-index
+//! dispatch path introduces no iteration-order or hash-map nondeterminism,
+//! complementing the per-dispatch differential check in
+//! `netbatch_cluster::pool`.
+
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::{SimConfig, SimOutput, Simulator};
+use netbatch::workload::scenarios::ScenarioParams;
+
+const TEST_SCALE: f64 = 0.02;
+
+fn run_once(strategy: StrategyKind) -> SimOutput {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    Simulator::new(
+        &site,
+        trace.to_specs(),
+        SimConfig::new(InitialKind::RoundRobin, strategy),
+    )
+    .run_to_completion()
+}
+
+#[test]
+fn sim_output_is_bit_identical_across_runs_for_all_strategies() {
+    for strategy in [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusRand,
+        StrategyKind::ResSusWaitUtil,
+        StrategyKind::ResSusWaitRand,
+    ] {
+        let a = run_once(strategy);
+        let b = run_once(strategy);
+        // Field-level checks first for readable failures…
+        assert_eq!(a.counters, b.counters, "{strategy:?}: counters diverged");
+        assert_eq!(a.end_time, b.end_time, "{strategy:?}: end time diverged");
+        assert_eq!(
+            a.pool_stats, b.pool_stats,
+            "{strategy:?}: pool stats diverged"
+        );
+        assert_eq!(
+            a.jobs.len(),
+            b.jobs.len(),
+            "{strategy:?}: job counts diverged"
+        );
+        // …then the exhaustive structural comparison over every record and
+        // series sample.
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{strategy:?}: SimOutput not bit-identical across same-seed runs"
+        );
+        assert!(
+            a.counters.completed > 0,
+            "{strategy:?}: scenario ran no jobs"
+        );
+    }
+}

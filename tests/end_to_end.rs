@@ -26,13 +26,20 @@ fn every_policy_combination_completes_the_whole_trace() {
     let trace = params.generate_trace();
     for initial in [InitialKind::RoundRobin, InitialKind::UtilizationBased] {
         for strategy in all_strategies() {
-            let r = Experiment::new(site.clone(), trace.clone(), SimConfig::new(initial, strategy))
-                .run();
+            let r = Experiment::new(
+                site.clone(),
+                trace.clone(),
+                SimConfig::new(initial, strategy),
+            )
+            .run();
             assert_eq!(
                 r.counters.completed, r.total_jobs,
                 "{initial:?}/{strategy:?} left jobs unfinished"
             );
-            assert_eq!(r.counters.unrunnable, 0, "generated jobs must all be runnable");
+            assert_eq!(
+                r.counters.unrunnable, 0,
+                "generated jobs must all be runnable"
+            );
         }
     }
 }
@@ -71,8 +78,14 @@ fn different_seeds_produce_different_randomized_runs() {
     // Different policy seeds must not change the workload, only decisions.
     assert_eq!(a.total_jobs, b.total_jobs);
     assert_ne!(
-        (a.counters.restarts_from_suspend, a.avg_ct_suspended.to_bits()),
-        (b.counters.restarts_from_suspend, b.avg_ct_suspended.to_bits()),
+        (
+            a.counters.restarts_from_suspend,
+            a.avg_ct_suspended.to_bits()
+        ),
+        (
+            b.counters.restarts_from_suspend,
+            b.avg_ct_suspended.to_bits()
+        ),
         "different seeds should steer random rescheduling differently"
     );
 }
@@ -104,8 +117,7 @@ fn suspension_population_is_consistent() {
     assert_eq!(r.suspended_jobs(), expected);
     // Mean of the samples == AvgST.
     if r.suspended_jobs() > 0 {
-        let mean =
-            r.suspension_times.iter().sum::<f64>() / r.suspension_times.len() as f64;
+        let mean = r.suspension_times.iter().sum::<f64>() / r.suspension_times.len() as f64;
         assert!((mean - r.avg_st).abs() < 1e-9);
     }
 }

@@ -21,25 +21,27 @@ fn small_site(pools: u16, machines: u32, cores: u32) -> SiteSpec {
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
     (
-        0u64..2000,          // submit minute
-        1u64..500,           // runtime
-        1u32..3,             // cores
+        0u64..2000,                                // submit minute
+        1u64..500,                                 // runtime
+        1u32..3,                                   // cores
         prop::sample::select(vec![0u8, 0, 0, 10]), // mostly low, some high
-        prop::bool::ANY,     // restricted affinity?
+        prop::bool::ANY,                           // restricted affinity?
     )
-        .prop_map(|(submit, runtime, cores, priority, restricted)| TraceRecord {
-            submit_minute: submit,
-            runtime_minutes: runtime,
-            cores,
-            memory_mb: 512,
-            priority,
-            affinity: if restricted && priority >= 10 {
-                vec![0]
-            } else {
-                vec![]
+        .prop_map(
+            |(submit, runtime, cores, priority, restricted)| TraceRecord {
+                submit_minute: submit,
+                runtime_minutes: runtime,
+                cores,
+                memory_mb: 512,
+                priority,
+                affinity: if restricted && priority >= 10 {
+                    vec![0]
+                } else {
+                    vec![]
+                },
+                task: None,
             },
-            task: None,
-        })
+        )
 }
 
 fn arb_strategy() -> impl Strategy<Value = StrategyKind> {

@@ -11,8 +11,18 @@ use netbatch::workload::trace::Trace;
 
 const SHAPE_SCALE: f64 = 0.05;
 
-fn run(site: &SiteSpec, trace: &Trace, initial: InitialKind, strategy: StrategyKind) -> ExperimentResult {
-    Experiment::new(site.clone(), trace.clone(), SimConfig::new(initial, strategy)).run()
+fn run(
+    site: &SiteSpec,
+    trace: &Trace,
+    initial: InitialKind,
+    strategy: StrategyKind,
+) -> ExperimentResult {
+    Experiment::new(
+        site.clone(),
+        trace.clone(),
+        SimConfig::new(initial, strategy),
+    )
+    .run()
 }
 
 #[test]
@@ -21,8 +31,18 @@ fn normal_load_shapes_table1() {
     let site = params.build_site();
     let trace = params.generate_trace();
     let nores = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
-    let util = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusUtil);
-    let rand = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusRand);
+    let util = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusUtil,
+    );
+    let rand = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusRand,
+    );
 
     // The suspend rate sits in the paper's ~1% regime.
     assert!(
@@ -53,10 +73,30 @@ fn high_load_shapes_tables_2_and_4() {
     let site = params.build_site().halved();
     let trace = params.generate_trace();
     let nores = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
-    let util = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusUtil);
-    let rand = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusRand);
-    let wait_util = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
-    let wait_rand = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusWaitRand);
+    let util = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusUtil,
+    );
+    let rand = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusRand,
+    );
+    let wait_util = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusWaitUtil,
+    );
+    let wait_rand = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusWaitRand,
+    );
 
     // Suspended jobs benefit strongly under contention.
     assert!(util.avg_ct_suspended < nores.avg_ct_suspended * 0.85);
@@ -69,9 +109,7 @@ fn high_load_shapes_tables_2_and_4() {
     assert!(wait_rand.avg_ct_suspended < 1.4 * wait_util.avg_ct_suspended);
     assert!(wait_rand.avg_ct_all < 1.1 * wait_util.avg_ct_all);
     // ...at the price of far more restarts (paper's closing caveat).
-    assert!(
-        wait_rand.counters.restarts_from_wait > 2 * wait_util.counters.restarts_from_wait
-    );
+    assert!(wait_rand.counters.restarts_from_wait > 2 * wait_util.counters.restarts_from_wait);
 }
 
 #[test]
@@ -79,8 +117,18 @@ fn utilization_based_initial_shapes_tables_3_and_5() {
     let params = ScenarioParams::normal_week(SHAPE_SCALE);
     let site = params.build_site().halved();
     let trace = params.generate_trace();
-    let nores = run(&site, &trace, InitialKind::UtilizationBased, StrategyKind::NoRes);
-    let util = run(&site, &trace, InitialKind::UtilizationBased, StrategyKind::ResSusUtil);
+    let nores = run(
+        &site,
+        &trace,
+        InitialKind::UtilizationBased,
+        StrategyKind::NoRes,
+    );
+    let util = run(
+        &site,
+        &trace,
+        InitialKind::UtilizationBased,
+        StrategyKind::ResSusUtil,
+    );
     let wait_util = run(
         &site,
         &trace,
@@ -102,7 +150,12 @@ fn high_suspension_scenario_amplifies_benefits() {
     let site = params.build_site();
     let trace = params.generate_trace();
     let nores = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
-    let util = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+    let util = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusUtil,
+    );
     let normal = ScenarioParams::normal_week(SHAPE_SCALE);
     let normal_nores = run(
         &normal.build_site(),
@@ -126,7 +179,11 @@ fn year_trace_reproduces_figure2_shape() {
     )
     .run();
     let cdf = result.suspension_cdf();
-    assert!(cdf.len() > 50, "need a suspension population, got {}", cdf.len());
+    assert!(
+        cdf.len() > 50,
+        "need a suspension population, got {}",
+        cdf.len()
+    );
     let median = cdf.median().expect("non-empty");
     let mean = cdf.mean();
     // Long-tailed: mean well above median, and a heavy >1100-minute tail
@@ -145,10 +202,30 @@ fn extension_mechanisms_have_their_characteristic_tradeoffs() {
     let site = params.build_site().halved();
     let trace = params.generate_trace();
     let nores = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
-    let restart = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusUtil);
-    let migrate = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::MigrateSusUtil);
-    let dup = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::DupSusUtil);
-    let smart = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusWaitSmart);
+    let restart = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusUtil,
+    );
+    let migrate = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::MigrateSusUtil,
+    );
+    let dup = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::DupSusUtil,
+    );
+    let smart = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusWaitSmart,
+    );
 
     // Migration keeps progress, so it beats restart-based rescheduling on
     // suspended-job completion time at the default (paper-derived) costs.
@@ -168,6 +245,11 @@ fn extension_mechanisms_have_their_characteristic_tradeoffs() {
     }
     // The multi-metric policy is at least as good as ResSusWaitUtil on
     // overall waste (it sees strictly more signal).
-    let wait_util = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
+    let wait_util = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusWaitUtil,
+    );
     assert!(smart.avg_wct() < wait_util.avg_wct() * 1.1);
 }

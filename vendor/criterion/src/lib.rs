@@ -1,0 +1,258 @@
+//! A minimal, dependency-free benchmark harness with (a subset of) the
+//! `criterion` crate's API.
+//!
+//! This workspace builds in fully offline environments where crates.io is
+//! unreachable, so the real `criterion` cannot be fetched. This shim keeps
+//! the `harness = false` bench targets compiling and producing useful
+//! wall-clock numbers: each benchmark is warmed up once, then timed over
+//! `sample_size` samples, and the mean/min/max per-iteration times are
+//! printed in criterion-like one-line reports.
+//!
+//! No statistical analysis, plotting, or baseline comparison is performed —
+//! for cross-PR perf tracking this repo uses the `perf_baseline` binary,
+//! which writes absolute wall-clock numbers to `BENCH_dispatch.json`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            group_name: name.to_string(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone (ungrouped) benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &id.into_benchmark_id().full,
+            self.default_sample_size,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// Anything accepted where a benchmark id is expected (`&str`, `String`,
+/// or an explicit [`BenchmarkId`]), mirroring criterion's API surface.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into the canonical id form.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    group_name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group_name, id.into_benchmark_id().full);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.group_name, id.full);
+        run_bench(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per configured sample slot.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (also primes caches/allocator so sample 0 isn't an outlier),
+        // doubling as calibration: fast routines get batched so each sample
+        // spans at least ~5ms and stays above the OS timer's resolution.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<55} (no samples: b.iter was not called)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<55} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        bencher.samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
