@@ -8,10 +8,16 @@
 //! of the dispatch hot path is visible in review diffs.
 //!
 //! Usage: `cargo run --release -p netbatch-bench --bin perf_baseline`
+//!
+//! With `--check-invariants` every cell runs under the online invariant
+//! checker instead, and the results are printed but **not** written to
+//! `BENCH_dispatch.json`: the committed file always tracks the
+//! observer-free hot path, and the flagged run measures the checker's
+//! overhead against it (budget: <= 1.2x, see EXPERIMENTS.md).
 
 use std::time::Instant;
 
-use netbatch_bench::runner::{build_scenario, run_cell, scale_from_env, Load};
+use netbatch_bench::runner::{build_scenario, run_cell_opts, scale_from_env, Load, RunnerOpts};
 use netbatch_core::policy::{InitialKind, StrategyKind};
 
 struct Cell {
@@ -24,6 +30,10 @@ struct Cell {
 
 fn main() {
     let scale = scale_from_env();
+    let opts = RunnerOpts {
+        check_invariants: std::env::args().any(|a| a == "--check-invariants"),
+        stats: false,
+    };
     let strategies = [
         StrategyKind::NoRes,
         StrategyKind::ResSusUtil,
@@ -37,7 +47,7 @@ fn main() {
         let (site, trace) = build_scenario(load, scale);
         for strategy in strategies {
             let start = Instant::now();
-            let result = run_cell(&site, &trace, InitialKind::RoundRobin, strategy);
+            let (result, _) = run_cell_opts(&site, &trace, InitialKind::RoundRobin, strategy, opts);
             let wall = start.elapsed();
             let wall_ms = wall.as_secs_f64() * 1e3;
             let events = result.counters.events;
@@ -56,6 +66,13 @@ fn main() {
         }
     }
     let total_wall_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    if opts.check_invariants {
+        println!(
+            "\ntotal: {total_wall_ms:.1} ms at scale {scale} under the invariant checker \
+             (baseline not rewritten; compare against BENCH_dispatch.json)"
+        );
+        return;
+    }
 
     let mut json = String::new();
     json.push_str("{\n");

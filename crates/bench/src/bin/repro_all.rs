@@ -5,11 +5,18 @@
 //! `NETBATCH_SCALE` scales the site and arrival rates (default 0.1; set
 //! 1.0 for the paper-sized 248k-job week). The year-long figure runs use
 //! half the table scale.
+//!
+//! Flags: `--scale N` overrides `NETBATCH_SCALE`; `--check-invariants`
+//! runs every cell under the online invariant checker; `--stats` prints a
+//! per-event-kind timing report per cell; `--markdown` appends the
+//! EXPERIMENTS.md tables; `--smoke` reports shape checks without gating
+//! the exit code on them (they are calibrated for scale >= 0.1, so
+//! small-scale CI runs gate only on invariants, which panic on violation).
 
 use netbatch_bench::paper::{figure2, TABLE_1, TABLE_2, TABLE_3, TABLE_4, TABLE_5};
 use netbatch_bench::runner::{
     build_scenario, markdown_comparison, print_comparison, print_reductions, reduction,
-    run_strategies, scale_from_env, Load,
+    run_strategies_opts, scale_from_env, Load, RunnerOpts,
 };
 use netbatch_core::experiment::Experiment;
 use netbatch_core::policy::{InitialKind, StrategyKind};
@@ -27,9 +34,32 @@ fn check(name: &'static str, pass: bool, detail: String) -> ShapeCheck {
 }
 
 fn main() {
-    let scale = scale_from_env();
+    let argv: Vec<String> = std::env::args().collect();
+    let scale = match argv.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let v = argv.get(i + 1).expect("--scale needs a value");
+            let scale: f64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("--scale must be a number, got `{v}`"));
+            assert!(scale > 0.0, "--scale must be positive");
+            scale
+        }
+        None => scale_from_env(),
+    };
+    let opts = RunnerOpts {
+        check_invariants: argv.iter().any(|a| a == "--check-invariants"),
+        stats: argv.iter().any(|a| a == "--stats"),
+    };
+    let smoke = argv.iter().any(|a| a == "--smoke");
     let t0 = std::time::Instant::now();
-    println!("NetBatch dynamic-rescheduling reproduction | scale {scale}");
+    println!(
+        "NetBatch dynamic-rescheduling reproduction | scale {scale}{}",
+        if opts.check_invariants {
+            " | invariant-checked"
+        } else {
+            ""
+        }
+    );
     let mut checks: Vec<ShapeCheck> = Vec::new();
     let mut markdown = String::new();
 
@@ -37,33 +67,36 @@ fn main() {
     let (normal_site, trace) = build_scenario(Load::Normal, scale);
     let high_site = normal_site.halved();
 
-    let t1 = run_strategies(
+    let t1 = run_strategies_opts(
         &normal_site,
         &trace,
         InitialKind::RoundRobin,
         &StrategyKind::PAPER_SUSPEND_ONLY,
+        opts,
     );
     print_comparison("Table 1: normal load, round-robin initial", &t1, &TABLE_1);
     print_reductions(&t1);
     markdown.push_str("\n### Table 1 (normal load, round-robin initial)\n\n");
     markdown.push_str(&markdown_comparison(&t1, &TABLE_1));
 
-    let t2 = run_strategies(
+    let t2 = run_strategies_opts(
         &high_site,
         &trace,
         InitialKind::RoundRobin,
         &StrategyKind::PAPER_SUSPEND_ONLY,
+        opts,
     );
     print_comparison("Table 2: high load, round-robin initial", &t2, &TABLE_2);
     print_reductions(&t2);
     markdown.push_str("\n### Table 2 (high load, round-robin initial)\n\n");
     markdown.push_str(&markdown_comparison(&t2, &TABLE_2));
 
-    let t3 = run_strategies(
+    let t3 = run_strategies_opts(
         &high_site,
         &trace,
         InitialKind::UtilizationBased,
         &StrategyKind::PAPER_SUSPEND_ONLY,
+        opts,
     );
     print_comparison(
         "Table 3: high load, utilization-based initial",
@@ -74,11 +107,12 @@ fn main() {
     markdown.push_str("\n### Table 3 (high load, utilization-based initial)\n\n");
     markdown.push_str(&markdown_comparison(&t3, &TABLE_3));
 
-    let t4 = run_strategies(
+    let t4 = run_strategies_opts(
         &high_site,
         &trace,
         InitialKind::RoundRobin,
         &StrategyKind::PAPER_WITH_WAIT,
+        opts,
     );
     print_comparison(
         "Table 4: wait rescheduling, round-robin initial",
@@ -89,11 +123,12 @@ fn main() {
     markdown.push_str("\n### Table 4 (wait rescheduling, round-robin initial)\n\n");
     markdown.push_str(&markdown_comparison(&t4, &TABLE_4));
 
-    let t5 = run_strategies(
+    let t5 = run_strategies_opts(
         &high_site,
         &trace,
         InitialKind::UtilizationBased,
         &StrategyKind::PAPER_WITH_WAIT,
+        opts,
     );
     print_comparison(
         "Table 5: wait rescheduling, utilization-based initial",
@@ -106,21 +141,25 @@ fn main() {
 
     // ---- High-suspension scenario ----
     let hs_params = ScenarioParams::high_suspension_week(scale);
-    let hs = run_strategies(
+    let hs = run_strategies_opts(
         &hs_params.build_site(),
         &hs_params.generate_trace(),
         InitialKind::RoundRobin,
         &[StrategyKind::NoRes, StrategyKind::ResSusUtil],
+        opts,
     );
     print_comparison("High-suspension scenario (§3.2.1)", &hs, &[]);
     print_reductions(&hs);
 
     // ---- Figure 2 / Figure 4 (year trace) ----
     let year_params = ScenarioParams::year(scale * 0.5);
+    let mut year_config =
+        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes).with_sampling();
+    year_config.check_invariants = opts.check_invariants;
     let year = Experiment::new(
         year_params.build_site(),
         year_params.generate_trace(),
-        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes).with_sampling(),
+        year_config,
     )
     .run();
     let cdf = year.suspension_cdf();
@@ -339,10 +378,14 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    if std::env::args().any(|a| a == "--markdown") {
+    if argv.iter().any(|a| a == "--markdown") {
         println!("\n---- markdown for EXPERIMENTS.md ----\n{markdown}");
     }
     if passed < checks.len() {
-        std::process::exit(1);
+        if smoke {
+            println!("(smoke mode: shape checks reported but not gating the exit code)");
+        } else {
+            std::process::exit(1);
+        }
     }
 }

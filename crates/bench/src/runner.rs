@@ -7,9 +7,10 @@
 //! paper's site and arrival rates, which preserves utilization and policy
 //! behaviour; use 1.0 for the full 20x-larger runs).
 
-use netbatch_core::experiment::{Experiment, ExperimentResult};
+use netbatch_core::experiment::ExperimentResult;
+use netbatch_core::observer::StatsProbe;
 use netbatch_core::policy::{InitialKind, StrategyKind};
-use netbatch_core::simulator::SimConfig;
+use netbatch_core::simulator::{SimConfig, Simulator};
 use netbatch_metrics::table::{fmt_minutes, fmt_percent, Table};
 use netbatch_workload::scenarios::{ScenarioParams, SiteSpec};
 use netbatch_workload::trace::Trace;
@@ -56,6 +57,20 @@ pub fn build_scenario(load: Load, scale: f64) -> (SiteSpec, Trace) {
     (site, params.generate_trace())
 }
 
+/// Observer options for a harness run.
+///
+/// The default (all off) keeps the hot path observer-free; the harness
+/// binaries flip these from `--check-invariants` / `--stats` flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerOpts {
+    /// Run every cell under the online [`netbatch_core::InvariantChecker`]
+    /// (panics, with event history, on the first violated invariant).
+    pub check_invariants: bool,
+    /// Attach a [`StatsProbe`] per cell and print its per-event-kind
+    /// report after the strategies of a table finish.
+    pub stats: bool,
+}
+
 /// Runs one experiment cell.
 pub fn run_cell(
     site: &SiteSpec,
@@ -63,12 +78,35 @@ pub fn run_cell(
     initial: InitialKind,
     strategy: StrategyKind,
 ) -> ExperimentResult {
-    Experiment::new(
-        site.clone(),
-        trace.clone(),
-        SimConfig::new(initial, strategy),
-    )
-    .run()
+    run_cell_opts(site, trace, initial, strategy, RunnerOpts::default()).0
+}
+
+/// Runs one experiment cell under the given observer options.
+///
+/// Returns the experiment result plus the [`StatsProbe`] report when
+/// `opts.stats` is set (`None` otherwise).
+pub fn run_cell_opts(
+    site: &SiteSpec,
+    trace: &Trace,
+    initial: InitialKind,
+    strategy: StrategyKind,
+    opts: RunnerOpts,
+) -> (ExperimentResult, Option<String>) {
+    let mut config = SimConfig::new(initial, strategy);
+    config.check_invariants = opts.check_invariants;
+    let mut sim = Simulator::new(site, trace.to_specs(), config);
+    if opts.stats {
+        sim.attach_observer(Box::new(StatsProbe::new()));
+    }
+    let mut output = sim.run_to_completion();
+    let observers = std::mem::take(&mut output.observers);
+    let result = ExperimentResult::from_output(initial, strategy, output);
+    let report = observers.iter().find_map(|o| {
+        o.as_any()
+            .downcast_ref::<StatsProbe>()
+            .map(|probe| format!("-- {} --\n{}", strategy.name(), probe.report()))
+    });
+    (result, report)
 }
 
 /// Runs a list of strategies over the same scenario, in parallel (one
@@ -79,16 +117,40 @@ pub fn run_strategies(
     initial: InitialKind,
     strategies: &[StrategyKind],
 ) -> Vec<ExperimentResult> {
-    std::thread::scope(|scope| {
+    run_strategies_opts(site, trace, initial, strategies, RunnerOpts::default())
+}
+
+/// Runs a list of strategies in parallel under the given observer
+/// options. Stats reports (if requested) are printed after all cells
+/// finish, in strategy order, so parallel runs never interleave output.
+pub fn run_strategies_opts(
+    site: &SiteSpec,
+    trace: &Trace,
+    initial: InitialKind,
+    strategies: &[StrategyKind],
+    opts: RunnerOpts,
+) -> Vec<ExperimentResult> {
+    let cells: Vec<(ExperimentResult, Option<String>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = strategies
             .iter()
-            .map(|&strategy| scope.spawn(move || run_cell(site, trace, initial, strategy)))
+            .map(|&strategy| {
+                scope.spawn(move || run_cell_opts(site, trace, initial, strategy, opts))
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment thread panicked"))
             .collect()
-    })
+    });
+    cells
+        .into_iter()
+        .map(|(result, report)| {
+            if let Some(report) = report {
+                print!("{report}");
+            }
+            result
+        })
+        .collect()
 }
 
 /// Prints a measured-vs-paper comparison table.
@@ -207,6 +269,34 @@ mod tests {
             assert_eq!(r.suspend_rate, serial.suspend_rate);
             assert_eq!(r.avg_ct_all, serial.avg_ct_all);
         }
+    }
+
+    #[test]
+    fn opts_cell_checks_invariants_and_reports_stats() {
+        let (site, trace) = build_scenario(Load::Normal, 0.01);
+        let opts = RunnerOpts {
+            check_invariants: true,
+            stats: true,
+        };
+        let (result, report) = run_cell_opts(
+            &site,
+            &trace,
+            InitialKind::RoundRobin,
+            StrategyKind::ResSusUtil,
+            opts,
+        );
+        // Same numbers as the observer-free path: observers are read-only.
+        let plain = run_cell(
+            &site,
+            &trace,
+            InitialKind::RoundRobin,
+            StrategyKind::ResSusUtil,
+        );
+        assert_eq!(result.avg_ct_all, plain.avg_ct_all);
+        assert_eq!(result.suspend_rate, plain.suspend_rate);
+        let report = report.expect("stats report requested");
+        assert!(report.contains("ResSusUtil"));
+        assert!(report.contains("submit"));
     }
 
     #[test]

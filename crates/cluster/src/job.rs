@@ -315,6 +315,14 @@ impl JobRecord {
         self.remaining_wall
     }
 
+    /// Wall-clock progress accrued in the current attempt as of the last
+    /// accounting update — the amount a restart from the suspended state
+    /// would discard. For a running job this excludes the time since the
+    /// last suspend/resume boundary (callers add `now - phase_since()`).
+    pub fn attempt_progress(&self) -> SimDuration {
+        self.attempt_wall - self.remaining_wall
+    }
+
     fn err(&self, operation: &'static str) -> PhaseError {
         PhaseError {
             job: self.spec.id,

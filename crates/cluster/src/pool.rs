@@ -269,6 +269,12 @@ impl PhysicalPool {
         self.machines.len()
     }
 
+    /// Read access to one machine, for observers that cross-check the
+    /// pool's per-machine accounting (cores, resident memory) online.
+    pub fn machine(&self, id: MachineId) -> Option<&Machine> {
+        self.machines.get(id.as_usize())
+    }
+
     /// Since when a job has been waiting in this pool's queue, if it is.
     pub fn waiting_since(&self, job: JobId) -> Option<SimTime> {
         let key = self.queue_index.get(&job)?;

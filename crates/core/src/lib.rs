@@ -32,9 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod observer;
 pub mod policy;
 pub mod simulator;
 
 pub use experiment::{render_results_table, Experiment, ExperimentResult, PAPER_TABLE_HEADER};
+pub use observer::{
+    InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind, SimObserver, StatsProbe,
+    TraceRecorder,
+};
 pub use policy::{InitialKind, ReschedPolicy, StrategyKind};
 pub use simulator::{RunCounters, SimConfig, SimOutput, Simulator};

@@ -1,0 +1,1311 @@
+//! Online observers for the simulator event loop.
+//!
+//! The paper's ASCA simulator exposes "per-minute states of all components
+//! and jobs"; this module is the equivalent observable surface for our
+//! simulator. A [`SimObserver`] receives a callback for every lifecycle
+//! transition the simulator performs — submission, VPM pool choice,
+//! dispatch, preemption, resumption, rescheduling (with the chosen pool
+//! and the discarded progress), wait timeouts, completion, machine
+//! failures and the per-minute sample tick — plus a kernel marker at the
+//! start of each discrete event.
+//!
+//! The layer is zero-cost when unused: the simulator's emit path returns
+//! immediately when no observer is attached, so table experiments pay
+//! nothing for it.
+//!
+//! Three observers ship built in:
+//!
+//! * [`InvariantChecker`] — validates conservation (busy cores vs pool
+//!   accounting, per-machine resident memory), lifecycle tiling (wait +
+//!   suspend + run segments tile each completed job's lifetime), queue
+//!   order (priority then FIFO) and resume order (suspended jobs resume
+//!   before queued jobs start, per machine) *online*, panicking with a
+//!   replayable event context on the first violation;
+//! * [`TraceRecorder`] — streams a deterministic JSONL event log
+//!   (hand-written JSON; the workspace carries no serde) for golden-trace
+//!   conformance tests and cross-run differential debugging;
+//! * [`StatsProbe`] — per-event-kind counters and per-kernel-event
+//!   wall-clock timings, surfaced through the CLI (`--stats`) and the
+//!   bench runner.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use netbatch_cluster::ids::{JobId, MachineId, PoolId};
+use netbatch_cluster::job::JobRecord;
+use netbatch_cluster::pool::PhysicalPool;
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+
+/// Why a job left its pool through the rescheduling path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReschedKind {
+    /// Restarted from scratch out of the suspended state (the paper's
+    /// core mechanism).
+    RestartFromSuspend,
+    /// Restarted out of a wait queue (the paper's §3.3 extension).
+    RestartFromWait,
+    /// Migrated with its progress (checkpoint/VM migration extension).
+    Migrate,
+    /// Evicted by a machine failure.
+    FailureEvict,
+}
+
+impl ReschedKind {
+    /// Stable label, used as the event kind in traces and counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReschedKind::RestartFromSuspend => "restart_from_suspend",
+            ReschedKind::RestartFromWait => "restart_from_wait",
+            ReschedKind::Migrate => "migrate",
+            ReschedKind::FailureEvict => "failure_evict",
+        }
+    }
+}
+
+/// The lifecycle phase a job occupied when an event captured it (a
+/// payload-free mirror of [`netbatch_cluster::job::JobPhase`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseTag {
+    /// At the virtual pool manager (or in migration transit).
+    AtVpm,
+    /// Waiting in a pool queue.
+    Waiting,
+    /// Running on a machine.
+    Running,
+    /// Suspended on a machine.
+    Suspended,
+}
+
+impl PhaseTag {
+    /// Stable label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseTag::AtVpm => "at-vpm",
+            PhaseTag::Waiting => "waiting",
+            PhaseTag::Running => "running",
+            PhaseTag::Suspended => "suspended",
+        }
+    }
+}
+
+/// One observable simulator transition.
+///
+/// `Kernel` and `BatchStart` are structural markers (the former opens each
+/// discrete event, the latter each pool action batch); everything else is
+/// a job or machine lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A kernel event begins; all state mutated by the previous event has
+    /// settled. `kind` is the kernel event's label.
+    Kernel {
+        /// The kernel event kind (e.g. `"submit"`, `"complete"`).
+        kind: &'static str,
+    },
+    /// A batch of pool actions (one `submit`/`release`/`capacity_cycle`
+    /// outcome) begins to replay onto the job records.
+    BatchStart {
+        /// The pool the batch belongs to.
+        pool: PoolId,
+    },
+    /// A job's submission reached the virtual pool manager.
+    Submit {
+        /// The submitted job.
+        job: JobId,
+    },
+    /// The VPM selected a pool for a job (it will dispatch or queue there).
+    PoolChosen {
+        /// The routed job.
+        job: JobId,
+        /// The chosen pool.
+        pool: PoolId,
+    },
+    /// No pool can ever run the job; the VPM gave up on it.
+    Unrunnable {
+        /// The unroutable job.
+        job: JobId,
+    },
+    /// A machine started executing a job.
+    Dispatch {
+        /// The started job.
+        job: JobId,
+        /// The hosting pool.
+        pool: PoolId,
+        /// The hosting machine.
+        machine: MachineId,
+        /// Wall-clock length of this attempt (runtime scaled by machine
+        /// speed).
+        wall: SimDuration,
+        /// True when the job came from the pool's wait queue rather than
+        /// straight from the VPM.
+        from_queue: bool,
+    },
+    /// A pool queued a job it could not start immediately.
+    Enqueue {
+        /// The queued job.
+        job: JobId,
+        /// The queueing pool.
+        pool: PoolId,
+    },
+    /// A higher-priority job preempted (suspended) a running job.
+    Suspend {
+        /// The suspended job.
+        job: JobId,
+        /// The hosting pool.
+        pool: PoolId,
+        /// The machine the job is suspended on.
+        machine: MachineId,
+    },
+    /// A suspended job resumed on its machine.
+    Resume {
+        /// The resumed job.
+        job: JobId,
+        /// The hosting pool.
+        pool: PoolId,
+        /// The machine it resumed on.
+        machine: MachineId,
+    },
+    /// A rescheduling decision moved a job out of its pool.
+    Reschedule {
+        /// The rescheduled job.
+        job: JobId,
+        /// The mechanism that moved it.
+        kind: ReschedKind,
+        /// The pool it left.
+        from_pool: PoolId,
+        /// The machine it occupied, when it was resident on one.
+        machine: Option<MachineId>,
+        /// The phase it was captured in.
+        from_phase: PhaseTag,
+        /// The chosen target pool; `None` for failure evictions, which
+        /// re-route through the VPM.
+        to: Option<PoolId>,
+        /// Execution progress discarded by the move (zero for migrations,
+        /// which keep progress).
+        discarded: SimDuration,
+    },
+    /// A waiting job's rescheduling threshold elapsed and the policy was
+    /// consulted.
+    WaitTimeout {
+        /// The waiting job.
+        job: JobId,
+        /// The pool whose queue holds it.
+        pool: PoolId,
+    },
+    /// A duplicate copy of a suspended job was launched.
+    DuplicateLaunched {
+        /// The suspended original.
+        original: JobId,
+        /// The freshly created shadow copy.
+        clone: JobId,
+        /// The pool the copy was sent to.
+        target: PoolId,
+    },
+    /// A job was finished by its duplicate completing elsewhere; the loser
+    /// of the race was cancelled in place.
+    ProxyFinish {
+        /// The cancelled copy.
+        job: JobId,
+        /// The phase it was cancelled in.
+        from_phase: PhaseTag,
+        /// The pool it occupied, if resident or queued.
+        pool: Option<PoolId>,
+        /// The machine it occupied, if resident.
+        machine: Option<MachineId>,
+    },
+    /// A running job finished.
+    Complete {
+        /// The finished job.
+        job: JobId,
+        /// The hosting pool.
+        pool: PoolId,
+        /// The hosting machine.
+        machine: MachineId,
+    },
+    /// An injected machine failure fired; per-job evictions follow as
+    /// [`ObsEvent::Reschedule`] events with [`ReschedKind::FailureEvict`].
+    MachineDown {
+        /// The pool containing the machine.
+        pool: PoolId,
+        /// The failed machine.
+        machine: MachineId,
+    },
+    /// A failed machine came back online.
+    MachineUp {
+        /// The pool containing the machine.
+        pool: PoolId,
+        /// The restored machine.
+        machine: MachineId,
+    },
+    /// The per-minute state sample tick (ASCA's sampling cadence).
+    Sample,
+}
+
+impl ObsEvent {
+    /// Stable per-kind label; [`ObsEvent::Reschedule`] is labelled by its
+    /// [`ReschedKind`] so counters reconcile with [`RunCounters`]
+    /// per-mechanism fields.
+    ///
+    /// [`RunCounters`]: crate::simulator::RunCounters
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObsEvent::Kernel { .. } => "kernel",
+            ObsEvent::BatchStart { .. } => "batch",
+            ObsEvent::Submit { .. } => "submit",
+            ObsEvent::PoolChosen { .. } => "pool_chosen",
+            ObsEvent::Unrunnable { .. } => "unrunnable",
+            ObsEvent::Dispatch { .. } => "dispatch",
+            ObsEvent::Enqueue { .. } => "enqueue",
+            ObsEvent::Suspend { .. } => "suspend",
+            ObsEvent::Resume { .. } => "resume",
+            ObsEvent::Reschedule { kind, .. } => kind.label(),
+            ObsEvent::WaitTimeout { .. } => "wait_timeout",
+            ObsEvent::DuplicateLaunched { .. } => "duplicate",
+            ObsEvent::ProxyFinish { .. } => "proxy_finish",
+            ObsEvent::Complete { .. } => "complete",
+            ObsEvent::MachineDown { .. } => "machine_down",
+            ObsEvent::MachineUp { .. } => "machine_up",
+            ObsEvent::Sample => "sample",
+        }
+    }
+}
+
+/// Read-only view of the simulator's state, handed to observers alongside
+/// each event.
+pub struct ObsCtx<'a> {
+    /// The physical pools, in id order.
+    pub pools: &'a [PhysicalPool],
+    /// All job records (including shadow duplicates), indexed by job id.
+    pub jobs: &'a [JobRecord],
+    /// Ids of shadow (duplicate) copies, which are excluded from reported
+    /// metrics.
+    pub shadows: &'a std::collections::HashSet<JobId>,
+}
+
+/// An online observer of simulator transitions.
+///
+/// Implementations must keep their `Debug` output deterministic across
+/// same-seed runs (no wall-clock times, no pointer values): observers ride
+/// inside [`SimOutput`](crate::simulator::SimOutput), whose debug
+/// rendering the determinism suite compares byte-for-byte.
+pub trait SimObserver: std::fmt::Debug {
+    /// Called for every observable transition, in deterministic order.
+    fn on_event(&mut self, now: SimTime, event: &ObsEvent, ctx: &ObsCtx<'_>);
+
+    /// Called once after the event loop drains, with the final state.
+    fn on_run_end(&mut self, _now: SimTime, _ctx: &ObsCtx<'_>) {}
+
+    /// Upcast for downcasting out of
+    /// [`SimOutput::observer`](crate::simulator::SimOutput::observer).
+    fn as_any(&self) -> &dyn Any;
+}
+
+// ---------------------------------------------------------------------
+// InvariantChecker
+// ---------------------------------------------------------------------
+
+/// The checker's independent model of where a job is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SPhase {
+    Unsubmitted,
+    AtVpm,
+    Waiting(PoolId),
+    Running(PoolId, MachineId),
+    Suspended(PoolId, MachineId),
+    /// Migrating between pools (the record shows `AtVpm` during transit).
+    InTransit,
+    Done,
+}
+
+/// How many events the replayable panic context retains.
+const HISTORY: usize = 64;
+
+/// Minimum number of observed events between deep sweeps (full pool
+/// scans, queue order, phase cross-checks). A sweep costs O(jobs +
+/// machines), so the effective interval is `max(DEEP_SWEEP_EVERY, jobs +
+/// machines)`: total sweep work stays O(events) and the checker's
+/// overhead a bounded fraction of the run, while small property-test
+/// sites keep sweeping every 1024 events. O(touched) shadow-accounting
+/// checks run at every kernel boundary regardless.
+const DEEP_SWEEP_EVERY: u64 = 1024;
+
+/// Validates simulator invariants online, at every event.
+///
+/// The checker maintains its own shadow accounting — per-pool busy cores,
+/// per-machine resident memory, and a phase machine per job — updated only
+/// from the event stream, and compares it against the pools' internal
+/// accounting at every kernel boundary (pool state is fully settled
+/// there). A mismatch means the simulator's incremental accounting and its
+/// event stream disagree; the checker panics with the last [`HISTORY`]
+/// events so the failure is replayable.
+///
+/// Checked invariants:
+///
+/// * **conservation** — shadow busy cores == pool busy cores ≤ total
+///   cores; shadow resident memory == machine resident memory ≤ machine
+///   capacity (suspension keeps memory, releases cores);
+/// * **lifecycle** — every transition arrives in a legal phase, and at
+///   completion `wait + suspend + run` tiles the job's submission-to-
+///   completion span exactly;
+/// * **queue order** — pool queues iterate priority-descending, FIFO
+///   within a priority class (deep sweep);
+/// * **resume order** — within one pool action batch, no machine resumes
+///   a suspended job after starting a queued one (suspended-before-
+///   waiting, per machine);
+/// * **monotonic time** — observed event times never regress.
+pub struct InvariantChecker {
+    phases: Vec<SPhase>,
+    busy: Vec<u64>,
+    mem: Vec<Vec<u64>>,
+    touched_pools: Vec<usize>,
+    touched_machines: Vec<(usize, usize)>,
+    queue_started: Vec<(usize, usize)>,
+    history: VecDeque<(SimTime, ObsEvent)>,
+    last_now: SimTime,
+    events_seen: u64,
+    last_sweep: u64,
+    machine_total: u64,
+    initialized: bool,
+}
+
+impl Default for InvariantChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for InvariantChecker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvariantChecker")
+            .field("events_seen", &self.events_seen)
+            .finish()
+    }
+}
+
+impl InvariantChecker {
+    /// A fresh checker; sizes itself lazily from the first event's context.
+    pub fn new() -> Self {
+        InvariantChecker {
+            phases: Vec::new(),
+            busy: Vec::new(),
+            mem: Vec::new(),
+            touched_pools: Vec::new(),
+            touched_machines: Vec::new(),
+            queue_started: Vec::new(),
+            history: VecDeque::with_capacity(HISTORY),
+            last_now: SimTime::ZERO,
+            events_seen: 0,
+            last_sweep: 0,
+            machine_total: 0,
+            initialized: false,
+        }
+    }
+
+    /// Events observed so far (including markers).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    fn ensure_init(&mut self, ctx: &ObsCtx<'_>) {
+        if self.initialized {
+            return;
+        }
+        self.busy = vec![0; ctx.pools.len()];
+        self.mem = ctx
+            .pools
+            .iter()
+            .map(|p| vec![0; p.machine_count()])
+            .collect();
+        self.phases = vec![SPhase::Unsubmitted; ctx.jobs.len()];
+        self.machine_total = ctx.pools.iter().map(|p| p.machine_count() as u64).sum();
+        self.initialized = true;
+    }
+
+    fn phase(&mut self, job: JobId) -> SPhase {
+        let i = job.as_usize();
+        if i >= self.phases.len() {
+            self.phases.resize(i + 1, SPhase::Unsubmitted);
+        }
+        self.phases[i]
+    }
+
+    fn set_phase(&mut self, job: JobId, phase: SPhase) {
+        let i = job.as_usize();
+        if i >= self.phases.len() {
+            self.phases.resize(i + 1, SPhase::Unsubmitted);
+        }
+        self.phases[i] = phase;
+    }
+
+    fn touch_pool(&mut self, pool: PoolId) {
+        let p = pool.as_usize();
+        if !self.touched_pools.contains(&p) {
+            self.touched_pools.push(p);
+        }
+    }
+
+    fn touch_machine(&mut self, pool: PoolId, machine: MachineId) {
+        self.touch_pool(pool);
+        let key = (pool.as_usize(), machine.as_usize());
+        if !self.touched_machines.contains(&key) {
+            self.touched_machines.push(key);
+        }
+    }
+
+    #[cold]
+    fn violation(&self, now: SimTime, msg: &str) -> ! {
+        let mut dump = String::new();
+        for (t, ev) in &self.history {
+            let _ = writeln!(dump, "  {t} {ev:?}");
+        }
+        panic!(
+            "invariant violated at {now}: {msg}\nlast {} observed events (oldest first):\n{dump}",
+            self.history.len()
+        );
+    }
+
+    fn expect_phase(&mut self, now: SimTime, job: JobId, want: SPhase, at: &str) {
+        let got = self.phase(job);
+        if got != want {
+            self.violation(now, &format!("{at}: {job} is {got:?}, expected {want:?}"));
+        }
+    }
+
+    /// A job's resource footprint, read from its record.
+    fn resources(&self, ctx: &ObsCtx<'_>, job: JobId) -> (u64, u64) {
+        let res = ctx.jobs[job.as_usize()].spec().resources;
+        (u64::from(res.cores), res.memory_mb)
+    }
+
+    fn add_usage(&mut self, pool: PoolId, machine: MachineId, cores: u64, mem: u64) {
+        self.busy[pool.as_usize()] += cores;
+        self.mem[pool.as_usize()][machine.as_usize()] += mem;
+        self.touch_machine(pool, machine);
+    }
+
+    fn sub_usage(&mut self, now: SimTime, pool: PoolId, machine: MachineId, cores: u64, mem: u64) {
+        let Some(b) = self.busy[pool.as_usize()].checked_sub(cores) else {
+            self.violation(
+                now,
+                &format!("busy-core underflow in {pool} (releasing {cores})"),
+            );
+        };
+        self.busy[pool.as_usize()] = b;
+        let Some(m) = self.mem[pool.as_usize()][machine.as_usize()].checked_sub(mem) else {
+            self.violation(
+                now,
+                &format!("resident-memory underflow on {pool}/{machine} (releasing {mem} MB)"),
+            );
+        };
+        self.mem[pool.as_usize()][machine.as_usize()] = m;
+        self.touch_machine(pool, machine);
+    }
+
+    /// O(touched) comparisons against the pools' own accounting; runs at
+    /// every kernel boundary (state is settled there).
+    fn check_touched(&mut self, now: SimTime, ctx: &ObsCtx<'_>) {
+        while let Some(p) = self.touched_pools.pop() {
+            self.check_pool(now, ctx, p);
+        }
+        while let Some((p, m)) = self.touched_machines.pop() {
+            self.check_machine(now, ctx, p, m);
+        }
+    }
+
+    fn check_pool(&self, now: SimTime, ctx: &ObsCtx<'_>, p: usize) {
+        let pool = &ctx.pools[p];
+        let shadow = self.busy[p];
+        let actual = u64::from(pool.busy_cores());
+        if shadow != actual {
+            self.violation(
+                now,
+                &format!(
+                    "busy-core conservation broken in {}: events say {shadow}, pool says {actual}",
+                    pool.id()
+                ),
+            );
+        }
+        let total = u64::from(pool.total_cores());
+        if shadow > total {
+            self.violation(
+                now,
+                &format!("{} runs {shadow} cores but only has {total}", pool.id()),
+            );
+        }
+    }
+
+    fn check_machine(&self, now: SimTime, ctx: &ObsCtx<'_>, p: usize, m: usize) {
+        let pool = &ctx.pools[p];
+        let Some(mach) = pool.machine(MachineId(m as u32)) else {
+            self.violation(now, &format!("unknown machine m{m} in {}", pool.id()));
+        };
+        let shadow = self.mem[p][m];
+        let actual = mach.memory_used();
+        if shadow != actual {
+            self.violation(
+                now,
+                &format!(
+                    "memory accounting broken on {}/m{m}: events say {shadow} MB, machine says {actual} MB",
+                    pool.id()
+                ),
+            );
+        }
+        if shadow > mach.config().memory_mb {
+            self.violation(
+                now,
+                &format!(
+                    "{}/m{m} holds {shadow} MB resident but has {} MB",
+                    pool.id(),
+                    mach.config().memory_mb
+                ),
+            );
+        }
+    }
+
+    /// Full-state sweep: every pool's internal invariants, queue order,
+    /// and the shadow phase machine against the job records.
+    fn deep_sweep(&self, now: SimTime, ctx: &ObsCtx<'_>) {
+        for (p, pool) in ctx.pools.iter().enumerate() {
+            if self.busy[p] != u64::from(pool.busy_cores()) {
+                self.violation(
+                    now,
+                    &format!(
+                        "busy-core conservation broken in {} (deep sweep): events say {}, pool says {}",
+                        pool.id(),
+                        self.busy[p],
+                        pool.busy_cores()
+                    ),
+                );
+            }
+            if !pool.check_invariants() {
+                self.violation(now, &format!("{} fails its internal invariants", pool.id()));
+            }
+            let mut prev: Option<(netbatch_cluster::priority::Priority, SimTime)> = None;
+            for entry in pool.waiting_jobs() {
+                if let Some((prio, at)) = prev {
+                    if entry.priority > prio {
+                        self.violation(
+                            now,
+                            &format!(
+                                "queue order broken in {}: {:?} queued behind {:?}",
+                                pool.id(),
+                                entry.priority,
+                                prio
+                            ),
+                        );
+                    }
+                    if entry.priority == prio && entry.enqueued_at < at {
+                        self.violation(
+                            now,
+                            &format!(
+                                "FIFO order broken in {} for priority {:?}: {} enqueued at {} sits behind {}",
+                                pool.id(),
+                                prio,
+                                entry.job,
+                                entry.enqueued_at,
+                                at
+                            ),
+                        );
+                    }
+                }
+                prev = Some((entry.priority, entry.enqueued_at));
+            }
+        }
+        for (i, rec) in ctx.jobs.iter().enumerate() {
+            let shadow = self.phases.get(i).copied().unwrap_or(SPhase::Unsubmitted);
+            use netbatch_cluster::job::JobPhase as JP;
+            let ok = match (shadow, rec.phase()) {
+                (SPhase::Unsubmitted, JP::Created) => true,
+                (SPhase::AtVpm | SPhase::InTransit, JP::AtVpm) => true,
+                (SPhase::Waiting(p), JP::Waiting { pool }) => p == pool,
+                (SPhase::Running(p, m), JP::Running { pool, machine }) => p == pool && m == machine,
+                (SPhase::Suspended(p, m), JP::Suspended { pool, machine }) => {
+                    p == pool && m == machine
+                }
+                (SPhase::Done, JP::Completed) => true,
+                _ => false,
+            };
+            if !ok {
+                self.violation(
+                    now,
+                    &format!(
+                        "phase cross-check failed for {}: events imply {shadow:?}, record says {}",
+                        rec.id(),
+                        rec.phase().name()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// wait + suspend + run must tile submission → completion exactly.
+    fn check_tiling(&self, now: SimTime, ctx: &ObsCtx<'_>, job: JobId) {
+        if ctx.shadows.contains(&job) {
+            // Duplicate clones inherit the original's submit stamp but only
+            // come to life at launch time; their span is not tileable.
+            return;
+        }
+        let rec = &ctx.jobs[job.as_usize()];
+        let Some(done) = rec.completed_at() else {
+            self.violation(now, &format!("{job} reported complete without a timestamp"));
+        };
+        let span = done.since(rec.spec().submit_time);
+        let tiled = rec.wait_time() + rec.suspend_time() + rec.run_time();
+        if span != tiled {
+            self.violation(
+                now,
+                &format!(
+                    "lifecycle tiling broken for {job}: span {span} != wait {} + suspend {} + run {}",
+                    rec.wait_time(),
+                    rec.suspend_time(),
+                    rec.run_time()
+                ),
+            );
+        }
+    }
+}
+
+impl SimObserver for InvariantChecker {
+    fn on_event(&mut self, now: SimTime, event: &ObsEvent, ctx: &ObsCtx<'_>) {
+        self.ensure_init(ctx);
+        if now < self.last_now {
+            self.violation(now, &format!("time regressed from {}", self.last_now));
+        }
+        self.last_now = now;
+        if self.history.len() == HISTORY {
+            self.history.pop_front();
+        }
+        self.history.push_back((now, *event));
+        self.events_seen += 1;
+
+        match *event {
+            ObsEvent::Kernel { .. } => {
+                self.queue_started.clear();
+                self.check_touched(now, ctx);
+                let interval = DEEP_SWEEP_EVERY.max(ctx.jobs.len() as u64 + self.machine_total);
+                if self.events_seen - self.last_sweep >= interval {
+                    self.deep_sweep(now, ctx);
+                    self.last_sweep = self.events_seen;
+                }
+            }
+            ObsEvent::BatchStart { .. } => self.queue_started.clear(),
+            ObsEvent::Submit { job } => {
+                self.expect_phase(now, job, SPhase::Unsubmitted, "submit");
+                self.set_phase(job, SPhase::AtVpm);
+            }
+            ObsEvent::PoolChosen { job, .. } => match self.phase(job) {
+                // A migrating job can fall back through the VPM when its
+                // target turned ineligible in transit.
+                SPhase::AtVpm | SPhase::InTransit => {}
+                got => self.violation(
+                    now,
+                    &format!("pool_chosen: {job} is {got:?}, expected AtVpm/InTransit"),
+                ),
+            },
+            ObsEvent::Unrunnable { job } => match self.phase(job) {
+                SPhase::AtVpm | SPhase::InTransit => {}
+                got => self.violation(
+                    now,
+                    &format!("unrunnable: {job} is {got:?}, expected AtVpm/InTransit"),
+                ),
+            },
+            ObsEvent::Enqueue { job, pool } => {
+                match self.phase(job) {
+                    SPhase::AtVpm | SPhase::InTransit => {}
+                    got => self.violation(
+                        now,
+                        &format!("enqueue: {job} is {got:?}, expected AtVpm/InTransit"),
+                    ),
+                }
+                self.set_phase(job, SPhase::Waiting(pool));
+            }
+            ObsEvent::Dispatch {
+                job,
+                pool,
+                machine,
+                wall,
+                from_queue,
+            } => {
+                if from_queue {
+                    self.expect_phase(now, job, SPhase::Waiting(pool), "dispatch(queue)");
+                    self.queue_started
+                        .push((pool.as_usize(), machine.as_usize()));
+                } else {
+                    match self.phase(job) {
+                        SPhase::AtVpm | SPhase::InTransit => {}
+                        got => self.violation(
+                            now,
+                            &format!("dispatch: {job} is {got:?}, expected AtVpm/InTransit"),
+                        ),
+                    }
+                }
+                if wall.is_zero() {
+                    self.violation(now, &format!("dispatch: {job} started with zero wall time"));
+                }
+                let (cores, mem) = self.resources(ctx, job);
+                self.add_usage(pool, machine, cores, mem);
+                self.set_phase(job, SPhase::Running(pool, machine));
+            }
+            ObsEvent::Suspend { job, pool, machine } => {
+                self.expect_phase(now, job, SPhase::Running(pool, machine), "suspend");
+                let (cores, _) = self.resources(ctx, job);
+                // Suspension releases cores but keeps resident memory.
+                self.sub_usage(now, pool, machine, cores, 0);
+                self.set_phase(job, SPhase::Suspended(pool, machine));
+            }
+            ObsEvent::Resume { job, pool, machine } => {
+                self.expect_phase(now, job, SPhase::Suspended(pool, machine), "resume");
+                if self
+                    .queue_started
+                    .contains(&(pool.as_usize(), machine.as_usize()))
+                {
+                    self.violation(
+                        now,
+                        &format!(
+                            "resume order broken on {pool}/{machine}: {job} resumed after a \
+                             queued job started in the same batch"
+                        ),
+                    );
+                }
+                let (cores, _) = self.resources(ctx, job);
+                self.add_usage(pool, machine, cores, 0);
+                self.set_phase(job, SPhase::Running(pool, machine));
+            }
+            ObsEvent::Complete { job, pool, machine } => {
+                self.expect_phase(now, job, SPhase::Running(pool, machine), "complete");
+                let (cores, mem) = self.resources(ctx, job);
+                self.sub_usage(now, pool, machine, cores, mem);
+                self.set_phase(job, SPhase::Done);
+                self.check_tiling(now, ctx, job);
+            }
+            ObsEvent::WaitTimeout { job, pool } => {
+                self.expect_phase(now, job, SPhase::Waiting(pool), "wait_timeout");
+            }
+            ObsEvent::Reschedule {
+                job,
+                kind,
+                from_pool,
+                machine,
+                from_phase,
+                ..
+            } => {
+                let (cores, mem) = self.resources(ctx, job);
+                match (kind, from_phase) {
+                    (
+                        ReschedKind::RestartFromSuspend | ReschedKind::Migrate,
+                        PhaseTag::Suspended,
+                    ) => {
+                        let m = machine.unwrap_or_else(|| {
+                            self.violation(now, &format!("{}: no machine for {job}", kind.label()))
+                        });
+                        self.expect_phase(now, job, SPhase::Suspended(from_pool, m), kind.label());
+                        self.sub_usage(now, from_pool, m, 0, mem);
+                        let next = if kind == ReschedKind::Migrate {
+                            SPhase::InTransit
+                        } else {
+                            SPhase::AtVpm
+                        };
+                        self.set_phase(job, next);
+                    }
+                    (ReschedKind::RestartFromWait, PhaseTag::Waiting) => {
+                        self.expect_phase(now, job, SPhase::Waiting(from_pool), kind.label());
+                        self.set_phase(job, SPhase::AtVpm);
+                    }
+                    (ReschedKind::FailureEvict, PhaseTag::Running) => {
+                        let m = machine.unwrap_or_else(|| {
+                            self.violation(now, &format!("failure_evict: no machine for {job}"))
+                        });
+                        self.expect_phase(now, job, SPhase::Running(from_pool, m), kind.label());
+                        self.sub_usage(now, from_pool, m, cores, mem);
+                        self.set_phase(job, SPhase::AtVpm);
+                    }
+                    (ReschedKind::FailureEvict, PhaseTag::Suspended) => {
+                        let m = machine.unwrap_or_else(|| {
+                            self.violation(now, &format!("failure_evict: no machine for {job}"))
+                        });
+                        self.expect_phase(now, job, SPhase::Suspended(from_pool, m), kind.label());
+                        self.sub_usage(now, from_pool, m, 0, mem);
+                        self.set_phase(job, SPhase::AtVpm);
+                    }
+                    (kind, phase) => self.violation(
+                        now,
+                        &format!(
+                            "illegal reschedule {}/{} for {job}",
+                            kind.label(),
+                            phase.label()
+                        ),
+                    ),
+                }
+            }
+            ObsEvent::DuplicateLaunched {
+                original, clone, ..
+            } => {
+                match self.phase(original) {
+                    SPhase::Suspended(..) => {}
+                    got => self.violation(
+                        now,
+                        &format!("duplicate: original {original} is {got:?}, expected Suspended"),
+                    ),
+                }
+                self.expect_phase(now, clone, SPhase::Unsubmitted, "duplicate");
+                self.set_phase(clone, SPhase::AtVpm);
+            }
+            ObsEvent::ProxyFinish {
+                job,
+                from_phase,
+                pool,
+                machine,
+            } => {
+                let (cores, mem) = self.resources(ctx, job);
+                match from_phase {
+                    PhaseTag::Running => {
+                        let (p, m) = (pool.unwrap(), machine.unwrap());
+                        self.expect_phase(now, job, SPhase::Running(p, m), "proxy_finish");
+                        self.sub_usage(now, p, m, cores, mem);
+                    }
+                    PhaseTag::Suspended => {
+                        let (p, m) = (pool.unwrap(), machine.unwrap());
+                        self.expect_phase(now, job, SPhase::Suspended(p, m), "proxy_finish");
+                        self.sub_usage(now, p, m, 0, mem);
+                    }
+                    PhaseTag::Waiting => {
+                        let p = pool.unwrap();
+                        self.expect_phase(now, job, SPhase::Waiting(p), "proxy_finish");
+                    }
+                    PhaseTag::AtVpm => match self.phase(job) {
+                        SPhase::AtVpm | SPhase::InTransit => {}
+                        got => self.violation(
+                            now,
+                            &format!("proxy_finish: {job} is {got:?}, expected AtVpm/InTransit"),
+                        ),
+                    },
+                }
+                self.set_phase(job, SPhase::Done);
+                self.check_tiling(now, ctx, job);
+            }
+            ObsEvent::MachineDown { pool, machine } => {
+                // Evictions follow as failure_evict reschedules; once they
+                // all land, the shadow reaches the drained machine state.
+                self.touch_machine(pool, machine);
+            }
+            ObsEvent::MachineUp { pool, machine } => {
+                self.touch_machine(pool, machine);
+            }
+            ObsEvent::Sample => {}
+        }
+    }
+
+    fn on_run_end(&mut self, now: SimTime, ctx: &ObsCtx<'_>) {
+        self.ensure_init(ctx);
+        self.check_touched(now, ctx);
+        self.deep_sweep(now, ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------
+
+enum Sink {
+    Memory(String),
+    File(std::io::BufWriter<std::fs::File>),
+}
+
+/// Streams every lifecycle event as one JSON object per line (JSONL).
+///
+/// The JSON is hand-written with a fixed field order per event kind (the
+/// workspace carries no serde, the same offline constraint as
+/// `perf_baseline`), so two same-seed runs produce byte-identical logs —
+/// the property the golden-trace conformance suite pins. Structural
+/// markers ([`ObsEvent::Kernel`], [`ObsEvent::BatchStart`]) are not
+/// recorded.
+pub struct TraceRecorder {
+    sink: Sink,
+    counts: BTreeMap<&'static str, u64>,
+    events: u64,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("events", &self.events)
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+impl TraceRecorder {
+    /// Records into an in-memory buffer (read back with
+    /// [`TraceRecorder::lines`]).
+    pub fn in_memory() -> Self {
+        TraceRecorder {
+            sink: Sink::Memory(String::new()),
+            counts: BTreeMap::new(),
+            events: 0,
+        }
+    }
+
+    /// Streams to a file through a buffered writer.
+    pub fn to_file(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(TraceRecorder {
+            sink: Sink::File(std::io::BufWriter::new(file)),
+            counts: BTreeMap::new(),
+            events: 0,
+        })
+    }
+
+    /// The recorded JSONL document (empty for file-backed recorders).
+    pub fn lines(&self) -> &str {
+        match &self.sink {
+            Sink::Memory(buf) => buf,
+            Sink::File(_) => "",
+        }
+    }
+
+    /// Recorded events per kind label.
+    pub fn kind_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Total recorded events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn write_line(&mut self, line: &str) {
+        match &mut self.sink {
+            Sink::Memory(buf) => {
+                buf.push_str(line);
+                buf.push('\n');
+            }
+            Sink::File(w) => {
+                writeln!(w, "{line}").expect("trace write failed");
+            }
+        }
+    }
+
+    fn render(now: SimTime, event: &ObsEvent) -> Option<String> {
+        let t = now.as_minutes();
+        let ev = event.label();
+        let mut s = String::with_capacity(96);
+        match *event {
+            ObsEvent::Kernel { .. } | ObsEvent::BatchStart { .. } => return None,
+            ObsEvent::Submit { job } | ObsEvent::Unrunnable { job } => {
+                let _ = write!(s, r#"{{"t":{t},"ev":"{ev}","job":{}}}"#, job.as_u64());
+            }
+            ObsEvent::PoolChosen { job, pool }
+            | ObsEvent::Enqueue { job, pool }
+            | ObsEvent::WaitTimeout { job, pool } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","job":{},"pool":{}}}"#,
+                    job.as_u64(),
+                    pool.as_u16()
+                );
+            }
+            ObsEvent::Dispatch {
+                job,
+                pool,
+                machine,
+                wall,
+                from_queue,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","job":{},"pool":{},"machine":{},"wall":{},"from_queue":{from_queue}}}"#,
+                    job.as_u64(),
+                    pool.as_u16(),
+                    machine.as_u32(),
+                    wall.as_minutes()
+                );
+            }
+            ObsEvent::Suspend { job, pool, machine }
+            | ObsEvent::Resume { job, pool, machine }
+            | ObsEvent::Complete { job, pool, machine } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","job":{},"pool":{},"machine":{}}}"#,
+                    job.as_u64(),
+                    pool.as_u16(),
+                    machine.as_u32()
+                );
+            }
+            ObsEvent::Reschedule {
+                job,
+                kind: _,
+                from_pool,
+                machine,
+                from_phase,
+                to,
+                discarded,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","job":{},"from_pool":{},"machine":{},"from_phase":"{}","to":{},"discarded":{}}}"#,
+                    job.as_u64(),
+                    from_pool.as_u16(),
+                    opt_u64(machine.map(|m| u64::from(m.as_u32()))),
+                    from_phase.label(),
+                    opt_u64(to.map(|p| u64::from(p.as_u16()))),
+                    discarded.as_minutes()
+                );
+            }
+            ObsEvent::DuplicateLaunched {
+                original,
+                clone,
+                target,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","original":{},"clone":{},"target":{}}}"#,
+                    original.as_u64(),
+                    clone.as_u64(),
+                    target.as_u16()
+                );
+            }
+            ObsEvent::ProxyFinish {
+                job,
+                from_phase,
+                pool,
+                machine,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","job":{},"from_phase":"{}","pool":{},"machine":{}}}"#,
+                    job.as_u64(),
+                    from_phase.label(),
+                    opt_u64(pool.map(|p| u64::from(p.as_u16()))),
+                    opt_u64(machine.map(|m| u64::from(m.as_u32())))
+                );
+            }
+            ObsEvent::MachineDown { pool, machine } | ObsEvent::MachineUp { pool, machine } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","pool":{},"machine":{}}}"#,
+                    pool.as_u16(),
+                    machine.as_u32()
+                );
+            }
+            ObsEvent::Sample => {
+                let _ = write!(s, r#"{{"t":{t},"ev":"{ev}"}}"#);
+            }
+        }
+        Some(s)
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+impl SimObserver for TraceRecorder {
+    fn on_event(&mut self, now: SimTime, event: &ObsEvent, _ctx: &ObsCtx<'_>) {
+        if let Some(line) = Self::render(now, event) {
+            *self.counts.entry(event.label()).or_insert(0) += 1;
+            self.events += 1;
+            self.write_line(&line);
+        }
+    }
+
+    fn on_run_end(&mut self, _now: SimTime, _ctx: &ObsCtx<'_>) {
+        if let Sink::File(w) = &mut self.sink {
+            w.flush().expect("trace flush failed");
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// StatsProbe
+// ---------------------------------------------------------------------
+
+/// Counts events per kind and measures real (host) wall-clock time spent
+/// handling each kernel event kind.
+///
+/// Timings come from [`std::time::Instant`] deltas between consecutive
+/// kernel markers, so they attribute the *whole* handler (including
+/// cascaded rescheduling) to the kernel event that triggered it. The
+/// `Debug` rendering deliberately omits timings — they are not
+/// deterministic — so the probe can ride through the determinism suite.
+pub struct StatsProbe {
+    counts: BTreeMap<&'static str, u64>,
+    kernel_counts: BTreeMap<&'static str, u64>,
+    kernel_nanos: BTreeMap<&'static str, u128>,
+    open: Option<(&'static str, std::time::Instant)>,
+}
+
+impl Default for StatsProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for StatsProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsProbe")
+            .field("counts", &self.counts)
+            .field("kernel_counts", &self.kernel_counts)
+            .finish()
+    }
+}
+
+impl StatsProbe {
+    /// A fresh probe.
+    pub fn new() -> Self {
+        StatsProbe {
+            counts: BTreeMap::new(),
+            kernel_counts: BTreeMap::new(),
+            kernel_nanos: BTreeMap::new(),
+            open: None,
+        }
+    }
+
+    /// Observed transition counts per kind (markers excluded).
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Kernel events per kind.
+    pub fn kernel_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.kernel_counts
+    }
+
+    fn close_span(&mut self) {
+        if let Some((kind, started)) = self.open.take() {
+            *self.kernel_nanos.entry(kind).or_insert(0) += started.elapsed().as_nanos();
+        }
+    }
+
+    /// Human-readable summary table.
+    pub fn report(&self) -> String {
+        let mut out = String::from("event counts:\n");
+        for (kind, n) in &self.counts {
+            let _ = writeln!(out, "  {kind:<22} {n}");
+        }
+        out.push_str("handler wall time by kernel event:\n");
+        for (kind, n) in &self.kernel_counts {
+            let nanos = self.kernel_nanos.get(kind).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {kind:<22} {n:>9} events  {:>8.1} ms total  {:>7.2} µs/event",
+                nanos as f64 / 1e6,
+                nanos as f64 / 1e3 / (*n).max(1) as f64
+            );
+        }
+        out
+    }
+}
+
+impl SimObserver for StatsProbe {
+    fn on_event(&mut self, _now: SimTime, event: &ObsEvent, _ctx: &ObsCtx<'_>) {
+        if let ObsEvent::Kernel { kind } = event {
+            self.close_span();
+            *self.kernel_counts.entry(kind).or_insert(0) += 1;
+            self.open = Some((kind, std::time::Instant::now()));
+        } else if !matches!(event, ObsEvent::BatchStart { .. }) {
+            *self.counts.entry(event.label()).or_insert(0) += 1;
+        }
+    }
+
+    fn on_run_end(&mut self, _now: SimTime, _ctx: &ObsCtx<'_>) {
+        self.close_span();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_per_reschedule_kind() {
+        let ev = |kind| ObsEvent::Reschedule {
+            job: JobId(0),
+            kind,
+            from_pool: PoolId(0),
+            machine: None,
+            from_phase: PhaseTag::Waiting,
+            to: None,
+            discarded: SimDuration::ZERO,
+        };
+        assert_eq!(
+            ev(ReschedKind::RestartFromWait).label(),
+            "restart_from_wait"
+        );
+        assert_eq!(ev(ReschedKind::Migrate).label(), "migrate");
+        assert_ne!(
+            ev(ReschedKind::RestartFromSuspend).label(),
+            ev(ReschedKind::FailureEvict).label()
+        );
+    }
+
+    #[test]
+    fn trace_lines_are_valid_shape() {
+        let line = TraceRecorder::render(
+            SimTime::from_minutes(7),
+            &ObsEvent::Dispatch {
+                job: JobId(3),
+                pool: PoolId(1),
+                machine: MachineId(0),
+                wall: SimDuration::from_minutes(50),
+                from_queue: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            line,
+            r#"{"t":7,"ev":"dispatch","job":3,"pool":1,"machine":0,"wall":50,"from_queue":true}"#
+        );
+        // Markers are never rendered.
+        assert!(
+            TraceRecorder::render(SimTime::ZERO, &ObsEvent::Kernel { kind: "submit" }).is_none()
+        );
+        // Option fields render as JSON null.
+        let resched = TraceRecorder::render(
+            SimTime::ZERO,
+            &ObsEvent::Reschedule {
+                job: JobId(1),
+                kind: ReschedKind::FailureEvict,
+                from_pool: PoolId(2),
+                machine: Some(MachineId(4)),
+                from_phase: PhaseTag::Running,
+                to: None,
+                discarded: SimDuration::from_minutes(12),
+            },
+        )
+        .unwrap();
+        assert!(resched.contains(r#""to":null"#));
+        assert!(resched.contains(r#""ev":"failure_evict""#));
+    }
+
+    #[test]
+    fn stats_probe_report_lists_kinds() {
+        let mut probe = StatsProbe::new();
+        let ctx = ObsCtx {
+            pools: &[],
+            jobs: &[],
+            shadows: &Default::default(),
+        };
+        probe.on_event(SimTime::ZERO, &ObsEvent::Kernel { kind: "submit" }, &ctx);
+        probe.on_event(SimTime::ZERO, &ObsEvent::Submit { job: JobId(0) }, &ctx);
+        probe.on_run_end(SimTime::ZERO, &ctx);
+        assert_eq!(probe.counts()["submit"], 1);
+        assert_eq!(probe.kernel_counts()["submit"], 1);
+        assert!(probe.report().contains("submit"));
+    }
+}

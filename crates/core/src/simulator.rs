@@ -18,10 +18,13 @@ use netbatch_cluster::pool::{PhysicalPool, PoolAction, SubmitOutcome};
 use netbatch_cluster::snapshot::ClusterSnapshot;
 use netbatch_metrics::timeseries::TimeSeries;
 use netbatch_sim_engine::executor::{Control, Executor, Handler, RunOutcome, Scheduler};
+use netbatch_sim_engine::observe::EventLabel;
 use netbatch_sim_engine::rng::DetRng;
+use netbatch_sim_engine::sampler::PeriodicSampler;
 use netbatch_sim_engine::time::{SimDuration, SimTime};
 use netbatch_workload::scenarios::SiteSpec;
 
+use crate::observer::{InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind, SimObserver};
 use crate::policy::initial::{InitialKind, InitialScheduler};
 use crate::policy::resched::{Decision, ReschedPolicy, StrategyKind};
 
@@ -62,6 +65,12 @@ pub struct SimConfig {
     /// VPM connects to a subset of the physical pools). `None` = a single
     /// VPM connected to every pool (the single-site evaluation setup).
     pub topology: Option<VpmTopology>,
+    /// Attach an online [`InvariantChecker`] to the run, validating
+    /// conservation, lifecycle and ordering invariants at every event
+    /// (panics with replayable context on the first violation). Off by
+    /// default; the observer layer costs nothing when no observer is
+    /// attached.
+    pub check_invariants: bool,
 }
 
 /// A multi-VPM deployment: which pools each virtual pool manager serves
@@ -178,6 +187,7 @@ impl Default for SimConfig {
             failures: Vec::new(),
             migration: MigrationParams::default(),
             topology: None,
+            check_invariants: false,
         }
     }
 }
@@ -217,6 +227,20 @@ pub enum Ev {
     MachineUp(PoolId, MachineId),
     /// A migrating job arrives at its target pool.
     MigrateArrive(JobId, PoolId),
+}
+
+impl EventLabel for Ev {
+    fn label(&self) -> &'static str {
+        match self {
+            Ev::Submit(_) => "submit",
+            Ev::Complete(_) => "complete",
+            Ev::WaitCheck(_) => "wait_check",
+            Ev::Sample => "sample",
+            Ev::MachineDown(..) => "machine_down",
+            Ev::MachineUp(..) => "machine_up",
+            Ev::MigrateArrive(..) => "migrate_arrive",
+        }
+    }
 }
 
 /// Counters describing a finished run, beyond per-job records.
@@ -275,6 +299,10 @@ pub struct Simulator {
     suspended_series: TimeSeries,
     utilization_series: TimeSeries,
     waiting_series: TimeSeries,
+    // Attached observers; the emit path is a no-op while this is empty.
+    observers: Vec<Box<dyn SimObserver>>,
+    // Sampling cadence (mirrors `config.sample_interval`).
+    sampler: Option<PeriodicSampler>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -316,6 +344,13 @@ impl Simulator {
                 .collect(),
             None => Vec::new(),
         };
+        let mut observers: Vec<Box<dyn SimObserver>> = Vec::new();
+        if config.check_invariants {
+            observers.push(Box::new(InvariantChecker::new()));
+        }
+        let sampler = config
+            .sample_interval
+            .map(|interval| PeriodicSampler::new(SimTime::ZERO, interval));
         Simulator {
             pools,
             jobs: specs.into_iter().map(JobRecord::new).collect(),
@@ -334,7 +369,33 @@ impl Simulator {
             suspended_series: TimeSeries::new(),
             utilization_series: TimeSeries::new(),
             waiting_series: TimeSeries::new(),
+            observers,
+            sampler,
             config,
+        }
+    }
+
+    /// Attaches an observer for the coming run. Observers see every
+    /// lifecycle transition in deterministic order and ride out through
+    /// [`SimOutput::observers`] when the run finishes.
+    pub fn attach_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Delivers one observable event to every attached observer. Returns
+    /// immediately when none are attached, keeping the observer layer
+    /// zero-cost for plain table experiments.
+    fn emit(&mut self, now: SimTime, event: ObsEvent) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let ctx = ObsCtx {
+            pools: &self.pools,
+            jobs: &self.jobs,
+            shadows: &self.shadows,
+        };
+        for obs in &mut self.observers {
+            obs.on_event(now, &event, &ctx);
         }
     }
 
@@ -360,8 +421,8 @@ impl Simulator {
         for job in &self.jobs {
             executor.seed_event(job.spec().submit_time, Ev::Submit(job.id()));
         }
-        if self.config.sample_interval.is_some() {
-            executor.seed_event(SimTime::ZERO, Ev::Sample);
+        if let Some(sampler) = self.sampler.as_mut() {
+            executor.seed_event(sampler.next_tick(), Ev::Sample);
         }
         for f in self.config.failures.clone() {
             executor.seed_event(f.at, Ev::MachineDown(f.pool, f.machine));
@@ -377,6 +438,16 @@ impl Simulator {
         );
         self.counters.events = stats.events_processed;
         debug_assert!(self.pools.iter().all(PhysicalPool::check_invariants));
+        if !self.observers.is_empty() {
+            let ctx = ObsCtx {
+                pools: &self.pools,
+                jobs: &self.jobs,
+                shadows: &self.shadows,
+            };
+            for obs in &mut self.observers {
+                obs.on_run_end(stats.end_time, &ctx);
+            }
+        }
         // Duplicate (shadow) copies are bookkeeping, not submitted jobs:
         // drop them from the reported population.
         let shadows = self.shadows;
@@ -394,6 +465,7 @@ impl Simulator {
             suspended_series: self.suspended_series,
             utilization_series: self.utilization_series,
             waiting_series: self.waiting_series,
+            observers: self.observers,
         }
     }
 
@@ -490,6 +562,7 @@ impl Simulator {
         }
         // No pool can ever run this job.
         self.counters.unrunnable += 1;
+        self.emit(now, ObsEvent::Unrunnable { job });
     }
 
     /// Tries one pool; `Some(())` if the job was dispatched or queued
@@ -504,13 +577,17 @@ impl Simulator {
         match self.pools[pool.as_usize()].submit(now, spec) {
             SubmitOutcome::Dispatched(actions) => {
                 self.touch_view();
+                self.emit(now, ObsEvent::PoolChosen { job: spec.id, pool });
                 self.apply_actions(pool, actions, now, sched);
                 Some(())
             }
             SubmitOutcome::Queued => {
                 self.touch_view();
-                let rec = &mut self.jobs[spec.id.as_usize()];
-                rec.enqueue(now, pool).expect("job routed while at VPM");
+                self.emit(now, ObsEvent::PoolChosen { job: spec.id, pool });
+                self.jobs[spec.id.as_usize()]
+                    .enqueue(now, pool)
+                    .expect("job routed while at VPM");
+                self.emit(now, ObsEvent::Enqueue { job: spec.id, pool });
                 self.arm_wait_timer(spec.id, now, sched);
                 Some(())
             }
@@ -564,10 +641,18 @@ impl Simulator {
         sched: &mut Scheduler<'_, Ev>,
         suspended: &mut VecDeque<(JobId, PoolId)>,
     ) {
+        if !actions.is_empty() {
+            // Scope for the per-batch resume-order invariant.
+            self.emit(now, ObsEvent::BatchStart { pool });
+        }
         for action in actions {
             match action {
                 PoolAction::Started { job, machine, wall } => {
                     self.wait_checks[job.as_usize()] = 0;
+                    let from_queue = matches!(
+                        self.jobs[job.as_usize()].phase(),
+                        netbatch_cluster::job::JobPhase::Waiting { .. }
+                    );
                     let rec = &mut self.jobs[job.as_usize()];
                     if let Some(timer) = rec.wait_timer_event.take() {
                         sched.cancel(timer);
@@ -575,21 +660,33 @@ impl Simulator {
                     rec.start(now, pool, machine, wall)
                         .expect("pool starts only routed jobs");
                     rec.completion_event = Some(sched.schedule_at(now + wall, Ev::Complete(job)));
+                    self.emit(
+                        now,
+                        ObsEvent::Dispatch {
+                            job,
+                            pool,
+                            machine,
+                            wall,
+                            from_queue,
+                        },
+                    );
                 }
-                PoolAction::Suspended { job, machine: _ } => {
+                PoolAction::Suspended { job, machine } => {
                     let rec = &mut self.jobs[job.as_usize()];
                     if let Some(ev) = rec.completion_event.take() {
                         sched.cancel(ev);
                     }
                     rec.suspend(now).expect("pool suspends only running jobs");
                     self.counters.suspensions += 1;
+                    self.emit(now, ObsEvent::Suspend { job, pool, machine });
                     suspended.push_back((job, pool));
                 }
-                PoolAction::Resumed { job, machine: _ } => {
+                PoolAction::Resumed { job, machine } => {
                     let rec = &mut self.jobs[job.as_usize()];
                     rec.resume(now).expect("pool resumes only suspended jobs");
                     let wall = rec.remaining_wall();
                     rec.completion_event = Some(sched.schedule_at(now + wall, Ev::Complete(job)));
+                    self.emit(now, ObsEvent::Resume { job, pool, machine });
                 }
             }
         }
@@ -608,12 +705,9 @@ impl Simulator {
         let rec = &self.jobs[job.as_usize()];
         // The job may already have been resumed (or even completed) by a
         // cascade that ran between its suspension and this decision.
-        if self.pools[at_pool.as_usize()]
-            .suspended_machine(job)
-            .is_none()
-        {
+        let Some(machine) = self.pools[at_pool.as_usize()].suspended_machine(job) else {
             return;
-        }
+        };
         if let Some(cap) = self.config.max_restarts {
             if rec.restarts_from_suspend() + rec.restarts_from_wait() >= cap {
                 return;
@@ -635,10 +729,23 @@ impl Simulator {
                     .expect("checked suspended above");
                 self.touch_view();
                 let overhead = self.move_overhead(job, target);
+                let discarded = self.jobs[job.as_usize()].attempt_progress();
                 self.jobs[job.as_usize()]
                     .abort_for_restart(now, overhead)
                     .expect("suspended jobs can abort");
                 self.counters.restarts_from_suspend += 1;
+                self.emit(
+                    now,
+                    ObsEvent::Reschedule {
+                        job,
+                        kind: ReschedKind::RestartFromSuspend,
+                        from_pool: at_pool,
+                        machine: Some(machine),
+                        from_phase: PhaseTag::Suspended,
+                        to: Some(target),
+                        discarded,
+                    },
+                );
                 self.apply_batch(at_pool, actions, now, sched, suspended);
                 // ...and restart it from scratch at the chosen pool.
                 self.restart_at(job, target, now, sched, suspended);
@@ -660,6 +767,18 @@ impl Simulator {
                 self.migrating
                     .insert(job, SimDuration::from_minutes(slowed));
                 self.counters.migrations += 1;
+                self.emit(
+                    now,
+                    ObsEvent::Reschedule {
+                        job,
+                        kind: ReschedKind::Migrate,
+                        from_pool: at_pool,
+                        machine: Some(machine),
+                        from_phase: PhaseTag::Suspended,
+                        to: Some(target),
+                        discarded: SimDuration::ZERO,
+                    },
+                );
                 self.apply_batch(at_pool, actions, now, sched, suspended);
                 sched.schedule_at(
                     now + self.config.migration.delay,
@@ -688,6 +807,14 @@ impl Simulator {
                 self.jobs[clone_id.as_usize()]
                     .submit(now)
                     .expect("fresh clone");
+                self.emit(
+                    now,
+                    ObsEvent::DuplicateLaunched {
+                        original: job,
+                        clone: clone_id,
+                        target,
+                    },
+                );
                 self.restart_at(clone_id, target, now, sched, suspended);
             }
         }
@@ -714,6 +841,7 @@ impl Simulator {
                 self.jobs[job.as_usize()]
                     .enqueue(now, target)
                     .expect("job at VPM after abort");
+                self.emit(now, ObsEvent::Enqueue { job, pool: target });
                 self.arm_wait_timer(job, now, sched);
             }
             SubmitOutcome::Ineligible => {
@@ -726,7 +854,7 @@ impl Simulator {
 
     fn handle_complete(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
         let rec = &mut self.jobs[job.as_usize()];
-        let netbatch_cluster::job::JobPhase::Running { pool, .. } = rec.phase() else {
+        let netbatch_cluster::job::JobPhase::Running { pool, machine } = rec.phase() else {
             unreachable!("completion events are cancelled on suspension/restart");
         };
         rec.completion_event = None;
@@ -734,6 +862,7 @@ impl Simulator {
         if !self.shadows.contains(&job) {
             self.counters.completed += 1;
         }
+        self.emit(now, ObsEvent::Complete { job, pool, machine });
         let actions = self.pools[pool.as_usize()]
             .release(now, job)
             .expect("running job releases");
@@ -765,6 +894,19 @@ impl Simulator {
             sched.cancel(timer);
         }
         use netbatch_cluster::job::JobPhase;
+        // Capture where the loser was before eviction, for the proxy-finish
+        // event emitted once the record is settled.
+        let loser_state = match rec.phase() {
+            JobPhase::Running { pool, machine } => {
+                Some((PhaseTag::Running, Some(pool), Some(machine)))
+            }
+            JobPhase::Suspended { pool, machine } => {
+                Some((PhaseTag::Suspended, Some(pool), Some(machine)))
+            }
+            JobPhase::Waiting { pool } => Some((PhaseTag::Waiting, Some(pool), None)),
+            JobPhase::AtVpm => Some((PhaseTag::AtVpm, None, None)),
+            JobPhase::Created | JobPhase::Completed => None,
+        };
         match rec.phase() {
             JobPhase::Running { pool, .. } => {
                 let actions = self.pools[pool.as_usize()]
@@ -788,6 +930,7 @@ impl Simulator {
             JobPhase::AtVpm | JobPhase::Created | JobPhase::Completed => {}
         }
         // Settle: the ORIGINAL record carries the metrics.
+        let mut proxied = false;
         if clone_won {
             // The loser is the original; stamp it completed (this also
             // closes its open run/suspend/wait segment).
@@ -797,6 +940,7 @@ impl Simulator {
             if !rec.is_completed() {
                 rec.finish_by_proxy(now).expect("original is active");
                 self.counters.completed += 1;
+                proxied = true;
             }
             // Everything the original executed produced nothing — the
             // clone's result was used.
@@ -809,9 +953,23 @@ impl Simulator {
             let rec = &mut self.jobs[clone.as_usize()];
             if !rec.is_completed() {
                 rec.finish_by_proxy(now).expect("clone is active");
+                proxied = true;
             }
             let wasted = rec.run_time();
             self.jobs[finisher.as_usize()].add_external_waste(wasted);
+        }
+        if proxied {
+            if let Some((from_phase, pool, machine)) = loser_state {
+                self.emit(
+                    now,
+                    ObsEvent::ProxyFinish {
+                        job: loser,
+                        from_phase,
+                        pool,
+                        machine,
+                    },
+                );
+            }
         }
     }
 
@@ -839,6 +997,7 @@ impl Simulator {
             }
         }
         let spec = rec.spec().clone();
+        self.emit(now, ObsEvent::WaitTimeout { job, pool });
         let candidates = self.eligible_candidates(&spec);
         let view = self.view(now);
         let decision =
@@ -854,6 +1013,18 @@ impl Simulator {
                     .abort_for_restart(now, overhead)
                     .expect("waiting jobs can abort");
                 self.counters.restarts_from_wait += 1;
+                self.emit(
+                    now,
+                    ObsEvent::Reschedule {
+                        job,
+                        kind: ReschedKind::RestartFromWait,
+                        from_pool: pool,
+                        machine: None,
+                        from_phase: PhaseTag::Waiting,
+                        to: Some(target),
+                        discarded: SimDuration::ZERO,
+                    },
+                );
                 let mut suspended = VecDeque::new();
                 self.restart_at(job, target, now, sched, &mut suspended);
                 while let Some((j, p)) = suspended.pop_front() {
@@ -898,6 +1069,7 @@ impl Simulator {
                 self.jobs[job.as_usize()]
                     .enqueue(now, target)
                     .expect("migrating job is at VPM");
+                self.emit(now, ObsEvent::Enqueue { job, pool: target });
                 self.arm_wait_timer(job, now, sched);
             }
             SubmitOutcome::Ineligible => {
@@ -922,15 +1094,39 @@ impl Simulator {
             return; // already down or unknown machine
         };
         self.touch_view();
-        for job in running.iter().chain(&suspended) {
+        self.emit(now, ObsEvent::MachineDown { pool, machine });
+        let evicted: Vec<(JobId, PhaseTag)> = running
+            .into_iter()
+            .map(|j| (j, PhaseTag::Running))
+            .chain(suspended.into_iter().map(|j| (j, PhaseTag::Suspended)))
+            .collect();
+        for (job, from_phase) in evicted {
             self.counters.failure_evictions += 1;
             let rec = &mut self.jobs[job.as_usize()];
             if let Some(ev) = rec.completion_event.take() {
                 sched.cancel(ev);
             }
+            // A running job's progress counter lags its current stint;
+            // add the elapsed time since it (re)started on the machine.
+            let discarded = match from_phase {
+                PhaseTag::Running => rec.attempt_progress() + now.since(rec.phase_since()),
+                _ => rec.attempt_progress(),
+            };
             rec.abort_for_restart(now, self.config.restart_overhead)
                 .expect("evicted jobs were running or suspended");
-            self.route_via_vpm(*job, now, sched);
+            self.emit(
+                now,
+                ObsEvent::Reschedule {
+                    job,
+                    kind: ReschedKind::FailureEvict,
+                    from_pool: pool,
+                    machine: Some(machine),
+                    from_phase,
+                    to: None,
+                    discarded,
+                },
+            );
+            self.route_via_vpm(job, now, sched);
         }
     }
 
@@ -943,11 +1139,13 @@ impl Simulator {
     ) {
         if let Some(actions) = self.pools[pool.as_usize()].restore_machine(now, machine) {
             self.touch_view();
+            self.emit(now, ObsEvent::MachineUp { pool, machine });
             self.apply_actions(pool, actions, now, sched);
         }
     }
 
     fn handle_sample(&mut self, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        self.emit(now, ObsEvent::Sample);
         let suspended: usize = self.pools.iter().map(PhysicalPool::suspended_count).sum();
         let waiting: usize = self.pools.iter().map(PhysicalPool::queue_len).sum();
         let busy: u64 = self.pools.iter().map(|p| u64::from(p.busy_cores())).sum();
@@ -962,11 +1160,12 @@ impl Simulator {
         self.waiting_series.push(now, waiting as f64);
         let done = self.counters.completed + self.counters.unrunnable >= self.total_jobs;
         if !done {
-            let interval = self
-                .config
-                .sample_interval
-                .expect("sampling event implies interval");
-            sched.schedule_at(now + interval, Ev::Sample);
+            let next = self
+                .sampler
+                .as_mut()
+                .expect("sampling event implies sampler")
+                .next_tick();
+            sched.schedule_at(next, Ev::Sample);
         }
     }
 
@@ -985,11 +1184,20 @@ impl Handler for Simulator {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) -> Control {
+        // Kernel marker: all state mutated by the previous event has
+        // settled, which is where deferred invariant comparisons run.
+        self.emit(
+            now,
+            ObsEvent::Kernel {
+                kind: event.label(),
+            },
+        );
         match event {
             Ev::Submit(job) => {
                 self.jobs[job.as_usize()]
                     .submit(now)
                     .expect("submit events fire once per job");
+                self.emit(now, ObsEvent::Submit { job });
                 self.route_via_vpm(job, now, sched);
             }
             Ev::Complete(job) => self.handle_complete(job, now, sched),
@@ -1023,6 +1231,34 @@ pub struct SimOutput {
     pub utilization_series: TimeSeries,
     /// Waiting-job count per sample.
     pub waiting_series: TimeSeries,
+    /// Observers that rode the run, in attach order (the configured
+    /// invariant checker first, when enabled). Empty by default.
+    pub observers: Vec<Box<dyn SimObserver>>,
+}
+
+impl SimOutput {
+    /// The first attached observer of concrete type `T`, if any.
+    ///
+    /// ```
+    /// use netbatch_core::observer::TraceRecorder;
+    /// # use netbatch_core::simulator::{SimConfig, Simulator};
+    /// # use netbatch_workload::scenarios::ScenarioParams;
+    /// # let params = ScenarioParams::normal_week(0.002);
+    /// # let mut sim = Simulator::new(
+    /// #     &params.build_site(),
+    /// #     params.generate_trace().to_specs(),
+    /// #     SimConfig::default(),
+    /// # );
+    /// sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    /// let out = sim.run_to_completion();
+    /// let trace = out.observer::<TraceRecorder>().unwrap();
+    /// assert!(trace.events() > 0);
+    /// ```
+    pub fn observer<T: SimObserver + 'static>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref::<T>())
+    }
 }
 
 #[cfg(test)]
@@ -1505,6 +1741,106 @@ mod tests {
         // Waste = 40 minutes discarded + 45 minutes WAN surcharge.
         assert_eq!(wan.jobs[0].resched_waste().as_minutes(), 40 + 45);
         assert_eq!(wan.counters.completed, 3);
+    }
+
+    #[test]
+    fn invariant_checker_rides_every_strategy() {
+        let site = tiny_site(3, 2, 2);
+        let jobs: Vec<JobSpec> = (0..80)
+            .map(|i| {
+                let mut s = spec(i, i * 2, 20 + (i * 13) % 150);
+                if i % 4 == 0 {
+                    s = s
+                        .with_priority(Priority::HIGH)
+                        .with_affinity(PoolAffinity::Subset(vec![PoolId(0)]));
+                }
+                s
+            })
+            .collect();
+        for strategy in [
+            StrategyKind::NoRes,
+            StrategyKind::ResSusUtil,
+            StrategyKind::ResSusRand,
+            StrategyKind::ResSusWaitUtil,
+            StrategyKind::ResSusWaitRand,
+            StrategyKind::ResSusQueue,
+            StrategyKind::ResSusWaitSmart,
+            StrategyKind::MigrateSusUtil,
+            StrategyKind::DupSusUtil,
+        ] {
+            let mut cfg = SimConfig::new(InitialKind::RoundRobin, strategy);
+            cfg.check_invariants = true;
+            cfg.sample_interval = Some(SimDuration::from_minutes(10));
+            let out = Simulator::new(&site, jobs.clone(), cfg).run_to_completion();
+            let checker = out
+                .observer::<crate::observer::InvariantChecker>()
+                .expect("configured checker rides out");
+            assert!(checker.events_seen() > 0, "{strategy:?} emitted nothing");
+        }
+    }
+
+    #[test]
+    fn invariant_checker_survives_machine_failures() {
+        let site = tiny_site(2, 2, 1);
+        let jobs: Vec<JobSpec> = (0..30)
+            .map(|i| spec(i, i * 3, 40 + (i * 11) % 90))
+            .collect();
+        let cfg = SimConfig {
+            check_invariants: true,
+            failures: vec![
+                MachineFailure {
+                    pool: PoolId(0),
+                    machine: MachineId(0),
+                    at: SimTime::from_minutes(50),
+                    down_for: Some(SimDuration::from_minutes(40)),
+                },
+                MachineFailure {
+                    pool: PoolId(1),
+                    machine: MachineId(1),
+                    at: SimTime::from_minutes(80),
+                    down_for: None,
+                },
+            ],
+            ..SimConfig::new(InitialKind::UtilizationBased, StrategyKind::ResSusUtil)
+        };
+        let out = Simulator::new(&site, jobs, cfg).run_to_completion();
+        assert!(out.counters.failure_evictions > 0, "failures must evict");
+        assert!(out
+            .observer::<crate::observer::InvariantChecker>()
+            .is_some());
+    }
+
+    #[test]
+    fn trace_counts_reconcile_with_counters() {
+        use crate::observer::TraceRecorder;
+        let site = tiny_site(3, 2, 2);
+        let jobs: Vec<JobSpec> = (0..60)
+            .map(|i| {
+                let mut s = spec(i, i, 25 + (i * 17) % 120);
+                if i % 3 == 0 {
+                    s = s.with_priority(Priority::HIGH);
+                }
+                s
+            })
+            .collect();
+        let mut cfg = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
+        cfg.check_invariants = true;
+        let mut sim = Simulator::new(&site, jobs, cfg);
+        sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+        let out = sim.run_to_completion();
+        let trace = out.observer::<TraceRecorder>().unwrap();
+        let count = |k: &str| trace.kind_counts().get(k).copied().unwrap_or(0);
+        // A shadow's Complete doesn't increment the counter, but the
+        // original's proxy-finish does — the two cancel, so completions
+        // reconcile against `complete` events alone under every strategy.
+        assert_eq!(count("complete"), out.counters.completed);
+        assert_eq!(count("suspend"), out.counters.suspensions);
+        assert_eq!(
+            count("restart_from_suspend"),
+            out.counters.restarts_from_suspend
+        );
+        assert_eq!(count("restart_from_wait"), out.counters.restarts_from_wait);
+        assert_eq!(count("submit"), 60);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod executor;
+pub mod observe;
 pub mod queue;
 pub mod rng;
 pub mod sampler;
@@ -64,6 +65,7 @@ pub mod time;
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
     pub use crate::executor::{Control, Executor, Handler, RunOutcome, RunStats, Scheduler};
+    pub use crate::observe::EventLabel;
     pub use crate::queue::{EventId, EventQueue};
     pub use crate::rng::DetRng;
     pub use crate::sampler::PeriodicSampler;

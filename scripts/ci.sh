@@ -13,7 +13,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cargo build --examples"
+cargo build --release --workspace --examples
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
+
+# Quick invariant-checked reproduction: every cell of every table runs
+# under the online conservation/lifecycle checker, which panics (failing
+# this step) on the first violation. Shape checks are informational at
+# this scale (--smoke): they gate at report scale via repro_all's default
+# exit behaviour.
+echo "==> invariant-checked quick repro (scale 0.02)"
+cargo run --release -p netbatch-bench --bin repro_all -- \
+  --scale 0.02 --check-invariants --smoke
 
 echo "ci: all green"

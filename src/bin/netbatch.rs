@@ -13,9 +13,10 @@
 
 use std::process::ExitCode;
 
-use netbatch::core::experiment::Experiment;
+use netbatch::core::experiment::{Experiment, ExperimentResult};
+use netbatch::core::observer::{StatsProbe, TraceRecorder};
 use netbatch::core::policy::{InitialKind, StrategyKind};
-use netbatch::core::simulator::SimConfig;
+use netbatch::core::simulator::{SimConfig, Simulator};
 use netbatch::sim_engine::time::SimDuration;
 use netbatch::workload::analysis::TraceAnalysis;
 use netbatch::workload::io::{read_csv, write_csv};
@@ -31,7 +32,8 @@ USAGE:
   netbatch simulate [--trace FILE | --scenario NAME] [--scale S] [--seed N]
                     [--strategy NAME] [--initial rr|util] [--high-load]
                     [--restart-overhead MIN] [--staleness MIN] [--max-restarts N]
-                    [--sample] [--series-out FILE]
+                    [--sample] [--series-out FILE] [--trace-out FILE]
+                    [--check-invariants] [--stats]
   netbatch strategies
   netbatch help
 
@@ -69,6 +71,9 @@ enum Command {
         max_restarts: Option<u32>,
         sample: bool,
         series_out: Option<String>,
+        trace_out: Option<String>,
+        check_invariants: bool,
+        stats: bool,
     },
     Strategies,
     Help,
@@ -110,7 +115,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = !matches!(name, "sample" | "high-load");
+            let takes_value =
+                !matches!(name, "sample" | "high-load" | "check-invariants" | "stats");
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -178,6 +184,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             max_restarts: int("max-restarts")?.map(|v| v as u32),
             sample: has("sample"),
             series_out: get("series-out"),
+            trace_out: get("trace-out"),
+            check_invariants: has("check-invariants"),
+            stats: has("stats"),
         }),
         "strategies" => Ok(Command::Strategies),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -274,6 +283,9 @@ fn run(cmd: Command) -> Result<(), String> {
             max_restarts,
             sample,
             series_out,
+            trace_out,
+            check_invariants,
+            stats,
         } => {
             let params = scenario_params(&scenario, scale, seed)?;
             let trace = match trace {
@@ -294,8 +306,29 @@ fn run(cmd: Command) -> Result<(), String> {
             if sample || series_out.is_some() {
                 config = config.with_sampling();
             }
+            config.check_invariants = check_invariants;
             let t0 = std::time::Instant::now();
-            let r = Experiment::new(site, trace, config).run();
+            // Observer-carrying runs drive the simulator directly; the
+            // plain path stays on the Experiment front door.
+            let (r, observers) = if trace_out.is_some() || stats {
+                let mut sim = Simulator::new(&site, trace.to_specs(), config);
+                if let Some(path) = &trace_out {
+                    let rec = TraceRecorder::to_file(path)
+                        .map_err(|e| format!("cannot create {path}: {e}"))?;
+                    sim.attach_observer(Box::new(rec));
+                }
+                if stats {
+                    sim.attach_observer(Box::new(StatsProbe::new()));
+                }
+                let mut output = sim.run_to_completion();
+                let observers = std::mem::take(&mut output.observers);
+                (
+                    ExperimentResult::from_output(initial, strategy, output),
+                    observers,
+                )
+            } else {
+                (Experiment::new(site, trace, config).run(), Vec::new())
+            };
             println!(
                 "{} | {} initial{}",
                 strategy.name(),
@@ -358,6 +391,16 @@ fn run(cmd: Command) -> Result<(), String> {
                     writeln!(f, "{},{s},{u:.2},{w}", t.as_minutes()).map_err(|e| e.to_string())?;
                 }
                 println!("series written to {path}");
+            }
+            for obs in &observers {
+                if let Some(rec) = obs.as_any().downcast_ref::<TraceRecorder>() {
+                    if let Some(path) = &trace_out {
+                        println!("trace: {} events written to {path}", rec.events());
+                    }
+                }
+                if let Some(probe) = obs.as_any().downcast_ref::<StatsProbe>() {
+                    print!("{}", probe.report());
+                }
             }
             Ok(())
         }
@@ -437,6 +480,40 @@ mod tests {
         assert_eq!(staleness, 30);
         assert_eq!(max_restarts, Some(4));
         assert_eq!(seed, Some(9));
+    }
+
+    #[test]
+    fn parses_observer_flags() {
+        let cmd = parse_args(&args(
+            "simulate --check-invariants --stats --trace-out events.jsonl --strategy NoRes",
+        ))
+        .unwrap();
+        let Command::Simulate {
+            trace_out,
+            check_invariants,
+            stats,
+            sample,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert_eq!(trace_out.as_deref(), Some("events.jsonl"));
+        assert!(check_invariants && stats);
+        assert!(!sample, "observer flags must not imply sampling");
+        // The boolean flags take no value: a following flag must not be
+        // swallowed as one.
+        let cmd = parse_args(&args("simulate --check-invariants --seed 3")).unwrap();
+        let Command::Simulate {
+            check_invariants,
+            seed,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert!(check_invariants);
+        assert_eq!(seed, Some(3));
     }
 
     #[test]

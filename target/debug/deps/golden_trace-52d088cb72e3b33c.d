@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-52d088cb72e3b33c.d: tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-52d088cb72e3b33c: tests/golden_trace.rs
+
+tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

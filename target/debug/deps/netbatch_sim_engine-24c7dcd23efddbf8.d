@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/netbatch_sim_engine-24c7dcd23efddbf8.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/debug/deps/netbatch_sim_engine-24c7dcd23efddbf8.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
-/root/repo/target/debug/deps/netbatch_sim_engine-24c7dcd23efddbf8: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/debug/deps/netbatch_sim_engine-24c7dcd23efddbf8: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
 crates/sim-engine/src/lib.rs:
 crates/sim-engine/src/executor.rs:
+crates/sim-engine/src/observe.rs:
 crates/sim-engine/src/queue.rs:
 crates/sim-engine/src/rng.rs:
 crates/sim-engine/src/sampler.rs:

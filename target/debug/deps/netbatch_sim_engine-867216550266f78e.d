@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/netbatch_sim_engine-867216550266f78e.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/netbatch_sim_engine-867216550266f78e.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnetbatch_sim_engine-867216550266f78e.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libnetbatch_sim_engine-867216550266f78e.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs Cargo.toml
 
 crates/sim-engine/src/lib.rs:
 crates/sim-engine/src/executor.rs:
+crates/sim-engine/src/observe.rs:
 crates/sim-engine/src/queue.rs:
 crates/sim-engine/src/rng.rs:
 crates/sim-engine/src/sampler.rs:

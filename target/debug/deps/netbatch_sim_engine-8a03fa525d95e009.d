@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/netbatch_sim_engine-8a03fa525d95e009.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/debug/deps/netbatch_sim_engine-8a03fa525d95e009.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
-/root/repo/target/debug/deps/libnetbatch_sim_engine-8a03fa525d95e009.rlib: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/debug/deps/libnetbatch_sim_engine-8a03fa525d95e009.rlib: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
-/root/repo/target/debug/deps/libnetbatch_sim_engine-8a03fa525d95e009.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/debug/deps/libnetbatch_sim_engine-8a03fa525d95e009.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
 crates/sim-engine/src/lib.rs:
 crates/sim-engine/src/executor.rs:
+crates/sim-engine/src/observe.rs:
 crates/sim-engine/src/queue.rs:
 crates/sim-engine/src/rng.rs:
 crates/sim-engine/src/sampler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observer_conformance-16a994da1e89547a.d: tests/observer_conformance.rs
+
+/root/repo/target/debug/deps/observer_conformance-16a994da1e89547a: tests/observer_conformance.rs
+
+tests/observer_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observer_conformance-1bd6c16cc0af673d.d: tests/observer_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobserver_conformance-1bd6c16cc0af673d.rmeta: tests/observer_conformance.rs Cargo.toml
+
+tests/observer_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

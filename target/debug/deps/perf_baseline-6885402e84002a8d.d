@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_baseline-6885402e84002a8d.d: crates/bench/src/bin/perf_baseline.rs
+
+/root/repo/target/debug/deps/perf_baseline-6885402e84002a8d: crates/bench/src/bin/perf_baseline.rs
+
+crates/bench/src/bin/perf_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_scratch-046008b3a21d2188.d: tests/replay_scratch.rs
+
+/root/repo/target/debug/deps/replay_scratch-046008b3a21d2188: tests/replay_scratch.rs
+
+tests/replay_scratch.rs:

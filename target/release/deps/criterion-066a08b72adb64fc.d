@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-066a08b72adb64fc.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-066a08b72adb64fc: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

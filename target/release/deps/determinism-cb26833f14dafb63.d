@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-cb26833f14dafb63.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-cb26833f14dafb63: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-131eab303289c9f0.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-131eab303289c9f0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_trace-437fd339735c5b6b.d: tests/golden_trace.rs
+
+/root/repo/target/release/deps/golden_trace-437fd339735c5b6b: tests/golden_trace.rs
+
+tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

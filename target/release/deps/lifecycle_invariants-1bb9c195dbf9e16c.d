@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lifecycle_invariants-1bb9c195dbf9e16c.d: tests/lifecycle_invariants.rs
+
+/root/repo/target/release/deps/lifecycle_invariants-1bb9c195dbf9e16c: tests/lifecycle_invariants.rs
+
+tests/lifecycle_invariants.rs:

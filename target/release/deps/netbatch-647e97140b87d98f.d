@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netbatch-647e97140b87d98f.d: src/lib.rs
+
+/root/repo/target/release/deps/netbatch-647e97140b87d98f: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

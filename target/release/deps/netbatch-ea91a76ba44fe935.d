@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netbatch-ea91a76ba44fe935.d: src/bin/netbatch.rs
+
+/root/repo/target/release/deps/netbatch-ea91a76ba44fe935: src/bin/netbatch.rs
+
+src/bin/netbatch.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/netbatch_cluster-3d14d4e858393669.d: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+/root/repo/target/release/deps/netbatch_cluster-3d14d4e858393669: crates/cluster/src/lib.rs crates/cluster/src/ids.rs crates/cluster/src/index.rs crates/cluster/src/job.rs crates/cluster/src/machine.rs crates/cluster/src/pool.rs crates/cluster/src/priority.rs crates/cluster/src/snapshot.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ids.rs:
+crates/cluster/src/index.rs:
+crates/cluster/src/job.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/pool.rs:
+crates/cluster/src/priority.rs:
+crates/cluster/src/snapshot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netbatch_core-46c21225cdffea8b.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+
+/root/repo/target/release/deps/netbatch_core-46c21225cdffea8b: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/observer.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/initial.rs:
+crates/core/src/policy/resched.rs:
+crates/core/src/simulator.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netbatch_metrics-ab5e565c8f79abab.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs
+
+/root/repo/target/release/deps/netbatch_metrics-ab5e565c8f79abab: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/timeseries.rs crates/metrics/src/waste.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/timeseries.rs:
+crates/metrics/src/waste.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/netbatch_sim_engine-24c0f09cf8fbc47b.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/release/deps/netbatch_sim_engine-24c0f09cf8fbc47b.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
-/root/repo/target/release/deps/libnetbatch_sim_engine-24c0f09cf8fbc47b.rlib: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/release/deps/libnetbatch_sim_engine-24c0f09cf8fbc47b.rlib: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
-/root/repo/target/release/deps/libnetbatch_sim_engine-24c0f09cf8fbc47b.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+/root/repo/target/release/deps/libnetbatch_sim_engine-24c0f09cf8fbc47b.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
 
 crates/sim-engine/src/lib.rs:
 crates/sim-engine/src/executor.rs:
+crates/sim-engine/src/observe.rs:
 crates/sim-engine/src/queue.rs:
 crates/sim-engine/src/rng.rs:
 crates/sim-engine/src/sampler.rs:

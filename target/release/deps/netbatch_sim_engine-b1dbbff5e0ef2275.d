@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netbatch_sim_engine-b1dbbff5e0ef2275.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+
+/root/repo/target/release/deps/netbatch_sim_engine-b1dbbff5e0ef2275: crates/sim-engine/src/lib.rs crates/sim-engine/src/executor.rs crates/sim-engine/src/observe.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/sampler.rs crates/sim-engine/src/time.rs
+
+crates/sim-engine/src/lib.rs:
+crates/sim-engine/src/executor.rs:
+crates/sim-engine/src/observe.rs:
+crates/sim-engine/src/queue.rs:
+crates/sim-engine/src/rng.rs:
+crates/sim-engine/src/sampler.rs:
+crates/sim-engine/src/time.rs:

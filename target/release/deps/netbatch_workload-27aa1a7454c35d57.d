@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/netbatch_workload-27aa1a7454c35d57.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/distributions.rs crates/workload/src/generator/mod.rs crates/workload/src/generator/affinity.rs crates/workload/src/generator/arrivals.rs crates/workload/src/generator/jobs.rs crates/workload/src/io.rs crates/workload/src/scenarios.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/netbatch_workload-27aa1a7454c35d57: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/distributions.rs crates/workload/src/generator/mod.rs crates/workload/src/generator/affinity.rs crates/workload/src/generator/arrivals.rs crates/workload/src/generator/jobs.rs crates/workload/src/io.rs crates/workload/src/scenarios.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/distributions.rs:
+crates/workload/src/generator/mod.rs:
+crates/workload/src/generator/affinity.rs:
+crates/workload/src/generator/arrivals.rs:
+crates/workload/src/generator/jobs.rs:
+crates/workload/src/io.rs:
+crates/workload/src/scenarios.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observer_conformance-ae46a16e0b48a7e7.d: tests/observer_conformance.rs
+
+/root/repo/target/release/deps/observer_conformance-ae46a16e0b48a7e7: tests/observer_conformance.rs
+
+tests/observer_conformance.rs:

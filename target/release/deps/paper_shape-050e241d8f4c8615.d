@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shape-050e241d8f4c8615.d: tests/paper_shape.rs
+
+/root/repo/target/release/deps/paper_shape-050e241d8f4c8615: tests/paper_shape.rs
+
+tests/paper_shape.rs:

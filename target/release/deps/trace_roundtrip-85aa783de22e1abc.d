@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_roundtrip-85aa783de22e1abc.d: tests/trace_roundtrip.rs
+
+/root/repo/target/release/deps/trace_roundtrip-85aa783de22e1abc: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

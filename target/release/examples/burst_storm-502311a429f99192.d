@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/burst_storm-502311a429f99192.d: examples/burst_storm.rs
+
+/root/repo/target/release/examples/burst_storm-502311a429f99192: examples/burst_storm.rs
+
+examples/burst_storm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chip_sim_campaign-cc3dae2faef22386.d: examples/chip_sim_campaign.rs
+
+/root/repo/target/release/examples/chip_sim_campaign-cc3dae2faef22386: examples/chip_sim_campaign.rs
+
+examples/chip_sim_campaign.rs:

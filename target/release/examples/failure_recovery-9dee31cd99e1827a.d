@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_recovery-9dee31cd99e1827a.d: examples/failure_recovery.rs
+
+/root/repo/target/release/examples/failure_recovery-9dee31cd99e1827a: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/policy_shootout-3a52f173d6f0a13d.d: examples/policy_shootout.rs
+
+/root/repo/target/release/examples/policy_shootout-3a52f173d6f0a13d: examples/policy_shootout.rs
+
+examples/policy_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-46b01b3308e005e8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-46b01b3308e005e8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_analysis-674e098130e29196.d: examples/trace_analysis.rs
+
+/root/repo/target/release/examples/trace_analysis-674e098130e29196: examples/trace_analysis.rs
+
+examples/trace_analysis.rs:

@@ -1,10 +1,12 @@
 //! Same-seed determinism across the whole simulator: two runs of an
-//! identical scenario must produce **bit-identical** [`SimOutput`]s for
-//! every rescheduling strategy. This pins down that the availability-index
-//! dispatch path introduces no iteration-order or hash-map nondeterminism,
+//! identical scenario must produce **bit-identical** [`SimOutput`]s — and
+//! byte-identical recorded event streams — for every rescheduling
+//! strategy. This pins down that the availability-index dispatch path
+//! introduces no iteration-order or hash-map nondeterminism,
 //! complementing the per-dispatch differential check in
 //! `netbatch_cluster::pool`.
 
+use netbatch::core::observer::TraceRecorder;
 use netbatch::core::policy::{InitialKind, StrategyKind};
 use netbatch::core::simulator::{SimConfig, SimOutput, Simulator};
 use netbatch::workload::scenarios::ScenarioParams;
@@ -15,12 +17,19 @@ fn run_once(strategy: StrategyKind) -> SimOutput {
     let params = ScenarioParams::normal_week(TEST_SCALE);
     let site = params.build_site();
     let trace = params.generate_trace();
-    Simulator::new(
+    let mut sim = Simulator::new(
         &site,
         trace.to_specs(),
         SimConfig::new(InitialKind::RoundRobin, strategy),
-    )
-    .run_to_completion()
+    );
+    sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    sim.run_to_completion()
+}
+
+fn trace_of(out: &SimOutput) -> &str {
+    out.observer::<TraceRecorder>()
+        .expect("recorder attached")
+        .lines()
 }
 
 #[test]
@@ -47,11 +56,24 @@ fn sim_output_is_bit_identical_across_runs_for_all_strategies() {
             "{strategy:?}: job counts diverged"
         );
         // …then the exhaustive structural comparison over every record and
-        // series sample.
+        // series sample…
         assert_eq!(
             format!("{a:?}"),
             format!("{b:?}"),
             "{strategy:?}: SimOutput not bit-identical across same-seed runs"
+        );
+        // …and finally the full recorded event stream, byte for byte: the
+        // strongest determinism statement the simulator can make, since it
+        // covers the order and payload of every lifecycle transition, not
+        // just the end-of-run aggregates.
+        assert_eq!(
+            trace_of(&a),
+            trace_of(&b),
+            "{strategy:?}: recorded event streams diverged across same-seed runs"
+        );
+        assert!(
+            !trace_of(&a).is_empty(),
+            "{strategy:?}: recorder saw no events"
         );
         assert!(
             a.counters.completed > 0,

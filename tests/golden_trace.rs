@@ -1,0 +1,122 @@
+//! Golden-trace conformance: the recorded event stream for one fixed cell
+//! of Table 1 (NoRes strategy, round-robin initial scheduler, normal-load
+//! week at a small scale) must stay **byte-identical** to the committed
+//! fixture. Any change to event ordering, payload rendering, or simulator
+//! scheduling shows up here as a one-line diff before it can silently
+//! shift the paper's tables.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use netbatch::core::observer::TraceRecorder;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::{SimConfig, Simulator};
+use netbatch::workload::scenarios::ScenarioParams;
+use std::fs;
+
+/// Scale for the fixture cell: small enough to keep the fixture reviewable,
+/// large enough to exercise dispatch, queueing, suspension, and completion.
+const GOLDEN_SCALE: f64 = 0.002;
+
+/// Fixture path relative to the crate root.
+const GOLDEN_PATH: &str = "tests/golden/table1_nores_rr.jsonl";
+
+/// Runs the Table 1 NoRes/round-robin cell with a recorder (and the
+/// invariant checker riding along) and returns the JSONL event stream.
+fn record_table1_nores_rr() -> String {
+    let params = ScenarioParams::normal_week(GOLDEN_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.check_invariants = true;
+    let mut sim = Simulator::new(&site, trace.to_specs(), config);
+    sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    let out = sim.run_to_completion();
+    out.observer::<TraceRecorder>()
+        .expect("recorder attached")
+        .lines()
+        .to_string()
+}
+
+#[test]
+fn table1_nores_rr_trace_matches_golden_fixture() {
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    let recorded = record_table1_nores_rr();
+    assert!(
+        recorded.lines().count() > 100,
+        "fixture scale too small to be a meaningful conformance check"
+    );
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &recorded).expect("write golden fixture");
+        println!("golden fixture regenerated at {path}");
+        return;
+    }
+
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}\nregenerate with: UPDATE_GOLDEN=1 cargo test --test golden_trace")
+    });
+
+    if recorded != golden {
+        // Report the first diverging line before failing, so the diff is
+        // readable without dumping two multi-thousand-line streams.
+        for (i, (got, want)) in recorded.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "trace diverges from golden fixture at line {}",
+                i + 1
+            );
+        }
+        panic!(
+            "trace length diverges from golden fixture: {} vs {} lines \
+             (first {} identical)",
+            recorded.lines().count(),
+            golden.lines().count(),
+            recorded.lines().count().min(golden.lines().count())
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_lines_are_well_formed_jsonl() {
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}\nregenerate with: UPDATE_GOLDEN=1 cargo test --test golden_trace")
+    });
+    let mut last_t: u64 = 0;
+    for (i, line) in golden.lines().enumerate() {
+        assert!(
+            line.starts_with("{\"t\":") && line.ends_with('}'),
+            "line {} is not a JSON object: {line}",
+            i + 1
+        );
+        assert!(
+            line.contains("\"ev\":\""),
+            "line {} has no event kind: {line}",
+            i + 1
+        );
+        // Timestamps are non-decreasing: the recorder sees events in
+        // simulation order.
+        let t: u64 = line["{\"t\":".len()..]
+            .split(',')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("line {} has no numeric timestamp: {line}", i + 1));
+        assert!(t >= last_t, "line {} goes back in time: {line}", i + 1);
+        last_t = t;
+    }
+    assert_eq!(
+        golden
+            .lines()
+            .next()
+            .map(|l| l.contains("\"ev\":\"submit\"")),
+        Some(true),
+        "a trace must open with the first submission"
+    );
+}

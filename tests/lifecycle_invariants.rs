@@ -125,7 +125,9 @@ proptest! {
         );
     }
 
-    /// Suspend-rate and metric sanity for arbitrary workloads.
+    /// Suspend-rate and metric sanity for arbitrary workloads (also run,
+    /// like every property here, for each state persisted in
+    /// `lifecycle_invariants.proptest-regressions` before novel cases).
     #[test]
     fn prop_metric_ranges(
         records in prop::collection::vec(arb_record(), 1..60),
@@ -144,4 +146,29 @@ proptest! {
         prop_assert!(r.avg_ct_suspended >= r.avg_st, "CT includes suspension");
         prop_assert!(r.avg_wct() <= r.avg_ct_all, "waste is part of completion time");
     }
+}
+
+/// The shrunk case noted in `lifecycle_invariants.proptest-regressions`
+/// (one machine-filling 2-core job under NoRes), pinned explicitly in
+/// addition to the generator-state replay the `proptest!` macro performs:
+/// the note survives even if the regression file is ever regenerated.
+#[test]
+fn regression_single_machine_filling_job_completes() {
+    let site = small_site(3, 2, 2);
+    let trace = Trace::from_records(vec![TraceRecord {
+        submit_minute: 0,
+        runtime_minutes: 1,
+        cores: 2,
+        memory_mb: 512,
+        priority: 0,
+        affinity: vec![],
+        task: None,
+    }]);
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.check_invariants = true;
+    let out = Simulator::new(&site, trace.to_specs(), config).run_to_completion();
+    assert_eq!(out.counters.completed, 1);
+    let job = &out.jobs[0];
+    assert!(job.is_completed());
+    assert_eq!(job.run_time(), SimDuration::from_minutes(1));
 }

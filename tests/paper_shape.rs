@@ -2,6 +2,10 @@
 //! These are the same assertions `repro_all` makes at report scale,
 //! pinned into the test suite so regressions in the model or the policies
 //! break CI rather than silently deforming the reproduction.
+//!
+//! Every run here rides under the online [`InvariantChecker`]: each shape
+//! scenario doubles as a conservation/lifecycle stress test, and any
+//! accounting bug panics with event history instead of skewing a metric.
 
 use netbatch::core::experiment::{Experiment, ExperimentResult};
 use netbatch::core::policy::{InitialKind, StrategyKind};
@@ -17,12 +21,9 @@ fn run(
     initial: InitialKind,
     strategy: StrategyKind,
 ) -> ExperimentResult {
-    Experiment::new(
-        site.clone(),
-        trace.clone(),
-        SimConfig::new(initial, strategy),
-    )
-    .run()
+    let mut config = SimConfig::new(initial, strategy);
+    config.check_invariants = true;
+    Experiment::new(site.clone(), trace.clone(), config).run()
 }
 
 #[test]
@@ -172,12 +173,9 @@ fn high_suspension_scenario_amplifies_benefits() {
 #[test]
 fn year_trace_reproduces_figure2_shape() {
     let params = ScenarioParams::year(0.02);
-    let result = Experiment::new(
-        params.build_site(),
-        params.generate_trace(),
-        SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes),
-    )
-    .run();
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.check_invariants = true;
+    let result = Experiment::new(params.build_site(), params.generate_trace(), config).run();
     let cdf = result.suspension_cdf();
     assert!(
         cdf.len() > 50,
@@ -194,6 +192,68 @@ fn year_trace_reproduces_figure2_shape() {
     // The calibrated magnitudes sit within 3x of the paper's.
     assert!((150.0..1400.0).contains(&median), "median {median:.0}");
     assert!((300.0..2800.0).contains(&mean), "mean {mean:.0}");
+}
+
+#[test]
+fn queue_and_smart_policies_have_their_shapes() {
+    let params = ScenarioParams::normal_week(SHAPE_SCALE);
+    let site = params.build_site().halved();
+    let trace = params.generate_trace();
+    let nores = run(&site, &trace, InitialKind::RoundRobin, StrategyKind::NoRes);
+    let util = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusUtil,
+    );
+    let queue = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusQueue,
+    );
+    let wait_util = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusWaitUtil,
+    );
+    let smart = run(
+        &site,
+        &trace,
+        InitialKind::RoundRobin,
+        StrategyKind::ResSusWaitSmart,
+    );
+
+    // Queue-length-guided restarts are a real rescheduling policy: they
+    // move suspended jobs (restarts happen) and strongly cut their
+    // completion and suspension time vs the baseline.
+    assert!(queue.counters.restarts_from_suspend > 0);
+    assert!(
+        queue.avg_ct_suspended < nores.avg_ct_suspended * 0.85,
+        "queue {} !<< nores {}",
+        queue.avg_ct_suspended,
+        nores.avg_ct_suspended
+    );
+    assert!(queue.avg_st < nores.avg_st * 0.5);
+    assert!(queue.avg_ct_all < nores.avg_ct_all);
+    // But queue length is a noisier load signal than utilization: the
+    // queue policy stays within sight of ResSusUtil without beating it
+    // decisively on suspended-job completion time.
+    assert!(
+        queue.avg_ct_suspended < 1.25 * util.avg_ct_suspended,
+        "queue {} vs util {}",
+        queue.avg_ct_suspended,
+        util.avg_ct_suspended
+    );
+    // The multi-metric wait policy reschedules far more aggressively than
+    // the pure wait-time trigger (it also watches relative pool load)...
+    assert!(smart.counters.restarts_from_wait > wait_util.counters.restarts_from_wait);
+    // ...and that extra signal pays: big wins over both the baseline and
+    // suspend-only rescheduling on overall metrics.
+    assert!(smart.avg_wct() < nores.avg_wct() * 0.5);
+    assert!(smart.avg_ct_all < util.avg_ct_all);
+    assert!(smart.avg_wct() < wait_util.avg_wct() * 1.1);
 }
 
 #[test]

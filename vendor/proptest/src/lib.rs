@@ -14,8 +14,13 @@
 //!   deterministic case number so it can be replayed, but is not minimized.
 //! * **Deterministic by default.** Case `i` of test `t` always sees the
 //!   same inputs (seeded from the test's module path and `i`), so runs are
-//!   reproducible without a persistence file; `.proptest-regressions`
-//!   files are ignored.
+//!   reproducible even without a persistence file.
+//! * **Regression files are honoured.** Like the real crate, a failing
+//!   case appends a `cc <64-hex>` line (the generator state, see
+//!   [`test_runner::persistence`]) to `<test-file>.proptest-regressions`
+//!   next to the test source, and every persisted line is replayed before
+//!   any novel cases are generated. Check these files in to source
+//!   control.
 //! * Only the strategy combinators the workspace uses are provided.
 
 pub mod test_runner {
@@ -54,6 +59,22 @@ pub mod test_runner {
                     splitmix64(&mut sm),
                 ],
             }
+        }
+
+        /// Rebuilds a generator from a persisted state (the format stored
+        /// in `.proptest-regressions` files). All-zero states are invalid
+        /// for xoshiro256++ and are nudged onto a fixed non-zero state.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            TestRng { s }
+        }
+
+        /// The current generator state, persistable with
+        /// [`crate::test_runner::persistence::render_cc_line`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
         }
 
         /// Next 64 random bits.
@@ -130,6 +151,99 @@ pub mod test_runner {
     impl std::fmt::Display for TestCaseError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             f.write_str(&self.0)
+        }
+    }
+
+    pub mod persistence {
+        //! `.proptest-regressions` load/save, in the upstream crate's
+        //! file format: comment lines plus `cc <64-hex> # <note>` entries.
+        //! The 64 hex digits encode the four big-endian `u64` words of
+        //! the [`super::TestRng`] state a failing case started from, so a
+        //! persisted line deterministically regenerates that case's
+        //! inputs.
+
+        use std::io::Write;
+        use std::path::PathBuf;
+
+        /// Header written when a regression file is first created
+        /// (byte-identical to the upstream crate's, so tooling that knows
+        /// one format knows both).
+        const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+        /// Locates `test_file` (a `file!()` path, relative to the
+        /// workspace root) from the test process working directory (the
+        /// *package* root, which may sit below the workspace root) and
+        /// returns the sibling `.proptest-regressions` path.
+        fn regressions_path(test_file: &str) -> Option<PathBuf> {
+            let reg_name = format!("{}.proptest-regressions", test_file.strip_suffix(".rs")?);
+            ["", "../", "../../"].iter().find_map(|base| {
+                PathBuf::from(format!("{base}{test_file}"))
+                    .exists()
+                    .then(|| PathBuf::from(format!("{base}{reg_name}")))
+            })
+        }
+
+        /// Parses one regression-file line; `None` for comments, blanks,
+        /// and malformed entries.
+        pub fn parse_cc_line(line: &str) -> Option<[u64; 4]> {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.len() != 64 {
+                return None;
+            }
+            let mut state = [0u64; 4];
+            for (i, word) in state.iter_mut().enumerate() {
+                *word = u64::from_str_radix(&hex[i * 16..(i + 1) * 16], 16).ok()?;
+            }
+            Some(state)
+        }
+
+        /// Renders a state as a `cc` line (without the trailing newline).
+        pub fn render_cc_line(state: [u64; 4], note: &str) -> String {
+            let hex: String = state.iter().map(|w| format!("{w:016x}")).collect();
+            format!("cc {hex} # {}", note.replace('\n', " "))
+        }
+
+        /// Loads every persisted generator state for a test source file.
+        /// Missing files (the common case) yield an empty list.
+        pub fn load_regressions(test_file: &str) -> Vec<[u64; 4]> {
+            let Some(path) = regressions_path(test_file) else {
+                return Vec::new();
+            };
+            let Ok(text) = std::fs::read_to_string(path) else {
+                return Vec::new();
+            };
+            text.lines().filter_map(parse_cc_line).collect()
+        }
+
+        /// Appends a failing case's starting state to the test file's
+        /// regression file (creating it, with the conventional header, on
+        /// first use). Already-persisted states are not duplicated. Best
+        /// effort: I/O problems are swallowed — persistence must never
+        /// mask the test failure being reported.
+        pub fn save_regression(test_file: &str, state: [u64; 4], note: &str) {
+            let Some(path) = regressions_path(test_file) else {
+                return;
+            };
+            let line = render_cc_line(state, note);
+            let hex_end = line.find(" #").unwrap_or(line.len());
+            match std::fs::read_to_string(&path) {
+                Ok(existing) if existing.contains(&line[..hex_end]) => return,
+                Ok(_) => {}
+                Err(_) => {
+                    let _ = std::fs::write(&path, HEADER);
+                }
+            }
+            if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&path) {
+                let _ = writeln!(f, "{line}");
+            }
         }
     }
 }
@@ -502,11 +616,13 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                for __case in 0..config.cases {
-                    let mut __rng = $crate::test_runner::TestRng::for_case(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        __case,
-                    );
+                // Replay every persisted failure state for this source
+                // file before generating novel cases (regression files
+                // are per-file, so each property replays all of them).
+                let __persisted =
+                    $crate::test_runner::persistence::load_regressions(file!());
+                for (__idx, __state) in __persisted.into_iter().enumerate() {
+                    let mut __rng = $crate::test_runner::TestRng::from_state(__state);
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
                     let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                         (|| {
@@ -515,9 +631,39 @@ macro_rules! __proptest_fns {
                         })();
                     if let Err(err) = __outcome {
                         panic!(
-                            "proptest {} failed at deterministic case {}: {}",
+                            "proptest {} failed replaying persisted regression #{} \
+                             of {}.proptest-regressions: {}",
+                            stringify!($name),
+                            __idx,
+                            file!().trim_end_matches(".rs"),
+                            err
+                        );
+                    }
+                }
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let __state = __rng.state();
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            Ok(())
+                        })();
+                    if let Err(err) = __outcome {
+                        $crate::test_runner::persistence::save_regression(
+                            file!(),
+                            __state,
+                            &format!("{}: deterministic case {}: {}", stringify!($name), __case, err),
+                        );
+                        panic!(
+                            "proptest {} failed at deterministic case {} \
+                             (state persisted to {}.proptest-regressions): {}",
                             stringify!($name),
                             __case,
+                            file!().trim_end_matches(".rs"),
                             err
                         );
                     }
@@ -603,6 +749,34 @@ mod tests {
         let mut a = crate::test_runner::TestRng::for_case("x", 7);
         let mut b = crate::test_runner::TestRng::for_case("x", 7);
         assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = crate::test_runner::TestRng::for_case("roundtrip", 3);
+        let mut b = crate::test_runner::TestRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // The all-zero state (invalid for xoshiro256++) still yields a
+        // working generator.
+        let mut z = crate::test_runner::TestRng::from_state([0; 4]);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
+
+    #[test]
+    fn cc_lines_roundtrip_through_the_file_format() {
+        use crate::test_runner::persistence::{parse_cc_line, render_cc_line};
+        let state = [0x29f2_c6f5_e91d_4a99, 0x0f5f_c49c_5c34_0220, 7, u64::MAX];
+        let line = render_cc_line(state, "shrinks to x = 1\nmultiline note");
+        assert!(line.starts_with("cc 29f2c6f5e91d4a99"));
+        assert!(!line.contains('\n'), "notes must stay on one line");
+        assert_eq!(parse_cc_line(&line), Some(state));
+        // Whitespace and the upstream file's comment lines are skipped.
+        assert_eq!(parse_cc_line(&format!("   {line}")), Some(state));
+        assert_eq!(parse_cc_line("# comment"), None);
+        assert_eq!(parse_cc_line(""), None);
+        assert_eq!(parse_cc_line("cc 123abc # too short"), None);
     }
 
     proptest! {
