@@ -162,6 +162,9 @@ pub struct PhysicalPool {
     suspended_on: HashMap<JobId, MachineId>,
     total_cores: u32,
     busy_cores: u32,
+    /// Machines currently failed; maintained by `fail_machine` /
+    /// `restore_machine` so health queries are O(1).
+    down_machines: usize,
     stats: PoolStats,
     /// Free-capacity index over `machines`, re-synced after every machine
     /// mutation; answers first-fit and eligibility without scanning.
@@ -204,6 +207,7 @@ impl PhysicalPool {
             suspended_on: HashMap::new(),
             total_cores,
             busy_cores: 0,
+            down_machines: 0,
             stats: PoolStats::default(),
             index,
             running_prios: MinMultiset::new(),
@@ -267,6 +271,18 @@ impl PhysicalPool {
     /// Number of machines.
     pub fn machine_count(&self) -> usize {
         self.machines.len()
+    }
+
+    /// Number of machines currently down (failed and not yet restored).
+    pub fn down_machine_count(&self) -> usize {
+        self.down_machines
+    }
+
+    /// True when every machine in the pool is down — e.g. the pool lost
+    /// connectivity to the virtual pool manager. A hardened scheduler
+    /// parks retried jobs at the VPM instead of queueing on such a pool.
+    pub fn is_fully_down(&self) -> bool {
+        !self.machines.is_empty() && self.down_machines == self.machines.len()
     }
 
     /// Read access to one machine, for observers that cross-check the
@@ -606,6 +622,7 @@ impl PhysicalPool {
         }
         self.sync_index(idx);
         self.total_cores -= self.machines[idx].config().cores;
+        self.down_machines += 1;
         Some((running, suspended))
     }
 
@@ -619,6 +636,7 @@ impl PhysicalPool {
         }
         self.machines[idx].restore();
         self.total_cores += self.machines[idx].config().cores;
+        self.down_machines -= 1;
         Some(self.capacity_cycle(now, idx))
     }
 
@@ -642,11 +660,13 @@ impl PhysicalPool {
             && self.queue_mem.len() == self.queue.len()
             && self.queue_cores.min() == self.queue.values().map(|e| e.resources.cores).min()
             && self.queue_mem.min() == self.queue.values().map(|e| e.resources.memory_mb).min();
+        let down = self.machines.iter().filter(|m| m.is_down()).count();
         machines_ok
             && running == self.running_on.len()
             && suspended == self.suspended_on.len()
             && self.queue.len() == self.queue_index.len()
             && busy == self.busy_cores
+            && down == self.down_machines
             && self.index.check_consistency(&self.machines)
             && prios_ok
             && queue_summary_ok

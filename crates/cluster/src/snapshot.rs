@@ -25,6 +25,9 @@ pub struct PoolSnapshot {
     pub suspended: usize,
     /// Running jobs.
     pub running: usize,
+    /// Machines currently down (failed and not yet restored) — the pool's
+    /// health signal for fault-aware policies and observers.
+    pub down_machines: usize,
     /// Lowest priority among running jobs (`None` when idle) — the pool's
     /// O(1) preemptibility signal: a job can only preempt here if its
     /// priority is strictly above this.
@@ -41,6 +44,7 @@ impl PoolSnapshot {
             waiting: pool.queue_len(),
             suspended: pool.suspended_count(),
             running: pool.running_count(),
+            down_machines: pool.down_machine_count(),
             lowest_running_priority: pool.lowest_running_priority(),
         }
     }
@@ -154,6 +158,7 @@ mod tests {
                     waiting,
                     suspended: 0,
                     running: 0,
+                    down_machines: 0,
                     lowest_running_priority: None,
                 })
                 .collect(),

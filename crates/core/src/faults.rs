@@ -1,0 +1,466 @@
+//! Stochastic fault injection and the resilience policy the simulator
+//! hardens itself with.
+//!
+//! The paper's future work is validating dynamic rescheduling on the live
+//! platform — where hosts fail. This module turns the ad-hoc
+//! [`MachineFailure`] escape hatch into a first-class fault subsystem:
+//!
+//! * [`FaultModel`] — deterministically generates a [`FaultPlan`] from the
+//!   run's [`DetRng`]: per-machine exponential MTBF/MTTR outages,
+//!   correlated pool-wide outages (a pool losing network connectivity to
+//!   the virtual pool manager takes every machine in it down at once), and
+//!   *flapping* machines whose failure/repair clocks run a configurable
+//!   factor faster;
+//! * [`FaultPlan`] — a validated outage schedule. Overlapping or touching
+//!   intervals for the same machine are merged, so a later outage can
+//!   never be cut short by an earlier outage's up-event (the seeding bug
+//!   the ad-hoc path had);
+//! * [`ResiliencePolicy`] — the scheduler-hardening knobs: per-job retry
+//!   budgets with exponential backoff before re-dispatch after a failure
+//!   eviction, and pool blacklisting that excludes recently-failed pools
+//!   from `ResSus*` target selection for a cooldown window.
+
+use netbatch_cluster::ids::{MachineId, PoolId};
+use netbatch_sim_engine::rng::DetRng;
+use netbatch_sim_engine::time::{SimDuration, SimTime};
+
+use crate::simulator::MachineFailure;
+
+/// One validated machine outage interval: down at `from`, back up at
+/// `until` (`None` = never repaired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineOutage {
+    /// The pool containing the machine.
+    pub pool: PoolId,
+    /// The machine that goes down.
+    pub machine: MachineId,
+    /// When the outage starts.
+    pub from: SimTime,
+    /// When the machine comes back; `None` = permanent failure.
+    pub until: Option<SimTime>,
+}
+
+impl MachineOutage {
+    fn key(&self) -> (u16, u32, u64) {
+        (
+            self.pool.as_u16(),
+            self.machine.as_u32(),
+            self.from.as_minutes(),
+        )
+    }
+
+    /// True if `other` starts before (or exactly when) this outage ends —
+    /// i.e. seeding both independently would let this outage's up-event
+    /// resurrect the machine inside `other`.
+    fn absorbs(&self, other: &MachineOutage) -> bool {
+        match self.until {
+            None => true,
+            Some(until) => other.from <= until,
+        }
+    }
+}
+
+/// A validated, non-overlapping outage schedule, sorted by
+/// `(pool, machine, start)`.
+///
+/// Construction normalizes the raw intervals per machine: overlapping or
+/// touching outages merge into one (taking the later repair time; a
+/// permanent outage swallows everything after it). This is what makes the
+/// `MachineDown`/`MachineUp` event pairs the simulator seeds safe — every
+/// up-event belongs to exactly one down-event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    outages: Vec<MachineOutage>,
+}
+
+impl FaultPlan {
+    /// Normalizes a raw outage list into a plan.
+    pub fn new(mut raw: Vec<MachineOutage>) -> Self {
+        raw.sort_by_key(MachineOutage::key);
+        let mut outages: Vec<MachineOutage> = Vec::with_capacity(raw.len());
+        for o in raw {
+            match outages.last_mut() {
+                Some(last)
+                    if last.pool == o.pool && last.machine == o.machine && last.absorbs(&o) =>
+                {
+                    last.until = match (last.until, o.until) {
+                        (None, _) | (_, None) => None,
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                    };
+                }
+                _ => outages.push(o),
+            }
+        }
+        FaultPlan { outages }
+    }
+
+    /// Normalizes the ad-hoc [`MachineFailure`] escape hatch into a plan.
+    pub fn from_failures(failures: &[MachineFailure]) -> Self {
+        FaultPlan::new(
+            failures
+                .iter()
+                .map(|f| MachineOutage {
+                    pool: f.pool,
+                    machine: f.machine,
+                    from: f.at,
+                    until: f.down_for.map(|d| f.at + d),
+                })
+                .collect(),
+        )
+    }
+
+    /// Merges two plans into one normalized schedule.
+    pub fn merge(self, other: FaultPlan) -> Self {
+        let mut raw = self.outages;
+        raw.extend(other.outages);
+        FaultPlan::new(raw)
+    }
+
+    /// The validated outage intervals.
+    pub fn outages(&self) -> &[MachineOutage] {
+        &self.outages
+    }
+
+    /// Number of distinct outages after merging (the *effective* failure
+    /// count — duplicate draws collapse here rather than silently
+    /// shrinking a sweep's intensity).
+    pub fn len(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+}
+
+/// A stochastic fault model, deterministic given a seed.
+///
+/// Every machine alternates exponentially distributed up intervals (mean
+/// [`FaultModel::mtbf`]) and down intervals (mean [`FaultModel::mttr`])
+/// over the generation horizon. A configurable fraction of machines
+/// *flaps*: their failure and repair clocks run [`FaultModel::flaky_accel`]
+/// times faster, producing many short outages. On top, whole-pool outages
+/// model a pool dropping off the VPM's network: every machine in the
+/// chosen pool goes down for one exponentially distributed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    /// Mean time between failures per machine.
+    pub mtbf: SimDuration,
+    /// Mean time to repair per outage.
+    pub mttr: SimDuration,
+    /// Generation window: no outage starts at or after this horizon.
+    pub horizon: SimDuration,
+    /// Number of correlated whole-pool outages to inject.
+    pub pool_outages: u32,
+    /// Mean duration of a whole-pool outage.
+    pub pool_outage_mttr: SimDuration,
+    /// Fraction of machines (in `[0, 1]`) whose clocks flap.
+    pub flaky_fraction: f64,
+    /// How many times faster a flapping machine's MTBF/MTTR clocks run.
+    pub flaky_accel: u32,
+}
+
+impl FaultModel {
+    /// A plain MTBF/MTTR model with no correlated outages or flapping.
+    pub fn new(mtbf: SimDuration, mttr: SimDuration, horizon: SimDuration) -> Self {
+        FaultModel {
+            mtbf,
+            mttr,
+            horizon,
+            pool_outages: 0,
+            pool_outage_mttr: SimDuration::from_hours(4),
+            flaky_fraction: 0.0,
+            flaky_accel: 16,
+        }
+    }
+
+    /// Adds `n` correlated whole-pool outages of mean duration `mttr`.
+    pub fn with_pool_outages(mut self, n: u32, mttr: SimDuration) -> Self {
+        self.pool_outages = n;
+        self.pool_outage_mttr = mttr;
+        self
+    }
+
+    /// Makes `fraction` of the machines flap with `accel`-times-faster
+    /// failure/repair clocks.
+    pub fn with_flaky(mut self, fraction: f64, accel: u32) -> Self {
+        self.flaky_fraction = fraction.clamp(0.0, 1.0);
+        self.flaky_accel = accel.max(1);
+        self
+    }
+
+    /// Generates the outage schedule for a site described as
+    /// `(pool id, machine count)` pairs. Deterministic: the same seed and
+    /// site shape always produce the same plan, independent of any other
+    /// randomness in the run (the generator draws from its own named
+    /// [`DetRng`] substreams).
+    pub fn generate(&self, pools: &[(PoolId, u32)], seed: u64) -> FaultPlan {
+        let rng = DetRng::from_seed_u64(seed);
+        let horizon = self.horizon.as_minutes();
+        let mut raw = Vec::new();
+        let mut global = 0u64;
+        for &(pool, machines) in pools {
+            for m in 0..machines {
+                let mut r = rng.stream_indexed("fault-machine", global);
+                global += 1;
+                let flaky = self.flaky_fraction > 0.0 && r.next_f64() < self.flaky_fraction;
+                let accel = if flaky {
+                    u64::from(self.flaky_accel)
+                } else {
+                    1
+                };
+                let mtbf = (self.mtbf.as_minutes() / accel).max(1);
+                let mttr = (self.mttr.as_minutes() / accel).max(1);
+                let mut t = 0u64;
+                loop {
+                    t = t.saturating_add(exp_minutes(&mut r, mtbf));
+                    if t >= horizon {
+                        break;
+                    }
+                    let down = exp_minutes(&mut r, mttr);
+                    raw.push(MachineOutage {
+                        pool,
+                        machine: MachineId(m),
+                        from: SimTime::from_minutes(t),
+                        until: Some(SimTime::from_minutes(t.saturating_add(down))),
+                    });
+                    t = t.saturating_add(down);
+                }
+            }
+        }
+        if self.pool_outages > 0 && !pools.is_empty() {
+            let mut r = rng.stream("fault-pool");
+            for _ in 0..self.pool_outages {
+                let (pool, machines) = pools[r.next_below(pools.len() as u64) as usize];
+                let from = r.next_below(horizon.max(1));
+                let down = exp_minutes(&mut r, self.pool_outage_mttr.as_minutes().max(1));
+                for m in 0..machines {
+                    raw.push(MachineOutage {
+                        pool,
+                        machine: MachineId(m),
+                        from: SimTime::from_minutes(from),
+                        until: Some(SimTime::from_minutes(from.saturating_add(down))),
+                    });
+                }
+            }
+        }
+        FaultPlan::new(raw)
+    }
+}
+
+/// One exponential draw with the given mean, rounded up to whole minutes
+/// (minimum 1, so outages and up-intervals always advance time).
+fn exp_minutes(rng: &mut DetRng, mean_minutes: u64) -> u64 {
+    let u = rng.next_f64();
+    let draw = -(1.0 - u).ln() * mean_minutes as f64;
+    // Cap a single draw at 64 mean lengths: keeps the arithmetic far from
+    // overflow without visibly truncating the distribution (P < 2e-28).
+    draw.min(mean_minutes as f64 * 64.0).ceil().max(1.0) as u64
+}
+
+/// Scheduler-hardening knobs for fault-prone runs.
+///
+/// Disabled (the default) reproduces the seed behaviour exactly: evicted
+/// jobs re-route through the VPM immediately, unboundedly, and policies
+/// see every eligible pool. Enabled, the simulator applies:
+///
+/// * **retry budget + exponential backoff** — a job evicted by a failure
+///   waits `backoff_base * 2^(attempt-1)` (capped at `backoff_cap`)
+///   before re-dispatch, and gives up (reported unrunnable) after
+///   `retry_budget` failure-driven retries;
+/// * **pool blacklisting** — a pool that just lost a machine is excluded
+///   from `ResSus*` rescheduling target selection for
+///   `blacklist_cooldown`;
+/// * **graceful degradation** — when every capable pool is fully down,
+///   a retried job parks at the VPM for another backoff interval instead
+///   of queueing on a dead pool or bouncing as unrunnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Master switch; `false` is bit-for-bit the unhardened behaviour.
+    pub enabled: bool,
+    /// Maximum failure-driven re-dispatches per job before it gives up.
+    pub retry_budget: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the backoff delay.
+    pub backoff_cap: SimDuration,
+    /// How long a pool stays excluded from rescheduling targets after a
+    /// machine failure in it.
+    pub blacklist_cooldown: SimDuration,
+}
+
+impl ResiliencePolicy {
+    /// The unhardened scheduler (seed behaviour).
+    pub fn disabled() -> Self {
+        ResiliencePolicy {
+            enabled: false,
+            retry_budget: 0,
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            blacklist_cooldown: SimDuration::ZERO,
+        }
+    }
+
+    /// The hardened defaults used by the chaos harness: budget 8,
+    /// backoff 2 min doubling to a 64-minute cap, 60-minute blacklist.
+    pub fn hardened() -> Self {
+        ResiliencePolicy {
+            enabled: true,
+            retry_budget: 8,
+            backoff_base: SimDuration::from_minutes(2),
+            backoff_cap: SimDuration::from_minutes(64),
+            blacklist_cooldown: SimDuration::from_minutes(60),
+        }
+    }
+
+    /// The backoff delay before re-dispatch attempt `attempt` (1-based):
+    /// `backoff_base * 2^(attempt-1)`, capped at `backoff_cap`, never
+    /// zero (a zero delay would re-dispatch inside the eviction event).
+    pub fn backoff_delay(&self, attempt: u32) -> SimDuration {
+        let base = self.backoff_base.as_minutes().max(1);
+        let cap = self.backoff_cap.as_minutes().max(base);
+        let factor = 1u64 << attempt.saturating_sub(1).min(32);
+        SimDuration::from_minutes(base.saturating_mul(factor).min(cap))
+    }
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outage(m: u32, from: u64, until: Option<u64>) -> MachineOutage {
+        MachineOutage {
+            pool: PoolId(0),
+            machine: MachineId(m),
+            from: SimTime::from_minutes(from),
+            until: until.map(SimTime::from_minutes),
+        }
+    }
+
+    #[test]
+    fn overlapping_outages_merge_to_latest_repair() {
+        // [10, 110) and [50, 60): the naive seeding would resurrect the
+        // machine at 60; the plan merges to one [10, 110) interval.
+        let plan = FaultPlan::new(vec![outage(0, 10, Some(110)), outage(0, 50, Some(60))]);
+        assert_eq!(plan.outages(), &[outage(0, 10, Some(110))]);
+        // Touching intervals merge too (up and down at the same minute
+        // would race otherwise).
+        let plan = FaultPlan::new(vec![outage(0, 10, Some(50)), outage(0, 50, Some(80))]);
+        assert_eq!(plan.outages(), &[outage(0, 10, Some(80))]);
+    }
+
+    #[test]
+    fn permanent_outage_swallows_later_intervals() {
+        let plan = FaultPlan::new(vec![
+            outage(0, 30, None),
+            outage(0, 100, Some(120)),
+            outage(1, 100, Some(120)),
+        ]);
+        assert_eq!(
+            plan.outages(),
+            &[outage(0, 30, None), outage(1, 100, Some(120))]
+        );
+    }
+
+    #[test]
+    fn disjoint_outages_stay_separate() {
+        let plan = FaultPlan::new(vec![outage(0, 80, Some(90)), outage(0, 10, Some(20))]);
+        assert_eq!(
+            plan.outages(),
+            &[outage(0, 10, Some(20)), outage(0, 80, Some(90))]
+        );
+    }
+
+    #[test]
+    fn from_failures_dedupes_identical_draws() {
+        let f = MachineFailure {
+            pool: PoolId(2),
+            machine: MachineId(1),
+            at: SimTime::from_minutes(100),
+            down_for: Some(SimDuration::from_hours(12)),
+        };
+        let plan = FaultPlan::from_failures(&[f, f, f]);
+        assert_eq!(plan.len(), 1, "duplicate (pool, machine, at) draws merge");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let model = FaultModel::new(
+            SimDuration::from_hours(24),
+            SimDuration::from_hours(6),
+            SimDuration::from_hours(24 * 7),
+        )
+        .with_pool_outages(2, SimDuration::from_hours(4))
+        .with_flaky(0.25, 16);
+        let pools = [(PoolId(0), 8u32), (PoolId(1), 4), (PoolId(2), 4)];
+        let a = model.generate(&pools, 42);
+        let b = model.generate(&pools, 42);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(!a.is_empty(), "a week at 24h MTBF must produce outages");
+        let horizon = SimDuration::from_hours(24 * 7).as_minutes();
+        for o in a.outages() {
+            assert!(
+                o.from.as_minutes() < horizon,
+                "outages start inside the horizon"
+            );
+            assert!(o.until.is_some(), "generated outages always repair");
+        }
+        let c = model.generate(&pools, 43);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn pool_outage_covers_every_machine() {
+        let model = FaultModel::new(
+            SimDuration::from_hours(1_000_000), // no per-machine outages
+            SimDuration::from_hours(1),
+            SimDuration::from_hours(24),
+        )
+        .with_pool_outages(1, SimDuration::from_hours(2));
+        let pools = [(PoolId(0), 5u32), (PoolId(1), 3)];
+        let plan = model.generate(&pools, 7);
+        // One pool fully down: all its machines share the same interval.
+        let hit: Vec<_> = plan.outages().iter().collect();
+        assert!(hit.len() == 5 || hit.len() == 3, "one whole pool affected");
+        let first = hit[0];
+        assert!(hit
+            .iter()
+            .all(|o| o.pool == first.pool && o.from == first.from && o.until == first.until));
+    }
+
+    #[test]
+    fn flaky_machines_fail_more_often() {
+        let horizon = SimDuration::from_hours(24 * 7);
+        let calm = FaultModel::new(
+            SimDuration::from_hours(48),
+            SimDuration::from_hours(2),
+            horizon,
+        );
+        let flaky = calm.clone().with_flaky(1.0, 16);
+        let pools = [(PoolId(0), 16u32)];
+        let calm_n = calm.generate(&pools, 5).len();
+        let flaky_n = flaky.generate(&pools, 5).len();
+        assert!(
+            flaky_n > calm_n * 4,
+            "flapping ({flaky_n}) must dominate calm ({calm_n})"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = ResiliencePolicy::hardened();
+        assert_eq!(p.backoff_delay(1).as_minutes(), 2);
+        assert_eq!(p.backoff_delay(2).as_minutes(), 4);
+        assert_eq!(p.backoff_delay(5).as_minutes(), 32);
+        assert_eq!(p.backoff_delay(6).as_minutes(), 64);
+        assert_eq!(p.backoff_delay(7).as_minutes(), 64, "capped");
+        assert_eq!(p.backoff_delay(60).as_minutes(), 64, "no shift overflow");
+    }
+}

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod faults;
 pub mod observer;
 pub mod policy;
 pub mod simulator;
 
 pub use experiment::{render_results_table, Experiment, ExperimentResult, PAPER_TABLE_HEADER};
+pub use faults::{FaultModel, FaultPlan, MachineOutage, ResiliencePolicy};
 pub use observer::{
     InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind, SimObserver, StatsProbe,
     TraceRecorder,

@@ -238,6 +238,24 @@ pub enum ObsEvent {
         /// The restored machine.
         machine: MachineId,
     },
+    /// A hardened run booked a backoff retry for a failure-evicted job.
+    RetryScheduled {
+        /// The evicted job.
+        job: JobId,
+        /// Which failure-driven re-dispatch this is (1-based; monotonic
+        /// per job).
+        attempt: u32,
+        /// When the backoff expires and the re-dispatch fires.
+        resume_at: SimTime,
+    },
+    /// A pool entered (or extended) its blacklist cooldown after a
+    /// machine failure; rescheduling avoids it until `until`.
+    PoolBlacklisted {
+        /// The unhealthy pool.
+        pool: PoolId,
+        /// When the cooldown expires.
+        until: SimTime,
+    },
     /// The per-minute state sample tick (ASCA's sampling cadence).
     Sample,
 }
@@ -266,6 +284,8 @@ impl ObsEvent {
             ObsEvent::Complete { .. } => "complete",
             ObsEvent::MachineDown { .. } => "machine_down",
             ObsEvent::MachineUp { .. } => "machine_up",
+            ObsEvent::RetryScheduled { .. } => "retry_backoff",
+            ObsEvent::PoolBlacklisted { .. } => "blacklist",
             ObsEvent::Sample => "sample",
         }
     }
@@ -315,6 +335,9 @@ enum SPhase {
     Suspended(PoolId, MachineId),
     /// Migrating between pools (the record shows `AtVpm` during transit).
     InTransit,
+    /// Parked at the VPM waiting out a failure-retry backoff that expires
+    /// at the carried instant (the record shows `AtVpm`).
+    Backoff(SimTime),
     Done,
 }
 
@@ -353,11 +376,24 @@ const DEEP_SWEEP_EVERY: u64 = 1024;
 /// * **resume order** — within one pool action batch, no machine resumes
 ///   a suspended job after starting a queued one (suspended-before-
 ///   waiting, per machine);
-/// * **monotonic time** — observed event times never regress.
+/// * **monotonic time** — observed event times never regress;
+/// * **fault discipline** — down machines host nothing (no dispatch or
+///   resume onto them, zero resident memory once their evictions settle,
+///   no down/up event without the opposite transition first), backoff
+///   retries keep strictly increasing attempt numbers with non-decreasing
+///   delays and never re-dispatch before their booked instant, and no
+///   rescheduling move targets a pool inside its blacklist cooldown.
 pub struct InvariantChecker {
     phases: Vec<SPhase>,
     busy: Vec<u64>,
     mem: Vec<Vec<u64>>,
+    /// Shadow machine health per pool, driven by MachineDown/MachineUp.
+    down: Vec<Vec<bool>>,
+    /// Blacklisted-until (minutes) per pool; only ever set by observed
+    /// `PoolBlacklisted` events, so unhardened runs check trivially.
+    blacklist_until: Vec<u64>,
+    /// Last observed (attempt, delay-minutes) per retried job.
+    retry_state: BTreeMap<JobId, (u32, u64)>,
     touched_pools: Vec<usize>,
     touched_machines: Vec<(usize, usize)>,
     queue_started: Vec<(usize, usize)>,
@@ -390,6 +426,9 @@ impl InvariantChecker {
             phases: Vec::new(),
             busy: Vec::new(),
             mem: Vec::new(),
+            down: Vec::new(),
+            blacklist_until: Vec::new(),
+            retry_state: BTreeMap::new(),
             touched_pools: Vec::new(),
             touched_machines: Vec::new(),
             queue_started: Vec::new(),
@@ -417,6 +456,12 @@ impl InvariantChecker {
             .iter()
             .map(|p| vec![0; p.machine_count()])
             .collect();
+        self.down = ctx
+            .pools
+            .iter()
+            .map(|p| vec![false; p.machine_count()])
+            .collect();
+        self.blacklist_until = vec![0; ctx.pools.len()];
         self.phases = vec![SPhase::Unsubmitted; ctx.jobs.len()];
         self.machine_total = ctx.pools.iter().map(|p| p.machine_count() as u64).sum();
         self.initialized = true;
@@ -561,6 +606,49 @@ impl InvariantChecker {
                 ),
             );
         }
+        if self.down[p][m] && shadow != 0 {
+            self.violation(
+                now,
+                &format!(
+                    "down machine {}/m{m} still hosts {shadow} MB resident",
+                    pool.id()
+                ),
+            );
+        }
+    }
+
+    /// A job is leaving the VPM (pool choice, enqueue, fresh dispatch):
+    /// legal from `AtVpm`/`InTransit`, or from `Backoff` once the booked
+    /// backoff instant has passed.
+    fn expect_dispatchable(&mut self, now: SimTime, job: JobId, at: &str) {
+        match self.phase(job) {
+            SPhase::AtVpm | SPhase::InTransit => {}
+            SPhase::Backoff(resume_at) => {
+                if now < resume_at {
+                    self.violation(
+                        now,
+                        &format!("{at}: {job} acted on before its backoff expires at {resume_at}"),
+                    );
+                }
+            }
+            got => self.violation(
+                now,
+                &format!("{at}: {job} is {got:?}, expected AtVpm/InTransit/Backoff"),
+            ),
+        }
+    }
+
+    /// No rescheduling decision may target a pool inside its blacklist
+    /// cooldown (the map is only populated by observed `PoolBlacklisted`
+    /// events, so unhardened runs pass trivially).
+    fn check_not_blacklisted(&self, now: SimTime, target: PoolId, at: &str) {
+        let until = self.blacklist_until[target.as_usize()];
+        if now.as_minutes() < until {
+            self.violation(
+                now,
+                &format!("{at}: targeted blacklisted {target} (cooldown until t+{until}m)"),
+            );
+        }
     }
 
     /// Full-state sweep: every pool's internal invariants, queue order,
@@ -614,10 +702,21 @@ impl InvariantChecker {
         }
         for (i, rec) in ctx.jobs.iter().enumerate() {
             let shadow = self.phases.get(i).copied().unwrap_or(SPhase::Unsubmitted);
+            if let SPhase::Running(p, m) | SPhase::Suspended(p, m) = shadow {
+                if self.down[p.as_usize()][m.as_usize()] {
+                    self.violation(
+                        now,
+                        &format!(
+                            "{} is {shadow:?} on down machine {p}/{m} (deep sweep)",
+                            rec.id()
+                        ),
+                    );
+                }
+            }
             use netbatch_cluster::job::JobPhase as JP;
             let ok = match (shadow, rec.phase()) {
                 (SPhase::Unsubmitted, JP::Created) => true,
-                (SPhase::AtVpm | SPhase::InTransit, JP::AtVpm) => true,
+                (SPhase::AtVpm | SPhase::InTransit | SPhase::Backoff(_), JP::AtVpm) => true,
                 (SPhase::Waiting(p), JP::Waiting { pool }) => p == pool,
                 (SPhase::Running(p, m), JP::Running { pool, machine }) => p == pool && m == machine,
                 (SPhase::Suspended(p, m), JP::Suspended { pool, machine }) => {
@@ -694,30 +793,21 @@ impl SimObserver for InvariantChecker {
                 self.expect_phase(now, job, SPhase::Unsubmitted, "submit");
                 self.set_phase(job, SPhase::AtVpm);
             }
-            ObsEvent::PoolChosen { job, .. } => match self.phase(job) {
-                // A migrating job can fall back through the VPM when its
-                // target turned ineligible in transit.
-                SPhase::AtVpm | SPhase::InTransit => {}
-                got => self.violation(
-                    now,
-                    &format!("pool_chosen: {job} is {got:?}, expected AtVpm/InTransit"),
-                ),
-            },
+            // A migrating job can fall back through the VPM when its
+            // target turned ineligible in transit; a failure-retried job
+            // leaves Backoff here once its delay expired.
+            ObsEvent::PoolChosen { job, .. } => self.expect_dispatchable(now, job, "pool_chosen"),
             ObsEvent::Unrunnable { job } => match self.phase(job) {
-                SPhase::AtVpm | SPhase::InTransit => {}
+                // A give-up can land mid-backoff (budget exhausted while
+                // parked), so no timing requirement here.
+                SPhase::AtVpm | SPhase::InTransit | SPhase::Backoff(_) => {}
                 got => self.violation(
                     now,
-                    &format!("unrunnable: {job} is {got:?}, expected AtVpm/InTransit"),
+                    &format!("unrunnable: {job} is {got:?}, expected AtVpm/InTransit/Backoff"),
                 ),
             },
             ObsEvent::Enqueue { job, pool } => {
-                match self.phase(job) {
-                    SPhase::AtVpm | SPhase::InTransit => {}
-                    got => self.violation(
-                        now,
-                        &format!("enqueue: {job} is {got:?}, expected AtVpm/InTransit"),
-                    ),
-                }
+                self.expect_dispatchable(now, job, "enqueue");
                 self.set_phase(job, SPhase::Waiting(pool));
             }
             ObsEvent::Dispatch {
@@ -732,16 +822,16 @@ impl SimObserver for InvariantChecker {
                     self.queue_started
                         .push((pool.as_usize(), machine.as_usize()));
                 } else {
-                    match self.phase(job) {
-                        SPhase::AtVpm | SPhase::InTransit => {}
-                        got => self.violation(
-                            now,
-                            &format!("dispatch: {job} is {got:?}, expected AtVpm/InTransit"),
-                        ),
-                    }
+                    self.expect_dispatchable(now, job, "dispatch");
                 }
                 if wall.is_zero() {
                     self.violation(now, &format!("dispatch: {job} started with zero wall time"));
+                }
+                if self.down[pool.as_usize()][machine.as_usize()] {
+                    self.violation(
+                        now,
+                        &format!("dispatch: {job} placed on down machine {pool}/{machine}"),
+                    );
                 }
                 let (cores, mem) = self.resources(ctx, job);
                 self.add_usage(pool, machine, cores, mem);
@@ -756,6 +846,12 @@ impl SimObserver for InvariantChecker {
             }
             ObsEvent::Resume { job, pool, machine } => {
                 self.expect_phase(now, job, SPhase::Suspended(pool, machine), "resume");
+                if self.down[pool.as_usize()][machine.as_usize()] {
+                    self.violation(
+                        now,
+                        &format!("resume: {job} resumed on down machine {pool}/{machine}"),
+                    );
+                }
                 if self
                     .queue_started
                     .contains(&(pool.as_usize(), machine.as_usize()))
@@ -788,8 +884,12 @@ impl SimObserver for InvariantChecker {
                 from_pool,
                 machine,
                 from_phase,
+                to,
                 ..
             } => {
+                if let Some(target) = to {
+                    self.check_not_blacklisted(now, target, kind.label());
+                }
                 let (cores, mem) = self.resources(ctx, job);
                 match (kind, from_phase) {
                     (
@@ -839,8 +939,11 @@ impl SimObserver for InvariantChecker {
                 }
             }
             ObsEvent::DuplicateLaunched {
-                original, clone, ..
+                original,
+                clone,
+                target,
             } => {
+                self.check_not_blacklisted(now, target, "duplicate");
                 match self.phase(original) {
                     SPhase::Suspended(..) => {}
                     got => self.violation(
@@ -874,10 +977,13 @@ impl SimObserver for InvariantChecker {
                         self.expect_phase(now, job, SPhase::Waiting(p), "proxy_finish");
                     }
                     PhaseTag::AtVpm => match self.phase(job) {
-                        SPhase::AtVpm | SPhase::InTransit => {}
+                        // A backoff-parked copy can lose the race too.
+                        SPhase::AtVpm | SPhase::InTransit | SPhase::Backoff(_) => {}
                         got => self.violation(
                             now,
-                            &format!("proxy_finish: {job} is {got:?}, expected AtVpm/InTransit"),
+                            &format!(
+                                "proxy_finish: {job} is {got:?}, expected AtVpm/InTransit/Backoff"
+                            ),
                         ),
                     },
                 }
@@ -887,10 +993,84 @@ impl SimObserver for InvariantChecker {
             ObsEvent::MachineDown { pool, machine } => {
                 // Evictions follow as failure_evict reschedules; once they
                 // all land, the shadow reaches the drained machine state.
+                if self.down[pool.as_usize()][machine.as_usize()] {
+                    self.violation(
+                        now,
+                        &format!("machine_down: {pool}/{machine} failed while already down"),
+                    );
+                }
+                self.down[pool.as_usize()][machine.as_usize()] = true;
                 self.touch_machine(pool, machine);
             }
             ObsEvent::MachineUp { pool, machine } => {
+                if !self.down[pool.as_usize()][machine.as_usize()] {
+                    self.violation(
+                        now,
+                        &format!("machine_up: {pool}/{machine} restored while not down"),
+                    );
+                }
+                self.down[pool.as_usize()][machine.as_usize()] = false;
                 self.touch_machine(pool, machine);
+            }
+            ObsEvent::RetryScheduled {
+                job,
+                attempt,
+                resume_at,
+            } => {
+                match self.phase(job) {
+                    // First retry leaves AtVpm (just evicted); graceful-
+                    // degradation re-parks leave Backoff.
+                    SPhase::AtVpm | SPhase::Backoff(_) => {}
+                    got => self.violation(
+                        now,
+                        &format!("retry_backoff: {job} is {got:?}, expected AtVpm/Backoff"),
+                    ),
+                }
+                if resume_at < now {
+                    self.violation(
+                        now,
+                        &format!("retry_backoff: {job} booked in the past ({resume_at})"),
+                    );
+                }
+                let delay = resume_at.since(now).as_minutes();
+                if let Some(&(prev_attempt, prev_delay)) = self.retry_state.get(&job) {
+                    if attempt != prev_attempt + 1 {
+                        self.violation(
+                            now,
+                            &format!(
+                                "retry_backoff: {job} attempt jumped {prev_attempt} -> {attempt}"
+                            ),
+                        );
+                    }
+                    if delay < prev_delay {
+                        self.violation(
+                            now,
+                            &format!(
+                                "backoff ordering broken for {job}: delay shrank {prev_delay}m -> {delay}m"
+                            ),
+                        );
+                    }
+                } else if attempt != 1 {
+                    self.violation(
+                        now,
+                        &format!("retry_backoff: {job} first observed attempt is {attempt}"),
+                    );
+                }
+                self.retry_state.insert(job, (attempt, delay));
+                self.set_phase(job, SPhase::Backoff(resume_at));
+            }
+            ObsEvent::PoolBlacklisted { pool, until } => {
+                let u = until.as_minutes();
+                if u < now.as_minutes() {
+                    self.violation(
+                        now,
+                        &format!("blacklist: {pool} cooldown already expired at booking time"),
+                    );
+                }
+                let entry = &mut self.blacklist_until[pool.as_usize()];
+                if *entry < u {
+                    *entry = u;
+                }
             }
             ObsEvent::Sample => {}
         }
@@ -1090,6 +1270,26 @@ impl TraceRecorder {
                     r#"{{"t":{t},"ev":"{ev}","pool":{},"machine":{}}}"#,
                     pool.as_u16(),
                     machine.as_u32()
+                );
+            }
+            ObsEvent::RetryScheduled {
+                job,
+                attempt,
+                resume_at,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","job":{},"attempt":{attempt},"resume_at":{}}}"#,
+                    job.as_u64(),
+                    resume_at.as_minutes()
+                );
+            }
+            ObsEvent::PoolBlacklisted { pool, until } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","pool":{},"until":{}}}"#,
+                    pool.as_u16(),
+                    until.as_minutes()
                 );
             }
             ObsEvent::Sample => {

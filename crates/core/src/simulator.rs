@@ -24,6 +24,7 @@ use netbatch_sim_engine::sampler::PeriodicSampler;
 use netbatch_sim_engine::time::{SimDuration, SimTime};
 use netbatch_workload::scenarios::SiteSpec;
 
+use crate::faults::{FaultModel, FaultPlan, ResiliencePolicy};
 use crate::observer::{InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind, SimObserver};
 use crate::policy::initial::{InitialKind, InitialScheduler};
 use crate::policy::resched::{Decision, ReschedPolicy, StrategyKind};
@@ -57,8 +58,17 @@ pub struct SimConfig {
     /// Machine failures to inject (extension; DESIGN.md §8). Each failure
     /// evicts every resident job — evicted jobs restart from scratch
     /// through the virtual pool manager, their lost progress accounted as
-    /// rescheduling waste.
+    /// rescheduling waste. Validated before seeding: overlapping outages
+    /// of one machine are merged into non-overlapping intervals.
     pub failures: Vec<MachineFailure>,
+    /// Stochastic fault model (extension). When set, an outage schedule is
+    /// generated deterministically from `seed` and merged with `failures`.
+    pub fault_model: Option<FaultModel>,
+    /// Scheduler hardening against faults: retry budgets with exponential
+    /// backoff after failure evictions, pool blacklisting, and graceful
+    /// degradation when a whole pool is down. Disabled by default
+    /// (bit-for-bit the unhardened behaviour).
+    pub resilience: ResiliencePolicy,
     /// Migration cost model, used by `MigrateSusUtil` (extension).
     pub migration: MigrationParams,
     /// Virtual-pool-manager topology (the paper's Figure 1: each site's
@@ -185,6 +195,8 @@ impl Default for SimConfig {
             view_staleness: SimDuration::ZERO,
             seed: 1,
             failures: Vec::new(),
+            fault_model: None,
+            resilience: ResiliencePolicy::disabled(),
             migration: MigrationParams::default(),
             topology: None,
             check_invariants: false,
@@ -227,6 +239,8 @@ pub enum Ev {
     MachineUp(PoolId, MachineId),
     /// A migrating job arrives at its target pool.
     MigrateArrive(JobId, PoolId),
+    /// A failure-evicted job's backoff delay expires; re-dispatch it.
+    RetryDispatch(JobId),
 }
 
 impl EventLabel for Ev {
@@ -239,6 +253,7 @@ impl EventLabel for Ev {
             Ev::MachineDown(..) => "machine_down",
             Ev::MachineUp(..) => "machine_up",
             Ev::MigrateArrive(..) => "migrate_arrive",
+            Ev::RetryDispatch(_) => "retry_dispatch",
         }
     }
 }
@@ -258,6 +273,11 @@ pub struct RunCounters {
     pub restarts_from_wait: u64,
     /// Jobs evicted by injected machine failures.
     pub failure_evictions: u64,
+    /// Backoff retries scheduled after failure evictions (hardened runs).
+    pub retries_scheduled: u64,
+    /// Retries that found every capable pool fully down and parked the job
+    /// at the VPM for another backoff interval (graceful degradation).
+    pub vpm_requeues: u64,
     /// Migrations performed (progress kept).
     pub migrations: u64,
     /// Duplicate copies launched.
@@ -286,6 +306,13 @@ pub struct Simulator {
     counters: RunCounters,
     // Wait-check re-arms per waiting stint (livelock guard; reset on start).
     wait_checks: Vec<u32>,
+    // Failure-driven retry attempts per job (hardened runs only).
+    fault_retries: Vec<u32>,
+    // Per-pool blacklisted-until instant (SimTime::ZERO = never failed).
+    blacklist: Vec<SimTime>,
+    // Jobs that exhausted their retry budget; kept so duplicate pairs are
+    // settled exactly once.
+    gave_up: std::collections::HashSet<JobId>,
     // Remaining runtime a migrating job resubmits with, parked while the
     // transfer delay elapses.
     migrating: std::collections::HashMap<JobId, SimDuration>,
@@ -337,6 +364,8 @@ impl Simulator {
         let total_jobs = specs.len() as u64;
         let policy_rng = DetRng::from_seed_u64(config.seed).stream("policy");
         let wait_checks = vec![0; specs.len()];
+        let fault_retries = vec![0; specs.len()];
+        let blacklist = vec![SimTime::ZERO; pools.len()];
         let vpm_assignment = match config.topology.as_ref() {
             Some(topo) => specs
                 .iter()
@@ -355,6 +384,9 @@ impl Simulator {
             pools,
             jobs: specs.into_iter().map(JobRecord::new).collect(),
             wait_checks,
+            fault_retries,
+            blacklist,
+            gave_up: std::collections::HashSet::new(),
             vpm_assignment,
             migrating: std::collections::HashMap::new(),
             dup_of: std::collections::HashMap::new(),
@@ -424,10 +456,22 @@ impl Simulator {
         if let Some(sampler) = self.sampler.as_mut() {
             executor.seed_event(sampler.next_tick(), Ev::Sample);
         }
-        for f in self.config.failures.clone() {
-            executor.seed_event(f.at, Ev::MachineDown(f.pool, f.machine));
-            if let Some(d) = f.down_for {
-                executor.seed_event(f.at + d, Ev::MachineUp(f.pool, f.machine));
+        // Validate the ad-hoc failure list and merge it with the generated
+        // schedule: per-machine intervals are non-overlapping afterwards,
+        // so no up-event can resurrect a machine inside a later outage.
+        let mut plan = FaultPlan::from_failures(&self.config.failures);
+        if let Some(model) = self.config.fault_model.as_ref() {
+            let shape: Vec<(PoolId, u32)> = self
+                .pools
+                .iter()
+                .map(|p| (p.id(), p.machine_count() as u32))
+                .collect();
+            plan = plan.merge(model.generate(&shape, self.config.seed));
+        }
+        for o in plan.outages() {
+            executor.seed_event(o.from, Ev::MachineDown(o.pool, o.machine));
+            if let Some(until) = o.until {
+                executor.seed_event(until, Ev::MachineUp(o.pool, o.machine));
             }
         }
         let stats = executor.run(&mut self);
@@ -498,14 +542,17 @@ impl Simulator {
     /// The pools this job may be rescheduled to: affinity candidates that
     /// also have at least one machine capable of running it, and — under a
     /// multi-VPM topology without inter-site rescheduling — belong to the
-    /// job's home VPM.
-    fn eligible_candidates(&self, spec: &JobSpec) -> Vec<PoolId> {
+    /// job's home VPM. Hardened runs additionally exclude pools inside
+    /// their blacklist cooldown after a machine failure.
+    fn eligible_candidates(&self, spec: &JobSpec, now: SimTime) -> Vec<PoolId> {
         let home = self.home_pools(spec.id);
+        let hardened = self.config.resilience.enabled;
         spec.affinity
             .candidates(self.pool_count)
             .into_iter()
             .filter(|p| home.is_none_or(|pools| pools.contains(p)))
             .filter(|p| self.pools[p.as_usize()].is_eligible(spec.resources))
+            .filter(|p| !hardened || self.blacklist[p.as_usize()] <= now)
             .collect()
     }
 
@@ -561,8 +608,7 @@ impl Simulator {
             }
         }
         // No pool can ever run this job.
-        self.counters.unrunnable += 1;
-        self.emit(now, ObsEvent::Unrunnable { job });
+        self.give_up(job, now);
     }
 
     /// Tries one pool; `Some(())` if the job was dispatched or queued
@@ -714,7 +760,7 @@ impl Simulator {
             }
         }
         let spec = rec.spec().clone();
-        let candidates = self.eligible_candidates(&spec);
+        let candidates = self.eligible_candidates(&spec, now);
         let view = self.view(now);
         let decision =
             self.policy
@@ -796,6 +842,7 @@ impl Simulator {
                 clone_spec.id = clone_id;
                 self.jobs.push(JobRecord::new(clone_spec));
                 self.wait_checks.push(0);
+                self.fault_retries.push(0);
                 if !self.vpm_assignment.is_empty() {
                     let home = self.vpm_assignment[job.as_usize()];
                     self.vpm_assignment.push(home);
@@ -998,7 +1045,7 @@ impl Simulator {
         }
         let spec = rec.spec().clone();
         self.emit(now, ObsEvent::WaitTimeout { job, pool });
-        let candidates = self.eligible_candidates(&spec);
+        let candidates = self.eligible_candidates(&spec, now);
         let view = self.view(now);
         let decision =
             self.policy
@@ -1095,6 +1142,15 @@ impl Simulator {
         };
         self.touch_view();
         self.emit(now, ObsEvent::MachineDown { pool, machine });
+        if self.config.resilience.enabled {
+            // A pool that just lost a machine is unhealthy: exclude it
+            // from rescheduling targets for the cooldown window.
+            let until = now + self.config.resilience.blacklist_cooldown;
+            if self.blacklist[pool.as_usize()] < until {
+                self.blacklist[pool.as_usize()] = until;
+                self.emit(now, ObsEvent::PoolBlacklisted { pool, until });
+            }
+        }
         let evicted: Vec<(JobId, PhaseTag)> = running
             .into_iter()
             .map(|j| (j, PhaseTag::Running))
@@ -1126,7 +1182,117 @@ impl Simulator {
                     discarded,
                 },
             );
-            self.route_via_vpm(job, now, sched);
+            if self.config.resilience.enabled {
+                self.schedule_retry(job, now, sched);
+            } else {
+                self.route_via_vpm(job, now, sched);
+            }
+        }
+    }
+
+    /// Books one failure-driven re-dispatch for `job`: waits out the
+    /// exponential backoff before trying again, or gives the job up once
+    /// its retry budget is spent.
+    fn schedule_retry(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let attempt = self.fault_retries[job.as_usize()] + 1;
+        if attempt > self.config.resilience.retry_budget {
+            self.give_up(job, now);
+            return;
+        }
+        self.fault_retries[job.as_usize()] = attempt;
+        let resume_at = now + self.config.resilience.backoff_delay(attempt);
+        self.counters.retries_scheduled += 1;
+        self.emit(
+            now,
+            ObsEvent::RetryScheduled {
+                job,
+                attempt,
+                resume_at,
+            },
+        );
+        sched.schedule_at(resume_at, Ev::RetryDispatch(job));
+    }
+
+    /// A backoff delay expired: re-dispatch the job through the VPM,
+    /// avoiding pools with every machine down. If every capable pool is
+    /// fully down the job parks at the VPM for another backoff interval
+    /// (graceful degradation) instead of queueing on a dead pool.
+    fn handle_retry_dispatch(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let rec = &self.jobs[job.as_usize()];
+        if rec.is_completed()
+            || !matches!(rec.phase(), netbatch_cluster::job::JobPhase::AtVpm)
+            || self.gave_up.contains(&job)
+        {
+            return; // finished (possibly by a duplicate) or moved meanwhile
+        }
+        let spec = rec.spec().clone();
+        let capable: Vec<PoolId> = self
+            .initial_candidates(&spec)
+            .into_iter()
+            .filter(|p| self.pools[p.as_usize()].is_eligible(spec.resources))
+            .collect();
+        let up: Vec<PoolId> = capable
+            .iter()
+            .copied()
+            .filter(|p| !self.pools[p.as_usize()].is_fully_down())
+            .collect();
+        if up.is_empty() {
+            if capable.is_empty() {
+                self.give_up(job, now);
+            } else {
+                self.counters.vpm_requeues += 1;
+                self.schedule_retry(job, now, sched);
+            }
+            return;
+        }
+        let view = self.view(now);
+        let order = self.initial.order(&spec, &up, &view);
+        for pool in order {
+            if self.try_pool(pool, &spec, now, sched).is_some() {
+                return;
+            }
+        }
+        self.give_up(job, now);
+    }
+
+    /// Terminal bookkeeping for a job no pool will run: count it
+    /// unrunnable exactly once, settling duplicate pairs so a job is never
+    /// both counted unrunnable and finished by proxy.
+    fn give_up(&mut self, job: JobId, now: SimTime) {
+        if !self.config.resilience.enabled {
+            // Unhardened behaviour (unchanged from the seed): the caller
+            // already established no pool can ever run the job.
+            self.counters.unrunnable += 1;
+            self.emit(now, ObsEvent::Unrunnable { job });
+            return;
+        }
+        if self.gave_up.contains(&job) {
+            return;
+        }
+        if let Some(partner) = self.dup_of.get(&job).copied() {
+            if !self.gave_up.contains(&partner) {
+                // The other copy is still in flight; if it finishes it
+                // proxy-completes the pair, so don't write the pair off.
+                self.gave_up.insert(job);
+                return;
+            }
+            // Both copies gave up: sever the pair and count the original.
+            self.dup_of.remove(&job);
+            self.dup_of.remove(&partner);
+            self.gave_up.insert(job);
+            let original = if self.shadows.contains(&job) {
+                partner
+            } else {
+                job
+            };
+            self.counters.unrunnable += 1;
+            self.emit(now, ObsEvent::Unrunnable { job: original });
+            return;
+        }
+        self.gave_up.insert(job);
+        if !self.shadows.contains(&job) {
+            self.counters.unrunnable += 1;
+            self.emit(now, ObsEvent::Unrunnable { job });
         }
     }
 
@@ -1209,6 +1375,7 @@ impl Handler for Simulator {
             Ev::MachineDown(pool, machine) => self.handle_machine_down(pool, machine, now, sched),
             Ev::MachineUp(pool, machine) => self.handle_machine_up(pool, machine, now, sched),
             Ev::MigrateArrive(job, pool) => self.handle_migrate_arrive(job, pool, now, sched),
+            Ev::RetryDispatch(job) => self.handle_retry_dispatch(job, now, sched),
         }
         Control::Continue
     }

@@ -28,4 +28,14 @@ echo "==> invariant-checked quick repro (scale 0.02)"
 cargo run --release -p netbatch-bench --bin repro_all -- \
   --scale 0.02 --check-invariants --smoke
 
+# Chaos smoke: a small faulty run with the hardened resilience policy,
+# under the online invariant checker (which now also enforces the fault
+# discipline: down machines host nothing, backoff ordering, blacklist
+# cooldowns). Any violation panics and fails this step.
+echo "==> invariant-checked chaos smoke (faults on, hardened)"
+cargo run --release --bin netbatch -- simulate \
+  --scale 0.02 --strategy ResSusWaitUtil --check-invariants \
+  --fault-mtbf 24 --fault-mttr 4 --fault-pool-outages 1 \
+  --fault-flaky 0.05 --hardened
+
 echo "ci: all green"

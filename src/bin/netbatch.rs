@@ -14,6 +14,7 @@
 use std::process::ExitCode;
 
 use netbatch::core::experiment::{Experiment, ExperimentResult};
+use netbatch::core::faults::{FaultModel, ResiliencePolicy};
 use netbatch::core::observer::{StatsProbe, TraceRecorder};
 use netbatch::core::policy::{InitialKind, StrategyKind};
 use netbatch::core::simulator::{SimConfig, Simulator};
@@ -34,6 +35,8 @@ USAGE:
                     [--restart-overhead MIN] [--staleness MIN] [--max-restarts N]
                     [--sample] [--series-out FILE] [--trace-out FILE]
                     [--check-invariants] [--stats]
+                    [--fault-mtbf HOURS] [--fault-mttr HOURS]
+                    [--fault-pool-outages N] [--fault-flaky FRAC] [--hardened]
   netbatch strategies
   netbatch help
 
@@ -41,6 +44,10 @@ Strategies: NoRes ResSusUtil ResSusRand ResSusWaitUtil ResSusWaitRand
             ResSusQueue ResSusWaitSmart MigrateSusUtil DupSusUtil
 
 `--scale` scales the site and arrival rates together (default 0.1).
+`--fault-mtbf` turns on the stochastic fault model (per-machine mean time
+between failures, in hours); `--fault-mttr` sets mean repair time (default
+12h). `--hardened` enables the resilient rescheduling policy (retry
+budgets, exponential backoff, pool blacklisting).
 The paper's full tables live in the bench harness:
   cargo run --release -p netbatch-bench --bin repro_all
 ";
@@ -74,6 +81,11 @@ enum Command {
         trace_out: Option<String>,
         check_invariants: bool,
         stats: bool,
+        fault_mtbf: Option<f64>,
+        fault_mttr: f64,
+        fault_pool_outages: u32,
+        fault_flaky: f64,
+        hardened: bool,
     },
     Strategies,
     Help,
@@ -115,8 +127,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value =
-                !matches!(name, "sample" | "high-load" | "check-invariants" | "stats");
+            let takes_value = !matches!(
+                name,
+                "sample" | "high-load" | "check-invariants" | "stats" | "hardened"
+            );
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -156,6 +170,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             None => Ok(None),
         }
     };
+    let fnum = |name: &str| -> Result<Option<f64>, String> {
+        match get(name) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            None => Ok(None),
+        }
+    };
 
     match cmd {
         "generate" => Ok(Command::Generate {
@@ -187,6 +210,11 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             trace_out: get("trace-out"),
             check_invariants: has("check-invariants"),
             stats: has("stats"),
+            fault_mtbf: fnum("fault-mtbf")?,
+            fault_mttr: fnum("fault-mttr")?.unwrap_or(12.0),
+            fault_pool_outages: int("fault-pool-outages")?.unwrap_or(0) as u32,
+            fault_flaky: fnum("fault-flaky")?.unwrap_or(0.0),
+            hardened: has("hardened"),
         }),
         "strategies" => Ok(Command::Strategies),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -286,6 +314,11 @@ fn run(cmd: Command) -> Result<(), String> {
             trace_out,
             check_invariants,
             stats,
+            fault_mtbf,
+            fault_mttr,
+            fault_pool_outages,
+            fault_flaky,
+            hardened,
         } => {
             let params = scenario_params(&scenario, scale, seed)?;
             let trace = match trace {
@@ -300,6 +333,28 @@ fn run(cmd: Command) -> Result<(), String> {
             config.restart_overhead = SimDuration::from_minutes(restart_overhead);
             config.view_staleness = SimDuration::from_minutes(staleness);
             config.max_restarts = max_restarts;
+            if let Some(mtbf_hours) = fault_mtbf {
+                if mtbf_hours <= 0.0 {
+                    return Err("--fault-mtbf must be positive".into());
+                }
+                // Faults are drawn across the trace's submission span plus
+                // one repair window, so late arrivals still see churn.
+                let span = TraceAnalysis::of(&trace).span_minutes;
+                let horizon =
+                    SimDuration::from_minutes(span.max(1) + (fault_mttr * 60.0).ceil() as u64);
+                let mtbf = SimDuration::from_minutes((mtbf_hours * 60.0).ceil().max(1.0) as u64);
+                let mttr = SimDuration::from_minutes((fault_mttr * 60.0).ceil().max(1.0) as u64);
+                config.fault_model = Some(
+                    FaultModel::new(mtbf, mttr, horizon)
+                        .with_pool_outages(fault_pool_outages, mttr)
+                        .with_flaky(fault_flaky, 16),
+                );
+            }
+            config.resilience = if hardened {
+                ResiliencePolicy::hardened()
+            } else {
+                ResiliencePolicy::disabled()
+            };
             if let Some(seed) = seed {
                 config.seed = seed;
             }
@@ -355,6 +410,15 @@ fn run(cmd: Command) -> Result<(), String> {
                 println!(
                     "migrations/dups      {} / {}",
                     r.counters.migrations, r.counters.duplicates_launched
+                );
+            }
+            if r.counters.failure_evictions > 0 || fault_mtbf.is_some() {
+                println!(
+                    "failure evictions    {} ({} retries, {} VPM requeues, {} unrunnable)",
+                    r.counters.failure_evictions,
+                    r.counters.retries_scheduled,
+                    r.counters.vpm_requeues,
+                    r.counters.unrunnable
                 );
             }
             println!(
@@ -514,6 +578,55 @@ mod tests {
         };
         assert!(check_invariants);
         assert_eq!(seed, Some(3));
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cmd = parse_args(&args(
+            "simulate --fault-mtbf 48 --fault-mttr 6 --fault-pool-outages 2 \
+             --fault-flaky 0.05 --hardened --seed 4",
+        ))
+        .unwrap();
+        let Command::Simulate {
+            fault_mtbf,
+            fault_mttr,
+            fault_pool_outages,
+            fault_flaky,
+            hardened,
+            seed,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert_eq!(fault_mtbf, Some(48.0));
+        assert_eq!(fault_mttr, 6.0);
+        assert_eq!(fault_pool_outages, 2);
+        assert_eq!(fault_flaky, 0.05);
+        assert!(hardened);
+        // --hardened is boolean: the following flag must not be eaten.
+        assert_eq!(seed, Some(4));
+    }
+
+    #[test]
+    fn fault_flags_default_off() {
+        let cmd = parse_args(&args("simulate --strategy NoRes")).unwrap();
+        let Command::Simulate {
+            fault_mtbf,
+            fault_mttr,
+            fault_pool_outages,
+            fault_flaky,
+            hardened,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert_eq!(fault_mtbf, None);
+        assert_eq!(fault_mttr, 12.0);
+        assert_eq!(fault_pool_outages, 0);
+        assert_eq!(fault_flaky, 0.0);
+        assert!(!hardened);
     }
 
     #[test]

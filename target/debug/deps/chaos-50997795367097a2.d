@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-50997795367097a2.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-50997795367097a2: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_chaos-8cdd09c673f65ad4.d: tests/golden_chaos.rs
+
+/root/repo/target/debug/deps/golden_chaos-8cdd09c673f65ad4: tests/golden_chaos.rs
+
+tests/golden_chaos.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

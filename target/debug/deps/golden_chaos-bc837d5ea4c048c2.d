@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_chaos-bc837d5ea4c048c2.d: tests/golden_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_chaos-bc837d5ea4c048c2.rmeta: tests/golden_chaos.rs Cargo.toml
+
+tests/golden_chaos.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

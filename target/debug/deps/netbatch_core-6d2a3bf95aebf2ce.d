@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/netbatch_core-6d2a3bf95aebf2ce.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs Cargo.toml
+/root/repo/target/debug/deps/netbatch_core-6d2a3bf95aebf2ce.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnetbatch_core-6d2a3bf95aebf2ce.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs Cargo.toml
+/root/repo/target/debug/deps/libnetbatch_core-6d2a3bf95aebf2ce.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faults.rs:
 crates/core/src/observer.rs:
 crates/core/src/policy/mod.rs:
 crates/core/src/policy/initial.rs:

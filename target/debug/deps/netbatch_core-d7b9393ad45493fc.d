@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/netbatch_core-d7b9393ad45493fc.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/debug/deps/netbatch_core-d7b9393ad45493fc.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
-/root/repo/target/debug/deps/netbatch_core-d7b9393ad45493fc: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/debug/deps/netbatch_core-d7b9393ad45493fc: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
 crates/core/src/lib.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faults.rs:
 crates/core/src/observer.rs:
 crates/core/src/policy/mod.rs:
 crates/core/src/policy/initial.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/netbatch_core-fb26709d4c00de7c.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/debug/deps/netbatch_core-fb26709d4c00de7c.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
-/root/repo/target/debug/deps/libnetbatch_core-fb26709d4c00de7c.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/debug/deps/libnetbatch_core-fb26709d4c00de7c.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
-/root/repo/target/debug/deps/libnetbatch_core-fb26709d4c00de7c.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/debug/deps/libnetbatch_core-fb26709d4c00de7c.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
 crates/core/src/lib.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faults.rs:
 crates/core/src/observer.rs:
 crates/core/src/policy/mod.rs:
 crates/core/src/policy/initial.rs:

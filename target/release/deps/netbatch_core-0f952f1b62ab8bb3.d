@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/netbatch_core-0f952f1b62ab8bb3.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/release/deps/netbatch_core-0f952f1b62ab8bb3.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
-/root/repo/target/release/deps/libnetbatch_core-0f952f1b62ab8bb3.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/release/deps/libnetbatch_core-0f952f1b62ab8bb3.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
-/root/repo/target/release/deps/libnetbatch_core-0f952f1b62ab8bb3.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
+/root/repo/target/release/deps/libnetbatch_core-0f952f1b62ab8bb3.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/faults.rs crates/core/src/observer.rs crates/core/src/policy/mod.rs crates/core/src/policy/initial.rs crates/core/src/policy/resched.rs crates/core/src/simulator.rs
 
 crates/core/src/lib.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faults.rs:
 crates/core/src/observer.rs:
 crates/core/src/policy/mod.rs:
 crates/core/src/policy/initial.rs:

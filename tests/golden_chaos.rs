@@ -1,0 +1,106 @@
+//! Golden-trace conformance for a *faulty* run: one fixed cell —
+//! ResSusWaitUtil under the hardened resilience policy, with a moderate
+//! stochastic fault model — must replay **byte-identically** against the
+//! committed fixture. This pins the fault-injection schedule, eviction
+//! ordering, backoff bookings, and blacklist windows: any drift in the
+//! resilient-rescheduling path shows up as a one-line diff.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_chaos
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use netbatch::core::faults::{FaultModel, ResiliencePolicy};
+use netbatch::core::observer::TraceRecorder;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::{SimConfig, Simulator};
+use netbatch::sim_engine::time::SimDuration;
+use netbatch::workload::scenarios::ScenarioParams;
+use std::fs;
+
+/// Same scale as the fault-free golden cell: reviewable but non-trivial.
+const GOLDEN_SCALE: f64 = 0.002;
+
+/// Fixture path relative to the crate root.
+const GOLDEN_PATH: &str = "tests/golden/chaos_hardened_rswu.jsonl";
+
+/// Runs the hardened ResSusWaitUtil cell under a moderate fault model
+/// (with the invariant checker riding along) and returns the JSONL stream.
+fn record_chaos_hardened_rswu() -> String {
+    let params = ScenarioParams::normal_week(GOLDEN_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
+    config.check_invariants = true;
+    config.fault_model = Some(
+        FaultModel::new(
+            SimDuration::from_hours(24),
+            SimDuration::from_hours(4),
+            SimDuration::from_days(7),
+        )
+        .with_pool_outages(1, SimDuration::from_hours(4))
+        .with_flaky(0.05, 16),
+    );
+    config.resilience = ResiliencePolicy::hardened();
+    let mut sim = Simulator::new(&site, trace.to_specs(), config);
+    sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    let out = sim.run_to_completion();
+    out.observer::<TraceRecorder>()
+        .expect("recorder attached")
+        .lines()
+        .to_string()
+}
+
+#[test]
+fn chaos_hardened_rswu_trace_matches_golden_fixture() {
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    let recorded = record_chaos_hardened_rswu();
+
+    // The fixture must actually exercise the fault path, or it pins
+    // nothing new over the fault-free golden cell.
+    for kind in [
+        "machine_down",
+        "machine_up",
+        "failure_evict",
+        "retry_backoff",
+        "blacklist",
+    ] {
+        assert!(
+            recorded.contains(&format!("\"ev\":\"{kind}\"")),
+            "fixture run produced no `{kind}` events — fault model too mild"
+        );
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &recorded).expect("write golden fixture");
+        println!("golden fixture regenerated at {path}");
+        return;
+    }
+
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}\nregenerate with: UPDATE_GOLDEN=1 cargo test --test golden_chaos")
+    });
+
+    if recorded != golden {
+        // Report the first diverging line before failing, so the diff is
+        // readable without dumping two multi-thousand-line streams.
+        for (i, (got, want)) in recorded.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "trace diverges from golden fixture at line {}",
+                i + 1
+            );
+        }
+        panic!(
+            "trace length diverges from golden fixture: {} vs {} lines \
+             (first {} identical)",
+            recorded.lines().count(),
+            golden.lines().count(),
+            recorded.lines().count().min(golden.lines().count())
+        );
+    }
+}
