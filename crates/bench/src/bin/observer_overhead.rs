@@ -1,0 +1,131 @@
+//! Telemetry-overhead baseline, tracked across PRs.
+//!
+//! Runs the paper's normal-load week at `NETBATCH_SCALE` (default 0.25
+//! here — overhead ratios need runs long enough to swamp timer noise)
+//! per strategy — observer-free, with the [`Telemetry`]
+//! observer attached, and under the online invariant checker — and writes
+//! the wall-clock ratios to `BENCH_observer.json` in the current
+//! directory. The committed file makes the observability tax visible in
+//! review diffs; the budget for telemetry is <= 1.2x the observer-free
+//! run (see DESIGN.md).
+//!
+//! Each variant takes the minimum wall clock over eight rounds (after a
+//! warm-up run), with the variants interleaved within every round — the
+//! minimum discards scheduler and cache noise, and the interleaving
+//! spreads clock-speed drift evenly across variants, so the ratios
+//! reflect the code, not the machine's mood.
+//!
+//! Usage: `cargo run --release -p netbatch-bench --bin observer_overhead`
+//!
+//! [`Telemetry`]: netbatch_core::Telemetry
+
+use std::time::Instant;
+
+use netbatch_bench::runner::{build_scenario, run_cell_opts, scale_from_env, Load, RunnerOpts};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_workload::scenarios::SiteSpec;
+use netbatch_workload::trace::Trace;
+
+struct Cell {
+    strategy: &'static str,
+    baseline_ms: f64,
+    telemetry_ms: f64,
+    checker_ms: f64,
+    events: u64,
+}
+
+impl Cell {
+    fn telemetry_ratio(&self) -> f64 {
+        self.telemetry_ms / self.baseline_ms.max(1e-9)
+    }
+}
+
+fn wall_ms(site: &SiteSpec, trace: &Trace, strategy: StrategyKind, opts: RunnerOpts) -> (f64, u64) {
+    let start = Instant::now();
+    let (result, _) = run_cell_opts(site, trace, InitialKind::RoundRobin, strategy, opts);
+    (start.elapsed().as_secs_f64() * 1e3, result.counters.events)
+}
+
+fn main() {
+    let scale = match std::env::var("NETBATCH_SCALE") {
+        Ok(_) => scale_from_env(),
+        Err(_) => 0.25,
+    };
+    let strategies = [
+        StrategyKind::NoRes,
+        StrategyKind::ResSusUtil,
+        StrategyKind::ResSusWaitUtil,
+    ];
+    let (site, trace) = build_scenario(Load::Normal, scale);
+    let off = RunnerOpts::default();
+    let tel = RunnerOpts {
+        telemetry: true,
+        ..off
+    };
+    let chk = RunnerOpts {
+        check_invariants: true,
+        ..off
+    };
+    let mut cells = Vec::new();
+    for strategy in strategies {
+        let (mut baseline_ms, mut telemetry_ms, mut checker_ms) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut events = 0;
+        wall_ms(&site, &trace, strategy, off); // warm-up: page/cache touch
+        for _ in 0..8 {
+            let (wall, ev) = wall_ms(&site, &trace, strategy, off);
+            baseline_ms = baseline_ms.min(wall);
+            events = ev;
+            let (wall, _) = wall_ms(&site, &trace, strategy, tel);
+            telemetry_ms = telemetry_ms.min(wall);
+            let (wall, _) = wall_ms(&site, &trace, strategy, chk);
+            checker_ms = checker_ms.min(wall);
+        }
+        let cell = Cell {
+            strategy: strategy.name(),
+            baseline_ms,
+            telemetry_ms,
+            checker_ms,
+            events,
+        };
+        println!(
+            "{:<14} baseline {baseline_ms:>8.1} ms | telemetry {telemetry_ms:>8.1} ms ({:.2}x) \
+             | checker {checker_ms:>8.1} ms ({:.2}x) | {events} events",
+            cell.strategy,
+            cell.telemetry_ratio(),
+            checker_ms / baseline_ms.max(1e-9),
+        );
+        cells.push(cell);
+    }
+    let worst = cells
+        .iter()
+        .map(Cell::telemetry_ratio)
+        .fold(0.0_f64, f64::max);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str("  \"telemetry_budget\": 1.2,\n");
+    json.push_str(&format!("  \"worst_telemetry_ratio\": {worst:.3},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"baseline_ms\": {:.1}, \"telemetry_ms\": {:.1}, \
+             \"telemetry_ratio\": {:.3}, \"checker_ms\": {:.1}, \"events\": {}}}{comma}\n",
+            c.strategy,
+            c.baseline_ms,
+            c.telemetry_ms,
+            c.telemetry_ratio(),
+            c.checker_ms,
+            c.events
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_observer.json", &json).expect("write BENCH_observer.json");
+    println!("\nworst telemetry ratio {worst:.2}x (budget 1.2x) -> BENCH_observer.json");
+    if worst > 1.2 {
+        eprintln!("warning: telemetry overhead exceeds the 1.2x budget");
+        std::process::exit(1);
+    }
+}

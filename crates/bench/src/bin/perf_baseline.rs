@@ -33,6 +33,7 @@ fn main() {
     let opts = RunnerOpts {
         check_invariants: std::env::args().any(|a| a == "--check-invariants"),
         stats: false,
+        telemetry: false,
     };
     let strategies = [
         StrategyKind::NoRes,

@@ -49,6 +49,7 @@ fn main() {
     let opts = RunnerOpts {
         check_invariants: argv.iter().any(|a| a == "--check-invariants"),
         stats: argv.iter().any(|a| a == "--stats"),
+        telemetry: false,
     };
     let smoke = argv.iter().any(|a| a == "--smoke");
     let t0 = std::time::Instant::now();

@@ -69,6 +69,9 @@ pub struct RunnerOpts {
     /// Attach a [`StatsProbe`] per cell and print its per-event-kind
     /// report after the strategies of a table finish.
     pub stats: bool,
+    /// Attach a [`netbatch_core::Telemetry`] observer per cell (spans,
+    /// per-pool series, exposition). Used by the observer-overhead bench.
+    pub telemetry: bool,
 }
 
 /// Runs one experiment cell.
@@ -94,6 +97,7 @@ pub fn run_cell_opts(
 ) -> (ExperimentResult, Option<String>) {
     let mut config = SimConfig::new(initial, strategy);
     config.check_invariants = opts.check_invariants;
+    config.telemetry = opts.telemetry;
     let mut sim = Simulator::new(site, trace.to_specs(), config);
     if opts.stats {
         sim.attach_observer(Box::new(StatsProbe::new()));
@@ -277,6 +281,7 @@ mod tests {
         let opts = RunnerOpts {
             check_invariants: true,
             stats: true,
+            telemetry: false,
         };
         let (result, report) = run_cell_opts(
             &site,

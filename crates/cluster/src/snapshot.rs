@@ -25,6 +25,9 @@ pub struct PoolSnapshot {
     pub suspended: usize,
     /// Running jobs.
     pub running: usize,
+    /// Machines in the pool (healthy or not) — the denominator for
+    /// down-machine ratios in telemetry and health reporting.
+    pub machines: usize,
     /// Machines currently down (failed and not yet restored) — the pool's
     /// health signal for fault-aware policies and observers.
     pub down_machines: usize,
@@ -44,6 +47,7 @@ impl PoolSnapshot {
             waiting: pool.queue_len(),
             suspended: pool.suspended_count(),
             running: pool.running_count(),
+            machines: pool.machine_count(),
             down_machines: pool.down_machine_count(),
             lowest_running_priority: pool.lowest_running_priority(),
         }
@@ -55,6 +59,15 @@ impl PoolSnapshot {
             0.0
         } else {
             f64::from(self.busy_cores) / f64::from(self.total_cores)
+        }
+    }
+
+    /// Fraction of the pool's machines currently down, in `[0, 1]`.
+    pub fn down_fraction(&self) -> f64 {
+        if self.machines == 0 {
+            0.0
+        } else {
+            self.down_machines as f64 / self.machines as f64
         }
     }
 }
@@ -158,6 +171,7 @@ mod tests {
                     waiting,
                     suspended: 0,
                     running: 0,
+                    machines: 0,
                     down_machines: 0,
                     lowest_running_priority: None,
                 })
@@ -199,6 +213,8 @@ mod tests {
         assert_eq!(s.id, PoolId(3));
         assert_eq!(s.busy_cores, 1);
         assert_eq!(s.running, 1);
+        assert_eq!(s.machines, 2);
+        assert_eq!(s.down_fraction(), 0.0);
         assert!((s.utilization() - 0.25).abs() < 1e-9);
     }
 

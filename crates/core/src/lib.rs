@@ -36,6 +36,7 @@ pub mod faults;
 pub mod observer;
 pub mod policy;
 pub mod simulator;
+pub mod telemetry;
 
 pub use experiment::{render_results_table, Experiment, ExperimentResult, PAPER_TABLE_HEADER};
 pub use faults::{FaultModel, FaultPlan, MachineOutage, ResiliencePolicy};
@@ -45,3 +46,4 @@ pub use observer::{
 };
 pub use policy::{InitialKind, ReschedPolicy, StrategyKind};
 pub use simulator::{RunCounters, SimConfig, SimOutput, Simulator};
+pub use telemetry::{Registry, Telemetry, TelemetrySummary};

@@ -36,6 +36,7 @@ use std::io::Write as _;
 use netbatch_cluster::ids::{JobId, MachineId, PoolId};
 use netbatch_cluster::job::JobRecord;
 use netbatch_cluster::pool::PhysicalPool;
+use netbatch_sim_engine::observe::{LabelCounter, LabelTimer};
 use netbatch_sim_engine::time::{SimDuration, SimTime};
 
 /// Why a job left its pool through the rescheduling path.
@@ -1334,16 +1335,21 @@ impl SimObserver for TraceRecorder {
 /// Counts events per kind and measures real (host) wall-clock time spent
 /// handling each kernel event kind.
 ///
-/// Timings come from [`std::time::Instant`] deltas between consecutive
-/// kernel markers, so they attribute the *whole* handler (including
-/// cascaded rescheduling) to the kernel event that triggered it. The
-/// `Debug` rendering deliberately omits timings — they are not
-/// deterministic — so the probe can ride through the determinism suite.
+/// The probe is composed from two deliberately separated halves (see
+/// [`netbatch_sim_engine::observe`]): deterministic sim-domain
+/// [`LabelCounter`]s, which may appear in traces, debug output and golden
+/// fixtures, and a wall-clock [`LabelTimer`], whose measurements are
+/// nondeterministic and whose `Debug` impl redacts them — so an `Instant`
+/// delta can never leak into a deterministic rendering, no matter how the
+/// probe is formatted.
+///
+/// Timings come from deltas between consecutive kernel markers, so they
+/// attribute the *whole* handler (including cascaded rescheduling) to the
+/// kernel event that triggered it.
 pub struct StatsProbe {
-    counts: BTreeMap<&'static str, u64>,
-    kernel_counts: BTreeMap<&'static str, u64>,
-    kernel_nanos: BTreeMap<&'static str, u128>,
-    open: Option<(&'static str, std::time::Instant)>,
+    counts: LabelCounter,
+    kernel_counts: LabelCounter,
+    kernel_timer: LabelTimer,
 }
 
 impl Default for StatsProbe {
@@ -1354,9 +1360,12 @@ impl Default for StatsProbe {
 
 impl std::fmt::Debug for StatsProbe {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Only the deterministic halves; the timer would redact itself
+        // anyway, but keeping it out entirely keeps the rendering stable
+        // across the split.
         f.debug_struct("StatsProbe")
-            .field("counts", &self.counts)
-            .field("kernel_counts", &self.kernel_counts)
+            .field("counts", self.counts.counts())
+            .field("kernel_counts", self.kernel_counts.counts())
             .finish()
     }
 }
@@ -1365,38 +1374,37 @@ impl StatsProbe {
     /// A fresh probe.
     pub fn new() -> Self {
         StatsProbe {
-            counts: BTreeMap::new(),
-            kernel_counts: BTreeMap::new(),
-            kernel_nanos: BTreeMap::new(),
-            open: None,
+            counts: LabelCounter::new(),
+            kernel_counts: LabelCounter::new(),
+            kernel_timer: LabelTimer::new(),
         }
     }
 
     /// Observed transition counts per kind (markers excluded).
     pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
-        &self.counts
+        self.counts.counts()
     }
 
     /// Kernel events per kind.
     pub fn kernel_counts(&self) -> &BTreeMap<&'static str, u64> {
-        &self.kernel_counts
+        self.kernel_counts.counts()
     }
 
-    fn close_span(&mut self) {
-        if let Some((kind, started)) = self.open.take() {
-            *self.kernel_nanos.entry(kind).or_insert(0) += started.elapsed().as_nanos();
-        }
+    /// Host wall-clock nanos per kernel event kind (nondeterministic;
+    /// surfaced for reports only, never for traces or fixtures).
+    pub fn kernel_nanos(&self) -> &BTreeMap<&'static str, u128> {
+        self.kernel_timer.all_nanos()
     }
 
     /// Human-readable summary table.
     pub fn report(&self) -> String {
         let mut out = String::from("event counts:\n");
-        for (kind, n) in &self.counts {
+        for (kind, n) in self.counts.counts() {
             let _ = writeln!(out, "  {kind:<22} {n}");
         }
         out.push_str("handler wall time by kernel event:\n");
-        for (kind, n) in &self.kernel_counts {
-            let nanos = self.kernel_nanos.get(kind).copied().unwrap_or(0);
+        for (kind, n) in self.kernel_counts.counts() {
+            let nanos = self.kernel_timer.nanos(kind);
             let _ = writeln!(
                 out,
                 "  {kind:<22} {n:>9} events  {:>8.1} ms total  {:>7.2} µs/event",
@@ -1411,16 +1419,15 @@ impl StatsProbe {
 impl SimObserver for StatsProbe {
     fn on_event(&mut self, _now: SimTime, event: &ObsEvent, _ctx: &ObsCtx<'_>) {
         if let ObsEvent::Kernel { kind } = event {
-            self.close_span();
-            *self.kernel_counts.entry(kind).or_insert(0) += 1;
-            self.open = Some((kind, std::time::Instant::now()));
+            self.kernel_counts.inc(kind);
+            self.kernel_timer.start(kind);
         } else if !matches!(event, ObsEvent::BatchStart { .. }) {
-            *self.counts.entry(event.label()).or_insert(0) += 1;
+            self.counts.inc(event.label());
         }
     }
 
     fn on_run_end(&mut self, _now: SimTime, _ctx: &ObsCtx<'_>) {
-        self.close_span();
+        self.kernel_timer.stop();
     }
 
     fn as_any(&self) -> &dyn Any {

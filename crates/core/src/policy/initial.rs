@@ -169,6 +169,7 @@ mod tests {
                     waiting: 0,
                     suspended: 0,
                     running: 0,
+                    machines: 0,
                     down_machines: 0,
                     lowest_running_priority: None,
                 })

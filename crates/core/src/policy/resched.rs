@@ -606,6 +606,7 @@ mod tests {
                     waiting,
                     suspended: 0,
                     running: 0,
+                    machines: 0,
                     down_machines: 0,
                     lowest_running_priority: None,
                 })

@@ -81,6 +81,13 @@ pub struct SimConfig {
     /// default; the observer layer costs nothing when no observer is
     /// attached.
     pub check_invariants: bool,
+    /// Attach a [`Telemetry`](crate::telemetry::Telemetry) observer to
+    /// the run: per-kind event
+    /// counters, job-lifecycle latency spans, per-pool time series (with
+    /// sampling on) and a Table-1-shape summary, renderable as a
+    /// Prometheus exposition or a markdown report. Off by default; like
+    /// every observer it costs nothing when not attached.
+    pub telemetry: bool,
 }
 
 /// A multi-VPM deployment: which pools each virtual pool manager serves
@@ -200,6 +207,7 @@ impl Default for SimConfig {
             migration: MigrationParams::default(),
             topology: None,
             check_invariants: false,
+            telemetry: false,
         }
     }
 }
@@ -217,6 +225,13 @@ impl SimConfig {
     /// Enables ASCA-style per-minute sampling.
     pub fn with_sampling(mut self) -> Self {
         self.sample_interval = Some(SimDuration::MINUTE);
+        self
+    }
+
+    /// Attaches a [`Telemetry`](crate::telemetry::Telemetry) observer to
+    /// the run.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 }
@@ -376,6 +391,12 @@ impl Simulator {
         let mut observers: Vec<Box<dyn SimObserver>> = Vec::new();
         if config.check_invariants {
             observers.push(Box::new(InvariantChecker::new()));
+        }
+        if config.telemetry {
+            observers.push(Box::new(crate::telemetry::Telemetry::new(
+                config.strategy.name(),
+                config.initial.name(),
+            )));
         }
         let sampler = config
             .sample_interval

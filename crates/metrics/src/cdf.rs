@@ -165,6 +165,48 @@ mod tests {
     }
 
     #[test]
+    fn empty_cdf_quantiles_at_extremes() {
+        let cdf = Cdf::from_samples(std::iter::empty());
+        // Every probability, including the boundary ranks, is None — not
+        // a panic and not a sentinel value.
+        for p in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(cdf.quantile(p), None);
+        }
+        assert_eq!(cdf.mean(), 0.0);
+        assert_eq!(cdf.sorted_values(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_collapse() {
+        let cdf = Cdf::from_samples([437.0]);
+        // Nearest-rank on n=1: every p maps to the only observation.
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(cdf.quantile(p), Some(437.0));
+        }
+        assert_eq!(cdf.median(), Some(437.0));
+        assert_eq!(cdf.mean(), 437.0);
+        assert_eq!(cdf.at(436.9), 0.0);
+        assert_eq!(cdf.at(437.0), 1.0);
+        let series = cdf.log_series(4);
+        assert!((series.last().unwrap().1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_zero_sample_has_no_positive_support() {
+        // All mass at zero: log_series has no positive observation to
+        // anchor its decade range, so it degenerates to one point.
+        let cdf = Cdf::from_samples([0.0]);
+        assert_eq!(cdf.quantile(0.5), Some(0.0));
+        assert_eq!(cdf.log_series(10), vec![(0.0, 100.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile p must be in [0, 1]")]
+    fn out_of_range_probability_rejected() {
+        Cdf::from_samples([1.0]).quantile(1.5);
+    }
+
+    #[test]
     fn log_series_monotone_and_spans_range() {
         let cdf: Cdf = (1..=1000).map(f64::from).collect();
         let series = cdf.log_series(10);

@@ -1,0 +1,276 @@
+//! Prometheus-style text exposition.
+//!
+//! The workspace carries no metrics or HTTP dependency, so the exposition
+//! format is hand-written: [`PromWriter`] renders metric families as
+//! `# HELP` / `# TYPE` headers followed by sample lines, exactly the
+//! text format a Prometheus scrape endpoint would serve. Output is
+//! deterministic — callers feed families and samples in a stable
+//! (BTreeMap) order and get byte-stable text, so `--metrics-out` files
+//! can be golden-asserted and diffed across runs.
+//!
+//! [`LogHistogram`]s render as classic cumulative-bucket histograms:
+//! one `_bucket{le="..."}` line per populated log-bin upper bound, then
+//! `le="+Inf"`, `_sum` and `_count`.
+
+use std::fmt::Write as _;
+
+use crate::histogram::LogHistogram;
+
+/// The exposition type of a metric family (the `# TYPE` line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Cumulative-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The keyword used on the `# TYPE` line.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Escapes a label value for the exposition format (backslash, double
+/// quote and newline must be backslash-escaped inside the quotes).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a label set as `{k="v",...}`; empty input renders as `""`.
+pub fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Formats a sample value: integers render without a fractional part,
+/// everything else with `f64`'s shortest round-trip representation
+/// (deterministic across platforms).
+pub fn format_value(v: f64) -> String {
+    format!("{v}")
+}
+
+/// An incremental writer for the Prometheus text format.
+#[derive(Debug, Clone, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    /// Opens a metric family: writes the `# HELP` and `# TYPE` lines.
+    /// Call once per family, before its samples.
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.keyword());
+    }
+
+    /// Writes one sample line with the given label set.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let rendered = render_labels(labels);
+        self.sample_pre(name, &rendered, value);
+    }
+
+    /// Writes one sample line with a pre-rendered label block (as
+    /// produced by [`render_labels`]); lets registries that key on
+    /// rendered label strings avoid re-parsing them.
+    pub fn sample_pre(&mut self, name: &str, rendered_labels: &str, value: f64) {
+        let _ = writeln!(self.out, "{name}{rendered_labels} {}", format_value(value));
+    }
+
+    /// Writes a [`LogHistogram`] as a cumulative-bucket histogram family
+    /// member: `_bucket{le="1"}` for the underflow bin, one bucket per
+    /// populated log bin's upper bound, `le="+Inf"` (which absorbs the
+    /// overflow bin), then `_sum` and `_count`. `labels` are prepended to
+    /// the `le` label on every bucket line.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: &LogHistogram) {
+        let prefix = {
+            let rendered = render_labels(labels);
+            // Splice `le` into the existing label block (or open a new one).
+            match rendered.strip_suffix('}') {
+                Some(open) => format!("{open},"),
+                None => String::from("{"),
+            }
+        };
+        let mut cumulative = hist.underflow();
+        let _ = writeln!(self.out, "{name}_bucket{prefix}le=\"1\"}} {cumulative}");
+        for (_, hi, c) in hist.iter_bins() {
+            cumulative += c;
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{prefix}le=\"{}\"}} {cumulative}",
+                format_value(hi)
+            );
+        }
+        let _ = writeln!(
+            self.out,
+            "{name}_bucket{prefix}le=\"+Inf\"}} {}",
+            hist.count()
+        );
+        let rendered = render_labels(labels);
+        let _ = writeln!(
+            self.out,
+            "{name}_sum{rendered} {}",
+            format_value(hist.sum())
+        );
+        let _ = writeln!(self.out, "{name}_count{rendered} {}", hist.count());
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// A light sanity parser for exposition text: checks every non-comment,
+/// non-blank line is `name[{labels}] value` with a finite value, and that
+/// every sample's family was declared by a preceding `# TYPE` line.
+/// Returns the number of sample lines, or the first offending line.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                declared.push(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("malformed sample line: {line}"))?;
+        let name = &line[..name_end];
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| declared.iter().any(|d| d == base))
+            .unwrap_or(name);
+        if !declared.iter().any(|d| d == base) {
+            return Err(format!("sample for undeclared family: {line}"));
+        }
+        let value = line
+            .rsplit(' ')
+            .next()
+            .ok_or_else(|| format!("malformed sample line: {line}"))?;
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("unparseable value `{value}` in: {line}"))?;
+        if parsed.is_nan() {
+            return Err(format!("NaN value in: {line}"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let mut w = PromWriter::new();
+        w.family("jobs_total", "Jobs seen.", MetricKind::Counter);
+        w.sample("jobs_total", &[("pool", "3")], 42.0);
+        w.sample("jobs_total", &[], 7.5);
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# HELP jobs_total Jobs seen.\n\
+             # TYPE jobs_total counter\n\
+             jobs_total{pool=\"3\"} 42\n\
+             jobs_total 7.5\n"
+        );
+        assert_eq!(validate_exposition(&text), Ok(2));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(render_labels(&[]), "");
+        assert_eq!(
+            render_labels(&[("a", "1"), ("b", "x y")]),
+            "{a=\"1\",b=\"x y\"}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = LogHistogram::decades();
+        h.extend([0.5, 2.0, 3.0, 20.0, 5000.0]);
+        let mut w = PromWriter::new();
+        w.family("lat", "Latency.", MetricKind::Histogram);
+        w.histogram("lat", &[("phase", "wait")], &h);
+        let text = w.finish();
+        assert!(text.contains("lat_bucket{phase=\"wait\",le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{phase=\"wait\",le=\"10\"} 3"));
+        assert!(text.contains("lat_bucket{phase=\"wait\",le=\"100\"} 4"));
+        assert!(text.contains("lat_bucket{phase=\"wait\",le=\"+Inf\"} 5"));
+        assert!(text.contains("lat_count{phase=\"wait\"} 5"));
+        assert!(text.contains("lat_sum{phase=\"wait\"} 5025.5"));
+        assert!(text.contains("lat_bucket{phase=\"wait\",le=\"10000\"} 5"));
+        // 4 populated buckets + +Inf + sum + count.
+        assert_eq!(validate_exposition(&text), Ok(7));
+    }
+
+    #[test]
+    fn histogram_without_labels_opens_a_block_for_le() {
+        let mut h = LogHistogram::decades();
+        h.record(5.0);
+        let mut w = PromWriter::new();
+        w.histogram("lat", &[], &h);
+        let text = w.finish();
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_sum 5\n"));
+    }
+
+    #[test]
+    fn validator_flags_undeclared_and_garbage() {
+        assert!(validate_exposition("x_total 1").is_err());
+        assert!(validate_exposition("# TYPE x_total counter\nx_total notanumber").is_err());
+        assert_eq!(validate_exposition("# TYPE x counter\nx{a=\"b\"} 3"), Ok(1));
+        assert_eq!(validate_exposition(""), Ok(0));
+    }
+}

@@ -9,17 +9,25 @@ use std::fmt;
 /// A histogram with logarithmically sized bins.
 ///
 /// Bin `i` covers `[base^i, base^(i+1))`; values below 1 land in a dedicated
-/// underflow bin.
+/// underflow bin, and values at or above `base^MAX_BINS` in a dedicated
+/// overflow bin (so a pathological observation can never force an
+/// unbounded bin allocation).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     base: f64,
     underflow: u64,
+    overflow: u64,
     bins: Vec<u64>,
     count: u64,
     sum: f64,
 }
 
 impl LogHistogram {
+    /// Largest addressable log bin; observations beyond `base^MAX_BINS`
+    /// land in the overflow bin. 256 decades covers every finite `f64`
+    /// duration that could plausibly be a number of minutes.
+    pub const MAX_BINS: usize = 256;
+
     /// Creates a histogram with the given base (> 1).
     ///
     /// # Panics
@@ -30,6 +38,7 @@ impl LogHistogram {
         LogHistogram {
             base,
             underflow: 0,
+            overflow: 0,
             bins: Vec::new(),
             count: 0,
             sum: 0.0,
@@ -45,9 +54,13 @@ impl LogHistogram {
     ///
     /// # Panics
     ///
-    /// Panics on NaN or negative values (durations are non-negative).
+    /// Panics on NaN, infinite or negative values (durations are finite
+    /// and non-negative).
     pub fn record(&mut self, x: f64) {
-        assert!(!x.is_nan() && x >= 0.0, "invalid histogram observation {x}");
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "invalid histogram observation {x}"
+        );
         self.count += 1;
         self.sum += x;
         if x < 1.0 {
@@ -55,6 +68,10 @@ impl LogHistogram {
             return;
         }
         let bin = x.log(self.base).floor() as usize;
+        if bin >= Self::MAX_BINS {
+            self.overflow += 1;
+            return;
+        }
         if bin >= self.bins.len() {
             self.bins.resize(bin + 1, 0);
         }
@@ -75,9 +92,19 @@ impl LogHistogram {
         }
     }
 
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Observations below 1.
     pub fn underflow(&self) -> u64 {
         self.underflow
+    }
+
+    /// Observations at or above `base^MAX_BINS`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// Iterates `(bin_low, bin_high, count)` for non-empty log bins.
@@ -189,5 +216,40 @@ mod tests {
     #[should_panic(expected = "invalid histogram observation")]
     fn negative_rejected() {
         LogHistogram::decades().record(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram observation")]
+    fn infinite_rejected() {
+        LogHistogram::decades().record(f64::INFINITY);
+    }
+
+    #[test]
+    fn overflow_bin_catches_huge_finite_values() {
+        let mut h = LogHistogram::decades();
+        // f64::MAX is ~1.8e308, far past base^MAX_BINS = 1e256: it must
+        // land in the overflow bin rather than forcing a 308-entry bin
+        // allocation (or, with a small base, an unbounded one).
+        h.record(f64::MAX);
+        h.record(2.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        // The overflow observation is excluded from the log bins but still
+        // part of count/sum.
+        assert_eq!(h.iter_bins().map(|(_, _, c)| c).sum::<u64>(), 1);
+        assert_eq!(h.sum(), f64::MAX + 2.0);
+        // A base barely above 1 maps modest values to astronomical bin
+        // indexes; the cap keeps memory bounded.
+        let mut tight = LogHistogram::new(1.0 + 1e-9);
+        tight.record(1e6);
+        assert_eq!(tight.overflow(), 1);
+    }
+
+    #[test]
+    fn underflow_boundary_is_exclusive_at_one() {
+        let mut h = LogHistogram::decades();
+        h.extend([0.0, 0.999, 1.0]);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.iter_bins().next(), Some((1.0, 10.0, 1)));
     }
 }

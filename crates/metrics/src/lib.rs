@@ -9,6 +9,10 @@
 //! * [`histogram`] — logarithmic histograms for heavy-tailed durations;
 //! * [`timeseries`] — per-minute sampling with 100-minute aggregation
 //!   (Figure 4);
+//! * [`spans`] — begin/end lifecycle span matching feeding per-phase
+//!   latency histograms (the telemetry layer's span engine);
+//! * [`export`] — Prometheus-style text exposition rendering and a
+//!   sanity parser for it;
 //! * [`waste`] — the AvgWCT decomposition into wait / suspend / rescheduling
 //!   waste (Figure 3, Tables 1–5);
 //! * [`table`] — plain-text and markdown table rendering for the harness.
@@ -27,14 +31,18 @@
 #![warn(missing_docs)]
 
 pub mod cdf;
+pub mod export;
 pub mod histogram;
+pub mod spans;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
 pub mod waste;
 
 pub use cdf::Cdf;
+pub use export::{MetricKind, PromWriter};
 pub use histogram::LogHistogram;
+pub use spans::SpanCollector;
 pub use summary::{OnlineStats, SampleSet};
 pub use table::{Align, Table};
 pub use timeseries::TimeSeries;

@@ -179,6 +179,32 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_run_sampling() {
+        // A run that starts and drains in the same minute: every sample
+        // lands at the same instant. Equal timestamps are in order (the
+        // simulator can emit several transitions at one tick), and all
+        // derived views stay well-defined.
+        let mut s = TimeSeries::new();
+        s.push(t(0), 3.0);
+        s.push(t(0), 5.0);
+        assert_eq!(s.len(), 2);
+        let agg = s.aggregate(SimDuration::from_minutes(100));
+        assert_eq!(agg, vec![(t(0), 4.0)]);
+        // Zero elapsed span: time weighting degenerates to the plain mean
+        // rather than dividing by zero.
+        assert!((s.time_weighted_mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_series() {
+        let mut s = TimeSeries::new();
+        s.push(t(7), 2.5);
+        assert_eq!(s.aggregate(SimDuration::MINUTE), vec![(t(7), 2.5)]);
+        assert_eq!(s.time_weighted_mean(), 2.5);
+        assert_eq!(s.max(), Some(2.5));
+    }
+
+    #[test]
     #[should_panic(expected = "time-ordered")]
     fn out_of_order_rejected() {
         let mut s = TimeSeries::new();

@@ -38,4 +38,26 @@ cargo run --release --bin netbatch -- simulate \
   --fault-mtbf 24 --fault-mttr 4 --fault-pool-outages 1 \
   --fault-flaky 0.05 --hardened
 
+# Telemetry smoke: a sampled run exporting the Prometheus exposition,
+# then the report pipeline rendering markdown + CSVs from the same
+# telemetry. The simulate step validates the exposition before writing
+# (a malformed file fails the run); the greps assert the headline
+# families and the report's paper-figure sections actually rendered.
+echo "==> telemetry smoke (exposition + report)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release --bin netbatch -- simulate \
+  --scale 0.02 --strategy ResSusWaitUtil --sample \
+  --metrics-out "$tmpdir/run.prom"
+grep -q '^netbatch_run_info{strategy="ResSusWaitUtil"' "$tmpdir/run.prom"
+grep -q '^netbatch_span_open 0$' "$tmpdir/run.prom"
+grep -q '^netbatch_span_unmatched_total 0$' "$tmpdir/run.prom"
+cargo run --release --bin netbatch -- report \
+  --scale 0.02 --strategy ResSusWaitUtil \
+  --out "$tmpdir/report.md" --csv-prefix "$tmpdir/fig"
+grep -q '^## Suspension-time CDF (Figure 2)$' "$tmpdir/report.md"
+grep -q '^## Site timeline (Figure 4, 100-minute buckets)$' "$tmpdir/report.md"
+test -s "$tmpdir/fig_cdf.csv" && test -s "$tmpdir/fig_timeline.csv" \
+  && test -s "$tmpdir/fig_pools.csv"
+
 echo "ci: all green"

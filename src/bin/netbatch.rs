@@ -18,6 +18,8 @@ use netbatch::core::faults::{FaultModel, ResiliencePolicy};
 use netbatch::core::observer::{StatsProbe, TraceRecorder};
 use netbatch::core::policy::{InitialKind, StrategyKind};
 use netbatch::core::simulator::{SimConfig, Simulator};
+use netbatch::core::telemetry::Telemetry;
+use netbatch::metrics::export::validate_exposition;
 use netbatch::sim_engine::time::SimDuration;
 use netbatch::workload::analysis::TraceAnalysis;
 use netbatch::workload::io::{read_csv, write_csv};
@@ -34,9 +36,12 @@ USAGE:
                     [--strategy NAME] [--initial rr|util] [--high-load]
                     [--restart-overhead MIN] [--staleness MIN] [--max-restarts N]
                     [--sample] [--series-out FILE] [--trace-out FILE]
-                    [--check-invariants] [--stats]
+                    [--metrics-out FILE] [--check-invariants] [--stats]
                     [--fault-mtbf HOURS] [--fault-mttr HOURS]
                     [--fault-pool-outages N] [--fault-flaky FRAC] [--hardened]
+  netbatch report   [--trace FILE | --scenario NAME] [--scale S] [--seed N]
+                    [--strategy NAME] [--initial rr|util] [--high-load]
+                    [--out FILE] [--csv-prefix PREFIX] [--metrics-out FILE]
   netbatch strategies
   netbatch help
 
@@ -44,6 +49,11 @@ Strategies: NoRes ResSusUtil ResSusRand ResSusWaitUtil ResSusWaitRand
             ResSusQueue ResSusWaitSmart MigrateSusUtil DupSusUtil
 
 `--scale` scales the site and arrival rates together (default 0.1).
+`--metrics-out` writes the run's telemetry as a Prometheus text
+exposition. `report` runs one telemetry-instrumented simulation and
+renders a markdown report (Table-1 summary, Figure 2 suspension CDF,
+Figure 4 timeline) to `--out` (default report.md); `--csv-prefix P`
+also writes P_cdf.csv, P_timeline.csv and P_pools.csv.
 `--fault-mtbf` turns on the stochastic fault model (per-machine mean time
 between failures, in hours); `--fault-mttr` sets mean repair time (default
 12h). `--hardened` enables the resilient rescheduling policy (retry
@@ -79,6 +89,7 @@ enum Command {
         sample: bool,
         series_out: Option<String>,
         trace_out: Option<String>,
+        metrics_out: Option<String>,
         check_invariants: bool,
         stats: bool,
         fault_mtbf: Option<f64>,
@@ -86,6 +97,18 @@ enum Command {
         fault_pool_outages: u32,
         fault_flaky: f64,
         hardened: bool,
+    },
+    Report {
+        trace: Option<String>,
+        scenario: String,
+        scale: f64,
+        seed: Option<u64>,
+        strategy: StrategyKind,
+        initial: InitialKind,
+        high_load: bool,
+        out: String,
+        csv_prefix: Option<String>,
+        metrics_out: Option<String>,
     },
     Strategies,
     Help,
@@ -208,6 +231,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             sample: has("sample"),
             series_out: get("series-out"),
             trace_out: get("trace-out"),
+            metrics_out: get("metrics-out"),
             check_invariants: has("check-invariants"),
             stats: has("stats"),
             fault_mtbf: fnum("fault-mtbf")?,
@@ -215,6 +239,18 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             fault_pool_outages: int("fault-pool-outages")?.unwrap_or(0) as u32,
             fault_flaky: fnum("fault-flaky")?.unwrap_or(0.0),
             hardened: has("hardened"),
+        }),
+        "report" => Ok(Command::Report {
+            trace: get("trace"),
+            scenario: get("scenario").unwrap_or_else(|| "normal".into()),
+            scale: num("scale", 0.1)?,
+            seed: int("seed")?,
+            strategy: parse_strategy(&get("strategy").unwrap_or_else(|| "NoRes".into()))?,
+            initial: parse_initial(&get("initial").unwrap_or_else(|| "rr".into()))?,
+            high_load: has("high-load"),
+            out: get("out").unwrap_or_else(|| "report.md".into()),
+            csv_prefix: get("csv-prefix"),
+            metrics_out: get("metrics-out"),
         }),
         "strategies" => Ok(Command::Strategies),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -312,6 +348,7 @@ fn run(cmd: Command) -> Result<(), String> {
             sample,
             series_out,
             trace_out,
+            metrics_out,
             check_invariants,
             stats,
             fault_mtbf,
@@ -362,10 +399,11 @@ fn run(cmd: Command) -> Result<(), String> {
                 config = config.with_sampling();
             }
             config.check_invariants = check_invariants;
+            config.telemetry = metrics_out.is_some();
             let t0 = std::time::Instant::now();
             // Observer-carrying runs drive the simulator directly; the
             // plain path stays on the Experiment front door.
-            let (r, observers) = if trace_out.is_some() || stats {
+            let (r, observers) = if trace_out.is_some() || stats || metrics_out.is_some() {
                 let mut sim = Simulator::new(&site, trace.to_specs(), config);
                 if let Some(path) = &trace_out {
                     let rec = TraceRecorder::to_file(path)
@@ -465,6 +503,91 @@ fn run(cmd: Command) -> Result<(), String> {
                 if let Some(probe) = obs.as_any().downcast_ref::<StatsProbe>() {
                     print!("{}", probe.report());
                 }
+                if let Some(tel) = obs.as_any().downcast_ref::<Telemetry>() {
+                    if let Some(path) = &metrics_out {
+                        let text = tel.render_prom();
+                        let samples = validate_exposition(&text)
+                            .map_err(|e| format!("internal: invalid exposition: {e}"))?;
+                        std::fs::write(path, &text)
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                        println!("metrics: {samples} samples written to {path}");
+                    }
+                }
+            }
+            Ok(())
+        }
+        Command::Report {
+            trace,
+            scenario,
+            scale,
+            seed,
+            strategy,
+            initial,
+            high_load,
+            out,
+            csv_prefix,
+            metrics_out,
+        } => {
+            let params = scenario_params(&scenario, scale, seed)?;
+            let trace = match trace {
+                Some(path) => load_trace(&path)?,
+                None => params.generate_trace(),
+            };
+            let mut site = params.build_site();
+            if high_load {
+                site = site.halved();
+            }
+            let mut config = SimConfig::new(initial, strategy)
+                .with_sampling()
+                .with_telemetry();
+            if let Some(seed) = seed {
+                config.seed = seed;
+            }
+            let run_seed = config.seed;
+            let sim = Simulator::new(&site, trace.to_specs(), config);
+            let output = sim.run_to_completion();
+            let tel = output
+                .observer::<Telemetry>()
+                .ok_or("internal: telemetry observer missing from run output")?;
+            let summary = tel.summary();
+            use std::fmt::Write as _;
+            let mut doc = String::new();
+            let _ = writeln!(doc, "# netbatch run report\n");
+            let _ = writeln!(
+                doc,
+                "Strategy **{}**, initial scheduler **{}**, scenario `{}` at scale {}, \
+                 seed {}{}.\n",
+                strategy.name(),
+                initial.name(),
+                scenario,
+                scale,
+                run_seed,
+                if high_load { ", high load" } else { "" }
+            );
+            doc.push_str(&tel.render_markdown());
+            std::fs::write(&out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "report: {} jobs, suspend rate {:.2}%, written to {out}",
+                summary.total_jobs,
+                summary.suspend_rate * 100.0
+            );
+            if let Some(prefix) = csv_prefix {
+                for (suffix, body) in [
+                    ("cdf", tel.cdf_csv()),
+                    ("timeline", tel.timeline_csv()),
+                    ("pools", tel.pools_csv()),
+                ] {
+                    let path = format!("{prefix}_{suffix}.csv");
+                    std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("series written to {path}");
+                }
+            }
+            if let Some(path) = metrics_out {
+                let text = tel.render_prom();
+                let samples = validate_exposition(&text)
+                    .map_err(|e| format!("internal: invalid exposition: {e}"))?;
+                std::fs::write(&path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("metrics: {samples} samples written to {path}");
             }
             Ok(())
         }
@@ -627,6 +750,57 @@ mod tests {
         assert_eq!(fault_pool_outages, 0);
         assert_eq!(fault_flaky, 0.0);
         assert!(!hardened);
+    }
+
+    #[test]
+    fn parses_metrics_out() {
+        let cmd = parse_args(&args("simulate --metrics-out run.prom --seed 2")).unwrap();
+        let Command::Simulate {
+            metrics_out, seed, ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert_eq!(metrics_out.as_deref(), Some("run.prom"));
+        assert_eq!(seed, Some(2));
+    }
+
+    #[test]
+    fn parses_report() {
+        let cmd = parse_args(&args(
+            "report --strategy ResSusWaitUtil --initial util --high-load \
+             --out r.md --csv-prefix fig --metrics-out r.prom --scale 0.02",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                trace: None,
+                scenario: "normal".into(),
+                scale: 0.02,
+                seed: None,
+                strategy: StrategyKind::ResSusWaitUtil,
+                initial: InitialKind::UtilizationBased,
+                high_load: true,
+                out: "r.md".into(),
+                csv_prefix: Some("fig".into()),
+                metrics_out: Some("r.prom".into()),
+            }
+        );
+        // Defaults.
+        let cmd = parse_args(&args("report")).unwrap();
+        let Command::Report {
+            out,
+            csv_prefix,
+            metrics_out,
+            ..
+        } = cmd
+        else {
+            panic!("expected report")
+        };
+        assert_eq!(out, "report.md");
+        assert_eq!(csv_prefix, None);
+        assert_eq!(metrics_out, None);
     }
 
     #[test]

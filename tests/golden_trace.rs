@@ -16,6 +16,7 @@
 use netbatch::core::observer::TraceRecorder;
 use netbatch::core::policy::{InitialKind, StrategyKind};
 use netbatch::core::simulator::{SimConfig, Simulator};
+use netbatch::core::telemetry::Telemetry;
 use netbatch::workload::scenarios::ScenarioParams;
 use std::fs;
 
@@ -81,6 +82,42 @@ fn table1_nores_rr_trace_matches_golden_fixture() {
             recorded.lines().count().min(golden.lines().count())
         );
     }
+}
+
+#[test]
+fn telemetry_rides_along_without_perturbing_the_trace() {
+    // Same cell, but with the telemetry observer attached (and never
+    // exported): the recorded stream must still match the fixture byte
+    // for byte — telemetry is measurement, not mechanism.
+    let params = ScenarioParams::normal_week(GOLDEN_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.check_invariants = true;
+    config.telemetry = true;
+    let mut sim = Simulator::new(&site, trace.to_specs(), config);
+    sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    let out = sim.run_to_completion();
+    let recorded = out
+        .observer::<TraceRecorder>()
+        .expect("recorder attached")
+        .lines()
+        .to_string();
+    let tel = out.observer::<Telemetry>().expect("telemetry attached");
+    assert!(tel.summary().total_jobs > 0, "telemetry observed the run");
+
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        // The sibling test owns regeneration; this one only compares.
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}\nregenerate with: UPDATE_GOLDEN=1 cargo test --test golden_trace")
+    });
+    assert!(
+        recorded == golden,
+        "attaching telemetry changed the recorded event stream"
+    );
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Telemetry integration tests: the observer's online aggregates must
+//! reconcile with the event-sourced [`ExperimentResult`] computed from
+//! the same run, the exposition must validate, and attaching telemetry
+//! must never change simulation outcomes.
+
+use netbatch::core::experiment::ExperimentResult;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::{SimConfig, Simulator};
+use netbatch::core::telemetry::Telemetry;
+use netbatch::metrics::export::validate_exposition;
+use netbatch::workload::scenarios::ScenarioParams;
+
+const TEST_SCALE: f64 = 0.02;
+
+/// Runs one cell with telemetry (and sampling) attached, returning both
+/// the event-sourced result and the telemetry observer.
+fn run_with_telemetry(strategy: StrategyKind) -> (ExperimentResult, Telemetry) {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let initial = InitialKind::RoundRobin;
+    let config = SimConfig::new(initial, strategy)
+        .with_sampling()
+        .with_telemetry();
+    let mut output = Simulator::new(&site, trace.to_specs(), config).run_to_completion();
+    let observers = std::mem::take(&mut output.observers);
+    let result = ExperimentResult::from_output(initial, strategy, output);
+    let tel = observers
+        .into_iter()
+        .find_map(|o| o.as_any().downcast_ref::<Telemetry>().cloned())
+        .expect("telemetry observer attached via SimConfig");
+    (result, tel)
+}
+
+#[test]
+fn summary_reconciles_with_experiment_result() {
+    for strategy in [StrategyKind::NoRes, StrategyKind::ResSusWaitUtil] {
+        let (r, tel) = run_with_telemetry(strategy);
+        let s = tel.summary();
+        assert_eq!(s.total_jobs, r.total_jobs, "{strategy:?}");
+        assert_eq!(s.suspended_jobs, r.suspended_jobs(), "{strategy:?}");
+        assert!(
+            (s.suspend_rate - r.suspend_rate).abs() < 1e-12,
+            "{strategy:?}"
+        );
+        assert!((s.avg_ct_all - r.avg_ct_all).abs() < 1e-9, "{strategy:?}");
+        assert!(
+            (s.avg_ct_suspended - r.avg_ct_suspended).abs() < 1e-9,
+            "{strategy:?}"
+        );
+        assert!((s.avg_st - r.avg_st).abs() < 1e-9, "{strategy:?}");
+        assert!((s.avg_wct - r.avg_wct()).abs() < 1e-9, "{strategy:?}");
+        assert_eq!(s.end_minutes, r.end_time.as_minutes(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn event_counts_reconcile_with_run_counters() {
+    let (r, tel) = run_with_telemetry(StrategyKind::ResSusWaitUtil);
+    let counts = tel.event_counts();
+    let get = |kind: &str| counts.get(kind).copied().unwrap_or(0);
+    assert_eq!(get("submit"), r.total_jobs);
+    assert_eq!(get("complete"), r.counters.completed);
+    assert_eq!(get("suspend"), r.counters.suspensions);
+    assert_eq!(
+        get("restart_from_suspend"),
+        r.counters.restarts_from_suspend
+    );
+    assert_eq!(get("restart_from_wait"), r.counters.restarts_from_wait);
+    assert_eq!(get("migrate"), r.counters.migrations);
+    assert_eq!(get("duplicate"), r.counters.duplicates_launched);
+    assert_eq!(get("unrunnable"), r.counters.unrunnable);
+    assert!(get("dispatch") >= r.counters.completed);
+    assert_eq!(get("sample"), tel.samples());
+}
+
+#[test]
+fn spans_drain_and_exposition_validates() {
+    let (r, tel) = run_with_telemetry(StrategyKind::ResSusWaitUtil);
+    // A drained run leaves no open lifecycle interval and a well-formed
+    // event stream produces no unmatched closes.
+    assert_eq!(tel.open_spans(), 0);
+    assert_eq!(tel.unmatched_ends(), 0);
+    let prom = tel.render_prom();
+    let samples = validate_exposition(&prom).expect("exposition must parse");
+    assert!(
+        samples > 50,
+        "expected a rich exposition, got {samples} samples"
+    );
+    assert!(
+        prom.contains("netbatch_run_info{strategy=\"ResSusWaitUtil\",initial=\"round-robin\"} 1")
+    );
+    assert!(prom.contains("netbatch_span_open 0"));
+    assert!(prom.contains("netbatch_span_unmatched_total 0"));
+    assert!(prom.contains(&format!("netbatch_jobs_total {}", r.total_jobs)));
+}
+
+#[test]
+fn report_sections_render_from_a_real_run() {
+    let (_, tel) = run_with_telemetry(StrategyKind::ResSusUtil);
+    let md = tel.render_markdown();
+    for section in [
+        "## Summary (Table 1 shape)",
+        "## Suspension-time CDF (Figure 2)",
+        "## Site timeline (Figure 4, 100-minute buckets)",
+        "## Per-pool",
+        "## Phase latency histograms",
+    ] {
+        assert!(md.contains(section), "missing section {section}");
+    }
+    let cdf = tel.cdf_csv();
+    assert!(cdf.starts_with("minutes,pct_le\n"));
+    let timeline = tel.timeline_csv();
+    assert!(timeline.starts_with("minute,suspended,utilization_pct,waiting,down_machines\n"));
+    assert!(
+        timeline.lines().count() > 10,
+        "a sampled week should aggregate into many timeline buckets"
+    );
+    let pools = tel.pools_csv();
+    assert_eq!(pools.lines().count(), 21, "20 pools + header");
+}
+
+#[test]
+fn telemetry_is_deterministic() {
+    let (_, a) = run_with_telemetry(StrategyKind::ResSusWaitUtil);
+    let (_, b) = run_with_telemetry(StrategyKind::ResSusWaitUtil);
+    assert_eq!(a.render_prom(), b.render_prom());
+    assert_eq!(a.render_markdown(), b.render_markdown());
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn attaching_telemetry_does_not_change_outcomes() {
+    let params = ScenarioParams::normal_week(TEST_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    let initial = InitialKind::RoundRobin;
+    let strategy = StrategyKind::ResSusUtil;
+    let plain = ExperimentResult::from_output(
+        initial,
+        strategy,
+        Simulator::new(&site, trace.to_specs(), SimConfig::new(initial, strategy))
+            .run_to_completion(),
+    );
+    let (with_tel, _) = {
+        let config = SimConfig::new(initial, strategy).with_telemetry();
+        let mut output = Simulator::new(&site, trace.to_specs(), config).run_to_completion();
+        let observers = std::mem::take(&mut output.observers);
+        (
+            ExperimentResult::from_output(initial, strategy, output),
+            observers,
+        )
+    };
+    assert_eq!(plain.counters, with_tel.counters);
+    assert_eq!(plain.avg_ct_all, with_tel.avg_ct_all);
+    assert_eq!(plain.suspend_rate, with_tel.suspend_rate);
+    assert_eq!(plain.end_time, with_tel.end_time);
+}
