@@ -1,0 +1,512 @@
+//! End-to-end hot-path benchmark: events/sec and allocations/event,
+//! tracked across PRs.
+//!
+//! Runs the paper's week scenario for every strategy × load cell with a
+//! counting global allocator (this binary only), measuring
+//!
+//! - wall-clock events/sec over `run_to_completion` (best of
+//!   `ROUNDS` rounds per cell, since CI machines are noisy), and
+//! - heap allocations per processed event, counted across the run only
+//!   (construction and trace generation excluded) — the zero-allocation
+//!   dispatch loop keeps this near zero in steady state.
+//!
+//! Results are written to `BENCH_hotpath.json` in the current directory,
+//! next to the frozen PR-4 (binary-heap queue, allocating dispatch)
+//! baseline, so the speedup is visible in review diffs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p netbatch-bench --bin perf_hotpath [-- --scale 0.25]
+//! cargo run --release -p netbatch-bench --bin perf_hotpath -- --check --scale 0.02
+//! cargo run --release -p netbatch-bench --bin perf_hotpath -- --refresh-smoke
+//! ```
+//!
+//! `--check` is the CI smoke mode: it runs a reduced cell set and fails if
+//! events/sec regresses more than 30% against the `smoke` section of the
+//! committed `BENCH_hotpath.json`, or if allocations/event exceed the
+//! recorded ceiling — catching both wall-clock and allocation regressions
+//! without the cost (or noise sensitivity) of the full matrix.
+//!
+//! `--refresh-smoke` re-measures only the smoke section and rewrites those
+//! lines in place, leaving the committed scale-0.25 matrix untouched — for
+//! when a hardware/toolchain change shifts absolute wall clock with no
+//! code change.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use netbatch_bench::runner::{build_scenario, Load};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::{SimConfig, Simulator};
+use netbatch_workload::scenarios::SiteSpec;
+use netbatch_workload::trace::Trace;
+
+/// Counts every allocation (and reallocation) so steady-state hot-path
+/// allocations are measurable, at the cost of one relaxed atomic add per
+/// call — negligible against the allocations it exists to catch.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Per-size allocation histogram (index = size in 8-byte steps, capped),
+/// filled only when `NETBATCH_ALLOC_HISTO` is set — identifying *what*
+/// allocates on the hot path by its layout size.
+static SIZE_HISTO: [AtomicU64; 129] = [const { AtomicU64::new(0) }; 129];
+static HISTO_ON: AtomicU64 = AtomicU64::new(0);
+/// Armed by the diagnostic branch; `run_round` turns the histogram on only
+/// around `run_to_completion`, so construction noise stays out of it.
+static HISTO_ARMED: AtomicU64 = AtomicU64::new(0);
+
+static TRAP_BUCKET: AtomicU64 = AtomicU64::new(u64::MAX);
+static TRAP_SKIP: AtomicU64 = AtomicU64::new(0);
+
+fn record(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    if HISTO_ON.load(Ordering::Relaxed) != 0 {
+        let bucket = (size / 8).min(128) as u64;
+        SIZE_HISTO[bucket as usize].fetch_add(1, Ordering::Relaxed);
+        if bucket == TRAP_BUCKET.load(Ordering::Relaxed)
+            && TRAP_SKIP.fetch_sub(1, Ordering::Relaxed) == 1
+        {
+            panic!("trapped a {size}-byte allocation (run with RUST_BACKTRACE=1)");
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Best-of rounds per cell (matches how the PR-4 baseline was captured).
+const ROUNDS: usize = 4;
+
+/// Default scale for the committed full matrix.
+const DEFAULT_SCALE: f64 = 0.25;
+
+/// CI smoke gate: fail when events/sec drops below this fraction of the
+/// committed smoke figure. Generous because wall clock on shared CI
+/// machines swings; the allocation gate below is the tight one.
+const SMOKE_MIN_RATIO: f64 = 0.7;
+
+/// CI smoke gate: allocations/event must stay below the committed figure
+/// times this slack. Allocation counts are deterministic per build, so a
+/// small margin only absorbs allocator-internal variation across
+/// toolchains.
+const SMOKE_ALLOC_SLACK: f64 = 1.5;
+
+/// The frozen PR-4 baseline: binary-heap event queue, allocating dispatch
+/// loop, snapshot clone per decision. Captured best-of-4 at scale 0.25 on
+/// the same methodology as this binary (construction excluded).
+const BASELINE_PR4: &[(&str, &str, u64, f64)] = &[
+    ("normal", "NoRes", 113_400, 446_106.0),
+    ("normal", "ResSusUtil", 113_400, 760_847.0),
+    ("normal", "ResSusRand", 113_400, 822_738.0),
+    ("normal", "ResSusWaitUtil", 113_925, 802_018.0),
+    ("normal", "ResSusWaitRand", 113_955, 786_407.0),
+    ("high", "NoRes", 113_400, 672_433.0),
+    ("high", "ResSusUtil", 113_400, 657_734.0),
+    ("high", "ResSusRand", 113_400, 615_297.0),
+    ("high", "ResSusWaitUtil", 311_182, 926_283.0),
+    ("high", "ResSusWaitRand", 274_835, 498_737.0),
+];
+
+const STRATEGIES: [StrategyKind; 5] = [
+    StrategyKind::NoRes,
+    StrategyKind::ResSusUtil,
+    StrategyKind::ResSusRand,
+    StrategyKind::ResSusWaitUtil,
+    StrategyKind::ResSusWaitRand,
+];
+
+struct Cell {
+    load: &'static str,
+    strategy: &'static str,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    allocs_per_event: f64,
+}
+
+/// One timed round: events, wall seconds, and allocations across
+/// `run_to_completion` only (simulator construction and the per-round spec
+/// clone happen before the counter snapshot).
+fn run_round(site: &SiteSpec, trace: &Trace, strategy: StrategyKind) -> (u64, f64, u64) {
+    let config = SimConfig::new(InitialKind::RoundRobin, strategy);
+    let sim = Simulator::new(site, trace.to_specs(), config);
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    if HISTO_ARMED.load(Ordering::Relaxed) != 0 {
+        HISTO_ON.store(1, Ordering::Relaxed);
+    }
+    let start = Instant::now();
+    let out = sim.run_to_completion();
+    let wall = start.elapsed().as_secs_f64();
+    HISTO_ON.store(0, Ordering::Relaxed);
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    (out.counters.events, wall, allocs)
+}
+
+/// Best-of-`rounds` measurement of one cell. Wall clock takes the fastest
+/// round; the allocation count is identical across rounds (the simulator
+/// is deterministic), so any round's figure is THE figure.
+fn measure_cell(
+    site: &SiteSpec,
+    trace: &Trace,
+    load: &'static str,
+    strategy: StrategyKind,
+    rounds: usize,
+) -> Cell {
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0;
+    let mut allocs = 0;
+    for _ in 0..rounds {
+        let (ev, wall, al) = run_round(site, trace, strategy);
+        events = ev;
+        allocs = al;
+        if wall < best_wall {
+            best_wall = wall;
+        }
+    }
+    Cell {
+        load,
+        strategy: strategy.name(),
+        wall_ms: best_wall * 1e3,
+        events,
+        events_per_sec: events as f64 / best_wall.max(1e-9),
+        allocs_per_event: allocs as f64 / events.max(1) as f64,
+    }
+}
+
+/// No strategy may cost more than 2x the per-load median *per event* —
+/// the guard that caught ResSusRand rebuilding its candidate list per
+/// random draw. Compared per event (not raw wall) because the
+/// wait-rescheduling strategies legitimately process ~2.5x the events of
+/// their siblings under high load.
+fn assert_no_outlier(cells: &[Cell], load: &str) {
+    let us_per_event = |c: &Cell| c.wall_ms * 1e3 / c.events.max(1) as f64;
+    let mut costs: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.load == load)
+        .map(us_per_event)
+        .collect();
+    if costs.len() < 3 {
+        return;
+    }
+    costs.sort_by(|a, b| a.partial_cmp(b).expect("per-event costs are finite"));
+    let median = costs[costs.len() / 2];
+    for c in cells.iter().filter(|c| c.load == load) {
+        assert!(
+            us_per_event(c) <= 2.0 * median,
+            "{} at {} load is a >2x per-event outlier: {:.3} us/event vs \
+             {:.3} us/event median — a strategy's decision path has regressed",
+            c.strategy,
+            load,
+            us_per_event(c),
+            median
+        );
+    }
+}
+
+fn baseline_for(load: &str, strategy: &str) -> Option<f64> {
+    BASELINE_PR4
+        .iter()
+        .find(|(l, s, _, _)| *l == load && *s == strategy)
+        .map(|&(_, _, _, eps)| eps)
+}
+
+/// Pulls `"key": <number>` out of the committed JSON without a JSON
+/// dependency (the file is machine-written by this binary, so the format
+/// is stable).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+enum Mode {
+    Full,
+    Check,
+    RefreshSmoke,
+}
+
+fn parse_args() -> (f64, Mode) {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = if args.iter().any(|a| a == "--check") {
+        Mode::Check
+    } else if args.iter().any(|a| a == "--refresh-smoke") {
+        Mode::RefreshSmoke
+    } else {
+        Mode::Full
+    };
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            let s: f64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("--scale must be a number, got `{v}`"));
+            assert!(s > 0.0, "--scale must be positive");
+            s
+        })
+        .unwrap_or(if matches!(mode, Mode::Full) {
+            DEFAULT_SCALE
+        } else {
+            0.02
+        });
+    (scale, mode)
+}
+
+/// CI smoke: two representative cells (cheap dispatch-bound NoRes plus the
+/// wait-rescheduling heavy ResSusWaitUtil) at small scale, gated against
+/// the committed smoke section.
+fn run_check(scale: f64) {
+    let json = std::fs::read_to_string("BENCH_hotpath.json").unwrap_or_else(|e| {
+        panic!(
+            "cannot read BENCH_hotpath.json: {e}\n\
+             regenerate with: cargo run --release -p netbatch-bench --bin perf_hotpath"
+        )
+    });
+    let want_eps = json_number(&json, "smoke_events_per_sec")
+        .expect("BENCH_hotpath.json has no smoke_events_per_sec");
+    let want_ape = json_number(&json, "smoke_allocs_per_event")
+        .expect("BENCH_hotpath.json has no smoke_allocs_per_event");
+    let (eps, ape) = smoke_numbers(scale);
+    println!(
+        "perf smoke at scale {scale}: {eps:.0} ev/s (committed {want_eps:.0}), \
+         {ape:.4} allocs/event (committed {want_ape:.4})"
+    );
+    assert!(
+        eps >= want_eps * SMOKE_MIN_RATIO,
+        "events/sec regressed more than 30%: {eps:.0} vs committed {want_eps:.0}"
+    );
+    let ceiling = (want_ape * SMOKE_ALLOC_SLACK).max(0.05);
+    assert!(
+        ape <= ceiling,
+        "allocations/event regressed: {ape:.4} vs ceiling {ceiling:.4} — \
+         something on the per-event path allocates again"
+    );
+    println!("perf smoke OK");
+}
+
+/// Re-measures the smoke section and rewrites only its lines in the
+/// committed `BENCH_hotpath.json`, leaving the expensive scale-0.25
+/// matrix untouched.
+fn refresh_smoke(scale: f64) {
+    let json = std::fs::read_to_string("BENCH_hotpath.json").unwrap_or_else(|e| {
+        panic!(
+            "cannot read BENCH_hotpath.json: {e}\n\
+             generate it first with: cargo run --release -p netbatch-bench --bin perf_hotpath"
+        )
+    });
+    let (eps, ape) = smoke_numbers(scale);
+    let mut out = String::with_capacity(json.len());
+    for line in json.lines() {
+        if line.trim_start().starts_with("\"smoke_events_per_sec\"") {
+            out.push_str(&format!("  \"smoke_events_per_sec\": {eps:.0},\n"));
+        } else if line.trim_start().starts_with("\"smoke_allocs_per_event\"") {
+            // Last key in the object: no trailing comma.
+            out.push_str(&format!("  \"smoke_allocs_per_event\": {ape:.4}\n"));
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    std::fs::write("BENCH_hotpath.json", out).expect("write BENCH_hotpath.json");
+    println!("smoke refreshed: {eps:.0} ev/s, {ape:.4} allocs/event -> BENCH_hotpath.json");
+}
+
+/// The smoke measurement: aggregate events/sec (best-of-`ROUNDS` per
+/// cell — the cells are milliseconds at smoke scale, so extra rounds are
+/// cheap and cut the wall-clock noise the gate has to tolerate) and the
+/// worst allocations/event over the reduced cell set.
+fn smoke_numbers(scale: f64) -> (f64, f64) {
+    let (site, trace) = build_scenario(Load::Normal, scale);
+    let mut total_events = 0u64;
+    let mut total_wall = 0.0f64;
+    let mut worst_ape = 0.0f64;
+    for strategy in [StrategyKind::NoRes, StrategyKind::ResSusWaitUtil] {
+        let cell = measure_cell(&site, &trace, "normal", strategy, ROUNDS);
+        total_events += cell.events;
+        total_wall += cell.wall_ms / 1e3;
+        worst_ape = worst_ape.max(cell.allocs_per_event);
+    }
+    (total_events as f64 / total_wall.max(1e-9), worst_ape)
+}
+
+fn main() {
+    let (scale, mode) = parse_args();
+    match mode {
+        Mode::Check => {
+            run_check(scale);
+            return;
+        }
+        Mode::RefreshSmoke => {
+            refresh_smoke(scale);
+            return;
+        }
+        Mode::Full => {}
+    }
+
+    if std::env::var_os("NETBATCH_ALLOC_HISTO").is_some() {
+        // Diagnostic mode: one cell, with the per-size histogram printed
+        // so a hot-path allocation can be identified by its layout.
+        let (site, trace) = build_scenario(Load::Normal, scale);
+        let specs_warm = trace.to_specs();
+        drop(specs_warm);
+        if let Ok(v) = std::env::var("NETBATCH_ALLOC_TRAP") {
+            let size: u64 = v.parse().expect("NETBATCH_ALLOC_TRAP must be a byte size");
+            let skip: u64 = std::env::var("NETBATCH_ALLOC_TRAP_SKIP")
+                .map(|s| s.parse().expect("NETBATCH_ALLOC_TRAP_SKIP must be a count"))
+                .unwrap_or(1);
+            TRAP_SKIP.store(skip, Ordering::Relaxed);
+            TRAP_BUCKET.store((size / 8).min(128), Ordering::Relaxed);
+        }
+        HISTO_ARMED.store(1, Ordering::Relaxed);
+        let cell = measure_cell(&site, &trace, "normal", StrategyKind::NoRes, 1);
+        HISTO_ARMED.store(0, Ordering::Relaxed);
+        println!(
+            "NoRes normal: {} events, {:.4} allocs/event; sizes (bytes: count):",
+            cell.events, cell.allocs_per_event
+        );
+        for (i, bucket) in SIZE_HISTO.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 1000 {
+                println!("  {:>5}{}: {n}", i * 8, if i == 128 { "+" } else { "" });
+            }
+        }
+        return;
+    }
+
+    let mut cells = Vec::new();
+    for (load, label) in [(Load::Normal, "normal"), (Load::High, "high")] {
+        let (site, trace) = build_scenario(load, scale);
+        for strategy in STRATEGIES {
+            let cell = measure_cell(&site, &trace, label, strategy, ROUNDS);
+            let speedup = baseline_for(label, cell.strategy)
+                .map(|base| cell.events_per_sec / base)
+                .unwrap_or(f64::NAN);
+            println!(
+                "{label:>6} load | {:<14} {:>9.1} ms  {:>9} events  {:>12.0} ev/s  \
+                 {:>8.4} allocs/ev  {speedup:>5.2}x vs PR-4",
+                cell.strategy,
+                cell.wall_ms,
+                cell.events,
+                cell.events_per_sec,
+                cell.allocs_per_event,
+            );
+            cells.push(cell);
+        }
+        assert_no_outlier(&cells, label);
+    }
+
+    let min_speedup = cells
+        .iter()
+        .filter_map(|c| baseline_for(c.load, c.strategy).map(|b| c.events_per_sec / b))
+        .fold(f64::INFINITY, f64::min);
+    let max_ape = cells
+        .iter()
+        .map(|c| c.allocs_per_event)
+        .fold(0.0f64, f64::max);
+
+    // End-to-end speedup: total events over total wall for the whole
+    // matrix, against the PR-4 walls for the same cells — the tentpole's
+    // headline number (per-cell speedups vary with how generous each
+    // PR-4 cell happened to be).
+    let total_wall_s: f64 = cells.iter().map(|c| c.wall_ms / 1e3).sum();
+    let total_events: u64 = cells.iter().map(|c| c.events).sum();
+    let baseline_wall_s: f64 = cells
+        .iter()
+        .filter_map(|c| baseline_for(c.load, c.strategy).map(|eps| c.events as f64 / eps))
+        .sum();
+    let aggregate_eps = total_events as f64 / total_wall_s.max(1e-9);
+    let aggregate_speedup = baseline_wall_s / total_wall_s.max(1e-9);
+
+    // Steady-state allocations/event: the *marginal* rate between a 1x and
+    // a 2x run of the same cell. First-touch warmup (index buckets, wheel
+    // slots, container high-water growth) is a fixed cost that the
+    // absolute per-event figure smears over the run; the marginal rate is
+    // what the dispatch loop itself costs per extra event.
+    let (allocs_1x, events_1x) = {
+        let (site, trace) = build_scenario(Load::Normal, scale);
+        let (ev, _, al) = run_round(&site, &trace, StrategyKind::NoRes);
+        (al, ev)
+    };
+    let (allocs_2x, events_2x) = {
+        let (site, trace) = build_scenario(Load::Normal, scale * 2.0);
+        let (ev, _, al) = run_round(&site, &trace, StrategyKind::NoRes);
+        (al, ev)
+    };
+    let steady_state_ape = (allocs_2x.saturating_sub(allocs_1x)) as f64
+        / (events_2x.saturating_sub(events_1x)).max(1) as f64;
+
+    println!("\nmeasuring CI smoke section at scale 0.02 ...");
+    let (smoke_eps, smoke_ape) = smoke_numbers(0.02);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    json.push_str(&format!(
+        "  \"aggregate_events_per_sec\": {aggregate_eps:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"aggregate_speedup_vs_pr4\": {aggregate_speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"min_speedup_vs_pr4\": {min_speedup:.2},\n"));
+    json.push_str(&format!("  \"max_allocs_per_event\": {max_ape:.4},\n"));
+    json.push_str(&format!(
+        "  \"steady_state_allocs_per_event\": {steady_state_ape:.4},\n"
+    ));
+    json.push_str("  \"baseline_pr4\": [\n");
+    for (i, (load, strategy, events, eps)) in BASELINE_PR4.iter().enumerate() {
+        let comma = if i + 1 == BASELINE_PR4.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"load\": \"{load}\", \"strategy\": \"{strategy}\", \"events\": {events}, \"events_per_sec\": {eps:.0}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let speedup = baseline_for(c.load, c.strategy)
+            .map(|b| c.events_per_sec / b)
+            .unwrap_or(f64::NAN);
+        json.push_str(&format!(
+            "    {{\"load\": \"{}\", \"strategy\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \"allocs_per_event\": {:.4}, \"speedup_vs_pr4\": {:.2}}}{comma}\n",
+            c.load, c.strategy, c.wall_ms, c.events, c.events_per_sec, c.allocs_per_event, speedup
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"smoke_scale\": 0.02,\n");
+    json.push_str(&format!("  \"smoke_events_per_sec\": {smoke_eps:.0},\n"));
+    json.push_str(&format!("  \"smoke_allocs_per_event\": {smoke_ape:.4}\n"));
+    json.push_str("}\n");
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!(
+        "end-to-end: {aggregate_eps:.0} ev/s, {aggregate_speedup:.2}x vs PR-4 \
+         (per-cell min {min_speedup:.2}x) | allocs/event max {max_ape:.4}, \
+         steady-state {steady_state_ape:.4} -> BENCH_hotpath.json"
+    );
+}

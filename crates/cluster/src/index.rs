@@ -8,13 +8,15 @@
 //! [`AvailabilityIndex`] replaces the scan: machines are grouped into
 //! *capacity classes* (identical static `(cores, memory_mb)` configuration)
 //! and, within each class, bucketed by their current free capacity
-//! `(free_cores, free_memory)`. Buckets hold machine indices in ordered
-//! sets, so the lowest-id available machine in a bucket is `O(log n)` and a
+//! `(free_cores, free_memory)`. Buckets hold machine indices in sorted
+//! vectors, so the lowest-id available machine in a bucket is `O(1)` and a
 //! full first-fit query is `O(classes · buckets)` with each bucket visited
 //! only when it can actually satisfy the footprint. The pool keeps the
-//! index in sync with one `O(log n)` [`AvailabilityIndex::sync`] call after
-//! every machine mutation (start / suspend / resume / release / fail /
-//! restore).
+//! index in sync with one [`AvailabilityIndex::sync`] call (a binary
+//! search plus a small shift in a contiguous level vector) after every
+//! machine mutation (start / suspend / resume / release / fail /
+//! restore); drained bucket vectors are recycled, so steady-state sync is
+//! allocation-free.
 //!
 //! **Behavior preservation:** a machine appears in a bucket iff it is up
 //! and the bucket key equals its exact free capacity, and bucket sets are
@@ -30,23 +32,44 @@
 //! wait queue's minimum footprint (stop `capacity_cycle` scans when the
 //! freed machine cannot fit anything waiting).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use crate::job::Resources;
 use crate::machine::Machine;
 
+/// Upper bound on drained bucket vectors salvaged per class for reuse.
+const SPARE_LIMIT: usize = 64;
+
+/// One core level: `free_memory → machine indices` buckets, sorted by key.
+type MemLevel = Vec<(u64, Vec<usize>)>;
+
 /// Machines sharing one static `(cores, memory_mb)` configuration, with
 /// their current free capacity bucketed for ordered first-fit queries.
+///
+/// Buckets live in **flat sorted vectors** rather than `BTreeMap`s: a
+/// machine changing state moves between buckets on every start / release,
+/// and tree-node churn (a node allocated and freed per move) was the
+/// dominant per-event allocation in the dispatch loop. Shifting a few
+/// `(key, bucket)` pairs in a small contiguous vector costs less than a
+/// node allocation, never allocates in steady state (capacity is the
+/// high-water mark, drained bucket vectors are recycled through `spare`),
+/// and keeps range queries walking only *live* buckets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct CapacityClass {
     /// Static core count of every machine in the class.
     cores: u32,
     /// Static memory of every machine in the class.
     memory_mb: u64,
-    /// `free_cores → free_memory → machine indices` for every *up* machine
-    /// in the class. Nested (rather than keyed by the pair) so a memory
-    /// range query never walks buckets below the requested floor.
-    buckets: BTreeMap<u32, BTreeMap<u64, BTreeSet<usize>>>,
+    /// `free_cores → free_memory → machine indices`, every vector sorted
+    /// by its key (machine indices ascending). Nested (rather than keyed
+    /// by the pair) so a memory range query never walks buckets below the
+    /// requested floor. Memory buckets are removed when drained; core
+    /// levels are retained (at most `cores + 1` of them, trivially skipped
+    /// when empty).
+    levels: Vec<(u32, MemLevel)>,
+    /// Drained bucket vectors, reused when a fresh bucket key appears so
+    /// steady-state bucket creation allocates nothing.
+    spare: Vec<Vec<usize>>,
 }
 
 impl CapacityClass {
@@ -54,8 +77,10 @@ impl CapacityClass {
     /// now, or `None`.
     fn first_fit(&self, res: Resources) -> Option<usize> {
         let mut best: Option<usize> = None;
-        for mem_buckets in self.buckets.range(res.cores..).map(|(_, b)| b) {
-            for set in mem_buckets.range(res.memory_mb..).map(|(_, s)| s) {
+        let lo = self.levels.partition_point(|&(c, _)| c < res.cores);
+        for (_, mem_level) in &self.levels[lo..] {
+            let mo = mem_level.partition_point(|&(m, _)| m < res.memory_mb);
+            for (_, set) in &mem_level[mo..] {
                 if let Some(&idx) = set.first() {
                     best = Some(best.map_or(idx, |b| b.min(idx)));
                 }
@@ -65,25 +90,60 @@ impl CapacityClass {
     }
 
     fn insert(&mut self, key: (u32, u64), idx: usize) {
-        self.buckets
-            .entry(key.0)
-            .or_default()
-            .entry(key.1)
-            .or_default()
-            .insert(idx);
+        let li = match self.levels.binary_search_by_key(&key.0, |&(c, _)| c) {
+            Ok(i) => i,
+            Err(i) => {
+                self.levels.insert(i, (key.0, Vec::new()));
+                i
+            }
+        };
+        let mem_level = &mut self.levels[li].1;
+        match mem_level.binary_search_by_key(&key.1, |&(m, _)| m) {
+            Ok(mi) => {
+                let set = &mut mem_level[mi].1;
+                match set.binary_search(&idx) {
+                    Err(pos) => set.insert(pos, idx),
+                    Ok(_) => debug_assert!(false, "machine {idx} already in its bucket"),
+                }
+            }
+            Err(mi) => {
+                let mut set = self.spare.pop().unwrap_or_default();
+                set.push(idx);
+                mem_level.insert(mi, (key.1, set));
+            }
+        }
     }
 
     fn remove(&mut self, key: (u32, u64), idx: usize) {
-        let mem_buckets = self.buckets.get_mut(&key.0).expect("bucket level exists");
-        let set = mem_buckets.get_mut(&key.1).expect("bucket exists");
-        let removed = set.remove(&idx);
-        debug_assert!(removed, "machine {idx} missing from its bucket");
+        let li = self
+            .levels
+            .binary_search_by_key(&key.0, |&(c, _)| c)
+            .expect("core level exists");
+        let mem_level = &mut self.levels[li].1;
+        let mi = mem_level
+            .binary_search_by_key(&key.1, |&(m, _)| m)
+            .expect("bucket exists");
+        let set = &mut mem_level[mi].1;
+        let pos = set
+            .binary_search(&idx)
+            .unwrap_or_else(|_| panic!("machine {idx} missing from its bucket"));
+        set.remove(pos);
         if set.is_empty() {
-            mem_buckets.remove(&key.1);
-            if mem_buckets.is_empty() {
-                self.buckets.remove(&key.0);
+            let (_, drained) = mem_level.remove(mi);
+            if self.spare.len() < SPARE_LIMIT {
+                self.spare.push(drained);
             }
         }
+    }
+
+    /// The occupied buckets in key order — the class's *semantic* content,
+    /// independent of spare capacity or retained-but-empty core levels.
+    fn occupied(&self) -> impl Iterator<Item = (u32, u64, &[usize])> + '_ {
+        self.levels.iter().flat_map(|(cores, mem_level)| {
+            mem_level
+                .iter()
+                .map(move |(mem, set)| (*cores, *mem, set.as_slice()))
+        })
     }
 }
 
@@ -122,7 +182,8 @@ impl AvailabilityIndex {
                     classes.push(CapacityClass {
                         cores,
                         memory_mb,
-                        buckets: BTreeMap::new(),
+                        levels: Vec::new(),
+                        spare: Vec::new(),
                     });
                     classes.len() - 1
                 });
@@ -188,8 +249,15 @@ impl AvailabilityIndex {
     /// Full consistency check against the live machine list (used by
     /// `PhysicalPool::check_invariants` and property tests): rebuilding
     /// from scratch must reproduce the incrementally-maintained state.
+    /// Compared *semantically* — retained-but-empty buckets (an allocation
+    /// optimization, invisible to queries) are ignored.
     pub fn check_consistency(&self, machines: &[Machine]) -> bool {
-        *self == AvailabilityIndex::new(machines)
+        let fresh = AvailabilityIndex::new(machines);
+        self.slots == fresh.slots
+            && self.classes.len() == fresh.classes.len()
+            && self.classes.iter().zip(&fresh.classes).all(|(a, b)| {
+                a.cores == b.cores && a.memory_mb == b.memory_mb && a.occupied().eq(b.occupied())
+            })
     }
 }
 

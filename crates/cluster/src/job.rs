@@ -15,13 +15,33 @@ use crate::priority::Priority;
 /// Latency-sensitive high-priority jobs at Intel are "configured to only run
 /// in specific sets of physical pools" (§2.3) — the root cause of suspension
 /// bursts at 40% global utilization. `Any` jobs may run everywhere.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, PartialEq, Eq, Hash, Default)]
 pub enum PoolAffinity {
     /// Eligible for every pool at the site.
     #[default]
     Any,
     /// Eligible only for the listed pools.
     Subset(Vec<PoolId>),
+}
+
+// Manual Clone so `clone_from` reuses an existing `Subset` buffer — the
+// simulator's scratch `JobSpec` is re-cloned from a job record on every
+// scheduling decision, and the derive would reallocate the pool list each
+// time.
+impl Clone for PoolAffinity {
+    fn clone(&self) -> Self {
+        match self {
+            PoolAffinity::Any => PoolAffinity::Any,
+            PoolAffinity::Subset(pools) => PoolAffinity::Subset(pools.clone()),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        match (self, source) {
+            (PoolAffinity::Subset(dst), PoolAffinity::Subset(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl PoolAffinity {
@@ -35,13 +55,21 @@ impl PoolAffinity {
 
     /// Enumerates the candidate pools given the site has `n_pools` pools.
     pub fn candidates(&self, n_pools: u16) -> Vec<PoolId> {
+        let mut out = Vec::new();
+        self.candidates_into(n_pools, &mut out);
+        out
+    }
+
+    /// Writes the candidate pools into `out` (cleared first) — the
+    /// allocation-free variant the dispatch hot path uses with a scratch
+    /// buffer.
+    pub fn candidates_into(&self, n_pools: u16, out: &mut Vec<PoolId>) {
+        out.clear();
         match self {
-            PoolAffinity::Any => (0..n_pools).map(PoolId).collect(),
-            PoolAffinity::Subset(pools) => pools
-                .iter()
-                .copied()
-                .filter(|p| p.as_u16() < n_pools)
-                .collect(),
+            PoolAffinity::Any => out.extend((0..n_pools).map(PoolId)),
+            PoolAffinity::Subset(pools) => {
+                out.extend(pools.iter().copied().filter(|p| p.as_u16() < n_pools))
+            }
         }
     }
 
@@ -97,7 +125,7 @@ impl Default for Resources {
 ///     .with_cores(2);
 /// assert_eq!(spec.resources.cores, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct JobSpec {
     /// Unique job identifier.
     pub id: JobId,
@@ -113,6 +141,35 @@ pub struct JobSpec {
     pub affinity: PoolAffinity,
     /// Optional task grouping (§2.2: a task's result needs all its jobs).
     pub task: Option<TaskId>,
+}
+
+// Manual Clone so `clone_from` forwards to `PoolAffinity::clone_from`,
+// which reuses an existing `Subset` buffer. The simulator re-clones its
+// scratch spec from a job record on every routing decision, so the derive's
+// default `clone_from` (drop + fresh clone) would put an allocation back on
+// the hot path.
+impl Clone for JobSpec {
+    fn clone(&self) -> Self {
+        JobSpec {
+            id: self.id,
+            submit_time: self.submit_time,
+            runtime: self.runtime,
+            resources: self.resources,
+            priority: self.priority,
+            affinity: self.affinity.clone(),
+            task: self.task,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.id = source.id;
+        self.submit_time = source.submit_time;
+        self.runtime = source.runtime;
+        self.resources = source.resources;
+        self.priority = source.priority;
+        self.affinity.clone_from(&source.affinity);
+        self.task = source.task;
+    }
 }
 
 impl JobSpec {

@@ -61,6 +61,15 @@ impl MachineConfig {
     }
 }
 
+/// Reusable sort-key buffer for preemption planning and resume ordering:
+/// `(priority, since, list position, job, cores)` per resident. The pool
+/// owns one and threads it through [`Machine::preemption_plan_into`] /
+/// [`Machine::resumable_into`] so the dispatch hot path never allocates.
+/// The list position makes the key a total order, letting an in-place
+/// unstable sort reproduce exactly what a stable sort over the resident
+/// list would produce.
+pub type ResidentKeys = Vec<(Priority, SimTime, u32, JobId, u32)>;
+
 /// A job resident on a machine (running or suspended).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Resident {
@@ -207,33 +216,58 @@ impl Machine {
     /// Returns the victim list (possibly empty if the job already fits), or
     /// `None` if no feasible plan exists.
     pub fn preemption_plan(&self, res: Resources, priority: Priority) -> Option<Vec<JobId>> {
+        let mut keys = ResidentKeys::new();
+        let mut victims = Vec::new();
+        self.preemption_plan_into(res, priority, &mut keys, &mut victims)
+            .then_some(victims)
+    }
+
+    /// Allocation-free preemption planning: writes the victim list
+    /// (possibly empty if the job already fits) into `victims` and returns
+    /// whether a feasible plan exists. `keys` is a reusable sort buffer
+    /// owned by the caller; both buffers are cleared first.
+    ///
+    /// Victim order is identical to [`Machine::preemption_plan`]: lowest
+    /// priority first, most recently started first among equals, original
+    /// list position as the final tie-break.
+    pub fn preemption_plan_into(
+        &self,
+        res: Resources,
+        priority: Priority,
+        keys: &mut ResidentKeys,
+        victims: &mut Vec<JobId>,
+    ) -> bool {
+        victims.clear();
         if self.down || !self.can_ever_run(res) || res.memory_mb > self.memory_free() {
-            return None;
+            return false;
         }
         if res.cores <= self.cores_free() {
-            return Some(Vec::new());
+            return true;
         }
-        let mut candidates: Vec<&Resident> = self
-            .running
-            .iter()
-            .filter(|r| priority.can_preempt(r.priority))
-            .collect();
+        keys.clear();
+        keys.extend(
+            self.running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| priority.can_preempt(r.priority))
+                .map(|(i, r)| (r.priority, r.since, i as u32, r.job, r.resources.cores)),
+        );
         // Lowest priority first; among equals, most recently started first.
-        candidates.sort_by(|a, b| a.priority.cmp(&b.priority).then(b.since.cmp(&a.since)));
+        keys.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
         let needed = res.cores - self.cores_free();
         let mut freed = 0u32;
-        let mut victims = Vec::new();
-        for r in candidates {
+        for &(_, _, _, job, cores) in keys.iter() {
             if freed >= needed {
                 break;
             }
-            freed += r.resources.cores;
-            victims.push(r.job);
+            freed += cores;
+            victims.push(job);
         }
         if freed >= needed {
-            Some(victims)
+            true
         } else {
-            None
+            victims.clear();
+            false
         }
     }
 
@@ -298,17 +332,33 @@ impl Machine {
     /// The suspended jobs that could be resumed with current free cores,
     /// in resume order: highest priority first, earliest-suspended first.
     pub fn resumable(&self) -> Vec<JobId> {
-        let mut order: Vec<&Resident> = self.suspended.iter().collect();
-        order.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.since.cmp(&b.since)));
-        let mut free = self.cores_free();
+        let mut keys = ResidentKeys::new();
         let mut out = Vec::new();
-        for r in order {
-            if r.resources.cores <= free {
-                free -= r.resources.cores;
-                out.push(r.job);
+        self.resumable_into(&mut keys, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Machine::resumable`]: writes the resume
+    /// order into `out` using the caller's reusable `keys` sort buffer
+    /// (both cleared first). Order is identical: highest priority first,
+    /// earliest-suspended first, original list position as the tie-break.
+    pub fn resumable_into(&self, keys: &mut ResidentKeys, out: &mut Vec<JobId>) {
+        out.clear();
+        keys.clear();
+        keys.extend(
+            self.suspended
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.priority, r.since, i as u32, r.job, r.resources.cores)),
+        );
+        keys.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut free = self.cores_free();
+        for &(_, _, _, job, cores) in keys.iter() {
+            if cores <= free {
+                free -= cores;
+                out.push(job);
             }
         }
-        out
     }
 
     /// Removes a running job (completion): frees cores and memory.

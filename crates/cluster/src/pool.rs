@@ -132,6 +132,19 @@ pub enum SubmitOutcome {
     Ineligible,
 }
 
+/// Outcome kind reported by [`PhysicalPool::submit_into`] — the
+/// allocation-free submit appends its actions to the caller's buffer, so
+/// the outcome itself carries no `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitKind {
+    /// The job was placed; actions were appended to the caller's buffer.
+    Dispatched,
+    /// The job entered the wait queue; no actions.
+    Queued,
+    /// No machine here can ever run the job; no actions.
+    Ineligible,
+}
+
 /// Cumulative per-pool statistics over a run — the operator's view of
 /// where preemption storms and queue buildups happened.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -177,6 +190,16 @@ pub struct PhysicalPool {
     queue_cores: MinMultiset<u32>,
     /// Memory footprints of all waiting jobs (same cutoff, memory axis).
     queue_mem: MinMultiset<u64>,
+    // Scratch buffers reused across dispatch operations, so steady-state
+    // submit/release/resume cycles allocate nothing.
+    /// Trial victim plan for the machine currently being scanned.
+    scratch_plan: Vec<JobId>,
+    /// Best victim plan found so far (swapped with `scratch_plan`).
+    scratch_best: Vec<JobId>,
+    /// Resume order produced per capacity cycle.
+    scratch_resume: Vec<JobId>,
+    /// Sort-key buffer threaded through the machine-level planners.
+    scratch_keys: crate::machine::ResidentKeys,
 }
 
 impl PhysicalPool {
@@ -213,6 +236,10 @@ impl PhysicalPool {
             running_prios: MinMultiset::new(),
             queue_cores: MinMultiset::new(),
             queue_mem: MinMultiset::new(),
+            scratch_plan: Vec::new(),
+            scratch_best: Vec::new(),
+            scratch_resume: Vec::new(),
+            scratch_keys: Vec::new(),
         }
     }
 
@@ -347,9 +374,26 @@ impl PhysicalPool {
 
     /// Submits a job to this pool (paper §2.1 dispatch protocol).
     pub fn submit(&mut self, now: SimTime, spec: &JobSpec) -> SubmitOutcome {
+        let mut actions = Vec::new();
+        match self.submit_into(now, spec, &mut actions) {
+            SubmitKind::Dispatched => SubmitOutcome::Dispatched(actions),
+            SubmitKind::Queued => SubmitOutcome::Queued,
+            SubmitKind::Ineligible => SubmitOutcome::Ineligible,
+        }
+    }
+
+    /// Allocation-free submit: identical protocol and action order to
+    /// [`PhysicalPool::submit`], but any resulting actions are appended to
+    /// the caller's reusable buffer and the outcome carries no `Vec`.
+    pub fn submit_into(
+        &mut self,
+        now: SimTime,
+        spec: &JobSpec,
+        actions: &mut Vec<PoolAction>,
+    ) -> SubmitKind {
         let res = spec.resources;
         if !self.is_eligible(res) {
-            return SubmitOutcome::Ineligible;
+            return SubmitKind::Ineligible;
         }
         // 1. First eligible machine with free capacity — indexed query,
         // cross-checked against the reference linear scan in debug builds.
@@ -369,11 +413,12 @@ impl PhysicalPool {
             self.busy_cores += res.cores;
             self.stats.starts += 1;
             debug_assert!(self.machines[idx].check_invariants());
-            return SubmitOutcome::Dispatched(vec![PoolAction::Started {
+            actions.push(PoolAction::Started {
                 job: spec.id,
                 machine: mid,
                 wall,
-            }]);
+            });
+            return SubmitKind::Dispatched;
         }
         // 2. Preemption: among eligible machines with a feasible plan, pick
         // the one whose victims lose the least progress (most recently
@@ -390,9 +435,16 @@ impl PhysicalPool {
             .is_some_and(|lowest| spec.priority.can_preempt(lowest))
         {
             self.enqueue(now, spec);
-            return SubmitOutcome::Queued;
+            return SubmitKind::Queued;
         }
-        let mut best: Option<(usize, Vec<JobId>, SimTime)> = None;
+        // The plan buffers are taken out of `self` for the scan so machine
+        // mutations below don't fight the borrow checker; put back at the
+        // end to keep their capacity for the next submit.
+        let mut trial = std::mem::take(&mut self.scratch_plan);
+        let mut best_plan = std::mem::take(&mut self.scratch_best);
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        best_plan.clear();
+        let mut best: Option<(usize, SimTime)> = None;
         for idx in 0..self.machines.len() {
             if !self.machines[idx].can_ever_run(res) {
                 continue;
@@ -405,12 +457,12 @@ impl PhysicalPool {
             {
                 continue;
             }
-            let Some(victims) = self.machines[idx].preemption_plan(res, spec.priority) else {
+            if !self.machines[idx].preemption_plan_into(res, spec.priority, &mut keys, &mut trial) {
                 continue;
-            };
-            debug_assert!(!victims.is_empty(), "empty plan implies can_run_now");
+            }
+            debug_assert!(!trial.is_empty(), "empty plan implies can_run_now");
             // Freshest plan = latest earliest-start among its victims.
-            let earliest_start = victims
+            let earliest_start = trial
                 .iter()
                 .filter_map(|v| {
                     self.machines[idx]
@@ -422,17 +474,18 @@ impl PhysicalPool {
                 .min()
                 .unwrap_or(SimTime::ZERO);
             let better = match &best {
-                Some((_, _, best_start)) => earliest_start > *best_start,
+                Some((_, best_start)) => earliest_start > *best_start,
                 None => true,
             };
             if better {
-                best = Some((idx, victims, earliest_start));
+                best = Some((idx, earliest_start));
+                std::mem::swap(&mut best_plan, &mut trial);
             }
         }
-        if let Some((idx, victims, _)) = best {
+        let kind = if let Some((idx, _)) = best {
             let mid = self.machines[idx].id();
-            let mut actions = Vec::with_capacity(victims.len() + 1);
-            for victim in victims {
+            actions.reserve(best_plan.len() + 1);
+            for &victim in &best_plan {
                 let r = self.machines[idx]
                     .suspend(now, victim)
                     .expect("planned victim is running");
@@ -460,11 +513,16 @@ impl PhysicalPool {
                 wall,
             });
             debug_assert!(self.machines[idx].check_invariants());
-            return SubmitOutcome::Dispatched(actions);
-        }
-        // 3. Queue.
-        self.enqueue(now, spec);
-        SubmitOutcome::Queued
+            SubmitKind::Dispatched
+        } else {
+            // 3. Queue.
+            self.enqueue(now, spec);
+            SubmitKind::Queued
+        };
+        self.scratch_plan = trial;
+        self.scratch_best = best_plan;
+        self.scratch_keys = keys;
+        kind
     }
 
     fn enqueue(&mut self, now: SimTime, spec: &JobSpec) {
@@ -494,12 +552,28 @@ impl PhysicalPool {
     /// Returns the follow-on actions (`Resumed` / `Started`). Returns `None`
     /// if the job is not running in this pool.
     pub fn release(&mut self, now: SimTime, job: JobId) -> Option<Vec<PoolAction>> {
-        let mid = self.running_on.remove(&job)?;
+        let mut actions = Vec::new();
+        self.release_into(now, job, &mut actions).then_some(actions)
+    }
+
+    /// Allocation-free variant of [`PhysicalPool::release`]: appends the
+    /// follow-on actions to `actions` and returns whether the job was
+    /// running here (nothing is appended when it was not).
+    pub fn release_into(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        actions: &mut Vec<PoolAction>,
+    ) -> bool {
+        let Some(mid) = self.running_on.remove(&job) else {
+            return false;
+        };
         let idx = mid.as_usize();
         let r = self.machines[idx].release(job).expect("index says running");
         self.busy_cores -= r.resources.cores;
         self.running_prios.remove(r.priority);
-        Some(self.capacity_cycle(now, idx))
+        self.capacity_cycle_into(now, idx, actions);
+        true
     }
 
     /// Removes a waiting job from the queue (a wait-rescheduling decision).
@@ -521,12 +595,29 @@ impl PhysicalPool {
     /// Returns the follow-on actions, or `None` if the job is not suspended
     /// here.
     pub fn remove_suspended(&mut self, now: SimTime, job: JobId) -> Option<Vec<PoolAction>> {
-        let mid = self.suspended_on.remove(&job)?;
+        let mut actions = Vec::new();
+        self.remove_suspended_into(now, job, &mut actions)
+            .then_some(actions)
+    }
+
+    /// Allocation-free variant of [`PhysicalPool::remove_suspended`]:
+    /// appends the follow-on actions to `actions` and returns whether the
+    /// job was suspended here.
+    pub fn remove_suspended_into(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        actions: &mut Vec<PoolAction>,
+    ) -> bool {
+        let Some(mid) = self.suspended_on.remove(&job) else {
+            return false;
+        };
         let idx = mid.as_usize();
         self.machines[idx]
             .remove_suspended(job)
             .expect("index says suspended");
-        Some(self.capacity_cycle(now, idx))
+        self.capacity_cycle_into(now, idx, actions);
+        true
     }
 
     /// After capacity freed on machine `idx`: resume suspended residents
@@ -536,11 +627,14 @@ impl PhysicalPool {
     /// Design choice (DESIGN.md §3): suspended residents take freed capacity
     /// before the wait queue — they already hold memory on the host and
     /// suspension is meant to be temporary.
-    fn capacity_cycle(&mut self, now: SimTime, idx: usize) -> Vec<PoolAction> {
-        let mut actions = Vec::new();
+    fn capacity_cycle_into(&mut self, now: SimTime, idx: usize, actions: &mut Vec<PoolAction>) {
         let mid = self.machines[idx].id();
-        // 1. Resume.
-        for job in self.machines[idx].resumable() {
+        // 1. Resume. The resume list is taken out of `self` so the machine
+        // mutations inside the loop don't conflict with its borrow.
+        let mut resumable = std::mem::take(&mut self.scratch_resume);
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        self.machines[idx].resumable_into(&mut keys, &mut resumable);
+        for &job in &resumable {
             let r = self.machines[idx].resume(now, job).expect("resumable fits");
             self.busy_cores += r.resources.cores;
             self.suspended_on.remove(&job);
@@ -548,6 +642,8 @@ impl PhysicalPool {
             self.running_prios.insert(r.priority);
             actions.push(PoolAction::Resumed { job, machine: mid });
         }
+        self.scratch_resume = resumable;
+        self.scratch_keys = keys;
         // 2. Dispatch queue onto this machine while anything fits. The
         // queue's min-footprint summary bounds the scan: once the machine
         // can't cover even the smallest waiting core or memory ask,
@@ -597,7 +693,6 @@ impl PhysicalPool {
         }
         self.sync_index(idx);
         debug_assert!(self.machines[idx].check_invariants());
-        actions
     }
 
     /// Fails a machine: every resident job is evicted (the caller must
@@ -605,12 +700,26 @@ impl PhysicalPool {
     /// scratch). Returns `(running, suspended)` evicted job ids, or `None`
     /// if the machine is already down or out of range.
     pub fn fail_machine(&mut self, machine: MachineId) -> Option<(Vec<JobId>, Vec<JobId>)> {
-        let idx = machine.as_usize();
-        if idx >= self.machines.len() || self.machines[idx].is_down() {
-            return None;
-        }
         let mut running = Vec::new();
         let mut suspended = Vec::new();
+        self.fail_machine_into(machine, &mut running, &mut suspended)
+            .then_some((running, suspended))
+    }
+
+    /// Allocation-light variant of [`PhysicalPool::fail_machine`]: appends
+    /// the evicted running and suspended job ids to the caller's buffers
+    /// and returns whether the machine was up (nothing is appended when it
+    /// was not).
+    pub fn fail_machine_into(
+        &mut self,
+        machine: MachineId,
+        running: &mut Vec<JobId>,
+        suspended: &mut Vec<JobId>,
+    ) -> bool {
+        let idx = machine.as_usize();
+        if idx >= self.machines.len() || self.machines[idx].is_down() {
+            return false;
+        }
         for r in self.machines[idx].fail() {
             if self.running_on.remove(&r.job).is_some() {
                 self.busy_cores -= r.resources.cores;
@@ -623,21 +732,36 @@ impl PhysicalPool {
         self.sync_index(idx);
         self.total_cores -= self.machines[idx].config().cores;
         self.down_machines += 1;
-        Some((running, suspended))
+        true
     }
 
     /// Restores a failed machine and immediately dispatches queued work
     /// onto it. Returns the follow-on actions, or `None` if the machine
     /// was not down.
     pub fn restore_machine(&mut self, now: SimTime, machine: MachineId) -> Option<Vec<PoolAction>> {
+        let mut actions = Vec::new();
+        self.restore_machine_into(now, machine, &mut actions)
+            .then_some(actions)
+    }
+
+    /// Allocation-free variant of [`PhysicalPool::restore_machine`]:
+    /// appends the follow-on actions to `actions` and returns whether the
+    /// machine was down.
+    pub fn restore_machine_into(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        actions: &mut Vec<PoolAction>,
+    ) -> bool {
         let idx = machine.as_usize();
         if idx >= self.machines.len() || !self.machines[idx].is_down() {
-            return None;
+            return false;
         }
         self.machines[idx].restore();
         self.total_cores += self.machines[idx].config().cores;
         self.down_machines -= 1;
-        Some(self.capacity_cycle(now, idx))
+        self.capacity_cycle_into(now, idx, actions);
+        true
     }
 
     /// Pool-level invariant check used by tests: index maps agree with

@@ -93,6 +93,15 @@ impl ClusterSnapshot {
         }
     }
 
+    /// Re-captures every pool into this snapshot, reusing its buffer —
+    /// the per-decision path of the simulator refreshes one long-lived
+    /// snapshot instead of allocating a new `Vec` per view.
+    pub fn capture_into<'a>(&mut self, pools: impl IntoIterator<Item = &'a PhysicalPool>) {
+        self.pools.clear();
+        self.pools
+            .extend(pools.into_iter().map(PoolSnapshot::capture));
+    }
+
     /// Site-wide core utilization in `[0, 1]` (Figure 4's dotted line).
     pub fn utilization(&self) -> f64 {
         let total: u64 = self.pools.iter().map(|p| u64::from(p.total_cores)).sum();

@@ -14,16 +14,33 @@ pub trait InitialScheduler: std::fmt::Debug + Send {
     /// Human-readable name (appears in reports).
     fn name(&self) -> &'static str;
 
-    /// Orders the candidate pools for one job, most preferred first.
+    /// Orders the candidate pools for one job into `out` (cleared first),
+    /// most preferred first.
     ///
     /// `candidates` is the job's affinity-filtered pool set; `view` is the
-    /// current cluster snapshot.
+    /// current cluster snapshot. Writing into a caller-owned buffer keeps
+    /// the per-job dispatch path allocation-free — the simulator hands in
+    /// the same scratch `Vec` for every routing decision.
+    fn order_into(
+        &mut self,
+        job: &JobSpec,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        out: &mut Vec<PoolId>,
+    );
+
+    /// Allocating convenience wrapper over
+    /// [`InitialScheduler::order_into`].
     fn order(
         &mut self,
         job: &JobSpec,
         candidates: &[PoolId],
         view: &ClusterSnapshot,
-    ) -> Vec<PoolId>;
+    ) -> Vec<PoolId> {
+        let mut out = Vec::with_capacity(candidates.len());
+        self.order_into(job, candidates, view, &mut out);
+        out
+    }
 }
 
 /// NetBatch's default: distribute jobs across candidate pools in sequential
@@ -48,21 +65,21 @@ impl InitialScheduler for RoundRobin {
         "round-robin"
     }
 
-    fn order(
+    fn order_into(
         &mut self,
         _job: &JobSpec,
         candidates: &[PoolId],
         _view: &ClusterSnapshot,
-    ) -> Vec<PoolId> {
+        out: &mut Vec<PoolId>,
+    ) {
+        out.clear();
         if candidates.is_empty() {
-            return Vec::new();
+            return;
         }
         let start = self.cursor % candidates.len();
         self.cursor = self.cursor.wrapping_add(1);
-        let mut order = Vec::with_capacity(candidates.len());
-        order.extend_from_slice(&candidates[start..]);
-        order.extend_from_slice(&candidates[..start]);
-        order
+        out.extend_from_slice(&candidates[start..]);
+        out.extend_from_slice(&candidates[..start]);
     }
 }
 
@@ -88,14 +105,16 @@ impl InitialScheduler for UtilizationBased {
         "utilization-based"
     }
 
-    fn order(
+    fn order_into(
         &mut self,
         _job: &JobSpec,
         candidates: &[PoolId],
         view: &ClusterSnapshot,
-    ) -> Vec<PoolId> {
-        let mut order: Vec<PoolId> = candidates.to_vec();
-        order.sort_by(|a, b| {
+        out: &mut Vec<PoolId>,
+    ) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        out.sort_by(|a, b| {
             let ua = view
                 .pools
                 .get(a.as_usize())
@@ -108,7 +127,6 @@ impl InitialScheduler for UtilizationBased {
                 .expect("utilization is never NaN")
                 .then(a.cmp(b))
         });
-        order
     }
 }
 

@@ -57,15 +57,18 @@ impl PoolSelector {
                 (tgt_util < cur_util).then_some(target)
             }
             PoolSelector::Random => {
-                let others: Vec<PoolId> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&p| p != current)
-                    .collect();
-                if others.is_empty() {
+                // Count-then-index instead of collecting the non-current
+                // candidates into a per-pick Vec: this was the ResSusRand
+                // hot-path outlier in BENCH_dispatch.json (one allocation
+                // per random pick). One `next_below(n)` draw over the same
+                // n as before, so the RNG stream and the chosen pool are
+                // byte-identical to the collecting implementation.
+                let n = candidates.iter().filter(|&&p| p != current).count();
+                if n == 0 {
                     None
                 } else {
-                    Some(others[rng.next_below(others.len() as u64) as usize])
+                    let k = rng.next_below(n as u64) as usize;
+                    candidates.iter().copied().filter(|&p| p != current).nth(k)
                 }
             }
             PoolSelector::ShortestQueue => {

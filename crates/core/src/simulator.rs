@@ -13,12 +13,13 @@
 use std::collections::VecDeque;
 
 use netbatch_cluster::ids::{JobId, MachineId, PoolId};
-use netbatch_cluster::job::{JobRecord, JobSpec};
-use netbatch_cluster::pool::{PhysicalPool, PoolAction, SubmitOutcome};
+use netbatch_cluster::job::{JobRecord, JobSpec, PoolAffinity};
+use netbatch_cluster::pool::{PhysicalPool, PoolAction, SubmitKind};
 use netbatch_cluster::snapshot::ClusterSnapshot;
 use netbatch_metrics::timeseries::TimeSeries;
 use netbatch_sim_engine::executor::{Control, Executor, Handler, RunOutcome, Scheduler};
 use netbatch_sim_engine::observe::EventLabel;
+use netbatch_sim_engine::queue::EventQueue;
 use netbatch_sim_engine::rng::DetRng;
 use netbatch_sim_engine::sampler::PeriodicSampler;
 use netbatch_sim_engine::time::{SimDuration, SimTime};
@@ -88,6 +89,12 @@ pub struct SimConfig {
     /// Prometheus exposition or a markdown report. Off by default; like
     /// every observer it costs nothing when not attached.
     pub telemetry: bool,
+    /// Run on the reference binary-heap event queue instead of the
+    /// hierarchical timer wheel. The two backends are contractually
+    /// identical (differentially tested); this knob exists so end-to-end
+    /// tests can assert golden traces are byte-identical on both.
+    #[doc(hidden)]
+    pub use_reference_queue: bool,
 }
 
 /// A multi-VPM deployment: which pools each virtual pool manager serves
@@ -208,6 +215,7 @@ impl Default for SimConfig {
             topology: None,
             check_invariants: false,
             telemetry: false,
+            use_reference_queue: false,
         }
     }
 }
@@ -303,6 +311,96 @@ pub struct RunCounters {
     pub events: u64,
 }
 
+/// Reusable buffers for the per-event hot path: in steady state every
+/// event is handled without heap allocation — candidate lists, preference
+/// orders, pool-action batches, cascade worklists and spec clones all come
+/// from (and return to) these free lists.
+///
+/// Buffers that can be live at several nesting depths at once are pooled
+/// as free lists rather than held as single fields: a rescheduling cascade
+/// can re-enter `route_via_vpm` (and thus need a second preference order
+/// and worklist) while an outer routing loop still holds its own. Buffers
+/// only used by non-reentrant handlers (machine failures) are plain fields
+/// taken with `std::mem::take` for the duration of the handler.
+#[derive(Default)]
+struct Scratch {
+    /// Free list of pool-id buffers (affinity candidates, preference
+    /// orders, capable/up filters).
+    pool_lists: Vec<Vec<PoolId>>,
+    /// Free list of pool-action batches.
+    actions: Vec<Vec<PoolAction>>,
+    /// Free list of suspended-cascade worklists.
+    worklists: Vec<VecDeque<(JobId, PoolId)>>,
+    /// Free list of spec clones whose affinity is `Any` (`JobSpec::clone_from`
+    /// reuses the affinity subset allocation on reuse).
+    specs_any: Vec<JobSpec>,
+    /// Free list of spec clones whose affinity is `Subset`. Kept apart from
+    /// `specs_any` so `clone_from` pairs like with like: cloning a `Subset`
+    /// source over an `Any` clone would reallocate the pool list, and the
+    /// workload mixes both affinities.
+    specs_subset: Vec<JobSpec>,
+    /// Machine-failure eviction lists (non-reentrant: one failure event is
+    /// fully handled before the next).
+    evict_running: Vec<JobId>,
+    /// Suspended-side eviction list for the same failure event.
+    evict_suspended: Vec<JobId>,
+    /// Combined eviction worklist tagged with the pre-eviction phase.
+    evicted: Vec<(JobId, PhaseTag)>,
+}
+
+impl Scratch {
+    fn take_pool_list(&mut self) -> Vec<PoolId> {
+        self.pool_lists.pop().unwrap_or_default()
+    }
+
+    fn put_pool_list(&mut self, mut list: Vec<PoolId>) {
+        list.clear();
+        self.pool_lists.push(list);
+    }
+
+    fn take_actions(&mut self) -> Vec<PoolAction> {
+        self.actions.pop().unwrap_or_default()
+    }
+
+    fn put_actions(&mut self, mut batch: Vec<PoolAction>) {
+        batch.clear();
+        self.actions.push(batch);
+    }
+
+    fn take_worklist(&mut self) -> VecDeque<(JobId, PoolId)> {
+        self.worklists.pop().unwrap_or_default()
+    }
+
+    fn put_worklist(&mut self, mut list: VecDeque<(JobId, PoolId)>) {
+        list.clear();
+        self.worklists.push(list);
+    }
+
+    /// A working copy of `src`; reuses a retired clone's allocations via
+    /// `JobSpec::clone_from` when one with the same affinity variant is
+    /// available (falling back to the other pool, then to a fresh clone).
+    fn take_spec(&mut self, src: &JobSpec) -> JobSpec {
+        let (matching, other) = match src.affinity {
+            PoolAffinity::Any => (&mut self.specs_any, &mut self.specs_subset),
+            PoolAffinity::Subset(_) => (&mut self.specs_subset, &mut self.specs_any),
+        };
+        match matching.pop().or_else(|| other.pop()) {
+            Some(mut spec) => {
+                spec.clone_from(src);
+                spec
+            }
+            None => src.clone(),
+        }
+    }
+
+    fn put_spec(&mut self, spec: JobSpec) {
+        match spec.affinity {
+            PoolAffinity::Any => self.specs_any.push(spec),
+            PoolAffinity::Subset(_) => self.specs_subset.push(spec),
+        }
+    }
+}
+
 /// The simulator itself. Construct with [`Simulator::new`], run with
 /// [`Simulator::run_to_completion`], then read results through
 /// [`Simulator::jobs`], [`Simulator::counters`] and the sampled series.
@@ -314,8 +412,12 @@ pub struct Simulator {
     policy_rng: DetRng,
     config: SimConfig,
     pool_count: u16,
-    // Cached cluster view for policies, refreshed per view_staleness.
-    view_cache: Option<(SimTime, ClusterSnapshot)>,
+    // Cached cluster view for policies (refreshed in place per
+    // view_staleness; `view_at == None` means the snapshot is stale).
+    view_snap: ClusterSnapshot,
+    view_at: Option<SimTime>,
+    // Reusable hot-path buffers (see `Scratch`).
+    scratch: Scratch,
     // Progress.
     total_jobs: u64,
     counters: RunCounters,
@@ -416,7 +518,9 @@ impl Simulator {
             policy: config.strategy.build(),
             policy_rng,
             pool_count,
-            view_cache: None,
+            view_snap: ClusterSnapshot::default(),
+            view_at: None,
+            scratch: Scratch::default(),
             total_jobs,
             counters: RunCounters::default(),
             suspended_series: TimeSeries::new(),
@@ -470,7 +574,13 @@ impl Simulator {
     /// Runs the whole trace until every job completes (the paper's run
     /// discipline). Returns the run counters.
     pub fn run_to_completion(mut self) -> SimOutput {
-        let mut executor = Executor::new();
+        // Pre-size the queue for the submit wave; the reference-heap
+        // backend exists for end-to-end differential tests only.
+        let mut executor = if self.config.use_reference_queue {
+            Executor::with_queue(EventQueue::with_reference_heap())
+        } else {
+            Executor::with_capacity(self.jobs.len() * 2 + 64)
+        };
         for job in &self.jobs {
             executor.seed_event(job.spec().submit_time, Ev::Submit(job.id()));
         }
@@ -536,27 +646,26 @@ impl Simulator {
 
     // ---- internals ----
 
-    /// The policy's (possibly stale) cluster view.
-    fn view(&mut self, now: SimTime) -> ClusterSnapshot {
-        let fresh_needed = match &self.view_cache {
-            Some((at, _)) => now.since(*at) > self.config.view_staleness,
+    /// Brings the policy's (possibly stale) cluster view up to date in
+    /// place; after this call `self.view_snap` is what decisions at `now`
+    /// should see. Refreshing in place reuses the snapshot's pool buffer
+    /// rather than cloning a fresh snapshot per decision.
+    fn refresh_view(&mut self, now: SimTime) {
+        let fresh_needed = match self.view_at {
+            Some(at) => now.since(at) > self.config.view_staleness,
             None => true,
         };
         if fresh_needed {
-            let snap = ClusterSnapshot::capture(self.pools.iter());
-            self.view_cache = Some((now, snap));
+            self.view_snap.capture_into(self.pools.iter());
+            self.view_at = Some(now);
         }
-        self.view_cache
-            .as_ref()
-            .map(|(_, s)| s.clone())
-            .expect("cache just filled")
     }
 
     /// Invalidate the view when staleness is zero so every decision sees
     /// current state (the paper's oracle assumption).
     fn touch_view(&mut self) {
         if self.config.view_staleness.is_zero() {
-            self.view_cache = None;
+            self.view_at = None;
         }
     }
 
@@ -565,16 +674,15 @@ impl Simulator {
     /// multi-VPM topology without inter-site rescheduling — belong to the
     /// job's home VPM. Hardened runs additionally exclude pools inside
     /// their blacklist cooldown after a machine failure.
-    fn eligible_candidates(&self, spec: &JobSpec, now: SimTime) -> Vec<PoolId> {
+    fn eligible_candidates_into(&self, spec: &JobSpec, now: SimTime, out: &mut Vec<PoolId>) {
         let home = self.home_pools(spec.id);
         let hardened = self.config.resilience.enabled;
-        spec.affinity
-            .candidates(self.pool_count)
-            .into_iter()
-            .filter(|p| home.is_none_or(|pools| pools.contains(p)))
-            .filter(|p| self.pools[p.as_usize()].is_eligible(spec.resources))
-            .filter(|p| !hardened || self.blacklist[p.as_usize()] <= now)
-            .collect()
+        spec.affinity.candidates_into(self.pool_count, out);
+        out.retain(|p| {
+            home.is_none_or(|pools| pools.contains(p))
+                && self.pools[p.as_usize()].is_eligible(spec.resources)
+                && (!hardened || self.blacklist[p.as_usize()] <= now)
+        });
     }
 
     /// The job's home VPM pool set, unless rescheduling is site-global.
@@ -601,54 +709,58 @@ impl Simulator {
 
     /// Initial-routing candidates: affinity ∩ the home VPM's pools (a VPM
     /// only dispatches to pools it is connected to, Figure 1).
-    fn initial_candidates(&self, spec: &JobSpec) -> Vec<PoolId> {
-        let candidates = spec.affinity.candidates(self.pool_count);
-        match self.config.topology.as_ref() {
-            Some(topo) => {
-                let home = &topo.vpms[self.vpm_assignment[spec.id.as_usize()]];
-                candidates
-                    .into_iter()
-                    .filter(|p| home.contains(p))
-                    .collect()
-            }
-            None => candidates,
+    fn initial_candidates_into(&self, spec: &JobSpec, out: &mut Vec<PoolId>) {
+        spec.affinity.candidates_into(self.pool_count, out);
+        if let Some(topo) = self.config.topology.as_ref() {
+            let home = &topo.vpms[self.vpm_assignment[spec.id.as_usize()]];
+            out.retain(|p| home.contains(p));
         }
     }
 
     /// Routes a job through the virtual pool manager: try pools in the
     /// initial scheduler's preference order, bouncing on ineligibility.
     fn route_via_vpm(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
-        let spec = self.jobs[job.as_usize()].spec().clone();
-        let candidates = self.initial_candidates(&spec);
-        let view = self.view(now);
-        let order = self.initial.order(&spec, &candidates, &view);
-        for pool in order {
-            match self.try_pool(pool, &spec, now, sched) {
-                Some(()) => return,
-                None => continue,
+        let spec = self.scratch.take_spec(self.jobs[job.as_usize()].spec());
+        let mut candidates = self.scratch.take_pool_list();
+        self.initial_candidates_into(&spec, &mut candidates);
+        self.refresh_view(now);
+        let mut order = self.scratch.take_pool_list();
+        self.initial
+            .order_into(&spec, &candidates, &self.view_snap, &mut order);
+        let mut routed = false;
+        for &pool in &order {
+            if self.try_pool(pool, &spec, now, sched) {
+                routed = true;
+                break;
             }
         }
-        // No pool can ever run this job.
-        self.give_up(job, now);
+        if !routed {
+            // No pool can ever run this job.
+            self.give_up(job, now);
+        }
+        self.scratch.put_pool_list(order);
+        self.scratch.put_pool_list(candidates);
+        self.scratch.put_spec(spec);
     }
 
-    /// Tries one pool; `Some(())` if the job was dispatched or queued
-    /// there, `None` if the pool is ineligible.
+    /// Tries one pool; `true` if the job was dispatched or queued there,
+    /// `false` if the pool is ineligible.
     fn try_pool(
         &mut self,
         pool: PoolId,
         spec: &JobSpec,
         now: SimTime,
         sched: &mut Scheduler<'_, Ev>,
-    ) -> Option<()> {
-        match self.pools[pool.as_usize()].submit(now, spec) {
-            SubmitOutcome::Dispatched(actions) => {
+    ) -> bool {
+        let mut actions = self.scratch.take_actions();
+        let placed = match self.pools[pool.as_usize()].submit_into(now, spec, &mut actions) {
+            SubmitKind::Dispatched => {
                 self.touch_view();
                 self.emit(now, ObsEvent::PoolChosen { job: spec.id, pool });
-                self.apply_actions(pool, actions, now, sched);
-                Some(())
+                self.apply_actions(pool, &actions, now, sched);
+                true
             }
-            SubmitOutcome::Queued => {
+            SubmitKind::Queued => {
                 self.touch_view();
                 self.emit(now, ObsEvent::PoolChosen { job: spec.id, pool });
                 self.jobs[spec.id.as_usize()]
@@ -656,10 +768,12 @@ impl Simulator {
                     .expect("job routed while at VPM");
                 self.emit(now, ObsEvent::Enqueue { job: spec.id, pool });
                 self.arm_wait_timer(spec.id, now, sched);
-                Some(())
+                true
             }
-            SubmitOutcome::Ineligible => None,
-        }
+            SubmitKind::Ineligible => false,
+        };
+        self.scratch.put_actions(actions);
+        placed
     }
 
     /// The most wait-check timer re-arms a job may consume per waiting
@@ -687,15 +801,16 @@ impl Simulator {
     fn apply_actions(
         &mut self,
         pool: PoolId,
-        actions: Vec<PoolAction>,
+        actions: &[PoolAction],
         now: SimTime,
         sched: &mut Scheduler<'_, Ev>,
     ) {
-        let mut suspended: VecDeque<(JobId, PoolId)> = VecDeque::new();
+        let mut suspended = self.scratch.take_worklist();
         self.apply_batch(pool, actions, now, sched, &mut suspended);
         while let Some((job, at_pool)) = suspended.pop_front() {
             self.decide_suspended(job, at_pool, now, sched, &mut suspended);
         }
+        self.scratch.put_worklist(suspended);
     }
 
     /// Bookkeeping for one action batch; newly suspended jobs are pushed
@@ -703,7 +818,7 @@ impl Simulator {
     fn apply_batch(
         &mut self,
         pool: PoolId,
-        actions: Vec<PoolAction>,
+        actions: &[PoolAction],
         now: SimTime,
         sched: &mut Scheduler<'_, Ev>,
         suspended: &mut VecDeque<(JobId, PoolId)>,
@@ -712,7 +827,7 @@ impl Simulator {
             // Scope for the per-batch resume-order invariant.
             self.emit(now, ObsEvent::BatchStart { pool });
         }
-        for action in actions {
+        for &action in actions {
             match action {
                 PoolAction::Started { job, machine, wall } => {
                     self.wait_checks[job.as_usize()] = 0;
@@ -780,20 +895,27 @@ impl Simulator {
                 return;
             }
         }
-        let spec = rec.spec().clone();
-        let candidates = self.eligible_candidates(&spec, now);
-        let view = self.view(now);
-        let decision =
-            self.policy
-                .on_suspended(&spec, at_pool, &candidates, &view, &mut self.policy_rng);
+        let spec = self.scratch.take_spec(self.jobs[job.as_usize()].spec());
+        let mut candidates = self.scratch.take_pool_list();
+        self.eligible_candidates_into(&spec, now, &mut candidates);
+        self.refresh_view(now);
+        let decision = self.policy.on_suspended(
+            &spec,
+            at_pool,
+            &candidates,
+            &self.view_snap,
+            &mut self.policy_rng,
+        );
+        self.scratch.put_pool_list(candidates);
         match decision {
             Decision::Stay => {}
             Decision::Restart(target) => {
                 // Pull the job out of its pool (frees its resident memory,
                 // which may start queued jobs there)...
-                let actions = self.pools[at_pool.as_usize()]
-                    .remove_suspended(now, job)
-                    .expect("checked suspended above");
+                let mut actions = self.scratch.take_actions();
+                let was_suspended =
+                    self.pools[at_pool.as_usize()].remove_suspended_into(now, job, &mut actions);
+                assert!(was_suspended, "checked suspended above");
                 self.touch_view();
                 let overhead = self.move_overhead(job, target);
                 let discarded = self.jobs[job.as_usize()].attempt_progress();
@@ -813,14 +935,16 @@ impl Simulator {
                         discarded,
                     },
                 );
-                self.apply_batch(at_pool, actions, now, sched, suspended);
+                self.apply_batch(at_pool, &actions, now, sched, suspended);
+                self.scratch.put_actions(actions);
                 // ...and restart it from scratch at the chosen pool.
                 self.restart_at(job, target, now, sched, suspended);
             }
             Decision::Migrate(target) => {
-                let actions = self.pools[at_pool.as_usize()]
-                    .remove_suspended(now, job)
-                    .expect("checked suspended above");
+                let mut actions = self.scratch.take_actions();
+                let was_suspended =
+                    self.pools[at_pool.as_usize()].remove_suspended_into(now, job, &mut actions);
+                assert!(was_suspended, "checked suspended above");
                 self.touch_view();
                 let remaining = self.jobs[job.as_usize()]
                     .migrate_out(now, self.config.migration.delay)
@@ -846,7 +970,8 @@ impl Simulator {
                         discarded: SimDuration::ZERO,
                     },
                 );
-                self.apply_batch(at_pool, actions, now, sched, suspended);
+                self.apply_batch(at_pool, &actions, now, sched, suspended);
+                self.scratch.put_actions(actions);
                 sched.schedule_at(
                     now + self.config.migration.delay,
                     Ev::MigrateArrive(job, target),
@@ -855,37 +980,37 @@ impl Simulator {
             Decision::Duplicate(target) => {
                 // Only one live duplicate per original, and shadows never
                 // spawn their own duplicates.
-                if self.dup_of.contains_key(&job) || self.shadows.contains(&job) {
-                    return;
+                if !self.dup_of.contains_key(&job) && !self.shadows.contains(&job) {
+                    let clone_id = JobId(self.jobs.len() as u64);
+                    let mut clone_spec = spec.clone();
+                    clone_spec.id = clone_id;
+                    self.jobs.push(JobRecord::new(clone_spec));
+                    self.wait_checks.push(0);
+                    self.fault_retries.push(0);
+                    if !self.vpm_assignment.is_empty() {
+                        let home = self.vpm_assignment[job.as_usize()];
+                        self.vpm_assignment.push(home);
+                    }
+                    self.shadows.insert(clone_id);
+                    self.dup_of.insert(job, clone_id);
+                    self.dup_of.insert(clone_id, job);
+                    self.counters.duplicates_launched += 1;
+                    self.jobs[clone_id.as_usize()]
+                        .submit(now)
+                        .expect("fresh clone");
+                    self.emit(
+                        now,
+                        ObsEvent::DuplicateLaunched {
+                            original: job,
+                            clone: clone_id,
+                            target,
+                        },
+                    );
+                    self.restart_at(clone_id, target, now, sched, suspended);
                 }
-                let clone_id = JobId(self.jobs.len() as u64);
-                let mut clone_spec = spec.clone();
-                clone_spec.id = clone_id;
-                self.jobs.push(JobRecord::new(clone_spec));
-                self.wait_checks.push(0);
-                self.fault_retries.push(0);
-                if !self.vpm_assignment.is_empty() {
-                    let home = self.vpm_assignment[job.as_usize()];
-                    self.vpm_assignment.push(home);
-                }
-                self.shadows.insert(clone_id);
-                self.dup_of.insert(job, clone_id);
-                self.dup_of.insert(clone_id, job);
-                self.counters.duplicates_launched += 1;
-                self.jobs[clone_id.as_usize()]
-                    .submit(now)
-                    .expect("fresh clone");
-                self.emit(
-                    now,
-                    ObsEvent::DuplicateLaunched {
-                        original: job,
-                        clone: clone_id,
-                        target,
-                    },
-                );
-                self.restart_at(clone_id, target, now, sched, suspended);
             }
         }
+        self.scratch.put_spec(spec);
     }
 
     /// Submits a restarted job directly to `target`, collecting any
@@ -898,13 +1023,14 @@ impl Simulator {
         sched: &mut Scheduler<'_, Ev>,
         suspended: &mut VecDeque<(JobId, PoolId)>,
     ) {
-        let spec = self.jobs[job.as_usize()].spec().clone();
-        match self.pools[target.as_usize()].submit(now, &spec) {
-            SubmitOutcome::Dispatched(actions) => {
+        let spec = self.scratch.take_spec(self.jobs[job.as_usize()].spec());
+        let mut actions = self.scratch.take_actions();
+        match self.pools[target.as_usize()].submit_into(now, &spec, &mut actions) {
+            SubmitKind::Dispatched => {
                 self.touch_view();
-                self.apply_batch(target, actions, now, sched, suspended);
+                self.apply_batch(target, &actions, now, sched, suspended);
             }
-            SubmitOutcome::Queued => {
+            SubmitKind::Queued => {
                 self.touch_view();
                 self.jobs[job.as_usize()]
                     .enqueue(now, target)
@@ -912,12 +1038,14 @@ impl Simulator {
                 self.emit(now, ObsEvent::Enqueue { job, pool: target });
                 self.arm_wait_timer(job, now, sched);
             }
-            SubmitOutcome::Ineligible => {
+            SubmitKind::Ineligible => {
                 // Policies only pick eligible candidates, but defend anyway:
                 // route through the VPM.
                 self.route_via_vpm(job, now, sched);
             }
         }
+        self.scratch.put_actions(actions);
+        self.scratch.put_spec(spec);
     }
 
     fn handle_complete(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
@@ -931,11 +1059,12 @@ impl Simulator {
             self.counters.completed += 1;
         }
         self.emit(now, ObsEvent::Complete { job, pool, machine });
-        let actions = self.pools[pool.as_usize()]
-            .release(now, job)
-            .expect("running job releases");
+        let mut actions = self.scratch.take_actions();
+        let was_running = self.pools[pool.as_usize()].release_into(now, job, &mut actions);
+        assert!(was_running, "running job releases");
         self.touch_view();
-        self.apply_actions(pool, actions, now, sched);
+        self.apply_actions(pool, &actions, now, sched);
+        self.scratch.put_actions(actions);
         self.resolve_duplicate_race(job, now, sched);
     }
 
@@ -981,14 +1110,14 @@ impl Simulator {
                     .release(now, loser)
                     .expect("loser was running");
                 self.touch_view();
-                self.apply_actions(pool, actions, now, sched);
+                self.apply_actions(pool, &actions, now, sched);
             }
             JobPhase::Suspended { pool, .. } => {
                 let actions = self.pools[pool.as_usize()]
                     .remove_suspended(now, loser)
                     .expect("loser was suspended");
                 self.touch_view();
-                self.apply_actions(pool, actions, now, sched);
+                self.apply_actions(pool, &actions, now, sched);
             }
             JobPhase::Waiting { pool } => {
                 self.pools[pool.as_usize()]
@@ -1064,13 +1193,19 @@ impl Simulator {
                 return;
             }
         }
-        let spec = rec.spec().clone();
+        let spec = self.scratch.take_spec(self.jobs[job.as_usize()].spec());
         self.emit(now, ObsEvent::WaitTimeout { job, pool });
-        let candidates = self.eligible_candidates(&spec, now);
-        let view = self.view(now);
-        let decision =
-            self.policy
-                .on_waiting(&spec, pool, &candidates, &view, &mut self.policy_rng);
+        let mut candidates = self.scratch.take_pool_list();
+        self.eligible_candidates_into(&spec, now, &mut candidates);
+        self.refresh_view(now);
+        let decision = self.policy.on_waiting(
+            &spec,
+            pool,
+            &candidates,
+            &self.view_snap,
+            &mut self.policy_rng,
+        );
+        self.scratch.put_pool_list(candidates);
         match decision {
             Some(target) if target != pool => {
                 self.pools[pool.as_usize()]
@@ -1093,11 +1228,12 @@ impl Simulator {
                         discarded: SimDuration::ZERO,
                     },
                 );
-                let mut suspended = VecDeque::new();
+                let mut suspended = self.scratch.take_worklist();
                 self.restart_at(job, target, now, sched, &mut suspended);
                 while let Some((j, p)) = suspended.pop_front() {
                     self.decide_suspended(j, p, now, sched, &mut suspended);
                 }
+                self.scratch.put_worklist(suspended);
             }
             _ => {
                 // Stay put; check again one threshold later (bounded).
@@ -1108,6 +1244,7 @@ impl Simulator {
                 }
             }
         }
+        self.scratch.put_spec(spec);
     }
 
     fn handle_migrate_arrive(
@@ -1124,15 +1261,16 @@ impl Simulator {
             return;
         }
         // Submit a spec carrying only the remaining (slowed) work.
-        let mut spec = self.jobs[job.as_usize()].spec().clone();
+        let mut spec = self.scratch.take_spec(self.jobs[job.as_usize()].spec());
         spec.runtime = remaining;
-        let mut suspended = VecDeque::new();
-        match self.pools[target.as_usize()].submit(now, &spec) {
-            SubmitOutcome::Dispatched(actions) => {
+        let mut suspended = self.scratch.take_worklist();
+        let mut actions = self.scratch.take_actions();
+        match self.pools[target.as_usize()].submit_into(now, &spec, &mut actions) {
+            SubmitKind::Dispatched => {
                 self.touch_view();
-                self.apply_batch(target, actions, now, sched, &mut suspended);
+                self.apply_batch(target, &actions, now, sched, &mut suspended);
             }
-            SubmitOutcome::Queued => {
+            SubmitKind::Queued => {
                 self.touch_view();
                 self.jobs[job.as_usize()]
                     .enqueue(now, target)
@@ -1140,15 +1278,18 @@ impl Simulator {
                 self.emit(now, ObsEvent::Enqueue { job, pool: target });
                 self.arm_wait_timer(job, now, sched);
             }
-            SubmitOutcome::Ineligible => {
+            SubmitKind::Ineligible => {
                 // Defensive: route anywhere eligible, still with the
                 // remaining work only. Fall back to a full VPM route.
                 self.route_via_vpm(job, now, sched);
             }
         }
+        self.scratch.put_actions(actions);
         while let Some((j, p)) = suspended.pop_front() {
             self.decide_suspended(j, p, now, sched, &mut suspended);
         }
+        self.scratch.put_worklist(suspended);
+        self.scratch.put_spec(spec);
     }
 
     fn handle_machine_down(
@@ -1158,9 +1299,16 @@ impl Simulator {
         now: SimTime,
         sched: &mut Scheduler<'_, Ev>,
     ) {
-        let Some((running, suspended)) = self.pools[pool.as_usize()].fail_machine(machine) else {
-            return; // already down or unknown machine
-        };
+        let mut running = std::mem::take(&mut self.scratch.evict_running);
+        let mut susp = std::mem::take(&mut self.scratch.evict_suspended);
+        running.clear();
+        susp.clear();
+        if !self.pools[pool.as_usize()].fail_machine_into(machine, &mut running, &mut susp) {
+            // Already down or unknown machine.
+            self.scratch.evict_running = running;
+            self.scratch.evict_suspended = susp;
+            return;
+        }
         self.touch_view();
         self.emit(now, ObsEvent::MachineDown { pool, machine });
         if self.config.resilience.enabled {
@@ -1172,12 +1320,13 @@ impl Simulator {
                 self.emit(now, ObsEvent::PoolBlacklisted { pool, until });
             }
         }
-        let evicted: Vec<(JobId, PhaseTag)> = running
-            .into_iter()
-            .map(|j| (j, PhaseTag::Running))
-            .chain(suspended.into_iter().map(|j| (j, PhaseTag::Suspended)))
-            .collect();
-        for (job, from_phase) in evicted {
+        let mut evicted = std::mem::take(&mut self.scratch.evicted);
+        evicted.clear();
+        evicted.extend(running.iter().map(|&j| (j, PhaseTag::Running)));
+        evicted.extend(susp.iter().map(|&j| (j, PhaseTag::Suspended)));
+        self.scratch.evict_running = running;
+        self.scratch.evict_suspended = susp;
+        for &(job, from_phase) in &evicted {
             self.counters.failure_evictions += 1;
             let rec = &mut self.jobs[job.as_usize()];
             if let Some(ev) = rec.completion_event.take() {
@@ -1209,6 +1358,7 @@ impl Simulator {
                 self.route_via_vpm(job, now, sched);
             }
         }
+        self.scratch.evicted = evicted;
     }
 
     /// Books one failure-driven re-dispatch for `job`: waits out the
@@ -1246,17 +1396,17 @@ impl Simulator {
         {
             return; // finished (possibly by a duplicate) or moved meanwhile
         }
-        let spec = rec.spec().clone();
-        let capable: Vec<PoolId> = self
-            .initial_candidates(&spec)
-            .into_iter()
-            .filter(|p| self.pools[p.as_usize()].is_eligible(spec.resources))
-            .collect();
-        let up: Vec<PoolId> = capable
-            .iter()
-            .copied()
-            .filter(|p| !self.pools[p.as_usize()].is_fully_down())
-            .collect();
+        let spec = self.scratch.take_spec(self.jobs[job.as_usize()].spec());
+        let mut capable = self.scratch.take_pool_list();
+        self.initial_candidates_into(&spec, &mut capable);
+        capable.retain(|p| self.pools[p.as_usize()].is_eligible(spec.resources));
+        let mut up = self.scratch.take_pool_list();
+        up.extend(
+            capable
+                .iter()
+                .copied()
+                .filter(|p| !self.pools[p.as_usize()].is_fully_down()),
+        );
         if up.is_empty() {
             if capable.is_empty() {
                 self.give_up(job, now);
@@ -1264,16 +1414,26 @@ impl Simulator {
                 self.counters.vpm_requeues += 1;
                 self.schedule_retry(job, now, sched);
             }
-            return;
-        }
-        let view = self.view(now);
-        let order = self.initial.order(&spec, &up, &view);
-        for pool in order {
-            if self.try_pool(pool, &spec, now, sched).is_some() {
-                return;
+        } else {
+            self.refresh_view(now);
+            let mut order = self.scratch.take_pool_list();
+            self.initial
+                .order_into(&spec, &up, &self.view_snap, &mut order);
+            let mut routed = false;
+            for &pool in &order {
+                if self.try_pool(pool, &spec, now, sched) {
+                    routed = true;
+                    break;
+                }
             }
+            if !routed {
+                self.give_up(job, now);
+            }
+            self.scratch.put_pool_list(order);
         }
-        self.give_up(job, now);
+        self.scratch.put_pool_list(up);
+        self.scratch.put_pool_list(capable);
+        self.scratch.put_spec(spec);
     }
 
     /// Terminal bookkeeping for a job no pool will run: count it
@@ -1324,11 +1484,13 @@ impl Simulator {
         now: SimTime,
         sched: &mut Scheduler<'_, Ev>,
     ) {
-        if let Some(actions) = self.pools[pool.as_usize()].restore_machine(now, machine) {
+        let mut actions = self.scratch.take_actions();
+        if self.pools[pool.as_usize()].restore_machine_into(now, machine, &mut actions) {
             self.touch_view();
             self.emit(now, ObsEvent::MachineUp { pool, machine });
-            self.apply_actions(pool, actions, now, sched);
+            self.apply_actions(pool, &actions, now, sched);
         }
+        self.scratch.put_actions(actions);
     }
 
     fn handle_sample(&mut self, now: SimTime, sched: &mut Scheduler<'_, Ev>) {

@@ -165,6 +165,26 @@ impl<E> Executor<E> {
         }
     }
 
+    /// Creates an executor whose queue (and its auxiliary id sets) is
+    /// pre-sized for `capacity` pending events, so a simulation that seeds
+    /// its whole workload up front performs no queue growth in the loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Executor {
+            queue: EventQueue::with_capacity(capacity),
+            ..Executor::new()
+        }
+    }
+
+    /// Creates an executor driving the given queue — used to run a
+    /// simulation on the reference heap backend
+    /// ([`EventQueue::with_reference_heap`]) for differential testing.
+    pub fn with_queue(queue: EventQueue<E>) -> Self {
+        Executor {
+            queue,
+            ..Executor::new()
+        }
+    }
+
     /// Sets an inclusive time horizon: events strictly after it are not
     /// delivered.
     pub fn with_horizon(mut self, horizon: SimTime) -> Self {

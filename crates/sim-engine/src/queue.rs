@@ -3,12 +3,35 @@
 //! Determinism is the load-bearing property here. Two events scheduled for
 //! the same minute are delivered in the order they were scheduled (FIFO by
 //! sequence number), so a simulation run is a pure function of its inputs
-//! and seed. Cancellation is lazy: cancelled entries stay in the heap and
-//! are skipped on pop, which keeps both operations `O(log n)`.
+//! and seed. Cancellation is lazy: cancelled entries stay in the backend
+//! and are skipped on pop; when they outnumber half the pending set the
+//! queue compacts, so garbage stays proportional to the live event count.
+//!
+//! Two backends implement the same contract:
+//!
+//! * the default **hierarchical timer wheel** — `SimTime` is minute-granular,
+//!   so near-future events bucket naturally into a 1024-minute level-0 wheel,
+//!   with a level-1 wheel of 1024-minute blocks above it and a `BTreeMap`
+//!   overflow for timers beyond the ~2-simulated-year level-1 span. Schedule
+//!   and pop are O(1) amortized instead of the heap's O(log n);
+//! * the original **binary heap**, kept as a reference implementation
+//!   ([`EventQueue::with_reference_heap`]) and differential-tested against
+//!   the wheel so the (time, sequence) delivery order provably matches.
+//!
+//! Why FIFO survives the wheel's cascading: levels are *block-aligned*, not
+//! distance-based. Level 0 only ever holds minutes of the block the cursor
+//! is in; a level-1 slot is dumped into level 0 at the instant the cursor
+//! enters its block — strictly before any later (higher-sequence) entry can
+//! be scheduled directly into level 0 for that block — and the overflow for
+//! a superblock drains, in time order, when the cursor enters the
+//! superblock. Every container therefore appends same-minute entries in
+//! sequence order, and every dump preserves relative order, so a slot is
+//! always popped front-to-back in exactly (time, sequence) order.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::time::SimTime;
 
@@ -31,6 +54,38 @@ impl fmt::Display for EventId {
         write!(f, "ev#{}", self.0)
     }
 }
+
+/// A fast hasher for the pending/cancelled id sets.
+///
+/// [`EventId`]s are sequential integers, so SipHash's DoS resistance buys
+/// nothing here while dominating the cancel/pop profile. This is the
+/// classic multiply–xorshift integer finalizer (the SplitMix64 constant),
+/// hand-rolled because the workspace builds fully offline — no `fxhash`/
+/// `ahash` dependency is available.
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys (unused by EventId): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type SeqBuild = BuildHasherDefault<SeqHasher>;
+type IdSet = HashSet<EventId, SeqBuild>;
 
 struct Entry<E> {
     time: SimTime,
@@ -60,6 +115,222 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Level-0/level-1 wheel resolution: 1024 slots per level.
+const LEVEL_BITS: u32 = 10;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Minutes covered by one level-0 *block* (~17 simulated hours).
+const SPAN_L0: u64 = 1 << LEVEL_BITS;
+/// Minutes covered by one level-1 *superblock* (~2 simulated years).
+const SPAN_L1: u64 = 1 << (2 * LEVEL_BITS);
+/// Words in a level occupancy bitmap.
+const OCC_WORDS: usize = SLOTS / 64;
+
+/// Returns the first set bit at or after `from`, or `None`.
+fn bits_next(occ: &[u64; OCC_WORDS], from: usize) -> Option<usize> {
+    let mut w = from >> 6;
+    if w >= OCC_WORDS {
+        return None;
+    }
+    let mut word = occ[w] & (!0u64 << (from & 63));
+    loop {
+        if word != 0 {
+            return Some((w << 6) + word.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w == OCC_WORDS {
+            return None;
+        }
+        word = occ[w];
+    }
+}
+
+/// The hierarchical timer wheel backend.
+///
+/// `l0` holds one `VecDeque` per minute of the cursor's current
+/// 1024-minute block; `l1` holds one `Vec` per 1024-minute block of the
+/// cursor's current superblock; `overflow` holds everything beyond,
+/// keyed by minute. Slot buffers are drained in place and keep their
+/// capacity, so steady-state scheduling re-uses the same allocations
+/// (slab-style) instead of churning the allocator.
+struct Wheel<E> {
+    /// The earliest minute that may still hold events (monotone).
+    cursor: u64,
+    l0: Vec<VecDeque<Entry<E>>>,
+    l1: Vec<Vec<Entry<E>>>,
+    l0_occ: [u64; OCC_WORDS],
+    l1_occ: [u64; OCC_WORDS],
+    overflow: BTreeMap<u64, Vec<Entry<E>>>,
+    /// Entries physically present across all levels (incl. cancelled).
+    stored: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            cursor: 0,
+            l0: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+            l1: (0..SLOTS).map(|_| Vec::new()).collect(),
+            l0_occ: [0; OCC_WORDS],
+            l1_occ: [0; OCC_WORDS],
+            overflow: BTreeMap::new(),
+            stored: 0,
+        }
+    }
+
+    /// Inserts an entry. Times before the cursor (the executor never
+    /// produces them, but the queue contract tolerates them) are delivered
+    /// at the cursor while keeping their original timestamp.
+    fn push(&mut self, entry: Entry<E>) {
+        let at = entry.time.as_minutes().max(self.cursor);
+        self.place(at, entry);
+        self.stored += 1;
+    }
+
+    /// Places an entry at minute `at` (`at >= self.cursor`).
+    fn place(&mut self, at: u64, entry: Entry<E>) {
+        if at >> LEVEL_BITS == self.cursor >> LEVEL_BITS {
+            let s = (at & (SPAN_L0 - 1)) as usize;
+            self.l0[s].push_back(entry);
+            self.l0_occ[s >> 6] |= 1 << (s & 63);
+        } else if at >> (2 * LEVEL_BITS) == self.cursor >> (2 * LEVEL_BITS) {
+            let b = ((at >> LEVEL_BITS) & (SPAN_L0 - 1)) as usize;
+            self.l1[b].push(entry);
+            self.l1_occ[b >> 6] |= 1 << (b & 63);
+        } else {
+            self.overflow.entry(at).or_default().push(entry);
+        }
+    }
+
+    /// Advances the cursor to the earliest occupied minute, cascading
+    /// level-1 blocks and overflow superblocks down as the cursor enters
+    /// them, and returns its level-0 slot. `None` when empty.
+    fn find_front(&mut self) -> Option<usize> {
+        if self.stored == 0 {
+            return None;
+        }
+        loop {
+            // Level 0: the cursor's own block.
+            let block_base = self.cursor & !(SPAN_L0 - 1);
+            if let Some(s) = bits_next(&self.l0_occ, (self.cursor - block_base) as usize) {
+                self.cursor = block_base + s as u64;
+                return Some(s);
+            }
+            // Level 1: the next occupied block of the current superblock.
+            // Slots at or below the cursor's block are empty by
+            // construction (dumped when the cursor entered them).
+            if let Some(b) = bits_next(&self.l1_occ, 0) {
+                let sb_base = self.cursor & !(SPAN_L1 - 1);
+                self.cursor = sb_base + ((b as u64) << LEVEL_BITS);
+                self.l1_occ[b >> 6] &= !(1u64 << (b & 63));
+                let (l0, l1, occ) = (&mut self.l0, &mut self.l1, &mut self.l0_occ);
+                for e in l1[b].drain(..) {
+                    // Level-1 entries always carry their placement minute
+                    // (past-time pushes are confined to level 0).
+                    let s = (e.time.as_minutes() & (SPAN_L0 - 1)) as usize;
+                    occ[s >> 6] |= 1 << (s & 63);
+                    l0[s].push_back(e);
+                }
+                continue;
+            }
+            // Overflow: jump to the superblock of the earliest far timer
+            // and drain that superblock's keys (in time order) into the
+            // wheels before any direct insert for it can exist.
+            let &first = self.overflow.keys().next()?;
+            let sb_base = first & !(SPAN_L1 - 1);
+            debug_assert!(
+                sb_base > self.cursor,
+                "overflow keys are beyond the superblock"
+            );
+            self.cursor = sb_base;
+            let rest = self.overflow.split_off(&(sb_base + SPAN_L1));
+            let drained = std::mem::replace(&mut self.overflow, rest);
+            for (at, entries) in drained {
+                for e in entries {
+                    self.place(at, e);
+                }
+            }
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<Entry<E>> {
+        let s = self.find_front()?;
+        let entry = self.l0[s].pop_front().expect("occupied slot has an entry");
+        if self.l0[s].is_empty() {
+            self.l0_occ[s >> 6] &= !(1u64 << (s & 63));
+        }
+        self.stored -= 1;
+        if self.stored == 0 {
+            // An empty wheel has no time state: resetting the cursor makes
+            // an emptied queue behave exactly like a fresh one (matching
+            // the heap), instead of late-delivering schedules below a
+            // cursor that advanced past never-surfaced cancelled entries.
+            self.cursor = 0;
+        }
+        Some(entry)
+    }
+
+    fn peek_front(&mut self) -> Option<(SimTime, EventId)> {
+        let s = self.find_front()?;
+        let entry = self.l0[s].front().expect("occupied slot has an entry");
+        Some((entry.time, entry.id))
+    }
+
+    /// Drops every entry whose id is in `cancelled`, preserving the order
+    /// of survivors. Returns the number of entries removed.
+    fn compact(&mut self, cancelled: &IdSet) -> usize {
+        let mut removed = 0;
+        for s in 0..SLOTS {
+            if !self.l0[s].is_empty() {
+                self.l0[s].retain(|e| {
+                    let keep = !cancelled.contains(&e.id);
+                    removed += usize::from(!keep);
+                    keep
+                });
+                if self.l0[s].is_empty() {
+                    self.l0_occ[s >> 6] &= !(1u64 << (s & 63));
+                }
+            }
+            if !self.l1[s].is_empty() {
+                self.l1[s].retain(|e| {
+                    let keep = !cancelled.contains(&e.id);
+                    removed += usize::from(!keep);
+                    keep
+                });
+                if self.l1[s].is_empty() {
+                    self.l1_occ[s >> 6] &= !(1u64 << (s & 63));
+                }
+            }
+        }
+        self.overflow.retain(|_, entries| {
+            entries.retain(|e| {
+                let keep = !cancelled.contains(&e.id);
+                removed += usize::from(!keep);
+                keep
+            });
+            !entries.is_empty()
+        });
+        self.stored -= removed;
+        if self.stored == 0 {
+            self.cursor = 0;
+        }
+        removed
+    }
+}
+
+// One queue backs an entire simulation, so the wheel variant's inline
+// slot arrays dwarfing the boxed heap is harmless — boxing the wheel
+// would buy nothing and cost a pointer chase on every schedule/pop.
+#[allow(clippy::large_enum_variant)]
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
+/// Compaction only kicks in past this much garbage, so small queues never
+/// pay the sweep.
+const COMPACT_FLOOR: usize = 64;
+
 /// A deterministic, cancellable future-event set.
 ///
 /// # Examples
@@ -75,33 +346,50 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!((t.as_minutes(), e), (1, "sooner"));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     /// Ids scheduled but not yet delivered or cancelled.
-    pending: HashSet<EventId>,
-    /// Ids cancelled but still physically present in the heap.
-    cancelled: HashSet<EventId>,
+    pending: IdSet,
+    /// Ids cancelled but still physically present in the backend.
+    cancelled: IdSet,
     next_id: u64,
     scheduled_total: u64,
     cancelled_total: u64,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the timer-wheel backend.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            backend: Backend::Wheel(Wheel::new()),
+            pending: IdSet::default(),
+            cancelled: IdSet::default(),
             next_id: 0,
             scheduled_total: 0,
             cancelled_total: 0,
         }
     }
 
-    /// Creates an empty queue with room for `capacity` pending events.
+    /// Creates an empty queue with room for `capacity` pending events —
+    /// including the auxiliary pending/cancelled id sets, so a pre-sized
+    /// queue performs no set re-hashing in steady state.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            pending: IdSet::with_capacity_and_hasher(capacity, SeqBuild::default()),
+            cancelled: IdSet::with_capacity_and_hasher(capacity / 2, SeqBuild::default()),
+            ..EventQueue::new()
+        }
+    }
+
+    /// Creates an empty queue on the original binary-heap backend.
+    ///
+    /// The heap is retained purely as a *reference implementation*: the
+    /// timer wheel is differential-tested against it (unit and property
+    /// tests here, plus end-to-end golden-trace runs via
+    /// `SimConfig::use_reference_queue`), which is what licenses the claim
+    /// that the wheel preserves (time, sequence) delivery order exactly.
+    pub fn with_reference_heap() -> Self {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::new()),
             ..EventQueue::new()
         }
     }
@@ -110,12 +398,22 @@ impl<E> EventQueue<E> {
     /// passed to [`EventQueue::cancel`].
     ///
     /// Events scheduled for the same instant fire in scheduling order.
+    ///
+    /// Scheduling earlier than the latest delivered (or peeked) front is
+    /// tolerated — the executor never does it, it forbids past scheduling —
+    /// but such an event is delivered as soon as possible rather than
+    /// re-sorted before already-surfaced entries; it keeps its original
+    /// timestamp.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
         self.scheduled_total += 1;
         self.pending.insert(id);
-        self.heap.push(Entry { time, id, event });
+        let entry = Entry { time, id, event };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(entry),
+            Backend::Heap(h) => h.push(entry),
+        }
         id
     }
 
@@ -129,34 +427,70 @@ impl<E> EventQueue<E> {
         }
         self.cancelled.insert(id);
         self.cancelled_total += 1;
+        self.maybe_compact();
         true
+    }
+
+    /// Sweeps lazily-cancelled garbage out of the backend once it exceeds
+    /// half the pending set, bounding physical occupancy to
+    /// O(pending events). Order-preserving, so delivery is unaffected.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() < COMPACT_FLOOR || self.cancelled.len() <= self.pending.len() / 2 {
+            return;
+        }
+        let removed = match &mut self.backend {
+            Backend::Wheel(w) => w.compact(&self.cancelled),
+            Backend::Heap(h) => {
+                let before = h.len();
+                let entries = std::mem::take(h).into_vec();
+                *h = entries
+                    .into_iter()
+                    .filter(|e| !self.cancelled.contains(&e.id))
+                    .collect();
+                before - h.len()
+            }
+        };
+        debug_assert_eq!(
+            removed,
+            self.cancelled.len(),
+            "every cancelled id is stored"
+        );
+        self.cancelled.clear();
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
+        loop {
+            let entry = match &mut self.backend {
+                Backend::Wheel(w) => w.pop_front(),
+                Backend::Heap(h) => h.pop(),
+            }?;
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
             self.pending.remove(&entry.id);
             return Some((entry.time, entry.event));
         }
-        None
     }
 
     /// Returns the time of the earliest pending (non-cancelled) event
     /// without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
+        loop {
+            let (time, id) = match &mut self.backend {
+                Backend::Wheel(w) => w.peek_front(),
+                Backend::Heap(h) => h.peek().map(|e| (e.time, e.id)),
+            }?;
+            if self.cancelled.remove(&id) {
+                match &mut self.backend {
+                    Backend::Wheel(w) => w.pop_front(),
+                    Backend::Heap(h) => h.pop(),
+                };
             } else {
-                return Some(entry.time);
+                return Some(time);
             }
         }
-        None
     }
 
     /// Returns the number of pending (non-cancelled) events.
@@ -177,6 +511,23 @@ impl<E> EventQueue<E> {
     /// Total number of events ever cancelled on this queue.
     pub fn cancelled_total(&self) -> u64 {
         self.cancelled_total
+    }
+
+    /// Entries physically present in the backend, including
+    /// not-yet-swept cancelled garbage. Exposed for the
+    /// memory-proportionality tests and the bench harness.
+    #[doc(hidden)]
+    pub fn stored_entries(&self) -> usize {
+        match &self.backend {
+            Backend::Wheel(w) => w.stored,
+            Backend::Heap(h) => h.len(),
+        }
+    }
+
+    /// True when this queue runs on the reference heap backend.
+    #[doc(hidden)]
+    pub fn uses_reference_heap(&self) -> bool {
+        matches!(self.backend, Backend::Heap(_))
     }
 }
 
@@ -281,6 +632,109 @@ mod tests {
         assert!(!format!("{q:?}").is_empty());
     }
 
+    #[test]
+    fn spans_every_wheel_level() {
+        // One event per level: level 0 (same block), level 1 (same
+        // superblock), overflow (beyond the level-1 span), in shuffled
+        // insertion order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_minutes(3_000_000), "overflow");
+        q.schedule(SimTime::from_minutes(5), "l0");
+        q.schedule(SimTime::from_minutes(200_000), "l1");
+        q.schedule(SimTime::from_minutes(3_000_000), "overflow-tie");
+        let order: Vec<(u64, &str)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_minutes(), e))).collect();
+        assert_eq!(
+            order,
+            vec![
+                (5, "l0"),
+                (200_000, "l1"),
+                (3_000_000, "overflow"),
+                (3_000_000, "overflow-tie"),
+            ]
+        );
+    }
+
+    #[test]
+    fn fifo_survives_level1_cascade() {
+        // Entry A for minute 1500 is scheduled while the cursor is in
+        // block 0 (so it lands in level 1); the cursor then enters block 1
+        // (dumping A into level 0); entry B for the same minute is then
+        // scheduled directly into level 0. A must still pop before B.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_minutes(1500), "A");
+        q.schedule(SimTime::from_minutes(1100), "advance");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("advance"));
+        q.schedule(SimTime::from_minutes(1500), "B");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("A"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("B"));
+    }
+
+    #[test]
+    fn fifo_survives_overflow_drain() {
+        let far = 5 * SPAN_L1 + 77;
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_minutes(far), "A");
+        q.schedule(SimTime::from_minutes(far - 3), "earlier");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("earlier"));
+        // The overflow superblock has been drained; a direct insert for
+        // the same far minute must queue behind A.
+        q.schedule(SimTime::from_minutes(far), "B");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("A"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("B"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancellation_garbage_is_bounded() {
+        // 100k schedule/cancel churn: physical occupancy must stay
+        // proportional to len() — compaction caps garbage at half the
+        // pending set (plus the small compaction floor).
+        let mut q = EventQueue::with_capacity(100_000);
+        let mut ids = Vec::with_capacity(100_000);
+        for i in 0..100_000u64 {
+            ids.push(q.schedule(SimTime::from_minutes(i % 5_000), i));
+        }
+        for (i, id) in ids.iter().enumerate() {
+            if i % 10 != 0 {
+                q.cancel(*id);
+            }
+            let bound = 2 * q.len() + 2 * COMPACT_FLOOR;
+            assert!(
+                q.stored_entries() <= bound,
+                "stored {} exceeds memory-proportional bound {} at step {i} (len {})",
+                q.stored_entries(),
+                bound,
+                q.len()
+            );
+        }
+        assert_eq!(q.len(), 10_000);
+        assert!(q.stored_entries() <= 2 * q.len() + 2 * COMPACT_FLOOR);
+        assert_eq!(q.cancelled_total(), 90_000);
+        // Every survivor still pops, in order.
+        let mut popped = 0;
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        assert_eq!(popped, 10_000);
+    }
+
+    #[test]
+    fn reference_heap_backend_matches_contract() {
+        let mut q = EventQueue::with_reference_heap();
+        assert!(q.uses_reference_heap());
+        let a = q.schedule(SimTime::from_minutes(7), "a");
+        q.schedule(SimTime::from_minutes(7), "b");
+        q.schedule(SimTime::from_minutes(2), "c");
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(SimTime::from_minutes(2)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["c", "b"]);
+    }
+
     proptest! {
         /// Popping yields a non-decreasing sequence of times, regardless of
         /// insertion order.
@@ -344,6 +798,73 @@ mod tests {
                     }
                 }
                 prop_assert_eq!(q.len() as i64, live.max(0));
+            }
+        }
+
+        /// Differential test: over arbitrary monotone-safe schedule /
+        /// cancel / pop / peek sequences (times never before the latest
+        /// surfaced front, matching the executor's contract — every peek is
+        /// immediately followed by popping that event, and handlers only
+        /// schedule at or after the delivered time), the timer wheel and
+        /// the reference heap agree on every observable: pop results, peek
+        /// times, lengths, and cancel outcomes. Offsets are scaled so the
+        /// sequences regularly cross level-1 blocks and the overflow span.
+        #[test]
+        fn prop_wheel_matches_reference_heap(
+            ops in proptest::collection::vec((0u8..4, 0u64..2_000), 1..400),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = EventQueue::with_reference_heap();
+            let mut ids = Vec::new();
+            let mut cursor = 0u64;
+            for (i, &(op, x)) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        let t = SimTime::from_minutes(cursor + x);
+                        let idw = wheel.schedule(t, i);
+                        let idh = heap.schedule(t, i);
+                        prop_assert_eq!(idw, idh);
+                        ids.push(idw);
+                    }
+                    1 => {
+                        // Far timers: exercise level 1 and overflow.
+                        let t = SimTime::from_minutes(cursor + x * 700);
+                        let idw = wheel.schedule(t, i);
+                        let idh = heap.schedule(t, i);
+                        prop_assert_eq!(idw, idh);
+                        ids.push(idw);
+                    }
+                    2 => {
+                        if !ids.is_empty() {
+                            let id = ids[(x as usize) % ids.len()];
+                            prop_assert_eq!(wheel.cancel(id), heap.cancel(id));
+                        }
+                    }
+                    _ => {
+                        let a = wheel.pop();
+                        let b = heap.pop();
+                        prop_assert_eq!(&a, &b);
+                        if let Some((t, _)) = a {
+                            cursor = cursor.max(t.as_minutes());
+                        }
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
+                let front = wheel.peek_time();
+                prop_assert_eq!(front, heap.peek_time());
+                if let Some(t) = front {
+                    // Peeking surfaces the front: later schedules must not
+                    // go before it (the executor's usage pattern).
+                    cursor = cursor.max(t.as_minutes());
+                }
+            }
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

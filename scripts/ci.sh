@@ -60,4 +60,14 @@ grep -q '^## Site timeline (Figure 4, 100-minute buckets)$' "$tmpdir/report.md"
 test -s "$tmpdir/fig_cdf.csv" && test -s "$tmpdir/fig_timeline.csv" \
   && test -s "$tmpdir/fig_pools.csv"
 
+# Perf smoke: one small hot-path cell (events/sec + allocs/event) checked
+# against the committed BENCH_hotpath.json. Fails on a >30% events/sec
+# regression or an allocs/event ceiling breach; never rewrites the
+# baseline (regenerate deliberately with `perf_hotpath` on a quiet
+# machine). Catches "the refactor reintroduced per-event allocations"
+# without the cost or noise sensitivity of the full scale-0.25 matrix.
+echo "==> perf smoke (hot path, scale 0.02)"
+cargo run --release -p netbatch-bench --bin perf_hotpath -- \
+  --check --scale 0.02
+
 echo "ci: all green"

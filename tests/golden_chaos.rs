@@ -29,12 +29,13 @@ const GOLDEN_PATH: &str = "tests/golden/chaos_hardened_rswu.jsonl";
 
 /// Runs the hardened ResSusWaitUtil cell under a moderate fault model
 /// (with the invariant checker riding along) and returns the JSONL stream.
-fn record_chaos_hardened_rswu() -> String {
+fn record_chaos_hardened_rswu_on(use_reference_queue: bool) -> String {
     let params = ScenarioParams::normal_week(GOLDEN_SCALE);
     let site = params.build_site();
     let trace = params.generate_trace();
     let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
     config.check_invariants = true;
+    config.use_reference_queue = use_reference_queue;
     config.fault_model = Some(
         FaultModel::new(
             SimDuration::from_hours(24),
@@ -52,6 +53,30 @@ fn record_chaos_hardened_rswu() -> String {
         .expect("recorder attached")
         .lines()
         .to_string()
+}
+
+fn record_chaos_hardened_rswu() -> String {
+    record_chaos_hardened_rswu_on(false)
+}
+
+#[test]
+fn chaos_hardened_rswu_reference_heap_queue_matches_fixture() {
+    // Chaos runs stress cancellation and same-minute event bursts harder
+    // than the fault-free cell; replay on the reference binary-heap queue
+    // and require the same byte-identical stream.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // the sibling test owns regeneration
+    }
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}\nregenerate with: UPDATE_GOLDEN=1 cargo test --test golden_chaos")
+    });
+    let on_heap = record_chaos_hardened_rswu_on(true);
+    assert!(
+        on_heap == golden,
+        "reference-heap backend diverges from the chaos golden fixture — \
+         the two event-queue implementations are no longer equivalent"
+    );
 }
 
 #[test]

@@ -37,6 +37,7 @@ impl Criterion {
         BenchmarkGroup {
             group_name: name.to_string(),
             sample_size: self.default_sample_size,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -50,6 +51,7 @@ impl Criterion {
         run_bench(
             &id.into_benchmark_id().full,
             self.default_sample_size,
+            None,
             &mut f,
         );
         self
@@ -81,10 +83,21 @@ impl IntoBenchmarkId for String {
     }
 }
 
+/// How much work one iteration of a benchmark performs, used to report
+/// throughput alongside raw time — matching criterion's API.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements (events, ops).
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
 /// A named set of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     group_name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -96,6 +109,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration work for every following benchmark in
+    /// this group; reports gain an `thrpt:` column derived from the mean.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
     where
@@ -103,7 +123,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.group_name, id.into_benchmark_id().full);
-        run_bench(&full, self.sample_size, &mut f);
+        run_bench(&full, self.sample_size, self.throughput, &mut f);
         self
     }
 
@@ -114,7 +134,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.group_name, id.full);
-        run_bench(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        run_bench(
+            &full,
+            self.sample_size,
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -175,7 +200,7 @@ impl Bencher {
     }
 }
 
-fn run_bench<F>(id: &str, sample_size: usize, f: &mut F)
+fn run_bench<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
@@ -192,13 +217,42 @@ where
     let mean = total / bencher.samples.len() as u32;
     let min = bencher.samples.iter().min().copied().unwrap_or_default();
     let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let thrpt = throughput
+        .map(|t| format!("  thrpt: {}", fmt_throughput(t, mean)))
+        .unwrap_or_default();
     println!(
-        "{id:<55} time: [{} {} {}]  ({} samples)",
+        "{id:<55} time: [{} {} {}]  ({} samples){thrpt}",
         fmt_duration(min),
         fmt_duration(mean),
         fmt_duration(max),
         bencher.samples.len(),
     );
+}
+
+fn fmt_throughput(t: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Elements(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e6 {
+                format!("{:.3} Melem/s", rate / 1e6)
+            } else if rate >= 1e3 {
+                format!("{:.3} Kelem/s", rate / 1e3)
+            } else {
+                format!("{rate:.1} elem/s")
+            }
+        }
+        Throughput::Bytes(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e9 {
+                format!("{:.3} GiB/s", rate / (1u64 << 30) as f64)
+            } else if rate >= 1e6 {
+                format!("{:.3} MiB/s", rate / (1u64 << 20) as f64)
+            } else {
+                format!("{:.3} KiB/s", rate / 1024.0)
+            }
+        }
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
