@@ -1,0 +1,379 @@
+//! Sharded-kernel benchmark: weak-scaled pool sweep (20 → 200 pools) and
+//! arrival-scale sweep (0.25 → 1.0) comparing the sharded backend against
+//! the serial reference, tracked across PRs in `BENCH_sharded.json`.
+//!
+//! Two kinds of figures are recorded per cell:
+//!
+//! - **Measured walls**: serial backend vs sharded at 1/2/4 worker
+//!   shards, best-of-`ROUNDS`. On a multi-core host the 4-shard wall is
+//!   the real speedup; on a single-core host (CI containers included —
+//!   the JSON records `host_cores`) threads only interleave, so the
+//!   sharded walls there measure *coordination overhead*, not speedup.
+//! - **Measured work split + Amdahl projection**: worker threads report
+//!   their aggregate batch-execution busy time, so the run decomposes
+//!   into coordinator-serial time and worker-parallelizable time. The
+//!   `projected_speedup_4_shards` figure is
+//!
+//!   ```text
+//!   serial_wall / (coord + worker_busy/4 + max(0, wall_x4 - wall_x1))
+//!   ```
+//!
+//!   i.e. perfect 4-way division of the measured worker work on top of
+//!   the measured coordinator time, *charged* with the full measured
+//!   4-shard synchronization overhead as if it serialized. The split is
+//!   measured, only the division is modelled — and the overhead term is
+//!   an overestimate on real multi-core hosts.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p netbatch-bench --bin perf_sharded
+//! cargo run --release -p netbatch-bench --bin perf_sharded -- --check
+//! ```
+//!
+//! `--check` is the CI gate: it asserts the committed headline cell
+//! (200 pools, scale 1.0) projects ≥ 1.5x at 4 shards, then re-measures
+//! a small smoke cell and fails if the sharded backend's coordination
+//! overhead or its parallel work fraction regressed against the
+//! committed smoke figures.
+
+use std::time::Instant;
+
+use netbatch_cluster::ids::PoolId;
+use netbatch_cluster::pool::PoolConfig;
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::{Backend, SimConfig, Simulator};
+use netbatch_core::take_sharded_worker_busy_nanos;
+use netbatch_workload::scenarios::{ScenarioParams, SiteSpec};
+use netbatch_workload::trace::Trace;
+
+/// Best-of rounds per (cell, backend) measurement.
+const ROUNDS: usize = 3;
+
+/// Machines per pool at scale 1.0 — sized so a submission's first-fit
+/// scan and a completion's capacity cycle are real work for the workers.
+const MACHINES_PER_POOL: f64 = 96.0;
+
+/// Background arrival rate per pool per minute at scale 1.0, tuned for
+/// ~85% steady-state utilization of a 96-machine 4-core pool under the
+/// normal-week runtime mixture (mean job ≈ 1.35 cores × ~480 min).
+const RATE_PER_POOL: f64 = 0.50;
+
+/// Trace window (minutes): two simulated days. Long enough for the
+/// utilization plateau to dominate warm-up, short enough that the full
+/// sweep stays in seconds per cell.
+const HORIZON_MIN: u64 = 2 * 24 * 60;
+
+/// The weak-scaled pool sweep (machines and arrivals both ∝ pools).
+const POOL_SWEEP: [u16; 4] = [20, 50, 100, 200];
+
+/// The arrival/capacity scale sweep, run on the 200-pool site.
+const SCALE_SWEEP: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// Shard counts measured per cell.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// CI gate: the committed headline projection must stay at or above
+/// this — the tentpole's contract for the 200-pool cell at 4 shards.
+const MIN_HEADLINE_PROJECTION: f64 = 1.5;
+
+/// CI gate: measured sharded-x2 wall must stay within this factor of the
+/// serial wall on the smoke cell. Valid on any core count (on one core it
+/// bounds pure coordination overhead); generous because a 1-core host
+/// adds context-switch noise on top.
+const SMOKE_OVERHEAD_SLACK: f64 = 2.5;
+
+/// CI gate: the smoke cell's parallel work fraction must stay at or
+/// above this share of the committed figure — catching changes that
+/// quietly move worker work back onto the coordinator.
+const SMOKE_FRACTION_RATIO: f64 = 0.75;
+
+/// A uniform `pools`-pool site: every pool `MACHINES_PER_POOL * scale`
+/// identical 4-core machines. Uniformity is the point — weak scaling
+/// wants per-shard work constant as pools grow, and `ScenarioParams`
+/// pins its heterogeneous site to the paper's 20 pools.
+fn uniform_site(pools: u16, scale: f64) -> SiteSpec {
+    let n = ((MACHINES_PER_POOL * scale).round() as u32).max(1);
+    SiteSpec {
+        pools: (0..pools)
+            .map(|p| PoolConfig::uniform(PoolId(p), n, 4, 16_384))
+            .collect(),
+    }
+}
+
+/// A background-only trace with arrivals proportional to `pools`
+/// (weak scaling) and to `scale` (matching the site's capacity scale).
+fn sweep_trace(pools: u16, scale: f64) -> Trace {
+    let mut params = ScenarioParams::normal_week(scale);
+    params.horizon = HORIZON_MIN;
+    params.low_rate = RATE_PER_POOL * f64::from(pools);
+    // No pinned burst streams: they target the paper's 20-pool layout
+    // and would skew a uniform weak-scaling sweep.
+    params.high_streams = 0;
+    params.generate_trace()
+}
+
+/// One timed round; returns (events, wall seconds, worker busy seconds).
+fn run_round(site: &SiteSpec, trace: &Trace, backend: Backend) -> (u64, f64, f64) {
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.backend = backend;
+    let sim = Simulator::new(site, trace.to_specs(), config);
+    take_sharded_worker_busy_nanos();
+    let start = Instant::now();
+    let out = sim.run_to_completion();
+    let wall = start.elapsed().as_secs_f64();
+    let busy = take_sharded_worker_busy_nanos() as f64 * 1e-9;
+    (out.counters.events, wall, busy)
+}
+
+/// Best-of-`ROUNDS` for one backend: fastest wall, with the busy time
+/// taken from the fastest round (the work is deterministic; only the
+/// clock varies).
+fn measure(site: &SiteSpec, trace: &Trace, backend: Backend) -> (u64, f64, f64) {
+    let mut best = (0u64, f64::INFINITY, 0.0f64);
+    for _ in 0..ROUNDS {
+        let (events, wall, busy) = run_round(site, trace, backend);
+        if wall < best.1 {
+            best = (events, wall, busy);
+        }
+    }
+    best
+}
+
+struct Cell {
+    pools: u16,
+    scale: f64,
+    jobs: u64,
+    events: u64,
+    serial_wall_ms: f64,
+    /// (shards, wall_ms) per measured shard count.
+    sharded_walls: Vec<(usize, f64)>,
+    /// Worker busy time in the 1-shard run: the total parallelizable work.
+    worker_busy_ms: f64,
+    /// 1-shard wall minus worker busy: the coordinator's serial time.
+    coord_ms: f64,
+    /// worker_busy / wall_x1 — the Amdahl parallel fraction.
+    parallel_fraction: f64,
+    /// serial_wall / (coord + busy/4 + sync overhead), see module docs.
+    projected_speedup_4: f64,
+}
+
+fn measure_cell(pools: u16, scale: f64) -> Cell {
+    let site = uniform_site(pools, scale);
+    let trace = sweep_trace(pools, scale);
+    let jobs = trace.len() as u64;
+
+    let (events, serial_wall, _) = measure(&site, &trace, Backend::Serial);
+    let mut sharded_walls = Vec::new();
+    let mut wall_x1 = f64::NAN;
+    let mut busy_x1 = f64::NAN;
+    let mut wall_x4 = f64::NAN;
+    for shards in SHARD_COUNTS {
+        let (ev, wall, busy) = measure(&site, &trace, Backend::Sharded { shards });
+        assert_eq!(ev, events, "backends disagree on event count");
+        sharded_walls.push((shards, wall * 1e3));
+        if shards == 1 {
+            wall_x1 = wall;
+            busy_x1 = busy;
+        }
+        if shards == 4 {
+            wall_x4 = wall;
+        }
+    }
+    let coord = (wall_x1 - busy_x1).max(0.0);
+    let sync_overhead = (wall_x4 - wall_x1).max(0.0);
+    let projected_speedup_4 = serial_wall / (coord + busy_x1 / 4.0 + sync_overhead).max(1e-9);
+    Cell {
+        pools,
+        scale,
+        jobs,
+        events,
+        serial_wall_ms: serial_wall * 1e3,
+        sharded_walls,
+        worker_busy_ms: busy_x1 * 1e3,
+        coord_ms: coord * 1e3,
+        parallel_fraction: busy_x1 / wall_x1.max(1e-9),
+        projected_speedup_4,
+    }
+}
+
+/// Pulls `"key": <number>` out of the committed JSON without a JSON
+/// dependency (the file is machine-written by this binary).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The CI smoke cell: small enough for seconds, big enough that the
+/// parallel fraction is representative.
+fn smoke_cell() -> Cell {
+    measure_cell(40, 0.25)
+}
+
+fn run_check() {
+    let json = std::fs::read_to_string("BENCH_sharded.json").unwrap_or_else(|e| {
+        panic!(
+            "cannot read BENCH_sharded.json: {e}\n\
+             regenerate with: cargo run --release -p netbatch-bench --bin perf_sharded"
+        )
+    });
+    let headline = json_number(&json, "headline_projected_speedup_4_shards")
+        .expect("BENCH_sharded.json has no headline_projected_speedup_4_shards");
+    assert!(
+        headline >= MIN_HEADLINE_PROJECTION,
+        "committed headline projection {headline:.2}x at 4 shards is below the \
+         {MIN_HEADLINE_PROJECTION}x contract — regenerate BENCH_sharded.json \
+         and fix the kernel before shipping"
+    );
+    let want_fraction = json_number(&json, "smoke_parallel_fraction")
+        .expect("BENCH_sharded.json has no smoke_parallel_fraction");
+
+    let cell = smoke_cell();
+    let serial = cell.serial_wall_ms;
+    let x2 = cell
+        .sharded_walls
+        .iter()
+        .find(|(s, _)| *s == 2)
+        .map(|&(_, w)| w)
+        .expect("smoke cell measured 2 shards");
+    println!(
+        "sharded smoke ({} pools, scale {}): serial {serial:.1} ms, x2 {x2:.1} ms, \
+         parallel fraction {:.2} (committed {want_fraction:.2})",
+        cell.pools, cell.scale, cell.parallel_fraction
+    );
+    assert!(
+        x2 <= serial * SMOKE_OVERHEAD_SLACK,
+        "sharded coordination overhead regressed: x2 wall {x2:.1} ms vs serial \
+         {serial:.1} ms (limit {SMOKE_OVERHEAD_SLACK}x)"
+    );
+    assert!(
+        cell.parallel_fraction >= want_fraction * SMOKE_FRACTION_RATIO,
+        "parallel work fraction regressed: {:.2} vs committed {want_fraction:.2} — \
+         work is moving from the workers back onto the coordinator",
+        cell.parallel_fraction
+    );
+    println!(
+        "sharded perf smoke OK (headline projection {headline:.2}x at 4 shards on \
+         the 200-pool cell)"
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "host cores: {host_cores}  (walls at >1 shard are real speedups only when cores ≥ shards)"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!("pool sweep (weak-scaled, scale 1.0):");
+    for pools in POOL_SWEEP {
+        let cell = measure_cell(pools, 1.0);
+        print_cell(&cell);
+        cells.push(cell);
+    }
+    println!("scale sweep (200 pools):");
+    for scale in SCALE_SWEEP {
+        if scale == 1.0 {
+            continue; // already measured as the last pool-sweep cell
+        }
+        let cell = measure_cell(200, scale);
+        print_cell(&cell);
+        cells.push(cell);
+    }
+
+    let headline = cells
+        .iter()
+        .find(|c| c.pools == 200 && c.scale == 1.0)
+        .expect("200-pool scale-1.0 cell measured");
+    let headline_projection = headline.projected_speedup_4;
+
+    println!("measuring CI smoke cell ...");
+    let smoke = smoke_cell();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    json.push_str(&format!("  \"horizon_minutes\": {HORIZON_MIN},\n"));
+    json.push_str(&format!("  \"machines_per_pool\": {MACHINES_PER_POOL},\n"));
+    json.push_str(&format!("  \"rate_per_pool\": {RATE_PER_POOL},\n"));
+    json.push_str(&format!(
+        "  \"headline_projected_speedup_4_shards\": {headline_projection:.2},\n"
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let walls: Vec<String> = c
+            .sharded_walls
+            .iter()
+            .map(|(s, w)| format!("{{\"shards\": {s}, \"wall_ms\": {w:.1}}}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"pools\": {}, \"scale\": {}, \"jobs\": {}, \"events\": {}, \
+             \"serial_wall_ms\": {:.1}, \"sharded\": [{}], \"worker_busy_ms\": {:.1}, \
+             \"coord_ms\": {:.1}, \"parallel_fraction\": {:.3}, \
+             \"projected_speedup_4_shards\": {:.2}}}{comma}\n",
+            c.pools,
+            c.scale,
+            c.jobs,
+            c.events,
+            c.serial_wall_ms,
+            walls.join(", "),
+            c.worker_busy_ms,
+            c.coord_ms,
+            c.parallel_fraction,
+            c.projected_speedup_4,
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"smoke_pools\": {}, \"smoke_scale\": {},\n",
+        smoke.pools, smoke.scale
+    ));
+    json.push_str(&format!(
+        "  \"smoke_serial_wall_ms\": {:.1},\n",
+        smoke.serial_wall_ms
+    ));
+    json.push_str(&format!(
+        "  \"smoke_parallel_fraction\": {:.3}\n",
+        smoke.parallel_fraction
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_sharded.json", &json).expect("write BENCH_sharded.json");
+    println!(
+        "headline: {headline_projection:.2}x projected at 4 shards on the 200-pool cell \
+         -> BENCH_sharded.json"
+    );
+}
+
+fn print_cell(c: &Cell) {
+    let walls: Vec<String> = c
+        .sharded_walls
+        .iter()
+        .map(|(s, w)| format!("x{s} {w:.0}ms"))
+        .collect();
+    println!(
+        "  {:>3} pools scale {:<4} | {:>7} jobs {:>8} events | serial {:>6.0} ms | {} | \
+         split {:.0}ms coord + {:.0}ms workers (f={:.2}) | projected x4: {:.2}",
+        c.pools,
+        c.scale,
+        c.jobs,
+        c.events,
+        c.serial_wall_ms,
+        walls.join(" "),
+        c.coord_ms,
+        c.worker_busy_ms,
+        c.parallel_fraction,
+        c.projected_speedup_4,
+    );
+}

@@ -35,6 +35,7 @@ pub mod experiment;
 pub mod faults;
 pub mod observer;
 pub mod policy;
+mod sharded;
 pub mod simulator;
 pub mod telemetry;
 
@@ -45,5 +46,15 @@ pub use observer::{
     TraceRecorder,
 };
 pub use policy::{InitialKind, ReschedPolicy, StrategyKind};
-pub use simulator::{RunCounters, SimConfig, SimOutput, Simulator};
+pub use simulator::{Backend, RunCounters, SimConfig, SimOutput, Simulator};
+
+/// Returns and resets the process-wide aggregate time worker threads of
+/// the sharded backend spent executing batches, in nanoseconds. A
+/// benchmarking aid for measuring the serial/parallel work split (see
+/// the `perf_sharded` harness); meaningful only when sharded runs are
+/// not concurrent.
+#[doc(hidden)]
+pub fn take_sharded_worker_busy_nanos() -> u64 {
+    sharded::take_worker_busy_nanos()
+}
 pub use telemetry::{Registry, Telemetry, TelemetrySummary};

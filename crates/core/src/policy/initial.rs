@@ -41,6 +41,15 @@ pub trait InitialScheduler: std::fmt::Debug + Send {
         self.order_into(job, candidates, view, &mut out);
         out
     }
+
+    /// Downcast hook for the sharded backend: round-robin is the one
+    /// scheduler whose choice can be computed without the cluster view
+    /// (it is a pure cursor rotation), which is what lets submissions be
+    /// classified to a shard before any pool state is consulted.
+    #[doc(hidden)]
+    fn as_round_robin_mut(&mut self) -> Option<&mut RoundRobin> {
+        None
+    }
 }
 
 /// NetBatch's default: distribute jobs across candidate pools in sequential
@@ -57,6 +66,20 @@ impl RoundRobin {
     /// Creates a round-robin scheduler starting at the first pool.
     pub fn new() -> Self {
         RoundRobin::default()
+    }
+
+    /// The rotation start [`RoundRobin::order_into`] would use for a
+    /// candidate list of `len` pools — without committing the cursor.
+    pub(crate) fn peek_start(&self, len: usize) -> usize {
+        self.cursor % len
+    }
+
+    /// Commits one rotation step, exactly as a successful `order_into`
+    /// call would. The sharded backend pairs this with
+    /// [`RoundRobin::peek_start`]: peek to classify the submission, then
+    /// advance only once the dispatch is known to proceed.
+    pub(crate) fn advance(&mut self) {
+        self.cursor = self.cursor.wrapping_add(1);
     }
 }
 
@@ -80,6 +103,10 @@ impl InitialScheduler for RoundRobin {
         self.cursor = self.cursor.wrapping_add(1);
         out.extend_from_slice(&candidates[start..]);
         out.extend_from_slice(&candidates[..start]);
+    }
+
+    fn as_round_robin_mut(&mut self) -> Option<&mut RoundRobin> {
+        Some(self)
     }
 }
 

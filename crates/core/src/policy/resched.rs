@@ -136,6 +136,16 @@ pub trait ReschedPolicy: std::fmt::Debug + Send {
     ) -> Option<PoolId> {
         None
     }
+
+    /// Whether this policy is the `NoRes` baseline: every suspension
+    /// decision is `Stay`, no RNG is drawn, and the cluster view is never
+    /// consulted. The sharded backend uses this to prove pool-local
+    /// events have no cross-pool effects; any policy that cannot make
+    /// that promise must leave the default `false`.
+    #[doc(hidden)]
+    fn is_no_res(&self) -> bool {
+        false
+    }
 }
 
 /// The baseline: never reschedule; suspended jobs wait in place to resume.
@@ -156,6 +166,10 @@ impl ReschedPolicy for NoRes {
         _rng: &mut DetRng,
     ) -> Decision {
         Decision::Stay
+    }
+
+    fn is_no_res(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,700 @@
+//! The sharded simulation backend: pool-partitioned worker threads under
+//! minute-epoch barriers, byte-identical to the serial reference.
+//!
+//! # Architecture
+//!
+//! The coordinator owns the [`EventQueue`] and pops events one at a time
+//! in the exact (time, event-id) order the serial executor would. Each
+//! popped event is classified:
+//!
+//! * **Local** — its entire effect is confined to one pool (a round-robin
+//!   submission whose target pool is decidable upfront, or a completion
+//!   of a job running in a known pool). Local events are appended to the
+//!   owning shard's pending batch, stamped with a global sequence number
+//!   recording their pop position.
+//! * **Global** — everything else (sampling, machine faults, wait checks,
+//!   migrations, retries, and *all* events outside the fast class).
+//!   Before a global executes, pending batches are flushed; the global
+//!   then runs inline through the serial [`Handler`], so non-local logic
+//!   is never reimplemented.
+//!
+//! A flush also fires at every epoch boundary (the first event of a later
+//! minute) and at drain. Flushing sends each shard its batch; workers
+//! execute items against their own pools in sequence order, buffering
+//! queue effects and observer emissions instead of applying them. At the
+//! barrier the coordinator merges all shards' buffers back into the
+//! global sequence order (the canonical (epoch, pool-lane, seq) order of
+//! [`netbatch_sim_engine::epoch`]; within one epoch the globally unique
+//! seq already encodes it) and applies them serially: queue effects
+//! replay `schedule`/`cancel` calls in exactly the order the serial
+//! backend would issue them — which is what keeps every assigned
+//! [`EventId`] identical — and emissions replay to observers via
+//! [`SimObserver::on_replayed_event`], followed by one
+//! [`SimObserver::on_settle`] per observer at the settled barrier state.
+//!
+//! # Why determinism survives
+//!
+//! * Pop order is untouched: the coordinator consumes the same queue with
+//!   the same tie-breaking ids as the serial executor.
+//! * Event-id parity: ids are assigned by `EventQueue::schedule` in call
+//!   order. Every worker-buffered schedule is replayed at the barrier in
+//!   global sequence order — the order the serial backend would have
+//!   issued the same calls — and inline globals run after the flush that
+//!   precedes them, so the id sequences coincide exactly.
+//! * The fast class is exactly the configuration space where local events
+//!   are provably pool-confined: the `NoRes` policy (suspension decisions
+//!   are always `Stay`, drawing no policy randomness), round-robin
+//!   initial scheduling (target pool is a pure cursor rotation, never
+//!   reading the cluster view), zero view staleness and no VPM topology.
+//!   Everything else falls back to 100% inline execution, which is the
+//!   serial semantics by construction.
+//! * Cancellation races collapse to one case: a completion popped into a
+//!   batch whose cancel is produced by an earlier item of the same batch.
+//!   Workers validate each delivered completion against the job's live
+//!   `completion_event` id and silently skip stale ones — precisely the
+//!   events the serial backend would have cancelled in-queue and never
+//!   delivered (they count toward neither the event total nor the end
+//!   time).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+use netbatch_cluster::ids::{JobId, PoolId};
+use netbatch_cluster::job::{JobPhase, JobRecord};
+use netbatch_cluster::pool::{PhysicalPool, PoolAction, SubmitKind};
+use netbatch_sim_engine::executor::{Control, Handler, Scheduler};
+use netbatch_sim_engine::queue::{EventId, EventQueue};
+use netbatch_sim_engine::time::SimTime;
+
+use crate::observer::{ObsCtx, ObsEvent};
+use crate::simulator::{Ev, SimOutput, Simulator};
+
+/// Aggregate time worker threads spent executing flush batches, across
+/// every sharded run in the process since the last [`take_worker_busy_nanos`].
+/// A benchmarking aid (the `perf_sharded` harness measures the
+/// serial/parallel work split with it), never part of the simulation
+/// contract: timing is collected around batch execution and does not
+/// feed back into any decision.
+static WORKER_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns and resets the aggregate worker busy time in nanoseconds.
+/// Meaningful only when runs are not concurrent (the counter is global).
+pub(crate) fn take_worker_busy_nanos() -> u64 {
+    WORKER_BUSY_NANOS.swap(0, Ordering::Relaxed)
+}
+
+/// One classified-local event, parked in a shard's pending batch.
+#[derive(Debug, Clone, Copy)]
+struct BatchItem {
+    /// Global pop position within the current batch window — the merge
+    /// sequence everything this item produces is replayed under.
+    seq: u32,
+    /// The queue id the event was delivered with (completion staleness
+    /// validation).
+    id: EventId,
+    ev: Ev,
+    /// The owning pool: the round-robin target for a submission, the
+    /// running pool for a completion.
+    pool: PoolId,
+}
+
+/// A queue mutation a worker wants, deferred to the barrier.
+#[derive(Debug, Clone, Copy)]
+enum Effect {
+    /// `jobs[job].completion_event = Some(schedule(at, Complete(job)))`.
+    ScheduleCompletion { job: JobId, at: SimTime },
+    /// Cancel a completion that was scheduled in an earlier flush.
+    CancelById(EventId),
+    /// Cancel the completion scheduled *this* batch for `job` (its id
+    /// does not exist until the preceding `ScheduleCompletion` effect is
+    /// applied; sequence order guarantees it is applied first).
+    CancelPending(JobId),
+}
+
+/// Raw views into the simulator's job and pool storage, shipped to
+/// workers for the duration of one flush.
+///
+/// # Safety
+///
+/// Shared mutable access is sound because accesses are disjoint and the
+/// coordinator is quiescent:
+///
+/// * pools are partitioned by `pool_id % shards`, and a worker only
+///   touches pools it owns — an item's side effects (preemptions, queue
+///   starts, releases) are confined to the item's own pool;
+/// * each job is the subject of at most one item per batch (one
+///   submission ever; completions are unique and cannot share a batch
+///   with their own start, since wall time is at least one minute), and
+///   jobs mutated as side effects are residents of the item's pool,
+///   which pins them to the same worker;
+/// * the coordinator blocks on the result channel for the whole flush
+///   and holds no live references into either storage while workers run;
+/// * workers derive only short-lived per-element references from these
+///   pointers, never whole-slice `&mut` views, so no two `&mut` to the
+///   same element ever coexist.
+#[derive(Clone, Copy)]
+struct Arena {
+    jobs: *mut JobRecord,
+    jobs_len: usize,
+    pools: *mut PhysicalPool,
+    pools_len: usize,
+}
+
+// SAFETY: see the struct-level contract above — disjoint element access,
+// quiescent owner, per-element reference derivation.
+unsafe impl Send for Arena {}
+
+impl Arena {
+    fn of(sim: &mut Simulator) -> Self {
+        Arena {
+            jobs: sim.jobs.as_mut_ptr(),
+            jobs_len: sim.jobs.len(),
+            pools: sim.pools.as_mut_ptr(),
+            pools_len: sim.pools.len(),
+        }
+    }
+
+    /// # Safety
+    /// Caller must hold the [`Arena`] disjointness contract: no other
+    /// live reference to this job, on any thread.
+    // The `&mut`-from-`&self` shape is the point: Arena is a `Copy`
+    // capability handed to every worker, and exclusivity is the caller's
+    // obligation (the disjointness contract), not the borrow checker's.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn job(&self, id: JobId) -> &mut JobRecord {
+        debug_assert!(id.as_usize() < self.jobs_len);
+        &mut *self.jobs.add(id.as_usize())
+    }
+
+    /// # Safety
+    /// Caller must own `id` under the shard partition and hold no other
+    /// live reference to this pool.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn pool(&self, id: PoolId) -> &mut PhysicalPool {
+        debug_assert!(id.as_usize() < self.pools_len);
+        &mut *self.pools.add(id.as_usize())
+    }
+}
+
+/// One shard's work order for a flush window.
+struct FlushMsg {
+    time: SimTime,
+    items: Vec<BatchItem>,
+    arena: Arena,
+    /// Whether observer emissions must be buffered (skipped entirely when
+    /// the run has no observers — the benchmark path).
+    collect: bool,
+}
+
+/// What a worker hands back at the barrier.
+struct WorkerResult {
+    shard: usize,
+    /// Deferred queue mutations, in execution (ascending-seq) order.
+    effects: Vec<(u32, Effect)>,
+    /// Buffered observer events, in execution order.
+    emissions: Vec<(u32, ObsEvent)>,
+    completed: u64,
+    suspensions: u64,
+    /// Items actually executed (stale completions are skipped and do not
+    /// count — the serial backend never delivers them at all).
+    executed: u64,
+    /// The (cleared) item buffer, recycled back to the coordinator.
+    items: Vec<BatchItem>,
+}
+
+/// Entry point from [`Simulator::run_to_completion`].
+pub(crate) fn run_sharded(mut sim: Simulator, shards: usize) -> SimOutput {
+    // The fast class: configurations where submissions and completions
+    // are provably pool-local (see module docs). Outside it, every event
+    // is executed inline and the machinery degenerates to serial.
+    let fast_class = sim.policy.is_no_res()
+        && sim.initial.as_round_robin_mut().is_some()
+        && sim.config.view_staleness.is_zero()
+        && sim.config.topology.is_none();
+
+    let mut queue = if sim.config.use_reference_queue {
+        EventQueue::with_reference_heap()
+    } else {
+        EventQueue::with_capacity(sim.jobs.len() * 2 + 64)
+    };
+    sim.seed_initial_events(|at, ev| {
+        queue.schedule(at, ev);
+    });
+
+    std::thread::scope(|scope| {
+        let (result_tx, result_rx) = mpsc::channel::<WorkerResult>();
+        let mut work_txs = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<FlushMsg>();
+            work_txs.push(tx);
+            let results = result_tx.clone();
+            scope.spawn(move || {
+                let mut worker = ShardWorker::new(shard);
+                while let Ok(msg) = rx.recv() {
+                    let t0 = std::time::Instant::now();
+                    let result = worker.run_flush(msg);
+                    WORKER_BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if results.send(result).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        let collect = !sim.observers.is_empty();
+        let mut pending: Vec<Vec<BatchItem>> = vec![Vec::new(); shards];
+        let mut batch_len = 0usize;
+        let mut batch_time = SimTime::ZERO;
+        let mut seq = 0u32;
+        let mut events: u64 = 0;
+        let mut end_time = SimTime::ZERO;
+        let mut candidates: Vec<PoolId> = Vec::new();
+
+        macro_rules! flush {
+            () => {
+                if batch_len > 0 {
+                    flush_batches(
+                        &mut sim,
+                        &mut queue,
+                        &work_txs,
+                        &result_rx,
+                        &mut pending,
+                        batch_time,
+                        collect,
+                        &mut events,
+                        &mut end_time,
+                    );
+                    batch_len = 0;
+                    seq = 0;
+                }
+            };
+        }
+
+        loop {
+            // Epoch barrier: before popping past the batch's minute (or
+            // off the end of the queue), flush so that deferred
+            // completion bookings — which can land *earlier* than
+            // whatever event happens to be stored next — are back in the
+            // queue and participate in pop ordering. A flush never books
+            // anything inside the batch minute itself (wall times are at
+            // least one minute), so batching within the minute is safe.
+            if batch_len > 0 && queue.peek_time() != Some(batch_time) {
+                flush!();
+            }
+            let Some((time, id, ev)) = queue.pop_with_id() else {
+                break;
+            };
+            let local = if fast_class {
+                classify(&mut sim, ev, &mut candidates)
+            } else {
+                None
+            };
+            match local {
+                Some(pool) => {
+                    if batch_len == 0 {
+                        batch_time = time;
+                    }
+                    pending[pool.as_usize() % shards].push(BatchItem { seq, id, ev, pool });
+                    seq += 1;
+                    batch_len += 1;
+                }
+                None => {
+                    // Same-minute global: the barrier at the top of the
+                    // loop only fires on minute changes, so locals popped
+                    // earlier this minute must settle before the global
+                    // executes inline.
+                    flush!();
+                    events += 1;
+                    end_time = time;
+                    let control = Handler::handle(
+                        &mut sim,
+                        time,
+                        ev,
+                        &mut Scheduler::for_queue(time, &mut queue),
+                    );
+                    debug_assert_eq!(control, Control::Continue);
+                }
+            }
+        }
+        debug_assert_eq!(batch_len, 0, "drain barrier flushed the last batch");
+        drop(work_txs);
+        sim.finish_run(end_time, events)
+    })
+}
+
+/// Classifies one popped event under the fast class: `Some(pool)` when its
+/// entire effect is confined to that pool, `None` for inline execution.
+fn classify(sim: &mut Simulator, ev: Ev, candidates: &mut Vec<PoolId>) -> Option<PoolId> {
+    match ev {
+        Ev::Submit(job) => {
+            let spec = sim.jobs[job.as_usize()].spec();
+            candidates.clear();
+            spec.affinity.candidates_into(sim.pool_count, candidates);
+            if candidates.is_empty() {
+                // order_into returns early without advancing the cursor,
+                // so inline give-up keeps exact cursor parity.
+                return None;
+            }
+            let resources = spec.resources;
+            let rr = sim
+                .initial
+                .as_round_robin_mut()
+                .expect("fast class implies round-robin");
+            let start = rr.peek_start(candidates.len());
+            for i in 0..candidates.len() {
+                let pool = candidates[(start + i) % candidates.len()];
+                if sim.pools[pool.as_usize()].is_eligible(resources) {
+                    // Serial try_pool stops at the first eligible pool in
+                    // rotation order; commit the single cursor step it
+                    // would have taken.
+                    rr.advance();
+                    return Some(pool);
+                }
+            }
+            // No pool can ever run the job: inline, where order_into
+            // advances the cursor once and the give-up path runs.
+            None
+        }
+        Ev::Complete(job) => match sim.jobs[job.as_usize()].phase() {
+            // A delivered completion's job is always Running here: if the
+            // cancelling suspension was flushed, the queue entry was
+            // cancelled before this pop; if it is still in the pending
+            // batch, the record has not been suspended yet. The stale
+            // same-batch case is resolved worker-side by id validation.
+            JobPhase::Running { pool, .. } => Some(pool),
+            phase => unreachable!("completion delivered for non-running job {job}: {phase:?}"),
+        },
+        // Sampling, faults, wait checks, migrations and retries read or
+        // mutate cross-pool state; they run inline after a flush.
+        Ev::WaitCheck(_)
+        | Ev::Sample
+        | Ev::MachineDown(..)
+        | Ev::MachineUp(..)
+        | Ev::MigrateArrive(..)
+        | Ev::RetryDispatch(_) => None,
+    }
+}
+
+/// Executes one barrier: fan batches out to the workers, collect their
+/// buffered progress, and replay it serially in global sequence order.
+#[allow(clippy::too_many_arguments)]
+fn flush_batches(
+    sim: &mut Simulator,
+    queue: &mut EventQueue<Ev>,
+    work_txs: &[mpsc::Sender<FlushMsg>],
+    result_rx: &mpsc::Receiver<WorkerResult>,
+    pending: &mut [Vec<BatchItem>],
+    time: SimTime,
+    collect: bool,
+    events: &mut u64,
+    end_time: &mut SimTime,
+) {
+    let arena = Arena::of(sim);
+    let mut in_flight = 0usize;
+    for (shard, batch) in pending.iter_mut().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        let items = std::mem::take(batch);
+        work_txs[shard]
+            .send(FlushMsg {
+                time,
+                items,
+                arena,
+                collect,
+            })
+            .expect("worker alive while coordinator runs");
+        in_flight += 1;
+    }
+
+    let mut effect_runs: Vec<Vec<(u32, Effect)>> = Vec::with_capacity(in_flight);
+    let mut emission_runs: Vec<Vec<(u32, ObsEvent)>> = Vec::with_capacity(in_flight);
+    let mut executed = 0u64;
+    for _ in 0..in_flight {
+        // A worker panic drops its result sender and surfaces here as a
+        // RecvError; propagating the panic through the scope join gives
+        // the original backtrace.
+        let result = result_rx.recv().expect("worker panicked during flush");
+        pending[result.shard] = result.items;
+        sim.counters.completed += result.completed;
+        sim.counters.suspensions += result.suspensions;
+        executed += result.executed;
+        effect_runs.push(result.effects);
+        emission_runs.push(result.emissions);
+    }
+    // SAFETY of the barrier: all workers have replied, so no references
+    // derived from the arena are live anywhere.
+
+    *events += executed;
+    if executed > 0 {
+        // Every item in a batch shares one minute, so the serial clock
+        // after processing the batch's surviving events is the batch
+        // time. A batch of only stale (skipped) completions advances
+        // nothing — serial never delivered those events.
+        *end_time = time;
+    }
+
+    // Lane runs are sorted by construction (workers execute in ascending
+    // seq order); the k-way merge restores the global pop order, which is
+    // the order the serial backend issued these same calls in.
+    let effects = netbatch_sim_engine::epoch::merge_sorted_runs(effect_runs, |e| e.0);
+    for (_, effect) in effects {
+        match effect {
+            Effect::ScheduleCompletion { job, at } => {
+                let id = queue.schedule(at, Ev::Complete(job));
+                sim.jobs[job.as_usize()].completion_event = Some(id);
+            }
+            Effect::CancelById(id) => {
+                // Usually still pending; returns false only for the
+                // same-batch stale case, where the entry was already
+                // popped into this very batch and skipped by the worker.
+                queue.cancel(id);
+            }
+            Effect::CancelPending(job) => {
+                let id = sim.jobs[job.as_usize()]
+                    .completion_event
+                    .take()
+                    .expect("ScheduleCompletion applied earlier in sequence order");
+                let live = queue.cancel(id);
+                assert!(live, "a completion booked this batch lies strictly ahead");
+            }
+        }
+    }
+
+    if collect {
+        let emissions = netbatch_sim_engine::epoch::merge_sorted_runs(emission_runs, |e| e.0);
+        let ctx = ObsCtx {
+            pools: &sim.pools,
+            jobs: &sim.jobs,
+            shadows: &sim.shadows,
+        };
+        for obs in &mut sim.observers {
+            for (_, event) in &emissions {
+                obs.on_replayed_event(time, event, &ctx);
+            }
+            obs.on_settle(time, &ctx);
+        }
+    }
+}
+
+/// Per-thread shard executor: mirrors the serial backend's fast-class
+/// code paths exactly — same record transitions, same pool calls, same
+/// emission order — deferring queue effects to the barrier.
+struct ShardWorker {
+    shard: usize,
+    actions: Vec<PoolAction>,
+    /// Jobs whose completion was booked (as a deferred effect) earlier in
+    /// the current batch — the completions that cannot yet be cancelled
+    /// by id because no id exists until the barrier.
+    local_completions: HashSet<JobId>,
+    effects: Vec<(u32, Effect)>,
+    emissions: Vec<(u32, ObsEvent)>,
+    completed: u64,
+    suspensions: u64,
+    executed: u64,
+    collect: bool,
+    seq: u32,
+}
+
+impl ShardWorker {
+    fn new(shard: usize) -> Self {
+        ShardWorker {
+            shard,
+            actions: Vec::new(),
+            local_completions: HashSet::new(),
+            effects: Vec::new(),
+            emissions: Vec::new(),
+            completed: 0,
+            suspensions: 0,
+            executed: 0,
+            collect: false,
+            seq: 0,
+        }
+    }
+
+    fn emit(&mut self, event: ObsEvent) {
+        if self.collect {
+            self.emissions.push((self.seq, event));
+        }
+    }
+
+    fn run_flush(&mut self, msg: FlushMsg) -> WorkerResult {
+        self.local_completions.clear();
+        self.completed = 0;
+        self.suspensions = 0;
+        self.executed = 0;
+        self.collect = msg.collect;
+        let FlushMsg {
+            time,
+            mut items,
+            arena,
+            ..
+        } = msg;
+        for item in &items {
+            self.seq = item.seq;
+            match item.ev {
+                Ev::Submit(job) => self.run_submit(job, item.pool, time, &arena),
+                Ev::Complete(job) => self.run_complete(job, item.id, time, &arena),
+                other => unreachable!("non-local event in shard batch: {other:?}"),
+            }
+        }
+        items.clear();
+        WorkerResult {
+            shard: self.shard,
+            effects: std::mem::take(&mut self.effects),
+            emissions: std::mem::take(&mut self.emissions),
+            completed: self.completed,
+            suspensions: self.suspensions,
+            executed: self.executed,
+            items,
+        }
+    }
+
+    /// Mirror of the serial `Ev::Submit` arm specialized to the fast
+    /// class: the target pool is precomputed, topology and wait timers do
+    /// not exist, and the rotation the serial scheduler would try beyond
+    /// the first eligible pool is irrelevant (it stops there).
+    fn run_submit(&mut self, job: JobId, pool: PoolId, now: SimTime, arena: &Arena) {
+        self.executed += 1;
+        self.emit(ObsEvent::Kernel { kind: "submit" });
+        // SAFETY: `job` is this item's subject and `pool` is owned by
+        // this shard (Arena contract).
+        let rec = unsafe { arena.job(job) };
+        rec.submit(now).expect("submit events fire once per job");
+        self.emit(ObsEvent::Submit { job });
+        let outcome = {
+            let pool_ref = unsafe { arena.pool(pool) };
+            pool_ref.submit_into(now, rec.spec(), &mut self.actions)
+        };
+        match outcome {
+            SubmitKind::Dispatched => {
+                self.emit(ObsEvent::PoolChosen { job, pool });
+                self.apply_batch(pool, now, arena);
+            }
+            SubmitKind::Queued => {
+                self.emit(ObsEvent::PoolChosen { job, pool });
+                unsafe { arena.job(job) }
+                    .enqueue(now, pool)
+                    .expect("job routed while at VPM");
+                self.emit(ObsEvent::Enqueue { job, pool });
+                // arm_wait_timer: NoRes has no wait threshold — no-op.
+            }
+            SubmitKind::Ineligible => {
+                unreachable!("classification targets only eligible pools")
+            }
+        }
+        self.actions.clear();
+    }
+
+    /// Mirror of the serial `Ev::Complete` arm under the fast class. A
+    /// stale delivery — the completion was superseded by a suspension
+    /// earlier in this same batch — is skipped without a trace, exactly
+    /// as the serial backend's in-queue cancellation never delivers it.
+    fn run_complete(&mut self, job: JobId, delivered: EventId, now: SimTime, arena: &Arena) {
+        // SAFETY: `job` runs in a pool this shard owns (classified by its
+        // running pool); no other item in this batch subjects it.
+        let rec = unsafe { arena.job(job) };
+        if rec.completion_event != Some(delivered) {
+            return;
+        }
+        self.executed += 1;
+        self.emit(ObsEvent::Kernel { kind: "complete" });
+        let JobPhase::Running { pool, machine } = rec.phase() else {
+            unreachable!("live completion for non-running job");
+        };
+        rec.completion_event = None;
+        rec.complete(now).expect("phase checked running");
+        // Shadow copies require the Duplicate decision, which the fast
+        // class (NoRes) never produces.
+        self.completed += 1;
+        self.emit(ObsEvent::Complete { job, pool, machine });
+        let was_running = {
+            let pool_ref = unsafe { arena.pool(pool) };
+            pool_ref.release_into(now, job, &mut self.actions)
+        };
+        assert!(was_running, "running job releases");
+        self.apply_batch(pool, now, arena);
+        self.actions.clear();
+        // resolve_duplicate_race: no duplicate pairs exist under NoRes.
+    }
+
+    /// Mirror of the serial `apply_batch` + `decide_suspended` drain. The
+    /// policy consultation vanishes: NoRes always answers `Stay`, reads
+    /// no randomness and leaves no side effect, so suspended jobs simply
+    /// stay put.
+    fn apply_batch(&mut self, pool: PoolId, now: SimTime, arena: &Arena) {
+        if !self.actions.is_empty() {
+            self.emit(ObsEvent::BatchStart { pool });
+        }
+        let actions = std::mem::take(&mut self.actions);
+        for &action in &actions {
+            match action {
+                PoolAction::Started { job, machine, wall } => {
+                    // wait_checks stays 0 for the whole run under NoRes
+                    // (never incremented), so the serial reset is a no-op.
+                    // SAFETY: side-effect jobs are residents of `pool`,
+                    // owned by this shard.
+                    let rec = unsafe { arena.job(job) };
+                    let from_queue = matches!(rec.phase(), JobPhase::Waiting { .. });
+                    debug_assert!(
+                        rec.wait_timer_event.is_none(),
+                        "NoRes never arms wait timers"
+                    );
+                    rec.start(now, pool, machine, wall)
+                        .expect("pool starts only routed jobs");
+                    self.effects.push((
+                        self.seq,
+                        Effect::ScheduleCompletion {
+                            job,
+                            at: now + wall,
+                        },
+                    ));
+                    self.local_completions.insert(job);
+                    self.emit(ObsEvent::Dispatch {
+                        job,
+                        pool,
+                        machine,
+                        wall,
+                        from_queue,
+                    });
+                }
+                PoolAction::Suspended { job, machine } => {
+                    let rec = unsafe { arena.job(job) };
+                    match rec.completion_event.take() {
+                        Some(ev) => self.effects.push((self.seq, Effect::CancelById(ev))),
+                        None => {
+                            // The completion was booked earlier in this
+                            // batch; cancel it by job at the barrier.
+                            assert!(
+                                self.local_completions.remove(&job),
+                                "suspended job has a live completion booking"
+                            );
+                            self.effects.push((self.seq, Effect::CancelPending(job)));
+                        }
+                    }
+                    rec.suspend(now).expect("pool suspends only running jobs");
+                    self.suspensions += 1;
+                    self.emit(ObsEvent::Suspend { job, pool, machine });
+                }
+                PoolAction::Resumed { job, machine } => {
+                    let rec = unsafe { arena.job(job) };
+                    rec.resume(now).expect("pool resumes only suspended jobs");
+                    let wall = rec.remaining_wall();
+                    self.effects.push((
+                        self.seq,
+                        Effect::ScheduleCompletion {
+                            job,
+                            at: now + wall,
+                        },
+                    ));
+                    self.local_completions.insert(job);
+                    self.emit(ObsEvent::Resume { job, pool, machine });
+                }
+            }
+        }
+        self.actions = actions;
+        self.actions.clear();
+    }
+}

@@ -95,6 +95,32 @@ pub struct SimConfig {
     /// tests can assert golden traces are byte-identical on both.
     #[doc(hidden)]
     pub use_reference_queue: bool,
+    /// Which simulation kernel drives the run. [`Backend::Serial`] (the
+    /// default) is the reference single-threaded executor;
+    /// [`Backend::Sharded`] partitions pools across worker threads and
+    /// synchronizes at minute-epoch barriers, producing byte-identical
+    /// traces (conformance-tested against serial at every shard count).
+    pub backend: Backend,
+}
+
+/// Which simulation kernel [`Simulator::run_to_completion`] uses.
+///
+/// Mirrors the `use_reference_queue` switch pattern one level up: the
+/// serial executor stays as the reference implementation, and the sharded
+/// kernel is differentially tested against it (golden matrix + property
+/// conformance suite) rather than trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The single-threaded reference executor.
+    #[default]
+    Serial,
+    /// Pool-sharded workers under `std::thread::scope`, synchronized at
+    /// minute-epoch barriers with a canonical (epoch, pool, seq) merge.
+    Sharded {
+        /// Number of worker threads (pools are assigned round-robin by
+        /// pool id). Clamped to at least 1.
+        shards: usize,
+    },
 }
 
 /// A multi-VPM deployment: which pools each virtual pool manager serves
@@ -216,6 +242,7 @@ impl Default for SimConfig {
             check_invariants: false,
             telemetry: false,
             use_reference_queue: false,
+            backend: Backend::Serial,
         }
     }
 }
@@ -405,13 +432,13 @@ impl Scratch {
 /// [`Simulator::run_to_completion`], then read results through
 /// [`Simulator::jobs`], [`Simulator::counters`] and the sampled series.
 pub struct Simulator {
-    pools: Vec<PhysicalPool>,
-    jobs: Vec<JobRecord>,
-    initial: Box<dyn InitialScheduler>,
-    policy: Box<dyn ReschedPolicy>,
+    pub(crate) pools: Vec<PhysicalPool>,
+    pub(crate) jobs: Vec<JobRecord>,
+    pub(crate) initial: Box<dyn InitialScheduler>,
+    pub(crate) policy: Box<dyn ReschedPolicy>,
     policy_rng: DetRng,
-    config: SimConfig,
-    pool_count: u16,
+    pub(crate) config: SimConfig,
+    pub(crate) pool_count: u16,
     // Cached cluster view for policies (refreshed in place per
     // view_staleness; `view_at == None` means the snapshot is stale).
     view_snap: ClusterSnapshot,
@@ -419,8 +446,8 @@ pub struct Simulator {
     // Reusable hot-path buffers (see `Scratch`).
     scratch: Scratch,
     // Progress.
-    total_jobs: u64,
-    counters: RunCounters,
+    pub(crate) total_jobs: u64,
+    pub(crate) counters: RunCounters,
     // Wait-check re-arms per waiting stint (livelock guard; reset on start).
     wait_checks: Vec<u32>,
     // Failure-driven retry attempts per job (hardened runs only).
@@ -438,13 +465,13 @@ pub struct Simulator {
     // original -> duplicate and duplicate -> original links.
     dup_of: std::collections::HashMap<JobId, JobId>,
     // Job ids that are duplicate (shadow) copies, excluded from metrics.
-    shadows: std::collections::HashSet<JobId>,
+    pub(crate) shadows: std::collections::HashSet<JobId>,
     // Figure-4 series (populated when sampling is enabled).
     suspended_series: TimeSeries,
     utilization_series: TimeSeries,
     waiting_series: TimeSeries,
     // Attached observers; the emit path is a no-op while this is empty.
-    observers: Vec<Box<dyn SimObserver>>,
+    pub(crate) observers: Vec<Box<dyn SimObserver>>,
     // Sampling cadence (mirrors `config.sample_interval`).
     sampler: Option<PeriodicSampler>,
 }
@@ -573,7 +600,14 @@ impl Simulator {
 
     /// Runs the whole trace until every job completes (the paper's run
     /// discipline). Returns the run counters.
-    pub fn run_to_completion(mut self) -> SimOutput {
+    pub fn run_to_completion(self) -> SimOutput {
+        match self.config.backend {
+            Backend::Serial => self.run_serial(),
+            Backend::Sharded { shards } => crate::sharded::run_sharded(self, shards.max(1)),
+        }
+    }
+
+    fn run_serial(mut self) -> SimOutput {
         // Pre-size the queue for the submit wave; the reference-heap
         // backend exists for end-to-end differential tests only.
         let mut executor = if self.config.use_reference_queue {
@@ -581,11 +615,28 @@ impl Simulator {
         } else {
             Executor::with_capacity(self.jobs.len() * 2 + 64)
         };
+        self.seed_initial_events(|at, ev| {
+            executor.seed_event(at, ev);
+        });
+        let stats = executor.run(&mut self);
+        assert_eq!(
+            stats.outcome,
+            RunOutcome::Drained,
+            "simulation should drain, not stop early"
+        );
+        self.finish_run(stats.end_time, stats.events_processed)
+    }
+
+    /// Seeds the run's initial events — job submissions, the first sample
+    /// tick, the fault schedule — through `seed`, in the canonical order
+    /// both backends must share (event ids are assigned sequentially, so
+    /// seeding order is part of the determinism contract).
+    pub(crate) fn seed_initial_events(&mut self, mut seed: impl FnMut(SimTime, Ev)) {
         for job in &self.jobs {
-            executor.seed_event(job.spec().submit_time, Ev::Submit(job.id()));
+            seed(job.spec().submit_time, Ev::Submit(job.id()));
         }
         if let Some(sampler) = self.sampler.as_mut() {
-            executor.seed_event(sampler.next_tick(), Ev::Sample);
+            seed(sampler.next_tick(), Ev::Sample);
         }
         // Validate the ad-hoc failure list and merge it with the generated
         // schedule: per-machine intervals are non-overlapping afterwards,
@@ -600,18 +651,18 @@ impl Simulator {
             plan = plan.merge(model.generate(&shape, self.config.seed));
         }
         for o in plan.outages() {
-            executor.seed_event(o.from, Ev::MachineDown(o.pool, o.machine));
+            seed(o.from, Ev::MachineDown(o.pool, o.machine));
             if let Some(until) = o.until {
-                executor.seed_event(until, Ev::MachineUp(o.pool, o.machine));
+                seed(until, Ev::MachineUp(o.pool, o.machine));
             }
         }
-        let stats = executor.run(&mut self);
-        assert_eq!(
-            stats.outcome,
-            RunOutcome::Drained,
-            "simulation should drain, not stop early"
-        );
-        self.counters.events = stats.events_processed;
+    }
+
+    /// Final bookkeeping shared by both backends: records the event count,
+    /// runs `on_run_end`, filters shadow copies out of the reported
+    /// population and assembles the [`SimOutput`].
+    pub(crate) fn finish_run(mut self, end_time: SimTime, events_processed: u64) -> SimOutput {
+        self.counters.events = events_processed;
         debug_assert!(self.pools.iter().all(PhysicalPool::check_invariants));
         if !self.observers.is_empty() {
             let ctx = ObsCtx {
@@ -620,7 +671,7 @@ impl Simulator {
                 shadows: &self.shadows,
             };
             for obs in &mut self.observers {
-                obs.on_run_end(stats.end_time, &ctx);
+                obs.on_run_end(end_time, &ctx);
             }
         }
         // Duplicate (shadow) copies are bookkeeping, not submitted jobs:
@@ -636,7 +687,7 @@ impl Simulator {
             jobs,
             counters: self.counters,
             pool_stats,
-            end_time: stats.end_time,
+            end_time,
             suspended_series: self.suspended_series,
             utilization_series: self.utilization_series,
             waiting_series: self.waiting_series,

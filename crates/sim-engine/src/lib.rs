@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod epoch;
 pub mod executor;
 pub mod observe;
 pub mod queue;

@@ -270,9 +270,37 @@ impl<E> Wheel<E> {
         Some(entry)
     }
 
-    fn peek_front(&mut self) -> Option<(SimTime, EventId)> {
-        let s = self.find_front()?;
-        let entry = self.l0[s].front().expect("occupied slot has an entry");
+    /// Returns the `(time, id)` that `pop_front` would deliver next,
+    /// **without** advancing the cursor or cascading levels. Keeping the
+    /// cursor put matters to callers that schedule between a peek and the
+    /// next pop (the sharded coordinator's epoch barrier does): an
+    /// advanced cursor would clamp such schedules up to the peeked minute
+    /// and deliver them out of order.
+    fn peek_front(&self) -> Option<(SimTime, EventId)> {
+        if self.stored == 0 {
+            return None;
+        }
+        // Level 0: the earliest occupied slot of the cursor's block is
+        // earlier than anything still parked in level 1 or overflow.
+        let block_base = self.cursor & !(SPAN_L0 - 1);
+        if let Some(s) = bits_next(&self.l0_occ, (self.cursor - block_base) as usize) {
+            let entry = self.l0[s].front().expect("occupied slot has an entry");
+            return Some((entry.time, entry.id));
+        }
+        // Level 1: the lowest occupied block holds the earliest minutes,
+        // but entries within a block are unsorted — take the (time, id)
+        // minimum (ids are schedule-ordered, so this preserves the
+        // same-minute FIFO contract).
+        if let Some(b) = bits_next(&self.l1_occ, 0) {
+            let entry = self.l1[b]
+                .iter()
+                .min_by_key(|e| (e.time, e.id))
+                .expect("occupied block has an entry");
+            return Some((entry.time, entry.id));
+        }
+        // Overflow: the earliest far minute, FIFO within it.
+        let (_, entries) = self.overflow.iter().next()?;
+        let entry = entries.first().expect("overflow minutes are non-empty");
         Some((entry.time, entry.id))
     }
 
@@ -471,6 +499,28 @@ impl<E> EventQueue<E> {
             }
             self.pending.remove(&entry.id);
             return Some((entry.time, entry.event));
+        }
+    }
+
+    /// Like [`EventQueue::pop`] but also returns the delivered entry's
+    /// [`EventId`] — the handle [`EventQueue::schedule`] returned for it.
+    ///
+    /// External drivers (the sharded simulation coordinator) use the id to
+    /// validate that a popped event is still the one a consumer expects:
+    /// with deferred cancellation, an event can be popped before the cancel
+    /// that would have removed it is applied, and the id is the only way to
+    /// tell a live completion from a superseded one.
+    pub fn pop_with_id(&mut self) -> Option<(SimTime, EventId, E)> {
+        loop {
+            let entry = match &mut self.backend {
+                Backend::Wheel(w) => w.pop_front(),
+                Backend::Heap(h) => h.pop(),
+            }?;
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.pending.remove(&entry.id);
+            return Some((entry.time, entry.id, entry.event));
         }
     }
 

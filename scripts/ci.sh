@@ -19,6 +19,22 @@ cargo build --release --workspace --examples
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+# Proptest persistence discipline: a shrunk failure worth keeping gets
+# promoted to an explicit named regression test (see
+# regression_single_machine_filling_job_completes), never committed as
+# generator state. If the test run above left a *.proptest-regressions
+# file behind — or modified one — that is unpinned drift; fail loudly.
+echo "==> proptest regression files did not drift"
+# Deletions are exempt: removing a regressions file is the remedy, not
+# the drift (the guard would otherwise fail the very commit that fixes
+# it). Anything untracked, modified, or newly added fails.
+drift="$(git status --porcelain -- '*.proptest-regressions' | grep -v '^D' || true)"
+if [ -n "$drift" ]; then
+  printf '%s\n' "$drift" >&2
+  echo "error: proptest regression file drift — promote the shrunk case to a named test and remove the file" >&2
+  exit 1
+fi
+
 # Quick invariant-checked reproduction: every cell of every table runs
 # under the online conservation/lifecycle checker, which panics (failing
 # this step) on the first violation. Shape checks are informational at
@@ -60,6 +76,16 @@ grep -q '^## Site timeline (Figure 4, 100-minute buckets)$' "$tmpdir/report.md"
 test -s "$tmpdir/fig_cdf.csv" && test -s "$tmpdir/fig_timeline.csv" \
   && test -s "$tmpdir/fig_pools.csv"
 
+# Sharded-kernel smoke: the same invariant-checked run on the sharded
+# backend (4 worker shards), plus the cross-backend golden matrix, which
+# replays every committed fixture on serial and sharded at shard counts
+# {1, 2, 4, 20} and fails on the first non-identical byte.
+echo "==> invariant-checked sharded smoke (4 shards)"
+cargo run --release --bin netbatch -- simulate \
+  --backend sharded --shards 4 --scale 0.02 --check-invariants
+echo "==> cross-backend golden matrix"
+cargo test --release -q --test golden_matrix
+
 # Perf smoke: one small hot-path cell (events/sec + allocs/event) checked
 # against the committed BENCH_hotpath.json. Fails on a >30% events/sec
 # regression or an allocs/event ceiling breach; never rewrites the
@@ -69,5 +95,13 @@ test -s "$tmpdir/fig_cdf.csv" && test -s "$tmpdir/fig_timeline.csv" \
 echo "==> perf smoke (hot path, scale 0.02)"
 cargo run --release -p netbatch-bench --bin perf_hotpath -- \
   --check --scale 0.02
+
+# Sharded perf gate: the committed BENCH_sharded.json headline (200-pool
+# cell) must project >= 1.5x at 4 shards from the measured work split,
+# and a re-measured smoke cell must show neither coordination-overhead
+# nor parallel-work-fraction regressions (both checks are meaningful on
+# single-core CI hosts, where threads cannot show wall-clock speedups).
+echo "==> perf smoke (sharded kernel)"
+cargo run --release -p netbatch-bench --bin perf_sharded -- --check
 
 echo "ci: all green"

@@ -17,7 +17,7 @@ use netbatch::core::experiment::{Experiment, ExperimentResult};
 use netbatch::core::faults::{FaultModel, ResiliencePolicy};
 use netbatch::core::observer::{StatsProbe, TraceRecorder};
 use netbatch::core::policy::{InitialKind, StrategyKind};
-use netbatch::core::simulator::{SimConfig, Simulator};
+use netbatch::core::simulator::{Backend, SimConfig, Simulator};
 use netbatch::core::telemetry::Telemetry;
 use netbatch::metrics::export::validate_exposition;
 use netbatch::sim_engine::time::SimDuration;
@@ -39,6 +39,7 @@ USAGE:
                     [--metrics-out FILE] [--check-invariants] [--stats]
                     [--fault-mtbf HOURS] [--fault-mttr HOURS]
                     [--fault-pool-outages N] [--fault-flaky FRAC] [--hardened]
+                    [--backend serial|sharded] [--shards N]
   netbatch report   [--trace FILE | --scenario NAME] [--scale S] [--seed N]
                     [--strategy NAME] [--initial rr|util] [--high-load]
                     [--out FILE] [--csv-prefix PREFIX] [--metrics-out FILE]
@@ -58,6 +59,9 @@ also writes P_cdf.csv, P_timeline.csv and P_pools.csv.
 between failures, in hours); `--fault-mttr` sets mean repair time (default
 12h). `--hardened` enables the resilient rescheduling policy (retry
 budgets, exponential backoff, pool blacklisting).
+`--backend sharded` runs the simulation on the sharded kernel (pools
+partitioned across `--shards N` worker threads, default 4); output is
+byte-identical to the serial backend at any shard count.
 The paper's full tables live in the bench harness:
   cargo run --release -p netbatch-bench --bin repro_all
 ";
@@ -97,6 +101,7 @@ enum Command {
         fault_pool_outages: u32,
         fault_flaky: f64,
         hardened: bool,
+        backend: Backend,
     },
     Report {
         trace: Option<String>,
@@ -129,6 +134,25 @@ fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
     all.into_iter()
         .find(|s| s.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| format!("unknown strategy `{name}` (try `netbatch strategies`)"))
+}
+
+fn parse_backend(name: Option<String>, shards: Option<u64>) -> Result<Backend, String> {
+    match name.as_deref().unwrap_or("serial") {
+        "serial" => match shards {
+            None => Ok(Backend::Serial),
+            Some(_) => Err("--shards only applies to --backend sharded".into()),
+        },
+        "sharded" => {
+            let shards = shards.unwrap_or(4);
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            Ok(Backend::Sharded {
+                shards: shards as usize,
+            })
+        }
+        other => Err(format!("unknown backend `{other}` (serial|sharded)")),
+    }
 }
 
 fn parse_initial(name: &str) -> Result<InitialKind, String> {
@@ -239,6 +263,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             fault_pool_outages: int("fault-pool-outages")?.unwrap_or(0) as u32,
             fault_flaky: fnum("fault-flaky")?.unwrap_or(0.0),
             hardened: has("hardened"),
+            backend: parse_backend(get("backend"), int("shards")?)?,
         }),
         "report" => Ok(Command::Report {
             trace: get("trace"),
@@ -356,6 +381,7 @@ fn run(cmd: Command) -> Result<(), String> {
             fault_pool_outages,
             fault_flaky,
             hardened,
+            backend,
         } => {
             let params = scenario_params(&scenario, scale, seed)?;
             let trace = match trace {
@@ -400,6 +426,7 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             config.check_invariants = check_invariants;
             config.telemetry = metrics_out.is_some();
+            config.backend = backend;
             let t0 = std::time::Instant::now();
             // Observer-carrying runs drive the simulator directly; the
             // plain path stays on the Experiment front door.
@@ -801,6 +828,33 @@ mod tests {
         assert_eq!(out, "report.md");
         assert_eq!(csv_prefix, None);
         assert_eq!(metrics_out, None);
+    }
+
+    #[test]
+    fn parses_backend_flags() {
+        let backend_of = |s: &str| match parse_args(&args(s)).unwrap() {
+            Command::Simulate { backend, .. } => backend,
+            other => panic!("expected simulate, got {other:?}"),
+        };
+        assert_eq!(backend_of("simulate"), Backend::Serial);
+        assert_eq!(backend_of("simulate --backend serial"), Backend::Serial);
+        assert_eq!(
+            backend_of("simulate --backend sharded"),
+            Backend::Sharded { shards: 4 }
+        );
+        assert_eq!(
+            backend_of("simulate --backend sharded --shards 8"),
+            Backend::Sharded { shards: 8 }
+        );
+        assert!(parse_args(&args("simulate --backend warp"))
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(parse_args(&args("simulate --shards 2"))
+            .unwrap_err()
+            .contains("--backend sharded"));
+        assert!(parse_args(&args("simulate --backend sharded --shards 0"))
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

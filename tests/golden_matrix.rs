@@ -1,0 +1,135 @@
+//! Cross-backend golden matrix: every committed golden fixture must
+//! replay **byte-identically** on the serial reference backend and on the
+//! sharded backend at shards ∈ {1, 2, 4, NUM_POOLS}.
+//!
+//! This is the conformance contract of the sharded kernel: shard count is
+//! an execution detail, never an observable. The matrix covers the
+//! fault-free fast-class cell (where sharding actually fans submissions
+//! and completions out to workers), the hardened chaos cell (which falls
+//! back to inline execution per event and must *still* be identical
+//! through the same coordinator), and the telemetry-attached variant
+//! (exercising the replay/settle observer seam end to end).
+
+use netbatch::core::faults::{FaultModel, ResiliencePolicy};
+use netbatch::core::observer::TraceRecorder;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::{Backend, SimConfig, Simulator};
+use netbatch::sim_engine::time::SimDuration;
+use netbatch::workload::scenarios::{ScenarioParams, POOL_COUNT};
+use std::fs;
+
+/// Same scale as the fixtures were recorded at.
+const GOLDEN_SCALE: f64 = 0.002;
+
+/// The shard counts every fixture must replay identically under.
+fn shard_matrix() -> [usize; 4] {
+    [1, 2, 4, POOL_COUNT as usize]
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Runs one configured cell with a trace recorder attached and returns
+/// the JSONL stream.
+fn record(mut config: SimConfig) -> String {
+    let params = ScenarioParams::normal_week(GOLDEN_SCALE);
+    let site = params.build_site();
+    let trace = params.generate_trace();
+    config.check_invariants = true;
+    let mut sim = Simulator::new(&site, trace.to_specs(), config);
+    sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    let out = sim.run_to_completion();
+    out.observer::<TraceRecorder>()
+        .expect("recorder attached")
+        .lines()
+        .to_string()
+}
+
+fn table1_config(backend: Backend) -> SimConfig {
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.backend = backend;
+    config
+}
+
+fn chaos_config(backend: Backend) -> SimConfig {
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
+    config.fault_model = Some(
+        FaultModel::new(
+            SimDuration::from_hours(24),
+            SimDuration::from_hours(4),
+            SimDuration::from_days(7),
+        )
+        .with_pool_outages(1, SimDuration::from_hours(4))
+        .with_flaky(0.05, 16),
+    );
+    config.resilience = ResiliencePolicy::hardened();
+    config.backend = backend;
+    config
+}
+
+/// Asserts `got` equals the fixture, reporting the first diverging line
+/// rather than dumping two multi-thousand-line streams.
+fn assert_matches(golden: &str, got: &str, label: &str) {
+    if got == golden {
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "[{label}] trace diverges from fixture at line {}",
+            i + 1
+        );
+    }
+    panic!(
+        "[{label}] trace length diverges: {} vs {} fixture lines",
+        got.lines().count(),
+        golden.lines().count()
+    );
+}
+
+#[test]
+fn table1_fixture_is_shard_count_invariant() {
+    let golden = read_fixture("table1_nores_rr.jsonl");
+    assert_matches(&golden, &record(table1_config(Backend::Serial)), "serial");
+    for shards in shard_matrix() {
+        let got = record(table1_config(Backend::Sharded { shards }));
+        assert_matches(&golden, &got, &format!("sharded x{shards}"));
+    }
+}
+
+#[test]
+fn chaos_fixture_is_shard_count_invariant() {
+    let golden = read_fixture("chaos_hardened_rswu.jsonl");
+    assert_matches(&golden, &record(chaos_config(Backend::Serial)), "serial");
+    for shards in shard_matrix() {
+        let got = record(chaos_config(Backend::Sharded { shards }));
+        assert_matches(&golden, &got, &format!("sharded x{shards}"));
+    }
+}
+
+#[test]
+fn telemetry_attached_trace_is_shard_count_invariant() {
+    // Telemetry riding along must not perturb the recorded stream on any
+    // backend (observer independence), and the telemetry observer itself
+    // must survive the replay/settle delivery path.
+    let golden = read_fixture("table1_nores_rr.jsonl");
+    for shards in shard_matrix() {
+        let mut config = table1_config(Backend::Sharded { shards });
+        config.telemetry = true;
+        assert_matches(&golden, &record(config), &format!("telemetry x{shards}"));
+    }
+}
+
+#[test]
+fn sharded_backend_on_reference_heap_queue_matches_fixture() {
+    // Orthogonality: the backend switch composes with the event-queue
+    // switch. One cell is enough — both axes are exhaustively covered by
+    // their own suites.
+    let golden = read_fixture("table1_nores_rr.jsonl");
+    let mut config = table1_config(Backend::Sharded { shards: 4 });
+    config.use_reference_queue = true;
+    assert_matches(&golden, &record(config), "sharded x4 on reference heap");
+}

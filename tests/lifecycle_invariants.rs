@@ -125,9 +125,7 @@ proptest! {
         );
     }
 
-    /// Suspend-rate and metric sanity for arbitrary workloads (also run,
-    /// like every property here, for each state persisted in
-    /// `lifecycle_invariants.proptest-regressions` before novel cases).
+    /// Suspend-rate and metric sanity for arbitrary workloads.
     #[test]
     fn prop_metric_ranges(
         records in prop::collection::vec(arb_record(), 1..60),
@@ -148,10 +146,11 @@ proptest! {
     }
 }
 
-/// The shrunk case noted in `lifecycle_invariants.proptest-regressions`
-/// (one machine-filling 2-core job under NoRes), pinned explicitly in
-/// addition to the generator-state replay the `proptest!` macro performs:
-/// the note survives even if the regression file is ever regenerated.
+/// A historical shrunk failure (one machine-filling 2-core job under
+/// NoRes), pinned as an explicit test rather than as persisted generator
+/// state: `.proptest-regressions` files are not committed — a shrunk
+/// case worth keeping gets promoted to a named regression test like this
+/// one, and CI fails if a regressions file ever drifts into the tree.
 #[test]
 fn regression_single_machine_filling_job_completes() {
     let site = small_site(3, 2, 2);
