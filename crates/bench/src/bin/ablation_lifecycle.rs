@@ -1,0 +1,111 @@
+//! Lifecycle ablation (extension): health-aware scheduling vs a
+//! health-blind baseline under increasing lifecycle churn. Both runs in
+//! every tier see the *same* maintenance drains, rolling-update waves,
+//! health cordons and correlated stochastic faults; the only difference
+//! is whether the scheduler reads the health scores (health-weighted
+//! placement + proactive evacuation off draining machines) or ignores
+//! them (work rides draining machines until the kill evicts it). CI
+//! gates the heavy-tier delta via `tests/lifecycle.rs`; this sweep
+//! produces the EXPERIMENTS.md degradation table.
+
+use netbatch_bench::runner::{build_scenario, scale_from_env, Load};
+use netbatch_core::experiment::Experiment;
+use netbatch_core::faults::{FaultModel, LifecycleModel, ResiliencePolicy};
+use netbatch_core::policy::{InitialKind, StrategyKind};
+use netbatch_core::simulator::SimConfig;
+use netbatch_sim_engine::time::SimDuration;
+
+fn main() {
+    let scale = scale_from_env();
+    let (site, trace) = build_scenario(Load::Normal, scale);
+
+    // A week of simulated time plus one repair window of slack, same as
+    // the chaos ablation.
+    let horizon = SimDuration::from_days(7) + SimDuration::from_hours(12);
+    let mttr = SimDuration::from_hours(4);
+
+    // Each tier pairs a fault model with a lifecycle model sharing the
+    // same flaky fraction: the probes that depress a machine's health
+    // score are correlated with the failures that punish scheduling onto
+    // it, so health is a usable predictor, not decoration.
+    // Tiers scale the *flaky cohort* (fraction and failure acceleration)
+    // and the lifecycle churn, while the base fleet stays reliable: the
+    // degradation health-aware scheduling can dodge is the predictable
+    // kind — flappy machines and announced drains — not uniform chaos.
+    let tiers: [(&str, Option<(FaultModel, LifecycleModel)>); 4] = [
+        ("none", None),
+        (
+            "light",
+            Some((
+                FaultModel::new(SimDuration::from_hours(336), mttr, horizon).with_flaky(0.10, 16),
+                LifecycleModel::new(horizon)
+                    .with_maintenance(SimDuration::from_hours(72), SimDuration::from_hours(2))
+                    .with_flaky(0.10, 16),
+            )),
+        ),
+        (
+            "medium",
+            Some((
+                FaultModel::new(SimDuration::from_hours(168), mttr, horizon).with_flaky(0.10, 32),
+                LifecycleModel::standard(horizon).with_flaky(0.10, 32),
+            )),
+        ),
+        (
+            "heavy",
+            Some((
+                FaultModel::new(SimDuration::from_hours(96), mttr, horizon).with_flaky(0.15, 64),
+                LifecycleModel::new(horizon)
+                    .with_drain_lead(SimDuration::from_minutes(120))
+                    .with_maintenance(SimDuration::from_hours(24), SimDuration::from_hours(3))
+                    .with_rolling(2, 0.5, SimDuration::from_hours(2))
+                    .with_cordon(600, SimDuration::from_hours(13))
+                    .with_flaky(0.15, 64),
+            )),
+        ),
+    ];
+
+    println!("Lifecycle ablation: health-aware vs health-blind | normal load | scale {scale}");
+    println!(
+        "{:<8} {:>8} {:>12} {:>10} {:>8} {:>12} {:>9} {:>10}",
+        "tier",
+        "policy",
+        "evacuations",
+        "evictions",
+        "retries",
+        "AvgCT (all)",
+        "AvgWCT",
+        "unrunnable"
+    );
+    for (tier, models) in &tiers {
+        for aware in [false, true] {
+            let mut config =
+                SimConfig::new(InitialKind::UtilizationBased, StrategyKind::ResSusWaitUtil);
+            config.restart_overhead = SimDuration::from_minutes(10);
+            if let Some((faults, lifecycle)) = models {
+                config.fault_model = Some(faults.clone());
+                config.lifecycle = Some(lifecycle.clone());
+            }
+            config.health_aware = aware;
+            config.resilience = if aware {
+                ResiliencePolicy::hardened().with_evacuation()
+            } else {
+                ResiliencePolicy::hardened()
+            };
+            let r = Experiment::new(site.clone(), trace.clone(), config).run();
+            // The front-door accessor and the raw counter must agree —
+            // the same reconciliation the golden/chaos suites enforce.
+            assert_eq!(r.evacuations(), r.counters.evacuations);
+            println!(
+                "{:<8} {:>8} {:>12} {:>10} {:>8} {:>12.1} {:>9.1} {:>10}",
+                tier,
+                if aware { "aware" } else { "blind" },
+                r.counters.evacuations,
+                r.counters.failure_evictions,
+                r.counters.retries_scheduled,
+                r.avg_ct_all,
+                r.avg_wct(),
+                r.counters.unrunnable
+            );
+        }
+    }
+}

@@ -18,8 +18,8 @@
 //! restore); drained bucket vectors are recycled, so steady-state sync is
 //! allocation-free.
 //!
-//! **Behavior preservation:** a machine appears in a bucket iff it is up
-//! and the bucket key equals its exact free capacity, and bucket sets are
+//! **Behavior preservation:** a machine appears in a bucket iff it is up,
+//! not draining, and the bucket key equals its exact free capacity, and bucket sets are
 //! ordered by machine index, so [`AvailabilityIndex::first_fit`] returns
 //! precisely the machine the reference linear scan
 //! (`position(|m| m.can_ever_run(res) && m.can_run_now(res))`) would find.
@@ -148,7 +148,8 @@ impl CapacityClass {
 }
 
 /// The per-machine slot tracked by the index: which class the machine
-/// belongs to and which bucket it currently sits in (`None` while down).
+/// belongs to and which bucket it currently sits in (`None` while down
+/// or draining).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     class: usize,
@@ -187,7 +188,8 @@ impl AvailabilityIndex {
                     });
                     classes.len() - 1
                 });
-            let bucket = (!m.is_down()).then(|| (m.cores_free(), m.memory_free()));
+            let bucket =
+                (!m.is_down() && !m.is_draining()).then(|| (m.cores_free(), m.memory_free()));
             if let Some(key) = bucket {
                 classes[class].insert(key, idx);
             }
@@ -205,8 +207,8 @@ impl AvailabilityIndex {
     /// Re-syncs machine `idx` after any state change (start / suspend /
     /// resume / release / fail / restore). `O(log n)`.
     pub fn sync(&mut self, idx: usize, machine: &Machine) {
-        let new_bucket =
-            (!machine.is_down()).then(|| (machine.cores_free(), machine.memory_free()));
+        let new_bucket = (!machine.is_down() && !machine.is_draining())
+            .then(|| (machine.cores_free(), machine.memory_free()));
         let slot = self.slots[idx];
         if slot.bucket == new_bucket {
             return;

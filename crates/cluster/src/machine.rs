@@ -92,6 +92,14 @@ pub struct Machine {
     cores_used: u32,
     memory_used: u64,
     down: bool,
+    /// Draining (or cordoned): the machine accepts no new work, but
+    /// resident jobs keep running (and may resume) until they finish or
+    /// the drain deadline kills the host.
+    draining: bool,
+    /// Probe-derived health score in per-mille (1000 = perfectly healthy).
+    /// Static per run; only weights pool-level effective capacity, never
+    /// gates placement feasibility.
+    health_milli: u32,
     /// Cached minimum over `running[..].priority`, kept current on every
     /// start/suspend/release/resume/fail so the pool's preemption planner
     /// can skip machines (and whole pools) with nothing preemptible in
@@ -109,6 +117,8 @@ impl Machine {
             cores_used: 0,
             memory_used: 0,
             down: false,
+            draining: false,
+            health_milli: 1000,
             min_running_prio: None,
         }
     }
@@ -116,6 +126,34 @@ impl Machine {
     /// True if the machine is failed/offline.
     pub fn is_down(&self) -> bool {
         self.down
+    }
+
+    /// True if the machine is draining or cordoned (no new placements;
+    /// residents may keep running and resuming).
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Starts draining (or cordons) the machine: no new work lands here,
+    /// residents stay.
+    pub fn start_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Ends a drain/cordon without a restart (the machine never went
+    /// down); new work may land again.
+    pub fn end_drain(&mut self) {
+        self.draining = false;
+    }
+
+    /// Probe-derived health score in per-mille (1000 = healthy).
+    pub fn health_milli(&self) -> u32 {
+        self.health_milli
+    }
+
+    /// Sets the per-run health score (clamped to 0..=1000).
+    pub fn set_health_milli(&mut self, health_milli: u32) {
+        self.health_milli = health_milli.min(1000);
     }
 
     /// Fails the machine: every resident job (running or suspended) is
@@ -131,7 +169,10 @@ impl Machine {
         evicted
     }
 
-    /// Brings a failed machine back online, empty.
+    /// Brings a failed machine back online, empty. Any drain/cordon in
+    /// force stays in force: lifecycle plans end drains with an explicit
+    /// drain-end, so a fault restore inside a cordon window cannot
+    /// silently reopen the machine.
     pub fn restore(&mut self) {
         self.down = false;
     }
@@ -202,7 +243,10 @@ impl Machine {
     /// True if the footprint fits right now without preemption — the
     /// *availability* test.
     pub fn can_run_now(&self, res: Resources) -> bool {
-        !self.down && res.cores <= self.cores_free() && res.memory_mb <= self.memory_free()
+        !self.down
+            && !self.draining
+            && res.cores <= self.cores_free()
+            && res.memory_mb <= self.memory_free()
     }
 
     /// Plans a preemption: which running jobs must be suspended so that a
@@ -238,7 +282,11 @@ impl Machine {
         victims: &mut Vec<JobId>,
     ) -> bool {
         victims.clear();
-        if self.down || !self.can_ever_run(res) || res.memory_mb > self.memory_free() {
+        if self.down
+            || self.draining
+            || !self.can_ever_run(res)
+            || res.memory_mb > self.memory_free()
+        {
             return false;
         }
         if res.cores <= self.cores_free() {
@@ -649,6 +697,37 @@ mod tests {
         assert!(m.check_invariants());
         m.restore();
         assert!(m.can_run_now(res(4, 8000)));
+    }
+
+    #[test]
+    fn draining_blocks_new_work_but_keeps_residents() {
+        let mut m = mk(4, 8000);
+        m.start(t(0), JobId(1), res(1, 1000), Priority::LOW);
+        m.start(t(0), JobId(2), res(1, 1000), Priority::LOW);
+        m.suspend(t(1), JobId(2)).unwrap();
+        m.start_drain();
+        assert!(m.is_draining());
+        // No new placements or preemption plans...
+        assert!(!m.can_run_now(res(1, 1)));
+        assert!(m.preemption_plan(res(1, 1), Priority::HIGH).is_none());
+        // ...but residents stay, may resume, and complete in place.
+        assert_eq!(m.running().len(), 1);
+        assert!(m.resume(t(2), JobId(2)).is_some());
+        assert!(m.release(JobId(1)).is_some());
+        assert!(m.check_invariants());
+        m.end_drain();
+        assert!(!m.is_draining());
+        assert!(m.can_run_now(res(1, 1)));
+    }
+
+    #[test]
+    fn health_is_clamped_to_millis() {
+        let mut m = mk(1, 1000);
+        assert_eq!(m.health_milli(), 1000);
+        m.set_health_milli(250);
+        assert_eq!(m.health_milli(), 250);
+        m.set_health_milli(5000);
+        assert_eq!(m.health_milli(), 1000);
     }
 
     mod prop {

@@ -174,10 +174,22 @@ pub struct PhysicalPool {
     running_on: HashMap<JobId, MachineId>,
     suspended_on: HashMap<JobId, MachineId>,
     total_cores: u32,
+    /// Static core total across all machines, up or down — the health
+    /// gauge's denominator (`total_cores` shrinks while machines are
+    /// down).
+    nominal_cores: u32,
     busy_cores: u32,
     /// Machines currently failed; maintained by `fail_machine` /
     /// `restore_machine` so health queries are O(1).
     down_machines: usize,
+    /// Machines currently draining or cordoned; maintained by
+    /// `drain_machine` / `undrain_machine`.
+    draining_machines: usize,
+    /// Health-weighted capacity of *available* (up, non-draining)
+    /// machines, in core-millis: `Σ cores · health_milli`. Maintained
+    /// incrementally on every fail/restore/drain/undrain/health change so
+    /// per-decision snapshots stay O(1).
+    eff_cores_milli: u64,
     stats: PoolStats,
     /// Free-capacity index over `machines`, re-synced after every machine
     /// mutation; answers first-fit and eligibility without scanning.
@@ -229,8 +241,11 @@ impl PhysicalPool {
             running_on: HashMap::new(),
             suspended_on: HashMap::new(),
             total_cores,
+            nominal_cores: total_cores,
             busy_cores: 0,
             down_machines: 0,
+            draining_machines: 0,
+            eff_cores_milli: u64::from(total_cores) * 1000,
             stats: PoolStats::default(),
             index,
             running_prios: MinMultiset::new(),
@@ -263,6 +278,11 @@ impl PhysicalPool {
     /// Total cores across all machines.
     pub fn total_cores(&self) -> u32 {
         self.total_cores
+    }
+
+    /// Static core total across all machines, up or down.
+    pub fn nominal_cores(&self) -> u32 {
+        self.nominal_cores
     }
 
     /// Cores currently running jobs. Maintained incrementally, so this is
@@ -303,6 +323,18 @@ impl PhysicalPool {
     /// Number of machines currently down (failed and not yet restored).
     pub fn down_machine_count(&self) -> usize {
         self.down_machines
+    }
+
+    /// Number of machines currently draining or cordoned.
+    pub fn draining_machine_count(&self) -> usize {
+        self.draining_machines
+    }
+
+    /// Health-weighted capacity of available (up, non-draining) machines
+    /// in core-millis (`Σ cores · health_milli`; 1000 per fully healthy
+    /// core). The health-aware policies' effective-capacity signal, O(1).
+    pub fn effective_cores_milli(&self) -> u64 {
+        self.eff_cores_milli
     }
 
     /// True when every machine in the pool is down — e.g. the pool lost
@@ -651,6 +683,7 @@ impl PhysicalPool {
         loop {
             let machine = &self.machines[idx];
             let can_fit_something = !machine.is_down()
+                && !machine.is_draining()
                 && self
                     .queue_cores
                     .min()
@@ -720,6 +753,10 @@ impl PhysicalPool {
         if idx >= self.machines.len() || self.machines[idx].is_down() {
             return false;
         }
+        if !self.machines[idx].is_draining() {
+            self.eff_cores_milli -= u64::from(self.machines[idx].config().cores)
+                * u64::from(self.machines[idx].health_milli());
+        }
         for r in self.machines[idx].fail() {
             if self.running_on.remove(&r.job).is_some() {
                 self.busy_cores -= r.resources.cores;
@@ -758,10 +795,96 @@ impl PhysicalPool {
             return false;
         }
         self.machines[idx].restore();
+        if !self.machines[idx].is_draining() {
+            self.eff_cores_milli += u64::from(self.machines[idx].config().cores)
+                * u64::from(self.machines[idx].health_milli());
+        }
         self.total_cores += self.machines[idx].config().cores;
         self.down_machines -= 1;
         self.capacity_cycle_into(now, idx, actions);
         true
+    }
+
+    /// Starts draining (or cordons) a machine: it leaves the availability
+    /// index, accepting no new work, while residents keep running (and
+    /// resuming). Returns whether the machine was not already draining.
+    pub fn drain_machine(&mut self, machine: MachineId) -> bool {
+        let idx = machine.as_usize();
+        if idx >= self.machines.len() || self.machines[idx].is_draining() {
+            return false;
+        }
+        if !self.machines[idx].is_down() {
+            self.eff_cores_milli -= u64::from(self.machines[idx].config().cores)
+                * u64::from(self.machines[idx].health_milli());
+        }
+        self.machines[idx].start_drain();
+        self.sync_index(idx);
+        self.draining_machines += 1;
+        true
+    }
+
+    /// Ends a machine's drain/cordon and immediately dispatches queued
+    /// work onto it. Returns the follow-on actions, or `None` if the
+    /// machine was not draining.
+    pub fn undrain_machine(&mut self, now: SimTime, machine: MachineId) -> Option<Vec<PoolAction>> {
+        let mut actions = Vec::new();
+        self.undrain_machine_into(now, machine, &mut actions)
+            .then_some(actions)
+    }
+
+    /// Allocation-free variant of [`PhysicalPool::undrain_machine`]:
+    /// appends the follow-on actions to `actions` and returns whether the
+    /// machine was draining.
+    pub fn undrain_machine_into(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        actions: &mut Vec<PoolAction>,
+    ) -> bool {
+        let idx = machine.as_usize();
+        if idx >= self.machines.len() || !self.machines[idx].is_draining() {
+            return false;
+        }
+        self.machines[idx].end_drain();
+        if !self.machines[idx].is_down() {
+            self.eff_cores_milli += u64::from(self.machines[idx].config().cores)
+                * u64::from(self.machines[idx].health_milli());
+        }
+        self.draining_machines -= 1;
+        self.capacity_cycle_into(now, idx, actions);
+        true
+    }
+
+    /// Lists the jobs resident on `machine` — running and suspended, in
+    /// resident-list order — without disturbing them. The proactive
+    /// evacuation planner's read-only view: unlike
+    /// [`PhysicalPool::fail_machine_into`] the machine keeps its state.
+    pub fn residents_into(
+        &self,
+        machine: MachineId,
+        running: &mut Vec<JobId>,
+        suspended: &mut Vec<JobId>,
+    ) {
+        if let Some(m) = self.machines.get(machine.as_usize()) {
+            running.extend(m.running().iter().map(|r| r.job));
+            suspended.extend(m.suspended().iter().map(|r| r.job));
+        }
+    }
+
+    /// Sets a machine's per-run health score (clamped to 0..=1000),
+    /// keeping the effective-capacity sum consistent.
+    pub fn set_machine_health(&mut self, machine: MachineId, health_milli: u32) {
+        let idx = machine.as_usize();
+        if idx >= self.machines.len() {
+            return;
+        }
+        let cores = u64::from(self.machines[idx].config().cores);
+        let old = u64::from(self.machines[idx].health_milli());
+        self.machines[idx].set_health_milli(health_milli);
+        let new = u64::from(self.machines[idx].health_milli());
+        if !self.machines[idx].is_down() && !self.machines[idx].is_draining() {
+            self.eff_cores_milli = self.eff_cores_milli - cores * old + cores * new;
+        }
     }
 
     /// Pool-level invariant check used by tests: index maps agree with
@@ -785,12 +908,21 @@ impl PhysicalPool {
             && self.queue_cores.min() == self.queue.values().map(|e| e.resources.cores).min()
             && self.queue_mem.min() == self.queue.values().map(|e| e.resources.memory_mb).min();
         let down = self.machines.iter().filter(|m| m.is_down()).count();
+        let draining = self.machines.iter().filter(|m| m.is_draining()).count();
+        let eff: u64 = self
+            .machines
+            .iter()
+            .filter(|m| !m.is_down() && !m.is_draining())
+            .map(|m| u64::from(m.config().cores) * u64::from(m.health_milli()))
+            .sum();
         machines_ok
             && running == self.running_on.len()
             && suspended == self.suspended_on.len()
             && self.queue.len() == self.queue_index.len()
             && busy == self.busy_cores
             && down == self.down_machines
+            && draining == self.draining_machines
+            && eff == self.eff_cores_milli
             && self.index.check_consistency(&self.machines)
             && prios_ok
             && queue_summary_ok
@@ -1105,6 +1237,8 @@ mod tests {
             RemoveSuspended(usize),
             FailMachine(u32),
             RestoreMachine(u32),
+            DrainMachine(u32),
+            UndrainMachine(u32),
         }
 
         fn arb_op() -> impl Strategy<Value = Op> {
@@ -1122,6 +1256,8 @@ mod tests {
                 (0usize..200).prop_map(Op::RemoveSuspended),
                 (0u32..4).prop_map(Op::FailMachine),
                 (0u32..4).prop_map(Op::RestoreMachine),
+                (0u32..4).prop_map(Op::DrainMachine),
+                (0u32..4).prop_map(Op::UndrainMachine),
             ]
         }
 
@@ -1196,6 +1332,12 @@ mod tests {
                         Op::RestoreMachine(m) => {
                             pool.restore_machine(t, MachineId(m));
                         }
+                        Op::DrainMachine(m) => {
+                            pool.drain_machine(MachineId(m));
+                        }
+                        Op::UndrainMachine(m) => {
+                            pool.undrain_machine(t, MachineId(m));
+                        }
                     }
                     for (cores, mem) in probes {
                         let res = Resources { cores, memory_mb: mem };
@@ -1268,6 +1410,12 @@ mod tests {
                         Op::RestoreMachine(m) => {
                             pool.restore_machine(t, MachineId(m));
                         }
+                        Op::DrainMachine(m) => {
+                            pool.drain_machine(MachineId(m));
+                        }
+                        Op::UndrainMachine(m) => {
+                            pool.undrain_machine(t, MachineId(m));
+                        }
                     }
                     prop_assert!(pool.check_invariants(), "invariants violated after {op:?}");
                     prop_assert!(pool.busy_cores() <= pool.total_cores());
@@ -1275,6 +1423,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn draining_machine_takes_no_new_work_but_residents_finish() {
+        let mut p = small_pool();
+        p.submit(t(0), &spec(1, Priority::LOW, 100)); // lands on machine 0
+        assert!(p.drain_machine(MachineId(0)));
+        assert_eq!(p.draining_machine_count(), 1);
+        // Fresh submits skip the draining machine.
+        let SubmitOutcome::Dispatched(a) = p.submit(t(1), &spec(2, Priority::LOW, 10)) else {
+            panic!("machine 1 is free")
+        };
+        assert!(matches!(
+            a[0],
+            PoolAction::Started {
+                machine: MachineId(1),
+                ..
+            }
+        ));
+        // The resident keeps running and completes in place.
+        assert_eq!(p.running_machine(JobId(1)), Some(MachineId(0)));
+        p.release(t(100), JobId(1)).expect("still running");
+        // Effective capacity excludes the drained machine (2 of 4 cores).
+        assert_eq!(p.effective_cores_milli(), 2 * 1000);
+        assert!(p.check_invariants());
+        // Undrain re-admits work.
+        p.undrain_machine(t(101), MachineId(0)).expect("draining");
+        assert_eq!(p.effective_cores_milli(), 4 * 1000);
+        assert_eq!(p.draining_machine_count(), 0);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn undrain_dispatches_queued_work() {
+        let mut p = PhysicalPool::new(PoolConfig::uniform(PoolId(0), 1, 1, 4096));
+        assert!(p.drain_machine(MachineId(0)));
+        assert_eq!(
+            p.submit(t(0), &spec(1, Priority::LOW, 10)),
+            SubmitOutcome::Queued,
+            "draining pool queues instead of dispatching"
+        );
+        let actions = p.undrain_machine(t(5), MachineId(0)).expect("draining");
+        assert!(matches!(
+            actions[0],
+            PoolAction::Started { job: JobId(1), .. }
+        ));
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn health_weights_effective_capacity() {
+        let mut p = small_pool();
+        assert_eq!(p.effective_cores_milli(), 4 * 1000);
+        p.set_machine_health(MachineId(0), 500);
+        assert_eq!(p.effective_cores_milli(), 2 * 500 + 2 * 1000);
+        // Failing the unhealthy machine removes its weighted share.
+        p.fail_machine(MachineId(0)).expect("up");
+        assert_eq!(p.effective_cores_milli(), 2 * 1000);
+        p.restore_machine(t(1), MachineId(0)).expect("down");
+        assert_eq!(p.effective_cores_milli(), 2 * 500 + 2 * 1000);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn drain_survives_fail_restore_cycle() {
+        let mut p = small_pool();
+        assert!(p.drain_machine(MachineId(0)));
+        p.fail_machine(MachineId(0)).expect("up");
+        p.restore_machine(t(1), MachineId(0)).expect("down");
+        assert_eq!(
+            p.draining_machine_count(),
+            1,
+            "a fault restore must not end a cordon"
+        );
+        assert_eq!(p.effective_cores_milli(), 2 * 1000);
+        assert!(p.check_invariants());
+        p.undrain_machine(t(2), MachineId(0)).expect("draining");
+        assert_eq!(p.effective_cores_milli(), 4 * 1000);
+        assert!(p.check_invariants());
     }
 
     #[test]

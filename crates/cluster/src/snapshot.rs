@@ -17,6 +17,8 @@ pub struct PoolSnapshot {
     pub id: PoolId,
     /// Total cores in the pool.
     pub total_cores: u32,
+    /// Nominal cores across all machines, up or down (static).
+    pub nominal_cores: u32,
     /// Cores running jobs.
     pub busy_cores: u32,
     /// Jobs in the wait queue.
@@ -31,6 +33,12 @@ pub struct PoolSnapshot {
     /// Machines currently down (failed and not yet restored) — the pool's
     /// health signal for fault-aware policies and observers.
     pub down_machines: usize,
+    /// Machines currently draining or cordoned (no new placements).
+    pub draining_machines: usize,
+    /// Health-weighted capacity of available (up, non-draining) machines
+    /// in core-millis (`Σ cores · health_milli`) — the health-aware
+    /// policies' effective-capacity signal.
+    pub effective_cores_milli: u64,
     /// Lowest priority among running jobs (`None` when idle) — the pool's
     /// O(1) preemptibility signal: a job can only preempt here if its
     /// priority is strictly above this.
@@ -43,12 +51,15 @@ impl PoolSnapshot {
         PoolSnapshot {
             id: pool.id(),
             total_cores: pool.total_cores(),
+            nominal_cores: pool.nominal_cores(),
             busy_cores: pool.busy_cores(),
             waiting: pool.queue_len(),
             suspended: pool.suspended_count(),
             running: pool.running_count(),
             machines: pool.machine_count(),
             down_machines: pool.down_machine_count(),
+            draining_machines: pool.draining_machine_count(),
+            effective_cores_milli: pool.effective_cores_milli(),
             lowest_running_priority: pool.lowest_running_priority(),
         }
     }
@@ -69,6 +80,33 @@ impl PoolSnapshot {
         } else {
             self.down_machines as f64 / self.machines as f64
         }
+    }
+
+    /// Health-weighted *effective* utilization: busy cores over the
+    /// health-weighted available capacity. Exceeds plain utilization when
+    /// machines are down, draining, or flaky, so health-aware policies
+    /// see a drained pool as loaded even while its residents finish. A
+    /// pool with no effective capacity reads as fully loaded.
+    pub fn effective_utilization(&self) -> f64 {
+        if self.effective_cores_milli == 0 {
+            return if self.busy_cores > 0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+        }
+        f64::from(self.busy_cores) * 1000.0 / self.effective_cores_milli as f64
+    }
+
+    /// Pool health in `[0, 1]`: health-weighted available capacity over
+    /// nominal capacity (1.0 = every machine up, accepting work, fully
+    /// healthy; 0.0 = nothing accepts work). The telemetry gauge and the
+    /// health-aware selection weight.
+    pub fn health(&self) -> f64 {
+        if self.nominal_cores == 0 {
+            return 0.0;
+        }
+        (self.effective_cores_milli as f64 / (f64::from(self.nominal_cores) * 1000.0)).min(1.0)
     }
 }
 
@@ -138,6 +176,24 @@ impl ClusterSnapshot {
             .map(|p| p.id)
     }
 
+    /// The pool with the lowest *health-weighted effective* utilization
+    /// among `candidates` — the health-aware variant of
+    /// [`ClusterSnapshot::least_utilized`]: a pool that looks idle but is
+    /// mostly draining or flaky ranks as loaded. Ties break to the lowest
+    /// pool id.
+    pub fn least_effectively_utilized(&self, candidates: &[PoolId]) -> Option<PoolId> {
+        candidates
+            .iter()
+            .filter_map(|id| self.pools.get(id.as_usize()))
+            .min_by(|a, b| {
+                a.effective_utilization()
+                    .partial_cmp(&b.effective_utilization())
+                    .expect("effective utilization is never NaN")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|p| p.id)
+    }
+
     /// The candidate pool with the shortest wait queue (extension policy
     /// `ResSusQueue`); ties break to the lowest pool id.
     pub fn shortest_queue(&self, candidates: &[PoolId]) -> Option<PoolId> {
@@ -176,12 +232,15 @@ mod tests {
                 .map(|(i, &(total, busy, waiting))| PoolSnapshot {
                     id: PoolId(i as u16),
                     total_cores: total,
+                    nominal_cores: total,
                     busy_cores: busy,
                     waiting,
                     suspended: 0,
                     running: 0,
                     machines: 0,
                     down_machines: 0,
+                    draining_machines: 0,
+                    effective_cores_milli: u64::from(total) * 1000,
                     lowest_running_priority: None,
                 })
                 .collect(),
@@ -202,6 +261,25 @@ mod tests {
         // Restricting candidates respects the restriction.
         assert_eq!(s.least_utilized(&[PoolId(0), PoolId(3)]), Some(PoolId(0)));
         assert_eq!(s.least_utilized(&[]), None);
+    }
+
+    #[test]
+    fn effective_utilization_ranks_drained_pools_as_loaded() {
+        let mut s = snap(&[(10, 2, 0), (10, 3, 0)]);
+        // Pool 0 is less utilized on paper, but most of its capacity is
+        // draining/unhealthy: effective utilization flips the ranking.
+        s.pools[0].effective_cores_milli = 4000;
+        let all: Vec<PoolId> = (0..2).map(PoolId).collect();
+        assert_eq!(s.least_utilized(&all), Some(PoolId(0)));
+        assert_eq!(s.least_effectively_utilized(&all), Some(PoolId(1)));
+        assert!((s.pools[0].health() - 0.4).abs() < 1e-9);
+        assert!((s.pools[0].effective_utilization() - 0.5).abs() < 1e-9);
+        // A pool with no effective capacity reads fully loaded, or
+        // infinitely loaded while residents still run.
+        s.pools[0].effective_cores_milli = 0;
+        assert_eq!(s.pools[0].effective_utilization(), f64::INFINITY);
+        s.pools[0].busy_cores = 0;
+        assert!((s.pools[0].effective_utilization() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -161,6 +161,11 @@ impl ExperimentResult {
         self.suspension_times.len() as u64
     }
 
+    /// Jobs proactively evacuated off draining machines during the run.
+    pub fn evacuations(&self) -> u64 {
+        self.counters.evacuations
+    }
+
     /// The suspension-time CDF (Figure 2).
     pub fn suspension_cdf(&self) -> Cdf {
         self.suspension_times.iter().copied().collect()

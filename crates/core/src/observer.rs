@@ -51,6 +51,9 @@ pub enum ReschedKind {
     Migrate,
     /// Evicted by a machine failure.
     FailureEvict,
+    /// Proactively moved off a draining machine before its kill deadline
+    /// (the lifecycle model's evacuation path).
+    Evacuation,
 }
 
 impl ReschedKind {
@@ -61,6 +64,7 @@ impl ReschedKind {
             ReschedKind::RestartFromWait => "restart_from_wait",
             ReschedKind::Migrate => "migrate",
             ReschedKind::FailureEvict => "failure_evict",
+            ReschedKind::Evacuation => "evacuation",
         }
     }
 }
@@ -239,6 +243,25 @@ pub enum ObsEvent {
         /// The restored machine.
         machine: MachineId,
     },
+    /// A lifecycle window opened: the machine stopped accepting new work
+    /// (residents stay and may still resume; proactive evacuations follow
+    /// as [`ObsEvent::Reschedule`] events with [`ReschedKind::Evacuation`]).
+    MachineDraining {
+        /// The pool containing the machine.
+        pool: PoolId,
+        /// The draining machine.
+        machine: MachineId,
+        /// The kill deadline evacuation races against; `None` for cordons
+        /// (the machine is never killed).
+        deadline: Option<SimTime>,
+    },
+    /// A lifecycle window closed: the machine re-opened for placement.
+    MachineUndrained {
+        /// The pool containing the machine.
+        pool: PoolId,
+        /// The re-opened machine.
+        machine: MachineId,
+    },
     /// A hardened run booked a backoff retry for a failure-evicted job.
     RetryScheduled {
         /// The evicted job.
@@ -285,6 +308,8 @@ impl ObsEvent {
             ObsEvent::Complete { .. } => "complete",
             ObsEvent::MachineDown { .. } => "machine_down",
             ObsEvent::MachineUp { .. } => "machine_up",
+            ObsEvent::MachineDraining { .. } => "machine_draining",
+            ObsEvent::MachineUndrained { .. } => "machine_undrained",
             ObsEvent::RetryScheduled { .. } => "retry_backoff",
             ObsEvent::PoolBlacklisted { .. } => "blacklist",
             ObsEvent::Sample => "sample",
@@ -409,6 +434,12 @@ pub struct InvariantChecker {
     mem: Vec<Vec<u64>>,
     /// Shadow machine health per pool, driven by MachineDown/MachineUp.
     down: Vec<Vec<bool>>,
+    /// Shadow draining state per pool, driven by
+    /// MachineDraining/MachineUndrained.
+    draining: Vec<Vec<bool>>,
+    /// Kill deadline (minutes) per draining machine; `u64::MAX` = cordon
+    /// or not draining. Evacuations must land at or before this instant.
+    drain_deadline: Vec<Vec<u64>>,
     /// Blacklisted-until (minutes) per pool; only ever set by observed
     /// `PoolBlacklisted` events, so unhardened runs check trivially.
     blacklist_until: Vec<u64>,
@@ -447,6 +478,8 @@ impl InvariantChecker {
             busy: Vec::new(),
             mem: Vec::new(),
             down: Vec::new(),
+            draining: Vec::new(),
+            drain_deadline: Vec::new(),
             blacklist_until: Vec::new(),
             retry_state: BTreeMap::new(),
             touched_pools: Vec::new(),
@@ -480,6 +513,16 @@ impl InvariantChecker {
             .pools
             .iter()
             .map(|p| vec![false; p.machine_count()])
+            .collect();
+        self.draining = ctx
+            .pools
+            .iter()
+            .map(|p| vec![false; p.machine_count()])
+            .collect();
+        self.drain_deadline = ctx
+            .pools
+            .iter()
+            .map(|p| vec![u64::MAX; p.machine_count()])
             .collect();
         self.blacklist_until = vec![0; ctx.pools.len()];
         self.phases = vec![SPhase::Unsubmitted; ctx.jobs.len()];
@@ -671,6 +714,29 @@ impl InvariantChecker {
         }
     }
 
+    /// An evacuation reschedule is only legal off a machine that is
+    /// currently draining, and must land at or before the drain's kill
+    /// deadline — an evacuation after the kill would be racing a machine
+    /// that is already down.
+    fn check_evacuation_window(&self, now: SimTime, pool: PoolId, machine: MachineId) {
+        let (p, m) = (pool.as_usize(), machine.as_usize());
+        if !self.draining[p][m] {
+            self.violation(
+                now,
+                &format!("evacuation off non-draining machine {pool}/{machine}"),
+            );
+        }
+        let deadline = self.drain_deadline[p][m];
+        if now.as_minutes() > deadline {
+            self.violation(
+                now,
+                &format!(
+                    "evacuation off {pool}/{machine} after its drain deadline (t+{deadline}m)"
+                ),
+            );
+        }
+    }
+
     /// Full-state sweep: every pool's internal invariants, queue order,
     /// and the shadow phase machine against the job records.
     fn deep_sweep(&self, now: SimTime, ctx: &ObsCtx<'_>) {
@@ -853,6 +919,12 @@ impl SimObserver for InvariantChecker {
                         &format!("dispatch: {job} placed on down machine {pool}/{machine}"),
                     );
                 }
+                if self.draining[pool.as_usize()][machine.as_usize()] {
+                    self.violation(
+                        now,
+                        &format!("dispatch: {job} placed on draining machine {pool}/{machine}"),
+                    );
+                }
                 let (cores, mem) = self.resources(ctx, job);
                 self.add_usage(pool, machine, cores, mem);
                 self.set_phase(job, SPhase::Running(pool, machine));
@@ -948,6 +1020,24 @@ impl SimObserver for InvariantChecker {
                         self.sub_usage(now, from_pool, m, 0, mem);
                         self.set_phase(job, SPhase::AtVpm);
                     }
+                    (ReschedKind::Evacuation, PhaseTag::Running) => {
+                        let m = machine.unwrap_or_else(|| {
+                            self.violation(now, &format!("evacuation: no machine for {job}"))
+                        });
+                        self.check_evacuation_window(now, from_pool, m);
+                        self.expect_phase(now, job, SPhase::Running(from_pool, m), kind.label());
+                        self.sub_usage(now, from_pool, m, cores, mem);
+                        self.set_phase(job, SPhase::AtVpm);
+                    }
+                    (ReschedKind::Evacuation, PhaseTag::Suspended) => {
+                        let m = machine.unwrap_or_else(|| {
+                            self.violation(now, &format!("evacuation: no machine for {job}"))
+                        });
+                        self.check_evacuation_window(now, from_pool, m);
+                        self.expect_phase(now, job, SPhase::Suspended(from_pool, m), kind.label());
+                        self.sub_usage(now, from_pool, m, 0, mem);
+                        self.set_phase(job, SPhase::AtVpm);
+                    }
                     (kind, phase) => self.violation(
                         now,
                         &format!(
@@ -1031,6 +1121,47 @@ impl SimObserver for InvariantChecker {
                 }
                 self.down[pool.as_usize()][machine.as_usize()] = false;
                 self.touch_machine(pool, machine);
+            }
+            ObsEvent::MachineDraining {
+                pool,
+                machine,
+                deadline,
+            } => {
+                // Draining while down is legal (a merged window can open
+                // during a stochastic outage); draining twice is not —
+                // the plan normalization guarantees alternation.
+                let (p, m) = (pool.as_usize(), machine.as_usize());
+                if self.draining[p][m] {
+                    self.violation(
+                        now,
+                        &format!(
+                            "machine_draining: {pool}/{machine} drained while already draining"
+                        ),
+                    );
+                }
+                if let Some(d) = deadline {
+                    if d < now {
+                        self.violation(
+                            now,
+                            &format!("machine_draining: {pool}/{machine} kill deadline {d} is in the past"),
+                        );
+                    }
+                }
+                self.draining[p][m] = true;
+                self.drain_deadline[p][m] = deadline.map_or(u64::MAX, |d| d.as_minutes());
+            }
+            ObsEvent::MachineUndrained { pool, machine } => {
+                let (p, m) = (pool.as_usize(), machine.as_usize());
+                if !self.draining[p][m] {
+                    self.violation(
+                        now,
+                        &format!(
+                            "machine_undrained: {pool}/{machine} re-opened while not draining"
+                        ),
+                    );
+                }
+                self.draining[p][m] = false;
+                self.drain_deadline[p][m] = u64::MAX;
             }
             ObsEvent::RetryScheduled {
                 job,
@@ -1321,12 +1452,27 @@ impl TraceRecorder {
                     opt_u64(machine.map(|m| u64::from(m.as_u32())))
                 );
             }
-            ObsEvent::MachineDown { pool, machine } | ObsEvent::MachineUp { pool, machine } => {
+            ObsEvent::MachineDown { pool, machine }
+            | ObsEvent::MachineUp { pool, machine }
+            | ObsEvent::MachineUndrained { pool, machine } => {
                 let _ = write!(
                     s,
                     r#"{{"t":{t},"ev":"{ev}","pool":{},"machine":{}}}"#,
                     pool.as_u16(),
                     machine.as_u32()
+                );
+            }
+            ObsEvent::MachineDraining {
+                pool,
+                machine,
+                deadline,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"t":{t},"ev":"{ev}","pool":{},"machine":{},"deadline":{}}}"#,
+                    pool.as_u16(),
+                    machine.as_u32(),
+                    opt_u64(deadline.map(|d| d.as_minutes()))
                 );
             }
             ObsEvent::RetryScheduled {

@@ -42,6 +42,12 @@ pub trait InitialScheduler: std::fmt::Debug + Send {
         out
     }
 
+    /// Switches the scheduler into health-aware mode: pool ordering
+    /// weights candidates by pool health (effective capacity). Default:
+    /// no-op — round-robin is a pure cursor and stays health-blind (its
+    /// shard classification depends on consulting no pool state).
+    fn set_health_aware(&mut self, _aware: bool) {}
+
     /// Downcast hook for the sharded backend: round-robin is the one
     /// scheduler whose choice can be computed without the cluster view
     /// (it is a pure cursor rotation), which is what lets submissions be
@@ -118,12 +124,14 @@ impl InitialScheduler for RoundRobin {
 /// current situation in every physical pool at any time, which can be
 /// impractical" — the information-staleness ablation quantifies that cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct UtilizationBased;
+pub struct UtilizationBased {
+    health_aware: bool,
+}
 
 impl UtilizationBased {
     /// Creates a utilization-based scheduler.
     pub fn new() -> Self {
-        UtilizationBased
+        UtilizationBased::default()
     }
 }
 
@@ -141,19 +149,26 @@ impl InitialScheduler for UtilizationBased {
     ) {
         out.clear();
         out.extend_from_slice(candidates);
+        let aware = self.health_aware;
+        let util = |id: &PoolId| {
+            view.pools.get(id.as_usize()).map_or(0.0, |p| {
+                if aware {
+                    p.effective_utilization()
+                } else {
+                    p.utilization()
+                }
+            })
+        };
         out.sort_by(|a, b| {
-            let ua = view
-                .pools
-                .get(a.as_usize())
-                .map_or(0.0, |p| p.utilization());
-            let ub = view
-                .pools
-                .get(b.as_usize())
-                .map_or(0.0, |p| p.utilization());
-            ua.partial_cmp(&ub)
+            util(a)
+                .partial_cmp(&util(b))
                 .expect("utilization is never NaN")
                 .then(a.cmp(b))
         });
+    }
+
+    fn set_health_aware(&mut self, aware: bool) {
+        self.health_aware = aware;
     }
 }
 
@@ -210,12 +225,15 @@ mod tests {
                 .map(|(i, &(total, busy))| PoolSnapshot {
                     id: PoolId(i as u16),
                     total_cores: total,
+                    nominal_cores: total,
                     busy_cores: busy,
                     waiting: 0,
                     suspended: 0,
                     running: 0,
                     machines: 0,
                     down_machines: 0,
+                    draining_machines: 0,
+                    effective_cores_milli: u64::from(total) * 1000,
                     lowest_running_priority: None,
                 })
                 .collect(),

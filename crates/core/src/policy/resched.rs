@@ -46,15 +46,70 @@ impl PoolSelector {
         view: &ClusterSnapshot,
         rng: &mut DetRng,
     ) -> Option<PoolId> {
+        self.select_aware(current, candidates, view, rng, false)
+    }
+
+    /// [`PoolSelector::select`] with an optional health-aware mode: when
+    /// `health_aware` is set, candidates are weighted by pool health —
+    /// utilization comparisons use the health-weighted *effective*
+    /// capacity (a half-drained pool ranks as loaded even while its
+    /// residents finish) and the random selector draws candidates in
+    /// proportion to their health instead of uniformly.
+    pub fn select_aware(
+        self,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        rng: &mut DetRng,
+        health_aware: bool,
+    ) -> Option<PoolId> {
         match self {
             PoolSelector::LowestUtilization => {
-                let target = view.least_utilized(candidates)?;
+                let (target, cur_util, tgt_util) = if health_aware {
+                    let target = view.least_effectively_utilized(candidates)?;
+                    (
+                        target,
+                        view.pools.get(current.as_usize())?.effective_utilization(),
+                        view.pools.get(target.as_usize())?.effective_utilization(),
+                    )
+                } else {
+                    let target = view.least_utilized(candidates)?;
+                    (
+                        target,
+                        view.pools.get(current.as_usize())?.utilization(),
+                        view.pools.get(target.as_usize())?.utilization(),
+                    )
+                };
                 if target == current {
                     return None;
                 }
-                let cur_util = view.pools.get(current.as_usize())?.utilization();
-                let tgt_util = view.pools.get(target.as_usize())?.utilization();
                 (tgt_util < cur_util).then_some(target)
+            }
+            PoolSelector::Random if health_aware => {
+                // Health-weighted draw: each non-current candidate gets a
+                // per-mille weight from its pool health (floored at 1 so a
+                // fully drained pool stays selectable rather than turning
+                // the draw into a division by zero).
+                let weight = |p: PoolId| {
+                    view.pools
+                        .get(p.as_usize())
+                        .map_or(1u64, |s| ((s.health() * 1000.0) as u64).max(1))
+                };
+                let others = candidates.iter().copied().filter(|&p| p != current);
+                let total: u64 = others.clone().map(weight).sum();
+                if total == 0 {
+                    return None;
+                }
+                let mut draw = rng.next_below(total);
+                others.clone().find(|&p| {
+                    let w = weight(p);
+                    if draw < w {
+                        true
+                    } else {
+                        draw -= w;
+                        false
+                    }
+                })
             }
             PoolSelector::Random => {
                 // Count-then-index instead of collecting the non-current
@@ -77,9 +132,13 @@ impl PoolSelector {
                     return None;
                 }
                 let cur_q = view.pools.get(current.as_usize())?.waiting;
-                let tgt_q = view.pools.get(target.as_usize())?.waiting;
-                (tgt_q < cur_q || view.pools.get(target.as_usize())?.utilization() < 1.0)
-                    .then_some(target)
+                let tgt = view.pools.get(target.as_usize())?;
+                let headroom = if health_aware {
+                    tgt.effective_utilization() < 1.0
+                } else {
+                    tgt.utilization() < 1.0
+                };
+                (tgt.waiting < cur_q || headroom).then_some(target)
             }
         }
     }
@@ -137,6 +196,12 @@ pub trait ReschedPolicy: std::fmt::Debug + Send {
         None
     }
 
+    /// Switches the policy into health-aware mode: alternate-pool
+    /// selection weights candidates by pool health (effective capacity)
+    /// instead of raw utilization. Default: no-op — `NoRes` never picks
+    /// targets, and policies that ignore health simply stay health-blind.
+    fn set_health_aware(&mut self, _aware: bool) {}
+
     /// Whether this policy is the `NoRes` baseline: every suspension
     /// decision is `Stay`, no RNG is drawn, and the cluster view is never
     /// consulted. The sharded backend uses this to prove pool-local
@@ -178,6 +243,7 @@ impl ReschedPolicy for NoRes {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResSus {
     selector: PoolSelector,
+    health_aware: bool,
 }
 
 impl ResSus {
@@ -185,6 +251,7 @@ impl ResSus {
     pub fn util() -> Self {
         ResSus {
             selector: PoolSelector::LowestUtilization,
+            health_aware: false,
         }
     }
 
@@ -192,6 +259,7 @@ impl ResSus {
     pub fn random() -> Self {
         ResSus {
             selector: PoolSelector::Random,
+            health_aware: false,
         }
     }
 
@@ -199,6 +267,7 @@ impl ResSus {
     pub fn queue() -> Self {
         ResSus {
             selector: PoolSelector::ShortestQueue,
+            health_aware: false,
         }
     }
 }
@@ -220,10 +289,17 @@ impl ReschedPolicy for ResSus {
         view: &ClusterSnapshot,
         rng: &mut DetRng,
     ) -> Decision {
-        match self.selector.select(current, candidates, view, rng) {
+        match self
+            .selector
+            .select_aware(current, candidates, view, rng, self.health_aware)
+        {
             Some(pool) => Decision::Restart(pool),
             None => Decision::Stay,
         }
+    }
+
+    fn set_health_aware(&mut self, aware: bool) {
+        self.health_aware = aware;
     }
 }
 
@@ -233,6 +309,7 @@ impl ReschedPolicy for ResSus {
 pub struct ResSusWait {
     selector: PoolSelector,
     threshold: SimDuration,
+    health_aware: bool,
 }
 
 /// The paper's wait threshold: 30 minutes, "about twice the expected
@@ -245,6 +322,7 @@ impl ResSusWait {
         ResSusWait {
             selector: PoolSelector::LowestUtilization,
             threshold: PAPER_WAIT_THRESHOLD,
+            health_aware: false,
         }
     }
 
@@ -253,6 +331,7 @@ impl ResSusWait {
         ResSusWait {
             selector: PoolSelector::Random,
             threshold: PAPER_WAIT_THRESHOLD,
+            health_aware: false,
         }
     }
 
@@ -285,7 +364,10 @@ impl ReschedPolicy for ResSusWait {
         view: &ClusterSnapshot,
         rng: &mut DetRng,
     ) -> Decision {
-        match self.selector.select(current, candidates, view, rng) {
+        match self
+            .selector
+            .select_aware(current, candidates, view, rng, self.health_aware)
+        {
             Some(pool) => Decision::Restart(pool),
             None => Decision::Stay,
         }
@@ -303,7 +385,12 @@ impl ReschedPolicy for ResSusWait {
         view: &ClusterSnapshot,
         rng: &mut DetRng,
     ) -> Option<PoolId> {
-        self.selector.select(current, candidates, view, rng)
+        self.selector
+            .select_aware(current, candidates, view, rng, self.health_aware)
+    }
+
+    fn set_health_aware(&mut self, aware: bool) {
+        self.health_aware = aware;
     }
 }
 
@@ -316,6 +403,7 @@ impl ReschedPolicy for ResSusWait {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrateSus {
     selector: PoolSelector,
+    health_aware: bool,
 }
 
 impl MigrateSus {
@@ -323,6 +411,7 @@ impl MigrateSus {
     pub fn util() -> Self {
         MigrateSus {
             selector: PoolSelector::LowestUtilization,
+            health_aware: false,
         }
     }
 }
@@ -340,10 +429,17 @@ impl ReschedPolicy for MigrateSus {
         view: &ClusterSnapshot,
         rng: &mut DetRng,
     ) -> Decision {
-        match self.selector.select(current, candidates, view, rng) {
+        match self
+            .selector
+            .select_aware(current, candidates, view, rng, self.health_aware)
+        {
             Some(pool) => Decision::Migrate(pool),
             None => Decision::Stay,
         }
+    }
+
+    fn set_health_aware(&mut self, aware: bool) {
+        self.health_aware = aware;
     }
 }
 
@@ -355,6 +451,7 @@ impl ReschedPolicy for MigrateSus {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DupSus {
     selector: PoolSelector,
+    health_aware: bool,
 }
 
 impl DupSus {
@@ -362,6 +459,7 @@ impl DupSus {
     pub fn util() -> Self {
         DupSus {
             selector: PoolSelector::LowestUtilization,
+            health_aware: false,
         }
     }
 }
@@ -379,10 +477,17 @@ impl ReschedPolicy for DupSus {
         view: &ClusterSnapshot,
         rng: &mut DetRng,
     ) -> Decision {
-        match self.selector.select(current, candidates, view, rng) {
+        match self
+            .selector
+            .select_aware(current, candidates, view, rng, self.health_aware)
+        {
             Some(pool) => Decision::Duplicate(pool),
             None => Decision::Stay,
         }
+    }
+
+    fn set_health_aware(&mut self, aware: bool) {
+        self.health_aware = aware;
     }
 }
 
@@ -431,6 +536,26 @@ impl SmartWeights {
             + self.w_wait * (pool.waiting as f64 / free)
     }
 
+    /// Health-aware variant of [`SmartWeights::score`]: the same three
+    /// terms over the health-weighted *effective* capacity, so a draining
+    /// or flaky pool scores as loaded. The utilization term is capped to
+    /// keep zero-weight products finite (`0 × ∞` is NaN).
+    pub fn score_aware(
+        &self,
+        pool: &netbatch_cluster::snapshot::PoolSnapshot,
+        health_aware: bool,
+    ) -> f64 {
+        if !health_aware {
+            return self.score(pool);
+        }
+        let eff = pool.effective_cores_milli as f64 / 1000.0;
+        let total = eff.max(1.0);
+        let free = (eff - f64::from(pool.busy_cores)).max(1.0);
+        self.w_util * pool.effective_utilization().min(1e6)
+            + self.w_queue * (pool.waiting as f64 / total)
+            + self.w_wait * (pool.waiting as f64 / free)
+    }
+
     /// The best-scoring candidate, or `None` if the current pool already
     /// scores no worse than every alternative.
     pub fn select(
@@ -439,12 +564,23 @@ impl SmartWeights {
         candidates: &[PoolId],
         view: &ClusterSnapshot,
     ) -> Option<PoolId> {
+        self.select_aware(current, candidates, view, false)
+    }
+
+    /// [`SmartWeights::select`] scoring with [`SmartWeights::score_aware`].
+    pub fn select_aware(
+        &self,
+        current: PoolId,
+        candidates: &[PoolId],
+        view: &ClusterSnapshot,
+        health_aware: bool,
+    ) -> Option<PoolId> {
         let best = candidates
             .iter()
             .filter_map(|id| view.pools.get(id.as_usize()))
             .min_by(|a, b| {
-                self.score(a)
-                    .partial_cmp(&self.score(b))
+                self.score_aware(a, health_aware)
+                    .partial_cmp(&self.score_aware(b, health_aware))
                     .expect("scores are finite")
                     .then(a.id.cmp(&b.id))
             })?;
@@ -452,7 +588,8 @@ impl SmartWeights {
             return None;
         }
         let cur = view.pools.get(current.as_usize())?;
-        (self.score(best) < self.score(cur)).then_some(best.id)
+        (self.score_aware(best, health_aware) < self.score_aware(cur, health_aware))
+            .then_some(best.id)
     }
 }
 
@@ -463,6 +600,7 @@ impl SmartWeights {
 pub struct ResSusWaitSmart {
     weights: SmartWeights,
     threshold: SimDuration,
+    health_aware: bool,
 }
 
 impl ResSusWaitSmart {
@@ -471,6 +609,7 @@ impl ResSusWaitSmart {
         ResSusWaitSmart {
             weights: SmartWeights::default(),
             threshold: PAPER_WAIT_THRESHOLD,
+            health_aware: false,
         }
     }
 
@@ -500,7 +639,10 @@ impl ReschedPolicy for ResSusWaitSmart {
         view: &ClusterSnapshot,
         _rng: &mut DetRng,
     ) -> Decision {
-        match self.weights.select(current, candidates, view) {
+        match self
+            .weights
+            .select_aware(current, candidates, view, self.health_aware)
+        {
             Some(pool) => Decision::Restart(pool),
             None => Decision::Stay,
         }
@@ -518,7 +660,12 @@ impl ReschedPolicy for ResSusWaitSmart {
         view: &ClusterSnapshot,
         _rng: &mut DetRng,
     ) -> Option<PoolId> {
-        self.weights.select(current, candidates, view)
+        self.weights
+            .select_aware(current, candidates, view, self.health_aware)
+    }
+
+    fn set_health_aware(&mut self, aware: bool) {
+        self.health_aware = aware;
     }
 }
 
@@ -619,12 +766,15 @@ mod tests {
                 .map(|(i, &(total, busy, waiting))| PoolSnapshot {
                     id: PoolId(i as u16),
                     total_cores: total,
+                    nominal_cores: total,
                     busy_cores: busy,
                     waiting,
                     suspended: 0,
                     running: 0,
                     machines: 0,
                     down_machines: 0,
+                    draining_machines: 0,
+                    effective_cores_milli: u64::from(total) * 1000,
                     lowest_running_priority: None,
                 })
                 .collect(),

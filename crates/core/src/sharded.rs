@@ -366,12 +366,15 @@ fn classify(sim: &mut Simulator, ev: Ev, candidates: &mut Vec<PoolId>) -> Option
             JobPhase::Running { pool, .. } => Some(pool),
             phase => unreachable!("completion delivered for non-running job {job}: {phase:?}"),
         },
-        // Sampling, faults, wait checks, migrations and retries read or
-        // mutate cross-pool state; they run inline after a flush.
+        // Sampling, faults, lifecycle drains, wait checks, migrations and
+        // retries read or mutate cross-pool state (evacuations re-route
+        // through the VPM); they run inline after a flush.
         Ev::WaitCheck(_)
         | Ev::Sample
         | Ev::MachineDown(..)
         | Ev::MachineUp(..)
+        | Ev::DrainStart(..)
+        | Ev::DrainEnd(..)
         | Ev::MigrateArrive(..)
         | Ev::RetryDispatch(_) => None,
     }

@@ -25,7 +25,9 @@ use netbatch_sim_engine::sampler::PeriodicSampler;
 use netbatch_sim_engine::time::{SimDuration, SimTime};
 use netbatch_workload::scenarios::SiteSpec;
 
-use crate::faults::{FaultModel, FaultPlan, ResiliencePolicy};
+use crate::faults::{
+    FaultModel, FaultPlan, LifecycleModel, LifecyclePlan, LifecycleWindow, ResiliencePolicy,
+};
 use crate::observer::{InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind, SimObserver};
 use crate::policy::initial::{InitialKind, InitialScheduler};
 use crate::policy::resched::{Decision, ReschedPolicy, StrategyKind};
@@ -70,6 +72,23 @@ pub struct SimConfig {
     /// degradation when a whole pool is down. Disabled by default
     /// (bit-for-bit the unhardened behaviour).
     pub resilience: ResiliencePolicy,
+    /// Scheduled machine-lifecycle model (extension): drains, cordons,
+    /// maintenance windows, rolling-update waves and probe-derived
+    /// per-machine health scores, generated deterministically from `seed`.
+    /// `None` (the default) seeds no lifecycle events and leaves every
+    /// machine fully healthy — bit-for-bit the current behaviour.
+    pub lifecycle: Option<LifecycleModel>,
+    /// Ad-hoc lifecycle windows (tests, replays), merged with the
+    /// generated schedule exactly like `failures` merges with the fault
+    /// model: overlapping windows for one machine collapse into a single
+    /// drain/end pair.
+    pub drains: Vec<LifecycleWindow>,
+    /// Health-aware scheduling: initial routing and rescheduling target
+    /// selection weight candidate pools by health (effective capacity
+    /// excluding draining machines, weighted by probe scores), and the
+    /// resilience policy's `evacuate_draining` switch governs proactive
+    /// evacuation off draining machines. Off by default.
+    pub health_aware: bool,
     /// Migration cost model, used by `MigrateSusUtil` (extension).
     pub migration: MigrationParams,
     /// Virtual-pool-manager topology (the paper's Figure 1: each site's
@@ -237,6 +256,9 @@ impl Default for SimConfig {
             failures: Vec::new(),
             fault_model: None,
             resilience: ResiliencePolicy::disabled(),
+            lifecycle: None,
+            drains: Vec::new(),
+            health_aware: false,
             migration: MigrationParams::default(),
             topology: None,
             check_invariants: false,
@@ -291,6 +313,12 @@ pub enum Ev {
     MigrateArrive(JobId, PoolId),
     /// A failure-evicted job's backoff delay expires; re-dispatch it.
     RetryDispatch(JobId),
+    /// A lifecycle window opens: the machine stops accepting new work.
+    /// Carries the kill deadline (`None` for cordons) so the proactive
+    /// evacuation path knows what it is racing against.
+    DrainStart(PoolId, MachineId, Option<SimTime>),
+    /// A lifecycle window closes: the machine re-opens for placement.
+    DrainEnd(PoolId, MachineId),
 }
 
 impl EventLabel for Ev {
@@ -304,6 +332,8 @@ impl EventLabel for Ev {
             Ev::MachineUp(..) => "machine_up",
             Ev::MigrateArrive(..) => "migrate_arrive",
             Ev::RetryDispatch(_) => "retry_dispatch",
+            Ev::DrainStart(..) => "drain_start",
+            Ev::DrainEnd(..) => "drain_end",
         }
     }
 }
@@ -323,6 +353,9 @@ pub struct RunCounters {
     pub restarts_from_wait: u64,
     /// Jobs evicted by injected machine failures.
     pub failure_evictions: u64,
+    /// Jobs proactively moved off a draining machine before its kill
+    /// deadline (lifecycle runs with `evacuate_draining` on).
+    pub evacuations: u64,
     /// Backoff retries scheduled after failure evictions (hardened runs).
     pub retries_scheduled: u64,
     /// Retries that found every capable pool fully down and parked the job
@@ -439,6 +472,10 @@ pub struct Simulator {
     policy_rng: DetRng,
     pub(crate) config: SimConfig,
     pub(crate) pool_count: u16,
+    // The generated lifecycle schedule (empty when `config.lifecycle` is
+    // `None`): drain/undrain events are seeded from it and its kill
+    // intervals are merged into the fault plan.
+    lifecycle_plan: LifecyclePlan,
     // Cached cluster view for policies (refreshed in place per
     // view_staleness; `view_at == None` means the snapshot is stale).
     view_snap: ClusterSnapshot,
@@ -499,12 +536,43 @@ impl Simulator {
         for (i, s) in specs.iter().enumerate() {
             assert_eq!(s.id.as_usize(), i, "job ids must be dense and ordered");
         }
-        let pools: Vec<PhysicalPool> = site
+        let mut pools: Vec<PhysicalPool> = site
             .pools
             .iter()
             .map(|p| PhysicalPool::new(p.clone()))
             .collect();
         let pool_count = pools.len() as u16;
+        // Generate the lifecycle schedule up front: probe-derived health
+        // scores apply from t=0 (they describe the machines, not an
+        // event), while the windows are seeded as drain/undrain events.
+        let mut lifecycle_plan = match config.lifecycle.as_ref() {
+            Some(model) => {
+                let shape: Vec<(PoolId, u32)> = pools
+                    .iter()
+                    .map(|p| (p.id(), p.machine_count() as u32))
+                    .collect();
+                model.generate(&shape, config.seed)
+            }
+            None => LifecyclePlan::default(),
+        };
+        if !config.drains.is_empty() {
+            // Ad-hoc windows join the generated schedule through the same
+            // normalization, so overlaps merge instead of double-draining.
+            let mut raw = config.drains.clone();
+            raw.extend_from_slice(lifecycle_plan.windows());
+            lifecycle_plan = LifecyclePlan::new(raw, lifecycle_plan.health_scores().to_vec());
+        }
+        for &(pool, machine, health) in lifecycle_plan.health_scores() {
+            if let Some(p) = pools.get_mut(pool.as_usize()) {
+                p.set_machine_health(machine, health);
+            }
+        }
+        let mut initial = config.initial.build();
+        let mut policy = config.strategy.build();
+        if config.health_aware {
+            initial.set_health_aware(true);
+            policy.set_health_aware(true);
+        }
         let total_jobs = specs.len() as u64;
         let policy_rng = DetRng::from_seed_u64(config.seed).stream("policy");
         let wait_checks = vec![0; specs.len()];
@@ -541,10 +609,11 @@ impl Simulator {
             migrating: std::collections::HashMap::new(),
             dup_of: std::collections::HashMap::new(),
             shadows: std::collections::HashSet::new(),
-            initial: config.initial.build(),
-            policy: config.strategy.build(),
+            initial,
+            policy,
             policy_rng,
             pool_count,
+            lifecycle_plan,
             view_snap: ClusterSnapshot::default(),
             view_at: None,
             scratch: Scratch::default(),
@@ -595,6 +664,9 @@ impl Simulator {
     ) -> Self {
         let mut sim = Simulator::new(site, specs, config);
         sim.policy = policy;
+        if sim.config.health_aware {
+            sim.policy.set_health_aware(true);
+        }
         sim
     }
 
@@ -648,13 +720,28 @@ impl Simulator {
                 .iter()
                 .map(|p| (p.id(), p.machine_count() as u32))
                 .collect();
-            plan = plan.merge(model.generate(&shape, self.config.seed));
+            plan = plan
+                .merge(model.generate(&shape, self.config.seed))
+                .clamp_to(model.horizon);
+        }
+        // Lifecycle kills enter the same plan, so a stochastic outage
+        // overlapping a maintenance window collapses into one down/up pair
+        // (the invariant checker's alternation rule demands exactly that).
+        if !self.lifecycle_plan.is_empty() {
+            plan = plan.merge(FaultPlan::new(self.lifecycle_plan.kill_outages()));
         }
         for o in plan.outages() {
             seed(o.from, Ev::MachineDown(o.pool, o.machine));
             if let Some(until) = o.until {
                 seed(until, Ev::MachineUp(o.pool, o.machine));
             }
+        }
+        // Drain windows seed after the outage pairs, so at a shared
+        // instant the machine is restored (still draining, no dispatch)
+        // before the drain ends and re-opens it.
+        for w in self.lifecycle_plan.windows() {
+            seed(w.drain_from, Ev::DrainStart(w.pool, w.machine, w.down_from));
+            seed(w.until, Ev::DrainEnd(w.pool, w.machine));
         }
     }
 
@@ -1544,6 +1631,131 @@ impl Simulator {
         self.scratch.put_actions(actions);
     }
 
+    /// A lifecycle window opens: the machine stops accepting new work
+    /// (running and suspended residents stay put and may still resume).
+    /// When the window carries a kill deadline and the resilience policy
+    /// opts into proactive evacuation, jobs that cannot finish before the
+    /// deadline — plus every suspended resident, which by definition makes
+    /// no progress while parked — are moved out now, racing the drain
+    /// instead of dying at the kill.
+    fn handle_drain_start(
+        &mut self,
+        pool: PoolId,
+        machine: MachineId,
+        deadline: Option<SimTime>,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        if !self.pools[pool.as_usize()].drain_machine(machine) {
+            return; // already draining or unknown machine
+        }
+        self.touch_view();
+        self.emit(
+            now,
+            ObsEvent::MachineDraining {
+                pool,
+                machine,
+                deadline,
+            },
+        );
+        let Some(deadline) = deadline else {
+            return; // cordon: no kill coming, nothing to evacuate
+        };
+        if !self.config.resilience.evacuate_draining {
+            return;
+        }
+        // Plan the evacuation from a stable copy of the resident lists
+        // (evacuating one job can resume another on this very machine).
+        let mut running = std::mem::take(&mut self.scratch.evict_running);
+        let mut susp = std::mem::take(&mut self.scratch.evict_suspended);
+        running.clear();
+        susp.clear();
+        self.pools[pool.as_usize()].residents_into(machine, &mut running, &mut susp);
+        let mut evacuated = std::mem::take(&mut self.scratch.evicted);
+        evacuated.clear();
+        evacuated.extend(running.iter().copied().filter_map(|j| {
+            let rec = &self.jobs[j.as_usize()];
+            // A running job's completion instant is its phase start plus
+            // the wall remaining at that boundary; jobs that beat the
+            // deadline are left to finish in place.
+            (rec.phase_since() + rec.remaining_wall() > deadline).then_some((j, PhaseTag::Running))
+        }));
+        evacuated.extend(susp.iter().map(|&j| (j, PhaseTag::Suspended)));
+        self.scratch.evict_running = running;
+        self.scratch.evict_suspended = susp;
+        for &(job, _) in &evacuated {
+            // Re-read the job's phase: an earlier evacuee's freed cores
+            // may have resumed this one meanwhile (resuming on a draining
+            // machine is legal — only *new* placements are barred).
+            let from_phase = if self.pools[pool.as_usize()].running_machine(job) == Some(machine) {
+                PhaseTag::Running
+            } else if self.pools[pool.as_usize()].suspended_machine(job) == Some(machine) {
+                PhaseTag::Suspended
+            } else {
+                continue; // moved or completed by a cascade in between
+            };
+            self.counters.evacuations += 1;
+            let rec = &mut self.jobs[job.as_usize()];
+            if let Some(ev) = rec.completion_event.take() {
+                sched.cancel(ev);
+            }
+            let discarded = match from_phase {
+                PhaseTag::Running => rec.attempt_progress() + now.since(rec.phase_since()),
+                _ => rec.attempt_progress(),
+            };
+            let mut actions = self.scratch.take_actions();
+            let removed = match from_phase {
+                PhaseTag::Running => {
+                    self.pools[pool.as_usize()].release_into(now, job, &mut actions)
+                }
+                _ => self.pools[pool.as_usize()].remove_suspended_into(now, job, &mut actions),
+            };
+            assert!(removed, "phase re-checked above");
+            self.touch_view();
+            self.jobs[job.as_usize()]
+                .abort_for_restart(now, self.config.restart_overhead)
+                .expect("evacuees were running or suspended");
+            self.emit(
+                now,
+                ObsEvent::Reschedule {
+                    job,
+                    kind: ReschedKind::Evacuation,
+                    from_pool: pool,
+                    machine: Some(machine),
+                    from_phase,
+                    to: None,
+                    discarded,
+                },
+            );
+            self.apply_actions(pool, &actions, now, sched);
+            self.scratch.put_actions(actions);
+            if self.config.resilience.enabled {
+                self.schedule_retry(job, now, sched);
+            } else {
+                self.route_via_vpm(job, now, sched);
+            }
+        }
+        self.scratch.evicted = evacuated;
+    }
+
+    /// A lifecycle window closes: the machine re-opens for placement and
+    /// its freed capacity is offered to the pool's queue.
+    fn handle_drain_end(
+        &mut self,
+        pool: PoolId,
+        machine: MachineId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let mut actions = self.scratch.take_actions();
+        if self.pools[pool.as_usize()].undrain_machine_into(now, machine, &mut actions) {
+            self.touch_view();
+            self.emit(now, ObsEvent::MachineUndrained { pool, machine });
+            self.apply_actions(pool, &actions, now, sched);
+        }
+        self.scratch.put_actions(actions);
+    }
+
     fn handle_sample(&mut self, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
         self.emit(now, ObsEvent::Sample);
         let suspended: usize = self.pools.iter().map(PhysicalPool::suspended_count).sum();
@@ -1610,6 +1822,10 @@ impl Handler for Simulator {
             Ev::MachineUp(pool, machine) => self.handle_machine_up(pool, machine, now, sched),
             Ev::MigrateArrive(job, pool) => self.handle_migrate_arrive(job, pool, now, sched),
             Ev::RetryDispatch(job) => self.handle_retry_dispatch(job, now, sched),
+            Ev::DrainStart(pool, machine, deadline) => {
+                self.handle_drain_start(pool, machine, deadline, now, sched);
+            }
+            Ev::DrainEnd(pool, machine) => self.handle_drain_end(pool, machine, now, sched),
         }
         Control::Continue
     }

@@ -71,7 +71,7 @@ pub const TIMELINE_BUCKET: SimDuration = SimDuration::from_minutes(100);
 
 /// Labels of the counted event kinds, in [`event_index`] order. Kernel
 /// and batch markers are filtered out before counting.
-const EVENT_KINDS: [&str; 20] = [
+const EVENT_KINDS: [&str; 23] = [
     "submit",
     "pool_chosen",
     "unrunnable",
@@ -92,6 +92,9 @@ const EVENT_KINDS: [&str; 20] = [
     "retry_backoff",
     "blacklist",
     "sample",
+    "machine_draining",
+    "machine_undrained",
+    "evacuation",
 ];
 
 /// The [`EVENT_KINDS`] slot for a counted event. Counting through a
@@ -111,6 +114,7 @@ fn event_index(event: &ObsEvent) -> usize {
             ReschedKind::RestartFromWait => 8,
             ReschedKind::Migrate => 9,
             ReschedKind::FailureEvict => 10,
+            ReschedKind::Evacuation => 22,
         },
         ObsEvent::WaitTimeout { .. } => 11,
         ObsEvent::DuplicateLaunched { .. } => 12,
@@ -121,6 +125,8 @@ fn event_index(event: &ObsEvent) -> usize {
         ObsEvent::RetryScheduled { .. } => 17,
         ObsEvent::PoolBlacklisted { .. } => 18,
         ObsEvent::Sample => 19,
+        ObsEvent::MachineDraining { .. } => 20,
+        ObsEvent::MachineUndrained { .. } => 21,
         ObsEvent::Kernel { .. } | ObsEvent::BatchStart { .. } => {
             unreachable!("markers are filtered before counting")
         }
@@ -314,6 +320,8 @@ struct PoolSeries {
     queue_depth: TimeSeries,
     suspended: TimeSeries,
     down_machines: TimeSeries,
+    draining_machines: TimeSeries,
+    health: TimeSeries,
     machines: u64,
 }
 
@@ -369,6 +377,8 @@ pub struct Telemetry {
     susp_all: OnlineStats,
     waste_all: OnlineStats,
     susp_totals: Vec<f64>,
+    evacuations: u64,
+    evac_discarded: LogHistogram,
     unrunnable: u64,
     unmatched_ends: u64,
     samples: u64,
@@ -413,6 +423,8 @@ impl Telemetry {
             susp_all: OnlineStats::new(),
             waste_all: OnlineStats::new(),
             susp_totals: Vec::new(),
+            evacuations: 0,
+            evac_discarded: LogHistogram::decades(),
             unrunnable: 0,
             unmatched_ends: 0,
             samples: 0,
@@ -471,6 +483,16 @@ impl Telemetry {
     /// Sample ticks observed.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Proactive evacuations off draining machines observed.
+    pub fn evacuations(&self) -> u64 {
+        self.evacuations
+    }
+
+    /// Progress discarded by evacuations, as a minutes histogram.
+    pub fn evacuation_discarded(&self) -> &LogHistogram {
+        &self.evac_discarded
     }
 
     /// Lifecycle spans still open — jobs still queued, suspended, or
@@ -589,6 +611,10 @@ impl Telemetry {
             series.queue_depth.push(now, s.waiting as f64);
             series.suspended.push(now, s.suspended as f64);
             series.down_machines.push(now, s.down_machines as f64);
+            series
+                .draining_machines
+                .push(now, s.draining_machines as f64);
+            series.health.push(now, s.health());
             series.machines = s.machines as u64;
             busy += u64::from(s.busy_cores);
             total += u64::from(s.total_cores);
@@ -737,6 +763,24 @@ impl Telemetry {
             MetricKind::Counter,
         );
         reg.inc("netbatch_span_unmatched_total", &[], self.unmatched_ends);
+        reg.declare(
+            "netbatch_evacuations_total",
+            "Jobs proactively rescheduled off draining machines.",
+            MetricKind::Counter,
+        );
+        reg.inc("netbatch_evacuations_total", &[], self.evacuations);
+        if self.evac_discarded.count() > 0 {
+            reg.declare(
+                "netbatch_evacuation_discarded_minutes",
+                "Execution progress discarded per evacuation.",
+                MetricKind::Histogram,
+            );
+            reg.insert_histogram(
+                "netbatch_evacuation_discarded_minutes",
+                &[],
+                self.evac_discarded.clone(),
+            );
+        }
         self.declare_pool_gauges(&mut reg);
         reg.render()
     }
@@ -777,6 +821,16 @@ impl Telemetry {
             "Down machines per pool at the last sample.",
             MetricKind::Gauge,
         );
+        reg.declare(
+            "netbatch_pool_draining_machines",
+            "Draining/cordoned machines per pool at the last sample.",
+            MetricKind::Gauge,
+        );
+        reg.declare(
+            "netbatch_pool_health",
+            "Health-weighted effective capacity fraction per pool at the last sample.",
+            MetricKind::Gauge,
+        );
         for (i, series) in self.pools.iter().enumerate() {
             let pool = i.to_string();
             let labels: [(&str, &str); 1] = [("pool", &pool)];
@@ -802,6 +856,12 @@ impl Telemetry {
             }
             if let Some(&(_, last)) = series.down_machines.samples().last() {
                 reg.gauge("netbatch_pool_down_machines", &labels, last);
+            }
+            if let Some(&(_, last)) = series.draining_machines.samples().last() {
+                reg.gauge("netbatch_pool_draining_machines", &labels, last);
+            }
+            if let Some(&(_, last)) = series.health.samples().last() {
+                reg.gauge("netbatch_pool_health", &labels, last);
             }
         }
     }
@@ -1067,6 +1127,10 @@ impl SimObserver for Telemetry {
                 if kind != ReschedKind::Migrate {
                     self.spans.observe(PHASE_RESTART_WASTE, discarded);
                 }
+                if kind == ReschedKind::Evacuation {
+                    self.evacuations += 1;
+                    self.evac_discarded.record(discarded.as_minutes() as f64);
+                }
                 self.track(job).waste_min += discarded.as_minutes();
             }
             ObsEvent::DuplicateLaunched { clone, .. } => {
@@ -1098,6 +1162,8 @@ impl SimObserver for Telemetry {
             | ObsEvent::WaitTimeout { .. }
             | ObsEvent::MachineDown { .. }
             | ObsEvent::MachineUp { .. }
+            | ObsEvent::MachineDraining { .. }
+            | ObsEvent::MachineUndrained { .. }
             | ObsEvent::PoolBlacklisted { .. } => {}
             ObsEvent::Kernel { .. } | ObsEvent::BatchStart { .. } => unreachable!(),
         }

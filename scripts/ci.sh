@@ -54,6 +54,28 @@ cargo run --release --bin netbatch -- simulate \
   --fault-mtbf 24 --fault-mttr 4 --fault-pool-outages 1 \
   --fault-flaky 0.05 --hardened
 
+# Lifecycle smoke: scheduled maintenance drains, a rolling-update wave
+# and health cordons with proactive evacuation, layered over stochastic
+# faults, on both backends, under the online invariant checker (which
+# also enforces the lifecycle discipline: no dispatch onto draining
+# machines, legal drain/undrain alternation, evacuations inside their
+# drain windows). Any violation panics and fails this step.
+echo "==> invariant-checked lifecycle smoke (serial + sharded)"
+for backend in "" "--backend sharded --shards 4"; do
+  # shellcheck disable=SC2086
+  cargo run --release --bin netbatch -- simulate \
+    --scale 0.02 --strategy ResSusWaitUtil --check-invariants \
+    --lifecycle --health-aware \
+    --fault-mtbf 24 --fault-mttr 4 --fault-flaky 0.05 $backend
+done
+
+# Degradation gate: under a heavy lifecycle tier the health-aware
+# configuration must actually evacuate — a regression that silently
+# disables the proactive-evacuation path fails here — and its mean
+# completion time must not be worse than the health-blind baseline's.
+echo "==> lifecycle degradation gate (health-aware vs health-blind)"
+cargo test --release -q --test lifecycle
+
 # Telemetry smoke: a sampled run exporting the Prometheus exposition,
 # then the report pipeline rendering markdown + CSVs from the same
 # telemetry. The simulate step validates the exposition before writing

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 
 use netbatch::core::experiment::{Experiment, ExperimentResult};
-use netbatch::core::faults::{FaultModel, ResiliencePolicy};
+use netbatch::core::faults::{FaultModel, LifecycleModel, ResiliencePolicy};
 use netbatch::core::observer::{StatsProbe, TraceRecorder};
 use netbatch::core::policy::{InitialKind, StrategyKind};
 use netbatch::core::simulator::{Backend, SimConfig, Simulator};
@@ -39,6 +39,11 @@ USAGE:
                     [--metrics-out FILE] [--check-invariants] [--stats]
                     [--fault-mtbf HOURS] [--fault-mttr HOURS]
                     [--fault-pool-outages N] [--fault-flaky FRAC] [--hardened]
+                    [--lifecycle] [--lifecycle-drain-lead MIN]
+                    [--lifecycle-maintenance-every HOURS]
+                    [--lifecycle-maintenance-duration HOURS]
+                    [--lifecycle-rolling-waves N] [--lifecycle-rolling-fraction FRAC]
+                    [--lifecycle-cordon-below FRAC] [--health-aware]
                     [--backend serial|sharded] [--shards N]
   netbatch report   [--trace FILE | --scenario NAME] [--scale S] [--seed N]
                     [--strategy NAME] [--initial rr|util] [--high-load]
@@ -59,6 +64,14 @@ also writes P_cdf.csv, P_timeline.csv and P_pools.csv.
 between failures, in hours); `--fault-mttr` sets mean repair time (default
 12h). `--hardened` enables the resilient rescheduling policy (retry
 budgets, exponential backoff, pool blacklisting).
+`--lifecycle` turns on the machine-lifecycle model: scheduled maintenance
+windows, rolling-update waves and health cordons, each preceded by a
+drain during which the machine accepts no new work. The `--lifecycle-*`
+knobs tune it (drain lead default 60 min, maintenance every 48h for 2h,
+1 rolling wave over a quarter of each pool, cordon below health 0.5).
+`--health-aware` makes scheduling weight pools by health-adjusted
+effective capacity and proactively evacuates jobs off draining machines
+before the kill deadline (implies `--lifecycle` and `--hardened`).
 `--backend sharded` runs the simulation on the sharded kernel (pools
 partitioned across `--shards N` worker threads, default 4); output is
 byte-identical to the serial backend at any shard count.
@@ -101,6 +114,14 @@ enum Command {
         fault_pool_outages: u32,
         fault_flaky: f64,
         hardened: bool,
+        lifecycle: bool,
+        lifecycle_drain_lead: u64,
+        lifecycle_maintenance_every: f64,
+        lifecycle_maintenance_duration: f64,
+        lifecycle_rolling_waves: u32,
+        lifecycle_rolling_fraction: f64,
+        lifecycle_cordon_below: f64,
+        health_aware: bool,
         backend: Backend,
     },
     Report {
@@ -176,7 +197,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         if let Some(name) = a.strip_prefix("--") {
             let takes_value = !matches!(
                 name,
-                "sample" | "high-load" | "check-invariants" | "stats" | "hardened"
+                "sample"
+                    | "high-load"
+                    | "check-invariants"
+                    | "stats"
+                    | "hardened"
+                    | "lifecycle"
+                    | "health-aware"
             );
             if takes_value {
                 let v = rest
@@ -263,6 +290,14 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             fault_pool_outages: int("fault-pool-outages")?.unwrap_or(0) as u32,
             fault_flaky: fnum("fault-flaky")?.unwrap_or(0.0),
             hardened: has("hardened"),
+            lifecycle: has("lifecycle"),
+            lifecycle_drain_lead: int("lifecycle-drain-lead")?.unwrap_or(60),
+            lifecycle_maintenance_every: fnum("lifecycle-maintenance-every")?.unwrap_or(48.0),
+            lifecycle_maintenance_duration: fnum("lifecycle-maintenance-duration")?.unwrap_or(2.0),
+            lifecycle_rolling_waves: int("lifecycle-rolling-waves")?.unwrap_or(1) as u32,
+            lifecycle_rolling_fraction: fnum("lifecycle-rolling-fraction")?.unwrap_or(0.25),
+            lifecycle_cordon_below: fnum("lifecycle-cordon-below")?.unwrap_or(0.5),
+            health_aware: has("health-aware"),
             backend: parse_backend(get("backend"), int("shards")?)?,
         }),
         "report" => Ok(Command::Report {
@@ -381,8 +416,65 @@ fn run(cmd: Command) -> Result<(), String> {
             fault_pool_outages,
             fault_flaky,
             hardened,
+            lifecycle,
+            lifecycle_drain_lead,
+            lifecycle_maintenance_every,
+            lifecycle_maintenance_duration,
+            lifecycle_rolling_waves,
+            lifecycle_rolling_fraction,
+            lifecycle_cordon_below,
+            health_aware,
             backend,
         } => {
+            // Validate fault/lifecycle rates up front: a NaN or negative
+            // rate must be a clear CLI error, never a panic (or a silent
+            // zero from an `as u64` saturating cast) deep in plan
+            // generation.
+            if let Some(v) = fault_mtbf {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "--fault-mtbf must be a positive number of hours, got {v}"
+                    ));
+                }
+            }
+            if !fault_mttr.is_finite() || fault_mttr <= 0.0 {
+                return Err(format!(
+                    "--fault-mttr must be a positive number of hours, got {fault_mttr}"
+                ));
+            }
+            if !fault_flaky.is_finite() || !(0.0..=1.0).contains(&fault_flaky) {
+                return Err(format!(
+                    "--fault-flaky must be a fraction in [0, 1], got {fault_flaky}"
+                ));
+            }
+            for (name, v) in [
+                ("lifecycle-maintenance-every", lifecycle_maintenance_every),
+                (
+                    "lifecycle-maintenance-duration",
+                    lifecycle_maintenance_duration,
+                ),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "--{name} must be a non-negative number of hours, got {v}"
+                    ));
+                }
+            }
+            if !lifecycle_rolling_fraction.is_finite()
+                || !(0.0..=1.0).contains(&lifecycle_rolling_fraction)
+            {
+                return Err(format!(
+                    "--lifecycle-rolling-fraction must be a fraction in [0, 1], got \
+                     {lifecycle_rolling_fraction}"
+                ));
+            }
+            if !lifecycle_cordon_below.is_finite() || !(0.0..=1.0).contains(&lifecycle_cordon_below)
+            {
+                return Err(format!(
+                    "--lifecycle-cordon-below must be a fraction in [0, 1], got \
+                     {lifecycle_cordon_below}"
+                ));
+            }
             let params = scenario_params(&scenario, scale, seed)?;
             let trace = match trace {
                 Some(path) => load_trace(&path)?,
@@ -396,13 +488,10 @@ fn run(cmd: Command) -> Result<(), String> {
             config.restart_overhead = SimDuration::from_minutes(restart_overhead);
             config.view_staleness = SimDuration::from_minutes(staleness);
             config.max_restarts = max_restarts;
+            let span = TraceAnalysis::of(&trace).span_minutes;
             if let Some(mtbf_hours) = fault_mtbf {
-                if mtbf_hours <= 0.0 {
-                    return Err("--fault-mtbf must be positive".into());
-                }
                 // Faults are drawn across the trace's submission span plus
                 // one repair window, so late arrivals still see churn.
-                let span = TraceAnalysis::of(&trace).span_minutes;
                 let horizon =
                     SimDuration::from_minutes(span.max(1) + (fault_mttr * 60.0).ceil() as u64);
                 let mtbf = SimDuration::from_minutes((mtbf_hours * 60.0).ceil().max(1.0) as u64);
@@ -413,7 +502,34 @@ fn run(cmd: Command) -> Result<(), String> {
                         .with_flaky(fault_flaky, 16),
                 );
             }
-            config.resilience = if hardened {
+            if lifecycle || health_aware {
+                let model = LifecycleModel::new(SimDuration::from_minutes(span.max(1)))
+                    .with_drain_lead(SimDuration::from_minutes(lifecycle_drain_lead))
+                    .with_maintenance(
+                        SimDuration::from_minutes(
+                            (lifecycle_maintenance_every * 60.0).ceil() as u64
+                        ),
+                        SimDuration::from_minutes(
+                            (lifecycle_maintenance_duration * 60.0).ceil() as u64
+                        ),
+                    )
+                    .with_rolling(
+                        lifecycle_rolling_waves,
+                        lifecycle_rolling_fraction,
+                        SimDuration::from_hours(1),
+                    )
+                    .with_cordon(
+                        (lifecycle_cordon_below * 1000.0).round() as u32,
+                        SimDuration::from_hours(24),
+                    )
+                    .with_flaky(fault_flaky, 16);
+                model.validate()?;
+                config.lifecycle = Some(model);
+            }
+            config.health_aware = health_aware;
+            config.resilience = if health_aware {
+                ResiliencePolicy::hardened().with_evacuation()
+            } else if hardened {
                 ResiliencePolicy::hardened()
             } else {
                 ResiliencePolicy::disabled()
@@ -476,6 +592,9 @@ fn run(cmd: Command) -> Result<(), String> {
                     "migrations/dups      {} / {}",
                     r.counters.migrations, r.counters.duplicates_launched
                 );
+            }
+            if r.counters.evacuations > 0 || lifecycle || health_aware {
+                println!("evacuations          {}", r.counters.evacuations);
             }
             if r.counters.failure_evictions > 0 || fault_mtbf.is_some() {
                 println!(
@@ -777,6 +896,101 @@ mod tests {
         assert_eq!(fault_pool_outages, 0);
         assert_eq!(fault_flaky, 0.0);
         assert!(!hardened);
+    }
+
+    #[test]
+    fn parses_lifecycle_flags() {
+        let cmd = parse_args(&args(
+            "simulate --lifecycle --lifecycle-drain-lead 30 \
+             --lifecycle-maintenance-every 24 --lifecycle-maintenance-duration 1 \
+             --lifecycle-rolling-waves 2 --lifecycle-rolling-fraction 0.5 \
+             --lifecycle-cordon-below 0.4 --health-aware --seed 5",
+        ))
+        .unwrap();
+        let Command::Simulate {
+            lifecycle,
+            lifecycle_drain_lead,
+            lifecycle_maintenance_every,
+            lifecycle_maintenance_duration,
+            lifecycle_rolling_waves,
+            lifecycle_rolling_fraction,
+            lifecycle_cordon_below,
+            health_aware,
+            seed,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert!(lifecycle && health_aware);
+        assert_eq!(lifecycle_drain_lead, 30);
+        assert_eq!(lifecycle_maintenance_every, 24.0);
+        assert_eq!(lifecycle_maintenance_duration, 1.0);
+        assert_eq!(lifecycle_rolling_waves, 2);
+        assert_eq!(lifecycle_rolling_fraction, 0.5);
+        assert_eq!(lifecycle_cordon_below, 0.4);
+        // Both booleans take no value: --seed must not be swallowed.
+        assert_eq!(seed, Some(5));
+    }
+
+    #[test]
+    fn lifecycle_flags_default_off() {
+        let cmd = parse_args(&args("simulate")).unwrap();
+        let Command::Simulate {
+            lifecycle,
+            health_aware,
+            lifecycle_drain_lead,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert!(!lifecycle && !health_aware);
+        assert_eq!(lifecycle_drain_lead, 60);
+    }
+
+    #[test]
+    fn invalid_fault_rates_are_rejected() {
+        // Validation happens in run(), after parsing: build the command
+        // and check the error text, without touching the filesystem.
+        let run_err = |s: &str| run(parse_args(&args(s)).unwrap()).unwrap_err();
+        assert!(run_err("simulate --scale 0.001 --fault-mtbf -3").contains("--fault-mtbf"));
+        assert!(run_err("simulate --scale 0.001 --fault-mtbf 0").contains("positive"));
+        assert!(run_err("simulate --scale 0.001 --fault-mtbf NaN").contains("--fault-mtbf"));
+        assert!(
+            run_err("simulate --scale 0.001 --fault-mtbf 48 --fault-mttr 0")
+                .contains("--fault-mttr")
+        );
+        assert!(
+            run_err("simulate --scale 0.001 --fault-mtbf 48 --fault-mttr -1").contains("positive")
+        );
+        assert!(run_err("simulate --scale 0.001 --fault-flaky 1.5").contains("--fault-flaky"));
+        assert!(run_err("simulate --scale 0.001 --fault-flaky NaN").contains("[0, 1]"));
+    }
+
+    #[test]
+    fn invalid_lifecycle_rates_are_rejected() {
+        let run_err = |s: &str| run(parse_args(&args(s)).unwrap()).unwrap_err();
+        assert!(
+            run_err("simulate --scale 0.001 --lifecycle --lifecycle-maintenance-every -1")
+                .contains("--lifecycle-maintenance-every")
+        );
+        assert!(
+            run_err("simulate --scale 0.001 --lifecycle --lifecycle-maintenance-duration NaN")
+                .contains("non-negative")
+        );
+        assert!(
+            run_err("simulate --scale 0.001 --lifecycle --lifecycle-rolling-fraction 2")
+                .contains("--lifecycle-rolling-fraction")
+        );
+        assert!(
+            run_err("simulate --scale 0.001 --lifecycle --lifecycle-rolling-fraction NaN")
+                .contains("[0, 1]")
+        );
+        assert!(
+            run_err("simulate --scale 0.001 --lifecycle --lifecycle-cordon-below -0.1")
+                .contains("--lifecycle-cordon-below")
+        );
     }
 
     #[test]

@@ -15,10 +15,10 @@
 
 use netbatch::cluster::ids::PoolId;
 use netbatch::cluster::pool::PoolConfig;
-use netbatch::core::faults::{FaultModel, ResiliencePolicy};
+use netbatch::core::faults::{FaultModel, LifecycleModel, ResiliencePolicy};
 use netbatch::core::observer::{InvariantChecker, TraceRecorder};
 use netbatch::core::policy::{InitialKind, StrategyKind};
-use netbatch::core::simulator::{MachineFailure, SimConfig, SimOutput, Simulator};
+use netbatch::core::simulator::{Backend, MachineFailure, SimConfig, SimOutput, Simulator};
 use netbatch::sim_engine::time::{SimDuration, SimTime};
 use netbatch::workload::scenarios::SiteSpec;
 use netbatch::workload::trace::{Trace, TraceRecord};
@@ -91,6 +91,39 @@ fn arb_fault_model() -> impl Strategy<Value = FaultModel> {
         })
 }
 
+/// Randomized lifecycle intensity over the same 3000-minute window as
+/// [`arb_fault_model`]: maintenance cadence, rolling-update waves, health
+/// cordons and drain leads all vary, so the drain/evacuation machinery is
+/// exercised across schedule shapes (including degenerate all-off plans).
+fn arb_lifecycle_model() -> impl Strategy<Value = LifecycleModel> {
+    (
+        5u64..180,                                   // drain lead minutes
+        prop::sample::select(vec![0u64, 600, 1200]), // maintenance period (0 = off)
+        30u64..180,                                  // maintenance outage minutes
+        0u32..3,                                     // rolling waves
+        1u64..100,                                   // rolling fraction, percent
+        prop::sample::select(vec![0u32, 300, 600]),  // cordon threshold, milli
+        0u64..40,                                    // flaky fraction, percent
+    )
+        .prop_map(
+            |(lead, every, duration, waves, roll_pct, cordon, flaky_pct)| {
+                LifecycleModel::new(SimDuration::from_minutes(3000))
+                    .with_drain_lead(SimDuration::from_minutes(lead))
+                    .with_maintenance(
+                        SimDuration::from_minutes(every),
+                        SimDuration::from_minutes(duration),
+                    )
+                    .with_rolling(
+                        waves,
+                        roll_pct as f64 / 100.0,
+                        SimDuration::from_minutes(60),
+                    )
+                    .with_cordon(cordon, SimDuration::from_minutes(500))
+                    .with_flaky(flaky_pct as f64 / 100.0, 8)
+            },
+        )
+}
+
 /// Runs a faulty workload with the invariant checker and an in-memory
 /// recorder attached. A violated invariant panics inside, failing the
 /// property.
@@ -112,6 +145,37 @@ fn run_chaos(
     } else {
         ResiliencePolicy::disabled()
     };
+    let mut sim = Simulator::new(&site, trace.to_specs(), config);
+    sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    sim.run_to_completion()
+}
+
+/// Like [`run_chaos`] but with a machine-lifecycle plan layered on top of
+/// the stochastic faults, health-aware scheduling with proactive
+/// evacuation toggled by `aware`, and a selectable backend.
+fn run_lifecycle_chaos(
+    records: Vec<TraceRecord>,
+    strategy: StrategyKind,
+    seed: u64,
+    model: FaultModel,
+    lifecycle: LifecycleModel,
+    aware: bool,
+    backend: Backend,
+) -> SimOutput {
+    let site = small_site(3, 2, 2);
+    let trace = Trace::from_records(records);
+    let mut config = SimConfig::new(InitialKind::RoundRobin, strategy);
+    config.seed = seed;
+    config.check_invariants = true;
+    config.fault_model = Some(model);
+    config.lifecycle = Some(lifecycle);
+    config.health_aware = aware;
+    config.resilience = if aware {
+        ResiliencePolicy::hardened().with_evacuation()
+    } else {
+        ResiliencePolicy::hardened()
+    };
+    config.backend = backend;
     let mut sim = Simulator::new(&site, trace.to_specs(), config);
     sim.attach_observer(Box::new(TraceRecorder::in_memory()));
     sim.run_to_completion()
@@ -179,6 +243,90 @@ proptest! {
                 .to_string()
         };
         prop_assert_eq!(lines(&a), lines(&b), "same-seed traces diverge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random lifecycle plans (drains, maintenance kills, rolling waves,
+    /// cordons) layered on random fault plans, across every strategy with
+    /// evacuation toggled both ways: the invariant checker stays silent
+    /// (no dispatch onto draining machines, legal transitions, evacuations
+    /// inside their drain windows), every job settles exactly once, and
+    /// the journal's evacuation events reconcile with the run counter.
+    #[test]
+    fn prop_lifecycle_chaos_conservation(
+        records in prop::collection::vec(arb_record(), 1..40),
+        strategy in arb_any_strategy(),
+        seed in 0u64..1000,
+        model in arb_fault_model(),
+        lifecycle in arb_lifecycle_model(),
+        aware in prop::bool::ANY,
+    ) {
+        let n = records.len() as u64;
+        let out = run_lifecycle_chaos(
+            records, strategy, seed, model, lifecycle, aware, Backend::Serial,
+        );
+        let checker = out
+            .observer::<InvariantChecker>()
+            .expect("checker attached via config");
+        prop_assert!(checker.events_seen() > 0, "checker saw no events");
+        prop_assert_eq!(
+            out.counters.completed + out.counters.unrunnable,
+            n,
+            "job lost or double-settled under lifecycle churn"
+        );
+        let rec = out.observer::<TraceRecorder>().expect("recorder attached");
+        let count = |kind: &str| rec.kind_counts().get(kind).copied().unwrap_or(0);
+        prop_assert_eq!(count("evacuation"), out.counters.evacuations);
+        prop_assert_eq!(
+            count("machine_draining"),
+            count("machine_undrained"),
+            "every drain window must close"
+        );
+        if !aware {
+            prop_assert_eq!(out.counters.evacuations, 0,
+                "evacuation fired with the policy disabled");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Lifecycle events are part of the determinism contract on *both*
+    /// backends: the serial reference and the sharded kernel (at 2 and 4
+    /// shards) must produce byte-identical traces for the same seed.
+    #[test]
+    fn prop_lifecycle_chaos_backend_equivalence(
+        records in prop::collection::vec(arb_record(), 1..30),
+        strategy in arb_any_strategy(),
+        seed in 0u64..1000,
+        model in arb_fault_model(),
+        lifecycle in arb_lifecycle_model(),
+        aware in prop::bool::ANY,
+    ) {
+        let lines = |out: &SimOutput| {
+            out.observer::<TraceRecorder>()
+                .expect("recorder attached")
+                .lines()
+                .to_string()
+        };
+        let serial = lines(&run_lifecycle_chaos(
+            records.clone(), strategy, seed, model.clone(), lifecycle.clone(),
+            aware, Backend::Serial,
+        ));
+        for shards in [2usize, 4] {
+            let sharded = lines(&run_lifecycle_chaos(
+                records.clone(), strategy, seed, model.clone(), lifecycle.clone(),
+                aware, Backend::Sharded { shards },
+            ));
+            prop_assert_eq!(
+                &serial, &sharded,
+                "serial and sharded x{} traces diverge under lifecycle churn", shards
+            );
+        }
     }
 }
 

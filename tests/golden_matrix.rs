@@ -10,7 +10,7 @@
 //! through the same coordinator), and the telemetry-attached variant
 //! (exercising the replay/settle observer seam end to end).
 
-use netbatch::core::faults::{FaultModel, ResiliencePolicy};
+use netbatch::core::faults::{FaultModel, LifecycleModel, ResiliencePolicy};
 use netbatch::core::observer::TraceRecorder;
 use netbatch::core::policy::{InitialKind, StrategyKind};
 use netbatch::core::simulator::{Backend, SimConfig, Simulator};
@@ -69,6 +69,18 @@ fn chaos_config(backend: Backend) -> SimConfig {
     config
 }
 
+fn lifecycle_config(backend: Backend) -> SimConfig {
+    // Must stay in lockstep with tests/golden_lifecycle.rs, which owns
+    // the fixture's regeneration.
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusWaitUtil);
+    config.lifecycle =
+        Some(LifecycleModel::standard(SimDuration::from_days(7)).with_flaky(0.05, 16));
+    config.resilience = ResiliencePolicy::hardened().with_evacuation();
+    config.health_aware = true;
+    config.backend = backend;
+    config
+}
+
 /// Asserts `got` equals the fixture, reporting the first diverging line
 /// rather than dumping two multi-thousand-line streams.
 fn assert_matches(golden: &str, got: &str, label: &str) {
@@ -107,6 +119,42 @@ fn chaos_fixture_is_shard_count_invariant() {
     for shards in shard_matrix() {
         let got = record(chaos_config(Backend::Sharded { shards }));
         assert_matches(&golden, &got, &format!("sharded x{shards}"));
+    }
+}
+
+#[test]
+fn lifecycle_fixture_is_shard_count_invariant() {
+    // Lifecycle drains and evacuations run inline on the coordinator
+    // (classified to no shard), so shard count must stay unobservable
+    // even while machines drain, die, evacuate and re-open mid-run.
+    let golden = read_fixture("lifecycle_drain_rswu.jsonl");
+    assert_matches(
+        &golden,
+        &record(lifecycle_config(Backend::Serial)),
+        "serial",
+    );
+    for shards in shard_matrix() {
+        let got = record(lifecycle_config(Backend::Sharded { shards }));
+        assert_matches(&golden, &got, &format!("lifecycle sharded x{shards}"));
+    }
+}
+
+#[test]
+fn lifecycle_fixture_on_reference_heap_queue_is_backend_invariant() {
+    // The queue axis composes with the backend axis under lifecycle
+    // churn too: same fixture on the reference binary-heap queue, both
+    // serial and sharded.
+    let golden = read_fixture("lifecycle_drain_rswu.jsonl");
+    for (backend, label) in [
+        (Backend::Serial, "serial on reference heap"),
+        (
+            Backend::Sharded { shards: 4 },
+            "sharded x4 on reference heap",
+        ),
+    ] {
+        let mut config = lifecycle_config(backend);
+        config.use_reference_queue = true;
+        assert_matches(&golden, &record(config), label);
     }
 }
 
