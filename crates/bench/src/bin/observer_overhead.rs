@@ -2,12 +2,15 @@
 //!
 //! Runs the paper's normal-load week at `NETBATCH_SCALE` (default 0.25
 //! here — overhead ratios need runs long enough to swamp timer noise)
-//! per strategy — observer-free, with the [`Telemetry`]
-//! observer attached, and under the online invariant checker — and writes
-//! the wall-clock ratios to `BENCH_observer.json` in the current
-//! directory. The committed file makes the observability tax visible in
-//! review diffs; the budget for telemetry is <= 1.2x the observer-free
-//! run (see DESIGN.md).
+//! per strategy — observer-free, with the [`Telemetry`] observer
+//! attached, with the [`SpanRecorder`] attached, and under the online
+//! invariant checker — and writes the wall-clock ratios to
+//! `BENCH_observer.json` in the current directory. The committed file
+//! makes the observability tax visible in review diffs; the budget for
+//! telemetry is <= 1.2x the observer-free run and for spans <= 1.25x
+//! (see DESIGN.md). When every observer is off the emit path
+//! short-circuits on an empty observer list, so disabled spans are
+//! provably zero-cost — the baseline variant *is* that configuration.
 //!
 //! Each variant takes the minimum wall clock over eight rounds (after a
 //! warm-up run), with the variants interleaved within every round — the
@@ -18,6 +21,7 @@
 //! Usage: `cargo run --release -p netbatch-bench --bin observer_overhead`
 //!
 //! [`Telemetry`]: netbatch_core::Telemetry
+//! [`SpanRecorder`]: netbatch_core::SpanRecorder
 
 use std::time::Instant;
 
@@ -30,6 +34,7 @@ struct Cell {
     strategy: &'static str,
     baseline_ms: f64,
     telemetry_ms: f64,
+    spans_ms: f64,
     checker_ms: f64,
     events: u64,
 }
@@ -37,6 +42,10 @@ struct Cell {
 impl Cell {
     fn telemetry_ratio(&self) -> f64 {
         self.telemetry_ms / self.baseline_ms.max(1e-9)
+    }
+
+    fn spans_ratio(&self) -> f64 {
+        self.spans_ms / self.baseline_ms.max(1e-9)
     }
 }
 
@@ -62,14 +71,15 @@ fn main() {
         telemetry: true,
         ..off
     };
+    let spn = RunnerOpts { spans: true, ..off };
     let chk = RunnerOpts {
         check_invariants: true,
         ..off
     };
     let mut cells = Vec::new();
     for strategy in strategies {
-        let (mut baseline_ms, mut telemetry_ms, mut checker_ms) =
-            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let (mut baseline_ms, mut telemetry_ms, mut spans_ms, mut checker_ms) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
         let mut events = 0;
         wall_ms(&site, &trace, strategy, off); // warm-up: page/cache touch
         for _ in 0..8 {
@@ -78,6 +88,8 @@ fn main() {
             events = ev;
             let (wall, _) = wall_ms(&site, &trace, strategy, tel);
             telemetry_ms = telemetry_ms.min(wall);
+            let (wall, _) = wall_ms(&site, &trace, strategy, spn);
+            spans_ms = spans_ms.min(wall);
             let (wall, _) = wall_ms(&site, &trace, strategy, chk);
             checker_ms = checker_ms.min(wall);
         }
@@ -85,14 +97,17 @@ fn main() {
             strategy: strategy.name(),
             baseline_ms,
             telemetry_ms,
+            spans_ms,
             checker_ms,
             events,
         };
         println!(
             "{:<14} baseline {baseline_ms:>8.1} ms | telemetry {telemetry_ms:>8.1} ms ({:.2}x) \
-             | checker {checker_ms:>8.1} ms ({:.2}x) | {events} events",
+             | spans {spans_ms:>8.1} ms ({:.2}x) | checker {checker_ms:>8.1} ms ({:.2}x) \
+             | {events} events",
             cell.strategy,
             cell.telemetry_ratio(),
+            cell.spans_ratio(),
             checker_ms / baseline_ms.max(1e-9),
         );
         cells.push(cell);
@@ -101,31 +116,48 @@ fn main() {
         .iter()
         .map(Cell::telemetry_ratio)
         .fold(0.0_f64, f64::max);
+    let worst_spans = cells.iter().map(Cell::spans_ratio).fold(0.0_f64, f64::max);
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"scale\": {scale},\n"));
     json.push_str("  \"telemetry_budget\": 1.2,\n");
+    json.push_str("  \"spans_budget\": 1.25,\n");
     json.push_str(&format!("  \"worst_telemetry_ratio\": {worst:.3},\n"));
+    json.push_str(&format!("  \"worst_spans_ratio\": {worst_spans:.3},\n"));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 == cells.len() { "" } else { "," };
         json.push_str(&format!(
             "    {{\"strategy\": \"{}\", \"baseline_ms\": {:.1}, \"telemetry_ms\": {:.1}, \
-             \"telemetry_ratio\": {:.3}, \"checker_ms\": {:.1}, \"events\": {}}}{comma}\n",
+             \"telemetry_ratio\": {:.3}, \"spans_ms\": {:.1}, \"spans_ratio\": {:.3}, \
+             \"checker_ms\": {:.1}, \"events\": {}}}{comma}\n",
             c.strategy,
             c.baseline_ms,
             c.telemetry_ms,
             c.telemetry_ratio(),
+            c.spans_ms,
+            c.spans_ratio(),
             c.checker_ms,
             c.events
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_observer.json", &json).expect("write BENCH_observer.json");
-    println!("\nworst telemetry ratio {worst:.2}x (budget 1.2x) -> BENCH_observer.json");
+    println!(
+        "\nworst telemetry ratio {worst:.2}x (budget 1.2x), worst spans ratio {worst_spans:.2}x \
+         (budget 1.25x) -> BENCH_observer.json"
+    );
+    let mut breached = false;
     if worst > 1.2 {
         eprintln!("warning: telemetry overhead exceeds the 1.2x budget");
+        breached = true;
+    }
+    if worst_spans > 1.25 {
+        eprintln!("warning: span-recording overhead exceeds the 1.25x budget");
+        breached = true;
+    }
+    if breached {
         std::process::exit(1);
     }
 }

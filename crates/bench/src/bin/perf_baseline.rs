@@ -34,6 +34,7 @@ fn main() {
         check_invariants: std::env::args().any(|a| a == "--check-invariants"),
         stats: false,
         telemetry: false,
+        spans: false,
     };
     let strategies = [
         StrategyKind::NoRes,

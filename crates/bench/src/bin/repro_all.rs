@@ -50,6 +50,7 @@ fn main() {
         check_invariants: argv.iter().any(|a| a == "--check-invariants"),
         stats: argv.iter().any(|a| a == "--stats"),
         telemetry: false,
+        spans: false,
     };
     let smoke = argv.iter().any(|a| a == "--smoke");
     let t0 = std::time::Instant::now();

@@ -72,6 +72,9 @@ pub struct RunnerOpts {
     /// Attach a [`netbatch_core::Telemetry`] observer per cell (spans,
     /// per-pool series, exposition). Used by the observer-overhead bench.
     pub telemetry: bool,
+    /// Attach a [`netbatch_core::SpanRecorder`] per cell (causal span
+    /// trees + decision audit). Used by the observer-overhead bench.
+    pub spans: bool,
 }
 
 /// Runs one experiment cell.
@@ -98,6 +101,7 @@ pub fn run_cell_opts(
     let mut config = SimConfig::new(initial, strategy);
     config.check_invariants = opts.check_invariants;
     config.telemetry = opts.telemetry;
+    config.spans = opts.spans;
     let mut sim = Simulator::new(site, trace.to_specs(), config);
     if opts.stats {
         sim.attach_observer(Box::new(StatsProbe::new()));
@@ -282,6 +286,7 @@ mod tests {
             check_invariants: true,
             stats: true,
             telemetry: false,
+            spans: false,
         };
         let (result, report) = run_cell_opts(
             &site,

@@ -133,6 +133,23 @@ impl FaultPlan {
         self.outages.is_empty()
     }
 
+    /// The stable cause id of the outage covering `(pool, machine)` at
+    /// instant `at`: its index in this normalized plan. Normalization
+    /// sorts by `(pool, machine, start)` and merges overlaps, so the
+    /// index is deterministic for a given run configuration — the id the
+    /// provenance layer stamps on `MachineDown` fault audits.
+    pub fn outage_id(&self, pool: PoolId, machine: MachineId, at: SimTime) -> Option<u32> {
+        self.outages
+            .iter()
+            .position(|o| {
+                o.pool == pool
+                    && o.machine == machine
+                    && o.from <= at
+                    && o.until.is_none_or(|until| at < until)
+            })
+            .map(|i| i as u32)
+    }
+
     /// Drops every outage starting at or after `horizon`.
     ///
     /// The generator never emits such intervals, but merged ad-hoc
@@ -409,6 +426,19 @@ impl LifecyclePlan {
     /// lifecycle-off fast path (no events seeded, byte-identical traces).
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty() && self.health.is_empty()
+    }
+
+    /// The stable cause id of the window holding `(pool, machine)` in a
+    /// drain at instant `at`: its index in this normalized plan (the
+    /// lifecycle analogue of [`FaultPlan::outage_id`], stamped on
+    /// evacuation audits).
+    pub fn window_id(&self, pool: PoolId, machine: MachineId, at: SimTime) -> Option<u32> {
+        self.windows
+            .iter()
+            .position(|w| {
+                w.pool == pool && w.machine == machine && w.drain_from <= at && at < w.until
+            })
+            .map(|i| i as u32)
     }
 
     /// The kill intervals of this plan as machine outages, for merging
@@ -1086,6 +1116,37 @@ mod tests {
         m.probe_fail = 1.5;
         assert!(m.validate().is_err(), "probe failure rate > 1 rejected");
         assert!(LifecycleModel::standard(horizon).validate().is_ok());
+    }
+
+    #[test]
+    fn cause_ids_are_stable_plan_indices() {
+        let plan = FaultPlan::new(vec![
+            outage(0, 80, Some(90)),
+            outage(0, 10, Some(20)),
+            outage(1, 30, None),
+        ]);
+        // Sorted order: (m0, 10), (m0, 80), (m1, 30).
+        let at = SimTime::from_minutes;
+        assert_eq!(plan.outage_id(PoolId(0), MachineId(0), at(10)), Some(0));
+        assert_eq!(plan.outage_id(PoolId(0), MachineId(0), at(85)), Some(1));
+        assert_eq!(
+            plan.outage_id(PoolId(0), MachineId(1), at(9999)),
+            Some(2),
+            "permanent outage covers forever"
+        );
+        assert_eq!(
+            plan.outage_id(PoolId(0), MachineId(0), at(20)),
+            None,
+            "repair instant is outside the outage"
+        );
+
+        let plan = LifecyclePlan::new(
+            vec![window(1, 200, Some(210), 230), window(1, 10, Some(20), 40)],
+            vec![],
+        );
+        assert_eq!(plan.window_id(PoolId(0), MachineId(1), at(10)), Some(0));
+        assert_eq!(plan.window_id(PoolId(0), MachineId(1), at(229)), Some(1));
+        assert_eq!(plan.window_id(PoolId(0), MachineId(1), at(40)), None);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod experiment;
 pub mod faults;
 pub mod observer;
 pub mod policy;
+pub mod provenance;
 mod sharded;
 pub mod simulator;
 pub mod telemetry;
@@ -42,10 +43,11 @@ pub mod telemetry;
 pub use experiment::{render_results_table, Experiment, ExperimentResult, PAPER_TABLE_HEADER};
 pub use faults::{FaultModel, FaultPlan, MachineOutage, ResiliencePolicy};
 pub use observer::{
-    InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind, SimObserver, StatsProbe,
-    TraceRecorder,
+    AuditTrigger, AuditVerdict, InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind,
+    SimObserver, StatsProbe, TraceRecorder,
 };
 pub use policy::{InitialKind, ReschedPolicy, StrategyKind};
+pub use provenance::{Cause, KernelProfile, SpanRecorder};
 pub use simulator::{Backend, RunCounters, SimConfig, SimOutput, Simulator};
 
 /// Returns and resets the process-wide aggregate time worker threads of

@@ -95,6 +95,52 @@ impl PhaseTag {
     }
 }
 
+/// What put a job in front of the rescheduling policy (the consultation a
+/// [`ObsEvent::PolicyAudit`] records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditTrigger {
+    /// The job was preempted and sits suspended on its machine.
+    Suspend,
+    /// The job's wait-queue threshold elapsed.
+    WaitTimeout,
+}
+
+impl AuditTrigger {
+    /// Stable label for traces and span causes.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditTrigger::Suspend => "suspend",
+            AuditTrigger::WaitTimeout => "wait_timeout",
+        }
+    }
+}
+
+/// The decision a consulted rescheduling policy returned (a payload-free
+/// mirror of [`Decision`](crate::policy::Decision)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// Leave the job where it is.
+    Stay,
+    /// Restart from scratch in the target pool.
+    Restart,
+    /// Migrate with progress to the target pool.
+    Migrate,
+    /// Launch a duplicate copy in the target pool.
+    Duplicate,
+}
+
+impl AuditVerdict {
+    /// Stable label for traces and span causes.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditVerdict::Stay => "stay",
+            AuditVerdict::Restart => "restart",
+            AuditVerdict::Migrate => "migrate",
+            AuditVerdict::Duplicate => "duplicate",
+        }
+    }
+}
+
 /// One observable simulator transition.
 ///
 /// `Kernel` and `BatchStart` are structural markers (the former opens each
@@ -280,6 +326,74 @@ pub enum ObsEvent {
         /// When the cooldown expires.
         until: SimTime,
     },
+    /// A rescheduling policy was consulted, with the ranking inputs it
+    /// saw. Emitted immediately before the transition (if any) the
+    /// verdict produces, so provenance consumers can attach the decision
+    /// to the move it caused. Not rendered into JSONL traces (golden
+    /// fixtures predate it); span recorders and counters observe it.
+    PolicyAudit {
+        /// The job the policy decided about.
+        job: JobId,
+        /// The pool the job occupied at decision time.
+        pool: PoolId,
+        /// What put the job in front of the policy.
+        trigger: AuditTrigger,
+        /// The decision returned.
+        verdict: AuditVerdict,
+        /// The chosen target pool, when the verdict names one.
+        target: Option<PoolId>,
+        /// How many candidate pools the policy ranked.
+        candidates: u16,
+        /// Effective utilization of the current pool, in thousandths
+        /// (the `ResSus*Util` ranking input).
+        cur_util_milli: u32,
+        /// Effective utilization of the chosen target, in thousandths
+        /// (equal to `cur_util_milli` for `Stay`).
+        tgt_util_milli: u32,
+        /// Wait-queue length of the current pool (the `ResSusQueue` /
+        /// `ResSusWaitSmart` ranking input).
+        cur_queue: u32,
+        /// Wait-queue length of the chosen target.
+        tgt_queue: u32,
+    },
+    /// A proactive evacuation was decided for one resident of a draining
+    /// machine: the job cannot finish before the kill deadline (or is
+    /// suspended with no guarantee of resuming). Emitted immediately
+    /// before the corresponding [`ObsEvent::Reschedule`] with
+    /// [`ReschedKind::Evacuation`]. Not rendered into JSONL traces.
+    EvacAudit {
+        /// The evacuated job.
+        job: JobId,
+        /// The pool containing the draining machine.
+        pool: PoolId,
+        /// The draining machine.
+        machine: MachineId,
+        /// The lifecycle window id that opened the drain (index into the
+        /// run's normalized [`LifecyclePlan`](crate::faults::LifecyclePlan)).
+        window: u32,
+        /// Wall time the job still needed at decision time (zero for
+        /// suspended residents, which are evacuated unconditionally).
+        remaining: SimDuration,
+        /// The kill deadline the evacuation raced against.
+        deadline: SimTime,
+    },
+    /// A machine failure was attributed to its injected outage; emitted
+    /// immediately after [`ObsEvent::MachineDown`], before the per-job
+    /// evictions, so provenance consumers can tie every eviction (and a
+    /// hardened run's blacklist booking) to the outage that caused it.
+    /// Not rendered into JSONL traces.
+    FaultAudit {
+        /// The pool containing the failed machine.
+        pool: PoolId,
+        /// The failed machine.
+        machine: MachineId,
+        /// The outage id (index into the run's merged, normalized
+        /// [`FaultPlan`](crate::faults::FaultPlan)).
+        outage: u32,
+        /// When the pool's blacklist cooldown expires, when this failure
+        /// booked (or extended) one.
+        blacklisted_until: Option<SimTime>,
+    },
     /// The per-minute state sample tick (ASCA's sampling cadence).
     Sample,
 }
@@ -312,6 +426,9 @@ impl ObsEvent {
             ObsEvent::MachineUndrained { .. } => "machine_undrained",
             ObsEvent::RetryScheduled { .. } => "retry_backoff",
             ObsEvent::PoolBlacklisted { .. } => "blacklist",
+            ObsEvent::PolicyAudit { .. } => "policy_audit",
+            ObsEvent::EvacAudit { .. } => "evac_audit",
+            ObsEvent::FaultAudit { .. } => "fault_audit",
             ObsEvent::Sample => "sample",
         }
     }
@@ -1223,6 +1340,17 @@ impl SimObserver for InvariantChecker {
                     *entry = u;
                 }
             }
+            ObsEvent::PolicyAudit { target, .. } => {
+                // The verdict's transition (if any) follows and is checked
+                // there; here we only pin that the audited target is legal.
+                if let Some(target) = target {
+                    self.check_not_blacklisted(now, target, "policy_audit");
+                }
+            }
+            // Pure provenance annotations: the transitions they explain
+            // (evacuation reschedules, machine_down evictions) carry their
+            // own invariants.
+            ObsEvent::EvacAudit { .. } | ObsEvent::FaultAudit { .. } => {}
             ObsEvent::Sample => {}
         }
     }
@@ -1282,6 +1410,8 @@ impl SimObserver for InvariantChecker {
 enum Sink {
     Memory(String),
     File(std::io::BufWriter<std::fs::File>),
+    /// Buffered stdout, for `--trace-out -` pipeline use.
+    Stdout(std::io::BufWriter<std::io::Stdout>),
 }
 
 /// Streams every lifecycle event as one JSON object per line (JSONL).
@@ -1328,11 +1458,21 @@ impl TraceRecorder {
         })
     }
 
-    /// The recorded JSONL document (empty for file-backed recorders).
+    /// Streams to stdout (the `--trace-out -` pipeline sink).
+    pub fn to_stdout() -> Self {
+        TraceRecorder {
+            sink: Sink::Stdout(std::io::BufWriter::new(std::io::stdout())),
+            counts: BTreeMap::new(),
+            events: 0,
+        }
+    }
+
+    /// The recorded JSONL document (empty for file- and stdout-backed
+    /// recorders).
     pub fn lines(&self) -> &str {
         match &self.sink {
             Sink::Memory(buf) => buf,
-            Sink::File(_) => "",
+            Sink::File(_) | Sink::Stdout(_) => "",
         }
     }
 
@@ -1355,6 +1495,9 @@ impl TraceRecorder {
             Sink::File(w) => {
                 writeln!(w, "{line}").expect("trace write failed");
             }
+            Sink::Stdout(w) => {
+                writeln!(w, "{line}").expect("trace write failed");
+            }
         }
     }
 
@@ -1363,7 +1506,15 @@ impl TraceRecorder {
         let ev = event.label();
         let mut s = String::with_capacity(96);
         match *event {
-            ObsEvent::Kernel { .. } | ObsEvent::BatchStart { .. } => return None,
+            // Markers and decision audits are structural: audits carry the
+            // provenance layer's causes and would perturb the pinned golden
+            // JSONL fixtures, so they stay out of the event log (span
+            // recorders consume them instead).
+            ObsEvent::Kernel { .. }
+            | ObsEvent::BatchStart { .. }
+            | ObsEvent::PolicyAudit { .. }
+            | ObsEvent::EvacAudit { .. }
+            | ObsEvent::FaultAudit { .. } => return None,
             ObsEvent::Submit { job } | ObsEvent::Unrunnable { job } => {
                 let _ = write!(s, r#"{{"t":{t},"ev":"{ev}","job":{}}}"#, job.as_u64());
             }
@@ -1520,8 +1671,10 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_run_end(&mut self, _now: SimTime, _ctx: &ObsCtx<'_>) {
-        if let Sink::File(w) = &mut self.sink {
-            w.flush().expect("trace flush failed");
+        match &mut self.sink {
+            Sink::File(w) => w.flush().expect("trace flush failed"),
+            Sink::Stdout(w) => w.flush().expect("trace flush failed"),
+            Sink::Memory(_) => {}
         }
     }
 

@@ -144,6 +144,29 @@ impl PoolSelector {
     }
 }
 
+/// The ranking inputs a policy saw for `pool` at decision time, as
+/// recorded in [`PolicyAudit`](crate::observer::ObsEvent::PolicyAudit):
+/// utilization in thousandths and wait-queue length. `health_aware` picks
+/// the same utilization flavour the selectors compare (effective capacity
+/// vs raw); an infinite effective utilization (busy cores on a fully
+/// drained pool) saturates to `u32::MAX`.
+pub fn audit_inputs(view: &ClusterSnapshot, pool: PoolId, health_aware: bool) -> (u32, u32) {
+    let Some(snap) = view.pools.get(pool.as_usize()) else {
+        return (0, 0);
+    };
+    let util = if health_aware {
+        snap.effective_utilization()
+    } else {
+        snap.utilization()
+    };
+    let milli = if util.is_finite() {
+        (util * 1000.0).round().min(u32::MAX as f64) as u32
+    } else {
+        u32::MAX
+    };
+    (milli, snap.waiting.min(u32::MAX as usize) as u32)
+}
+
 /// What to do with a freshly suspended job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {

@@ -199,6 +199,9 @@ struct WorkerResult {
     /// Items actually executed (stale completions are skipped and do not
     /// count — the serial backend never delivers them at all).
     executed: u64,
+    /// Per-phase `(events, nanos)` self-profile for this flush
+    /// (submit = 0, complete = 1); all zeros when profiling is off.
+    profile: [(u64, u64); 2],
     /// The (cleared) item buffer, recycled back to the coordinator.
     items: Vec<BatchItem>,
 }
@@ -221,6 +224,10 @@ pub(crate) fn run_sharded(mut sim: Simulator, shards: usize) -> SimOutput {
     sim.seed_initial_events(|at, ev| {
         queue.schedule(at, ev);
     });
+    let profile_on = sim.profile.is_some();
+    if let Some(profile) = sim.profile.as_mut() {
+        profile.init_shards(shards);
+    }
 
     std::thread::scope(|scope| {
         let (result_tx, result_rx) = mpsc::channel::<WorkerResult>();
@@ -230,7 +237,7 @@ pub(crate) fn run_sharded(mut sim: Simulator, shards: usize) -> SimOutput {
             work_txs.push(tx);
             let results = result_tx.clone();
             scope.spawn(move || {
-                let mut worker = ShardWorker::new(shard);
+                let mut worker = ShardWorker::new(shard, profile_on);
                 while let Ok(msg) = rx.recv() {
                     let t0 = std::time::Instant::now();
                     let result = worker.run_flush(msg);
@@ -424,6 +431,11 @@ fn flush_batches(
         sim.counters.completed += result.completed;
         sim.counters.suspensions += result.suspensions;
         executed += result.executed;
+        if let Some(profile) = sim.profile.as_mut() {
+            for (phase, &(items, nanos)) in result.profile.iter().enumerate() {
+                profile.record_shard(result.shard, phase, nanos, items);
+            }
+        }
         effect_runs.push(result.effects);
         emission_runs.push(result.emissions);
     }
@@ -498,11 +510,16 @@ struct ShardWorker {
     suspensions: u64,
     executed: u64,
     collect: bool,
+    /// Whether to time each item for the kernel self-profile.
+    profile: bool,
+    /// Per-phase `(events, nanos)` accumulated this flush (submit = 0,
+    /// complete = 1).
+    profile_nanos: [(u64, u64); 2],
     seq: u32,
 }
 
 impl ShardWorker {
-    fn new(shard: usize) -> Self {
+    fn new(shard: usize, profile: bool) -> Self {
         ShardWorker {
             shard,
             actions: Vec::new(),
@@ -513,6 +530,8 @@ impl ShardWorker {
             suspensions: 0,
             executed: 0,
             collect: false,
+            profile,
+            profile_nanos: [(0, 0); 2],
             seq: 0,
         }
     }
@@ -529,6 +548,7 @@ impl ShardWorker {
         self.suspensions = 0;
         self.executed = 0;
         self.collect = msg.collect;
+        self.profile_nanos = [(0, 0); 2];
         let FlushMsg {
             time,
             mut items,
@@ -537,10 +557,22 @@ impl ShardWorker {
         } = msg;
         for item in &items {
             self.seq = item.seq;
-            match item.ev {
-                Ev::Submit(job) => self.run_submit(job, item.pool, time, &arena),
-                Ev::Complete(job) => self.run_complete(job, item.id, time, &arena),
+            let t0 = self.profile.then(std::time::Instant::now);
+            let phase = match item.ev {
+                Ev::Submit(job) => {
+                    self.run_submit(job, item.pool, time, &arena);
+                    0
+                }
+                Ev::Complete(job) => {
+                    self.run_complete(job, item.id, time, &arena);
+                    1
+                }
                 other => unreachable!("non-local event in shard batch: {other:?}"),
+            };
+            if let Some(t0) = t0 {
+                let cell = &mut self.profile_nanos[phase];
+                cell.0 += 1;
+                cell.1 += t0.elapsed().as_nanos() as u64;
             }
         }
         items.clear();
@@ -551,6 +583,7 @@ impl ShardWorker {
             completed: self.completed,
             suspensions: self.suspensions,
             executed: self.executed,
+            profile: self.profile_nanos,
             items,
         }
     }

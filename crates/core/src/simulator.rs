@@ -28,9 +28,13 @@ use netbatch_workload::scenarios::SiteSpec;
 use crate::faults::{
     FaultModel, FaultPlan, LifecycleModel, LifecyclePlan, LifecycleWindow, ResiliencePolicy,
 };
-use crate::observer::{InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind, SimObserver};
+use crate::observer::{
+    AuditTrigger, AuditVerdict, InvariantChecker, ObsCtx, ObsEvent, PhaseTag, ReschedKind,
+    SimObserver,
+};
 use crate::policy::initial::{InitialKind, InitialScheduler};
 use crate::policy::resched::{Decision, ReschedPolicy, StrategyKind};
+use crate::provenance::KernelProfile;
 
 /// Simulator configuration: the experiment's policy axes plus extension
 /// knobs (all defaults match the paper's setup).
@@ -108,6 +112,17 @@ pub struct SimConfig {
     /// Prometheus exposition or a markdown report. Off by default; like
     /// every observer it costs nothing when not attached.
     pub telemetry: bool,
+    /// Attach a [`SpanRecorder`](crate::provenance::SpanRecorder) to the
+    /// run: per-job causal span trees (queue-wait → run → suspend →
+    /// backoff → … segments, each with a typed cause) plus a decision
+    /// audit log, renderable as spans JSONL or a Perfetto trace. Off by
+    /// default; like every observer it costs nothing when not attached.
+    pub spans: bool,
+    /// Kernel self-profiling: attribute wall time per event kind (and per
+    /// shard on the sharded backend), rendered as folded stacks for
+    /// flamegraphs. Wall-clock readings are nondeterministic and never
+    /// enter deterministic outputs. Off by default (one branch per event).
+    pub profile: bool,
     /// Run on the reference binary-heap event queue instead of the
     /// hierarchical timer wheel. The two backends are contractually
     /// identical (differentially tested); this knob exists so end-to-end
@@ -263,6 +278,8 @@ impl Default for SimConfig {
             topology: None,
             check_invariants: false,
             telemetry: false,
+            spans: false,
+            profile: false,
             use_reference_queue: false,
             backend: Backend::Serial,
         }
@@ -289,6 +306,19 @@ impl SimConfig {
     /// the run.
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Attaches a [`SpanRecorder`](crate::provenance::SpanRecorder)
+    /// provenance observer to the run.
+    pub fn with_spans(mut self) -> Self {
+        self.spans = true;
+        self
+    }
+
+    /// Enables the kernel self-profiler for the run.
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 }
@@ -319,6 +349,26 @@ pub enum Ev {
     DrainStart(PoolId, MachineId, Option<SimTime>),
     /// A lifecycle window closes: the machine re-opens for placement.
     DrainEnd(PoolId, MachineId),
+}
+
+impl Ev {
+    /// Dense index of the event's kind, matching
+    /// [`KERNEL_EV_KINDS`](crate::provenance::KERNEL_EV_KINDS) — the
+    /// kernel profiler's per-phase attribution key.
+    pub fn kind_index(self) -> usize {
+        match self {
+            Ev::Submit(_) => 0,
+            Ev::Complete(_) => 1,
+            Ev::WaitCheck(_) => 2,
+            Ev::Sample => 3,
+            Ev::MachineDown(..) => 4,
+            Ev::MachineUp(..) => 5,
+            Ev::MigrateArrive(..) => 6,
+            Ev::RetryDispatch(_) => 7,
+            Ev::DrainStart(..) => 8,
+            Ev::DrainEnd(..) => 9,
+        }
+    }
 }
 
 impl EventLabel for Ev {
@@ -511,6 +561,13 @@ pub struct Simulator {
     pub(crate) observers: Vec<Box<dyn SimObserver>>,
     // Sampling cadence (mirrors `config.sample_interval`).
     sampler: Option<PeriodicSampler>,
+    // The merged, normalized fault schedule (injected failures + generated
+    // outages + lifecycle kills), stored at seeding time so fault audits
+    // can name the outage id behind each `MachineDown`.
+    fault_plan: FaultPlan,
+    // Kernel self-profiler (`config.profile`); `None` costs one branch per
+    // event. Wall-clock readings never enter deterministic outputs.
+    pub(crate) profile: Option<Box<KernelProfile>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -595,6 +652,12 @@ impl Simulator {
                 config.initial.name(),
             )));
         }
+        if config.spans {
+            observers.push(Box::new(crate::provenance::SpanRecorder::new(
+                config.strategy.name(),
+                config.initial.name(),
+            )));
+        }
         let sampler = config
             .sample_interval
             .map(|interval| PeriodicSampler::new(SimTime::ZERO, interval));
@@ -624,6 +687,8 @@ impl Simulator {
             waiting_series: TimeSeries::new(),
             observers,
             sampler,
+            fault_plan: FaultPlan::default(),
+            profile: config.profile.then(|| Box::new(KernelProfile::new())),
             config,
         }
     }
@@ -736,6 +801,9 @@ impl Simulator {
                 seed(until, Ev::MachineUp(o.pool, o.machine));
             }
         }
+        // Keep the merged plan: outage ids in fault audits are indices
+        // into exactly this normalized schedule.
+        self.fault_plan = plan;
         // Drain windows seed after the outage pairs, so at a shared
         // instant the machine is restored (still draining, no dispatch)
         // before the drain ends and re-opens it.
@@ -779,6 +847,7 @@ impl Simulator {
             utilization_series: self.utilization_series,
             waiting_series: self.waiting_series,
             observers: self.observers,
+            profile: self.profile.map(|p| *p),
         }
     }
 
@@ -805,6 +874,43 @@ impl Simulator {
         if self.config.view_staleness.is_zero() {
             self.view_at = None;
         }
+    }
+
+    /// Emits a [`ObsEvent::PolicyAudit`] carrying the ranking inputs the
+    /// policy just saw in the (still-fresh) cluster view — the evidence
+    /// `netbatch trace --why` replays for each decision.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_policy_audit(
+        &mut self,
+        job: JobId,
+        pool: PoolId,
+        trigger: AuditTrigger,
+        verdict: AuditVerdict,
+        target: Option<PoolId>,
+        candidates: u16,
+        now: SimTime,
+    ) {
+        let health = self.config.health_aware;
+        let (cur_util_milli, cur_queue) =
+            crate::policy::resched::audit_inputs(&self.view_snap, pool, health);
+        let (tgt_util_milli, tgt_queue) = target.map_or((cur_util_milli, cur_queue), |t| {
+            crate::policy::resched::audit_inputs(&self.view_snap, t, health)
+        });
+        self.emit(
+            now,
+            ObsEvent::PolicyAudit {
+                job,
+                pool,
+                trigger,
+                verdict,
+                target,
+                candidates,
+                cur_util_milli,
+                tgt_util_milli,
+                cur_queue,
+                tgt_queue,
+            },
+        );
     }
 
     /// The pools this job may be rescheduled to: affinity candidates that
@@ -1044,7 +1150,24 @@ impl Simulator {
             &self.view_snap,
             &mut self.policy_rng,
         );
+        let candidate_count = candidates.len() as u16;
         self.scratch.put_pool_list(candidates);
+        // Decision audit: the exact ranking inputs the policy saw, emitted
+        // before the transition its verdict produces. Skipped for `NoRes`,
+        // whose suspensions are not decisions (and whose fast-class
+        // sharded path never consults the policy — the skip keeps span
+        // trees byte-identical across backends).
+        if !self.observers.is_empty() && !self.policy.is_no_res() {
+            self.emit_policy_audit(
+                job,
+                at_pool,
+                AuditTrigger::Suspend,
+                decision_verdict(decision),
+                decision_target(decision),
+                candidate_count,
+                now,
+            );
+        }
         match decision {
             Decision::Stay => {}
             Decision::Restart(target) => {
@@ -1343,7 +1466,23 @@ impl Simulator {
             &self.view_snap,
             &mut self.policy_rng,
         );
+        let candidate_count = candidates.len() as u16;
         self.scratch.put_pool_list(candidates);
+        if !self.observers.is_empty() {
+            let (verdict, target) = match decision {
+                Some(t) if t != pool => (AuditVerdict::Restart, Some(t)),
+                _ => (AuditVerdict::Stay, None),
+            };
+            self.emit_policy_audit(
+                job,
+                pool,
+                AuditTrigger::WaitTimeout,
+                verdict,
+                target,
+                candidate_count,
+                now,
+            );
+        }
         match decision {
             Some(target) if target != pool => {
                 self.pools[pool.as_usize()]
@@ -1449,6 +1588,7 @@ impl Simulator {
         }
         self.touch_view();
         self.emit(now, ObsEvent::MachineDown { pool, machine });
+        let mut blacklisted_until = None;
         if self.config.resilience.enabled {
             // A pool that just lost a machine is unhealthy: exclude it
             // from rescheduling targets for the cooldown window.
@@ -1456,7 +1596,26 @@ impl Simulator {
             if self.blacklist[pool.as_usize()] < until {
                 self.blacklist[pool.as_usize()] = until;
                 self.emit(now, ObsEvent::PoolBlacklisted { pool, until });
+                blacklisted_until = Some(until);
             }
+        }
+        if !self.observers.is_empty() {
+            // Fault audit: name the outage behind this failure so span
+            // causes and `trace --why` can cite it, before the per-job
+            // evictions it triggers.
+            let outage = self
+                .fault_plan
+                .outage_id(pool, machine, now)
+                .unwrap_or(u32::MAX);
+            self.emit(
+                now,
+                ObsEvent::FaultAudit {
+                    pool,
+                    machine,
+                    outage,
+                    blacklisted_until,
+                },
+            );
         }
         let mut evicted = std::mem::take(&mut self.scratch.evicted);
         evicted.clear();
@@ -1695,6 +1854,29 @@ impl Simulator {
                 continue; // moved or completed by a cascade in between
             };
             self.counters.evacuations += 1;
+            if !self.observers.is_empty() {
+                // Evacuation audit: which lifecycle window forced the
+                // move and what the job's remaining work was racing.
+                let window = self
+                    .lifecycle_plan
+                    .window_id(pool, machine, now)
+                    .unwrap_or(u32::MAX);
+                let remaining = match from_phase {
+                    PhaseTag::Running => self.jobs[job.as_usize()].remaining_wall(),
+                    _ => SimDuration::ZERO,
+                };
+                self.emit(
+                    now,
+                    ObsEvent::EvacAudit {
+                        job,
+                        pool,
+                        machine,
+                        window,
+                        remaining,
+                        deadline,
+                    },
+                );
+            }
             let rec = &mut self.jobs[job.as_usize()];
             if let Some(ev) = rec.completion_event.take() {
                 sched.cancel(ev);
@@ -1792,10 +1974,29 @@ impl Simulator {
     }
 }
 
+/// The audit label for a policy decision.
+fn decision_verdict(decision: Decision) -> AuditVerdict {
+    match decision {
+        Decision::Stay => AuditVerdict::Stay,
+        Decision::Restart(_) => AuditVerdict::Restart,
+        Decision::Migrate(_) => AuditVerdict::Migrate,
+        Decision::Duplicate(_) => AuditVerdict::Duplicate,
+    }
+}
+
+/// The target pool a policy decision names, if any.
+fn decision_target(decision: Decision) -> Option<PoolId> {
+    match decision {
+        Decision::Stay => None,
+        Decision::Restart(t) | Decision::Migrate(t) | Decision::Duplicate(t) => Some(t),
+    }
+}
+
 impl Handler for Simulator {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) -> Control {
+        let profile_start = self.profile.as_ref().map(|_| std::time::Instant::now());
         // Kernel marker: all state mutated by the previous event has
         // settled, which is where deferred invariant comparisons run.
         self.emit(
@@ -1827,6 +2028,12 @@ impl Handler for Simulator {
             }
             Ev::DrainEnd(pool, machine) => self.handle_drain_end(pool, machine, now, sched),
         }
+        if let Some(start) = profile_start {
+            let nanos = start.elapsed().as_nanos() as u64;
+            if let Some(profile) = self.profile.as_mut() {
+                profile.record(event.kind_index(), nanos);
+            }
+        }
         Control::Continue
     }
 }
@@ -1851,6 +2058,9 @@ pub struct SimOutput {
     /// Observers that rode the run, in attach order (the configured
     /// invariant checker first, when enabled). Empty by default.
     pub observers: Vec<Box<dyn SimObserver>>,
+    /// Kernel self-profile (`config.profile`); its `Debug` rendering
+    /// redacts the nondeterministic wall-clock readings.
+    pub profile: Option<KernelProfile>,
 }
 
 impl SimOutput {

@@ -71,7 +71,7 @@ pub const TIMELINE_BUCKET: SimDuration = SimDuration::from_minutes(100);
 
 /// Labels of the counted event kinds, in [`event_index`] order. Kernel
 /// and batch markers are filtered out before counting.
-const EVENT_KINDS: [&str; 23] = [
+const EVENT_KINDS: [&str; 26] = [
     "submit",
     "pool_chosen",
     "unrunnable",
@@ -95,6 +95,9 @@ const EVENT_KINDS: [&str; 23] = [
     "machine_draining",
     "machine_undrained",
     "evacuation",
+    "policy_audit",
+    "evac_audit",
+    "fault_audit",
 ];
 
 /// The [`EVENT_KINDS`] slot for a counted event. Counting through a
@@ -127,6 +130,9 @@ fn event_index(event: &ObsEvent) -> usize {
         ObsEvent::Sample => 19,
         ObsEvent::MachineDraining { .. } => 20,
         ObsEvent::MachineUndrained { .. } => 21,
+        ObsEvent::PolicyAudit { .. } => 23,
+        ObsEvent::EvacAudit { .. } => 24,
+        ObsEvent::FaultAudit { .. } => 25,
         ObsEvent::Kernel { .. } | ObsEvent::BatchStart { .. } => {
             unreachable!("markers are filtered before counting")
         }
@@ -1164,7 +1170,10 @@ impl SimObserver for Telemetry {
             | ObsEvent::MachineUp { .. }
             | ObsEvent::MachineDraining { .. }
             | ObsEvent::MachineUndrained { .. }
-            | ObsEvent::PoolBlacklisted { .. } => {}
+            | ObsEvent::PoolBlacklisted { .. }
+            | ObsEvent::PolicyAudit { .. }
+            | ObsEvent::EvacAudit { .. }
+            | ObsEvent::FaultAudit { .. } => {}
             ObsEvent::Kernel { .. } | ObsEvent::BatchStart { .. } => unreachable!(),
         }
     }

@@ -13,6 +13,8 @@
 //!   latency histograms (the telemetry layer's span engine);
 //! * [`export`] — Prometheus-style text exposition rendering and a
 //!   sanity parser for it;
+//! * [`json`] — a small hand-written JSON parser for reading the
+//!   simulator's hand-rendered artifacts back (trace tooling, CI checks);
 //! * [`waste`] — the AvgWCT decomposition into wait / suspend / rescheduling
 //!   waste (Figure 3, Tables 1–5);
 //! * [`table`] — plain-text and markdown table rendering for the harness.
@@ -33,6 +35,7 @@
 pub mod cdf;
 pub mod export;
 pub mod histogram;
+pub mod json;
 pub mod spans;
 pub mod summary;
 pub mod table;

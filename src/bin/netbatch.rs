@@ -17,9 +17,11 @@ use netbatch::core::experiment::{Experiment, ExperimentResult};
 use netbatch::core::faults::{FaultModel, LifecycleModel, ResiliencePolicy};
 use netbatch::core::observer::{StatsProbe, TraceRecorder};
 use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::provenance::{perfetto_from_jsonl, SpanRecorder};
 use netbatch::core::simulator::{Backend, SimConfig, Simulator};
 use netbatch::core::telemetry::Telemetry;
 use netbatch::metrics::export::validate_exposition;
+use netbatch::metrics::json::{self, Value};
 use netbatch::sim_engine::time::SimDuration;
 use netbatch::workload::analysis::TraceAnalysis;
 use netbatch::workload::io::{read_csv, write_csv};
@@ -35,8 +37,9 @@ USAGE:
   netbatch simulate [--trace FILE | --scenario NAME] [--scale S] [--seed N]
                     [--strategy NAME] [--initial rr|util] [--high-load]
                     [--restart-overhead MIN] [--staleness MIN] [--max-restarts N]
-                    [--sample] [--series-out FILE] [--trace-out FILE]
-                    [--metrics-out FILE] [--check-invariants] [--stats]
+                    [--sample] [--series-out FILE] [--trace-out FILE|-]
+                    [--metrics-out FILE|-] [--spans-out FILE|-]
+                    [--profile-out FILE|-] [--check-invariants] [--stats]
                     [--fault-mtbf HOURS] [--fault-mttr HOURS]
                     [--fault-pool-outages N] [--fault-flaky FRAC] [--hardened]
                     [--lifecycle] [--lifecycle-drain-lead MIN]
@@ -48,6 +51,8 @@ USAGE:
   netbatch report   [--trace FILE | --scenario NAME] [--scale S] [--seed N]
                     [--strategy NAME] [--initial rr|util] [--high-load]
                     [--out FILE] [--csv-prefix PREFIX] [--metrics-out FILE]
+  netbatch trace    --in FILE|- [--job N] [--pool N] [--cause TYPE]
+                    [--why JOB] [--perfetto-out FILE|-]
   netbatch strategies
   netbatch help
 
@@ -75,6 +80,16 @@ before the kill deadline (implies `--lifecycle` and `--hardened`).
 `--backend sharded` runs the simulation on the sharded kernel (pools
 partitioned across `--shards N` worker threads, default 4); output is
 byte-identical to the serial backend at any shard count.
+`--spans-out` records every job's causal span tree (queue-wait, running,
+suspended, backoff, migrating segments, each with the typed cause that
+started it) plus the policy/evacuation/fault decision audit, as JSONL.
+`--profile-out` writes the kernel self-profile (wall time per event kind
+per execution lane) as folded stacks, flamegraph-ready. `trace` queries a
+spans file: filter by `--job`/`--pool`/`--cause`, print a `--why JOB`
+decision audit (the exact ranking inputs behind each rescheduling,
+evacuation and blacklist decision), or export Chrome/Perfetto JSON with
+`--perfetto-out` (jobs as tracks, pools as process groups). Sinks named
+`-` write to stdout for pipelines; at most one sink may claim stdout.
 The paper's full tables live in the bench harness:
   cargo run --release -p netbatch-bench --bin repro_all
 ";
@@ -107,6 +122,8 @@ enum Command {
         series_out: Option<String>,
         trace_out: Option<String>,
         metrics_out: Option<String>,
+        spans_out: Option<String>,
+        profile_out: Option<String>,
         check_invariants: bool,
         stats: bool,
         fault_mtbf: Option<f64>,
@@ -135,6 +152,14 @@ enum Command {
         out: String,
         csv_prefix: Option<String>,
         metrics_out: Option<String>,
+    },
+    Trace {
+        input: String,
+        job: Option<u64>,
+        pool: Option<u64>,
+        cause: Option<String>,
+        why: Option<u64>,
+        perfetto_out: Option<String>,
     },
     Strategies,
     Help,
@@ -283,6 +308,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             series_out: get("series-out"),
             trace_out: get("trace-out"),
             metrics_out: get("metrics-out"),
+            spans_out: get("spans-out"),
+            profile_out: get("profile-out"),
             check_invariants: has("check-invariants"),
             stats: has("stats"),
             fault_mtbf: fnum("fault-mtbf")?,
@@ -311,6 +338,16 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             out: get("out").unwrap_or_else(|| "report.md".into()),
             csv_prefix: get("csv-prefix"),
             metrics_out: get("metrics-out"),
+        }),
+        "trace" => Ok(Command::Trace {
+            input: get("in")
+                .or_else(|| positional.first().cloned())
+                .ok_or("trace needs --in FILE (a spans JSONL from `simulate --spans-out`)")?,
+            job: int("job")?,
+            pool: int("pool")?,
+            cause: get("cause"),
+            why: int("why")?,
+            perfetto_out: get("perfetto-out"),
         }),
         "strategies" => Ok(Command::Strategies),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -409,6 +446,8 @@ fn run(cmd: Command) -> Result<(), String> {
             series_out,
             trace_out,
             metrics_out,
+            spans_out,
+            profile_out,
             check_invariants,
             stats,
             fault_mtbf,
@@ -426,6 +465,23 @@ fn run(cmd: Command) -> Result<(), String> {
             health_aware,
             backend,
         } => {
+            // Stdout is a single stream: at most one sink may claim it.
+            let stdout_sinks: Vec<&str> = [
+                ("--trace-out", &trace_out),
+                ("--metrics-out", &metrics_out),
+                ("--spans-out", &spans_out),
+                ("--profile-out", &profile_out),
+            ]
+            .iter()
+            .filter(|(_, v)| v.as_deref() == Some("-"))
+            .map(|&(name, _)| name)
+            .collect();
+            if stdout_sinks.len() > 1 {
+                return Err(format!(
+                    "stdout (`-`) can serve only one sink, but {} each claim it",
+                    stdout_sinks.join(" and ")
+                ));
+            }
             // Validate fault/lifecycle rates up front: a NaN or negative
             // rate must be a clear CLI error, never a panic (or a silent
             // zero from an `as u64` saturating cast) deep in plan
@@ -542,15 +598,26 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             config.check_invariants = check_invariants;
             config.telemetry = metrics_out.is_some();
+            config.spans = spans_out.is_some();
+            config.profile = profile_out.is_some();
             config.backend = backend;
             let t0 = std::time::Instant::now();
             // Observer-carrying runs drive the simulator directly; the
             // plain path stays on the Experiment front door.
-            let (r, observers) = if trace_out.is_some() || stats || metrics_out.is_some() {
+            let direct = trace_out.is_some()
+                || stats
+                || metrics_out.is_some()
+                || spans_out.is_some()
+                || profile_out.is_some();
+            let (r, observers, profile) = if direct {
                 let mut sim = Simulator::new(&site, trace.to_specs(), config);
                 if let Some(path) = &trace_out {
-                    let rec = TraceRecorder::to_file(path)
-                        .map_err(|e| format!("cannot create {path}: {e}"))?;
+                    let rec = if path == "-" {
+                        TraceRecorder::to_stdout()
+                    } else {
+                        TraceRecorder::to_file(path)
+                            .map_err(|e| format!("cannot create {path}: {e}"))?
+                    };
                     sim.attach_observer(Box::new(rec));
                 }
                 if stats {
@@ -558,46 +625,62 @@ fn run(cmd: Command) -> Result<(), String> {
                 }
                 let mut output = sim.run_to_completion();
                 let observers = std::mem::take(&mut output.observers);
+                let profile = output.profile.take();
                 (
                     ExperimentResult::from_output(initial, strategy, output),
                     observers,
+                    profile,
                 )
             } else {
-                (Experiment::new(site, trace, config).run(), Vec::new())
+                (Experiment::new(site, trace, config).run(), Vec::new(), None)
             };
-            println!(
+            // A stdout sink owns stdout: the human-readable summary moves
+            // to stderr so pipelines stay parseable.
+            let quiet = stdout_sinks.len() == 1;
+            macro_rules! status {
+                ($($arg:tt)*) => {
+                    if quiet {
+                        eprintln!($($arg)*);
+                    } else {
+                        println!($($arg)*);
+                    }
+                };
+            }
+            status!(
                 "{} | {} initial{}",
                 strategy.name(),
                 initial.name(),
                 if high_load { " | high load" } else { "" }
             );
-            println!("jobs                 {}", r.total_jobs);
-            println!("suspend rate         {:.2}%", r.suspend_rate * 100.0);
-            println!("AvgCT (suspended)    {:.1} min", r.avg_ct_suspended);
-            println!("AvgCT (all)          {:.1} min", r.avg_ct_all);
-            println!("AvgST                {:.1} min", r.avg_st);
-            println!(
+            status!("jobs                 {}", r.total_jobs);
+            status!("suspend rate         {:.2}%", r.suspend_rate * 100.0);
+            status!("AvgCT (suspended)    {:.1} min", r.avg_ct_suspended);
+            status!("AvgCT (all)          {:.1} min", r.avg_ct_all);
+            status!("AvgST                {:.1} min", r.avg_st);
+            status!(
                 "AvgWCT               {:.1} min (wait {:.1} + suspend {:.1} + resched {:.1})",
                 r.avg_wct(),
                 r.waste.avg_wait(),
                 r.waste.avg_suspend(),
                 r.waste.avg_resched()
             );
-            println!(
+            status!(
                 "restarts             {} from suspension, {} from queues",
-                r.counters.restarts_from_suspend, r.counters.restarts_from_wait
+                r.counters.restarts_from_suspend,
+                r.counters.restarts_from_wait
             );
             if r.counters.migrations + r.counters.duplicates_launched > 0 {
-                println!(
+                status!(
                     "migrations/dups      {} / {}",
-                    r.counters.migrations, r.counters.duplicates_launched
+                    r.counters.migrations,
+                    r.counters.duplicates_launched
                 );
             }
             if r.counters.evacuations > 0 || lifecycle || health_aware {
-                println!("evacuations          {}", r.counters.evacuations);
+                status!("evacuations          {}", r.counters.evacuations);
             }
             if r.counters.failure_evictions > 0 || fault_mtbf.is_some() {
-                println!(
+                status!(
                     "failure evictions    {} ({} retries, {} VPM requeues, {} unrunnable)",
                     r.counters.failure_evictions,
                     r.counters.retries_scheduled,
@@ -605,21 +688,23 @@ fn run(cmd: Command) -> Result<(), String> {
                     r.counters.unrunnable
                 );
             }
-            println!(
+            status!(
                 "simulated {} events in {:.2}s",
                 r.counters.events,
                 t0.elapsed().as_secs_f64()
             );
             let hot = r.hottest_pools(5);
             if hot.iter().any(|(_, s)| s.suspensions > 0) {
-                println!("hottest pools (by preemptions):");
+                status!("hottest pools (by preemptions):");
                 for (pool, s) in hot {
                     if s.suspensions == 0 {
                         continue;
                     }
-                    println!(
+                    status!(
                         "  {pool}: {} suspensions, peak queue {}, peak suspended {}",
-                        s.suspensions, s.peak_queue, s.peak_suspended
+                        s.suspensions,
+                        s.peak_queue,
+                        s.peak_suspended
                     );
                 }
             }
@@ -638,27 +723,50 @@ fn run(cmd: Command) -> Result<(), String> {
                 {
                     writeln!(f, "{},{s},{u:.2},{w}", t.as_minutes()).map_err(|e| e.to_string())?;
                 }
-                println!("series written to {path}");
+                status!("series written to {path}");
             }
             for obs in &observers {
                 if let Some(rec) = obs.as_any().downcast_ref::<TraceRecorder>() {
                     if let Some(path) = &trace_out {
-                        println!("trace: {} events written to {path}", rec.events());
+                        status!("trace: {} events written to {path}", rec.events());
                     }
                 }
                 if let Some(probe) = obs.as_any().downcast_ref::<StatsProbe>() {
-                    print!("{}", probe.report());
+                    if quiet {
+                        eprint!("{}", probe.report());
+                    } else {
+                        print!("{}", probe.report());
+                    }
                 }
                 if let Some(tel) = obs.as_any().downcast_ref::<Telemetry>() {
                     if let Some(path) = &metrics_out {
                         let text = tel.render_prom();
                         let samples = validate_exposition(&text)
                             .map_err(|e| format!("internal: invalid exposition: {e}"))?;
-                        std::fs::write(path, &text)
-                            .map_err(|e| format!("cannot write {path}: {e}"))?;
-                        println!("metrics: {samples} samples written to {path}");
+                        write_sink(path, &text)?;
+                        status!("metrics: {samples} samples written to {path}");
                     }
                 }
+                if let Some(spans) = obs.as_any().downcast_ref::<SpanRecorder>() {
+                    if let Some(path) = &spans_out {
+                        write_sink(path, &spans.render_jsonl())?;
+                        status!(
+                            "spans: {} spans across {} jobs, {} decisions written to {path}",
+                            spans.span_count(),
+                            spans.job_count(),
+                            spans.decisions().len()
+                        );
+                    }
+                }
+            }
+            if let Some(path) = &profile_out {
+                let profile = profile.ok_or("internal: kernel profile missing from run output")?;
+                write_sink(path, &profile.render_folded())?;
+                status!(
+                    "profile: {} events over {} lanes written to {path}",
+                    profile.total_events(),
+                    profile.lane_count()
+                );
             }
             Ok(())
         }
@@ -737,6 +845,270 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Trace {
+            input,
+            job,
+            pool,
+            cause,
+            why,
+            perfetto_out,
+        } => {
+            let text = if input == "-" {
+                use std::io::Read;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("cannot read stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(&input).map_err(|e| format!("cannot open {input}: {e}"))?
+            };
+            if let Some(path) = &perfetto_out {
+                let rendered = perfetto_from_jsonl(&text)?;
+                write_sink(path, &rendered)?;
+                if path != "-" {
+                    println!("perfetto trace written to {path}");
+                }
+                // Export-only invocation: no causal chain on top.
+                if job.is_none() && pool.is_none() && cause.is_none() && why.is_none() {
+                    return Ok(());
+                }
+            }
+            let file = parse_spans_file(&input, &text)?;
+            println!(
+                "{} | {} | {} initial | {} jobs, {} spans, {} decisions",
+                file.header
+                    .get("schema")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?"),
+                file.header
+                    .get("strategy")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?"),
+                file.header
+                    .get("initial")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?"),
+                field_u64(&file.header, "jobs").unwrap_or(0),
+                field_u64(&file.header, "spans").unwrap_or(0),
+                field_u64(&file.header, "decisions").unwrap_or(0),
+            );
+            // --why J is a job filter plus the decision audit for J.
+            let job = why.or(job);
+            let selected: Vec<&Value> = file
+                .spans
+                .iter()
+                .filter(|s| job.is_none_or(|j| field_u64(s, "job") == Some(j)))
+                .filter(|s| pool.is_none_or(|p| field_u64(s, "pool") == Some(p)))
+                .filter(|s| {
+                    cause.as_deref().is_none_or(|c| {
+                        s.get("cause")
+                            .and_then(|v| v.get("type"))
+                            .and_then(Value::as_str)
+                            == Some(c)
+                    })
+                })
+                .collect();
+            if selected.is_empty() {
+                println!("no spans match the query");
+                return Ok(());
+            }
+            let mut current_job = None;
+            for span in &selected {
+                let id = field_u64(span, "job");
+                if current_job != id {
+                    current_job = id;
+                    println!("job {}:", id.unwrap_or(0));
+                }
+                println!("{}", format_span(span));
+            }
+            if let Some(j) = why {
+                // The decision audit: every policy/evacuation decision the
+                // job was subject to, plus the fault outages its causal
+                // chain cites, with the exact inputs behind each.
+                let outages: Vec<u64> = selected
+                    .iter()
+                    .filter_map(|s| s.get("cause"))
+                    .filter(|c| c.get("type").and_then(Value::as_str) == Some("fault"))
+                    .filter_map(|c| field_u64(c, "outage"))
+                    .collect();
+                let relevant: Vec<&Value> = file
+                    .decisions
+                    .iter()
+                    .filter(|d| match d.get("type").and_then(Value::as_str) {
+                        Some("fault") => {
+                            field_u64(d, "outage").is_some_and(|o| outages.contains(&o))
+                        }
+                        _ => field_u64(d, "job") == Some(j),
+                    })
+                    .collect();
+                println!("why job {j}:");
+                if relevant.is_empty() {
+                    println!("  no recorded decisions — every transition was mechanical");
+                }
+                for d in relevant {
+                    println!("{}", format_decision(d));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Writes `text` to `path`, or to stdout when `path` is `-`.
+fn write_sink(path: &str, text: &str) -> Result<(), String> {
+    if path == "-" {
+        use std::io::Write;
+        std::io::stdout()
+            .write_all(text.as_bytes())
+            .map_err(|e| format!("cannot write to stdout: {e}"))
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+/// One parsed spans file: header, decision-audit lines, span lines.
+#[derive(Debug)]
+struct SpansFile {
+    header: Value,
+    decisions: Vec<Value>,
+    spans: Vec<Value>,
+}
+
+fn parse_spans_file(name: &str, text: &str) -> Result<SpansFile, String> {
+    let mut header = None;
+    let mut decisions = Vec::new();
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("{name}:{}: {e}", i + 1))?;
+        match v.get("kind").and_then(Value::as_str) {
+            Some("span") => spans.push(v),
+            Some("decision") => decisions.push(v),
+            _ if header.is_none() && v.get("schema").is_some() => header = Some(v),
+            _ => return Err(format!("{name}:{}: unrecognized line", i + 1)),
+        }
+    }
+    let header = header.ok_or_else(|| format!("{name}: missing netbatch-spans header line"))?;
+    let schema = header.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != "netbatch-spans/1" {
+        return Err(format!(
+            "{name}: unsupported schema `{schema}` (expected netbatch-spans/1)"
+        ));
+    }
+    Ok(SpansFile {
+        header,
+        decisions,
+        spans,
+    })
+}
+
+fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+/// Renders a span's cause object as a one-line human-readable clause.
+fn describe_cause(c: &Value) -> String {
+    let kind = c.get("type").and_then(Value::as_str).unwrap_or("?");
+    match kind {
+        "dispatched" => match c.get("from_queue").and_then(Value::as_bool) {
+            Some(true) => "dispatched from queue".into(),
+            _ => "dispatched on submit".into(),
+        },
+        "policy" => {
+            let trigger = c.get("trigger").and_then(Value::as_str).unwrap_or("?");
+            let verdict = c.get("verdict").and_then(Value::as_str).unwrap_or("?");
+            let target = match field_u64(c, "target") {
+                Some(p) => format!(" to pool {p}"),
+                None => String::new(),
+            };
+            format!(
+                "policy {trigger} -> {verdict}{target} ({} candidates, util {:.1}% -> {:.1}%, \
+                 queue {} -> {})",
+                field_u64(c, "candidates").unwrap_or(0),
+                field_u64(c, "cur_util_milli").unwrap_or(0) as f64 / 10.0,
+                field_u64(c, "tgt_util_milli").unwrap_or(0) as f64 / 10.0,
+                field_u64(c, "cur_queue").unwrap_or(0),
+                field_u64(c, "tgt_queue").unwrap_or(0),
+            )
+        }
+        "fault" => {
+            let blacklist = match field_u64(c, "blacklisted_until") {
+                Some(t) => format!(", pool blacklisted until t={t}"),
+                None => String::new(),
+            };
+            format!(
+                "fault outage #{}{blacklist}",
+                field_u64(c, "outage").unwrap_or(0)
+            )
+        }
+        "evacuation" => format!(
+            "evacuation window #{}, kill deadline t={}",
+            field_u64(c, "window").unwrap_or(0),
+            field_u64(c, "deadline").unwrap_or(0),
+        ),
+        "retry" => format!("retry attempt {}", field_u64(c, "attempt").unwrap_or(0)),
+        other => other.into(),
+    }
+}
+
+/// Renders one span line of a causal chain.
+fn format_span(v: &Value) -> String {
+    let end = match field_u64(v, "end") {
+        Some(t) => t.to_string(),
+        None => "open".into(),
+    };
+    let mut location = match field_u64(v, "pool") {
+        Some(p) => format!("pool {p}"),
+        None => String::new(),
+    };
+    if let Some(m) = field_u64(v, "machine") {
+        location = format!("{location} machine {m}");
+    }
+    let cause = v
+        .get("cause")
+        .map(describe_cause)
+        .unwrap_or_else(|| "?".into());
+    format!(
+        "  [{:>6} .. {end:>6}] {:<10} {location:<20} <- {cause}",
+        field_u64(v, "start").unwrap_or(0),
+        v.get("phase").and_then(Value::as_str).unwrap_or("?"),
+    )
+}
+
+/// Renders one decision-audit line for `netbatch trace --why`.
+fn format_decision(v: &Value) -> String {
+    let t = field_u64(v, "t").unwrap_or(0);
+    match v.get("type").and_then(Value::as_str).unwrap_or("?") {
+        "policy" => format!(
+            "  t={t} {}",
+            describe_cause(v) // policy decisions carry the same fields as policy causes
+        ),
+        "evac" => format!(
+            "  t={t} evacuation of job {} off pool {} machine {}: window #{}, {} min \
+             remaining, kill deadline t={}",
+            field_u64(v, "job").unwrap_or(0),
+            field_u64(v, "pool").unwrap_or(0),
+            field_u64(v, "machine").unwrap_or(0),
+            field_u64(v, "window").unwrap_or(0),
+            field_u64(v, "remaining").unwrap_or(0),
+            field_u64(v, "deadline").unwrap_or(0),
+        ),
+        "fault" => {
+            let blacklist = match field_u64(v, "blacklisted_until") {
+                Some(until) => format!(", pool blacklisted until t={until}"),
+                None => String::new(),
+            };
+            format!(
+                "  t={t} fault outage #{} downed pool {} machine {}{blacklist}",
+                field_u64(v, "outage").unwrap_or(0),
+                field_u64(v, "pool").unwrap_or(0),
+                field_u64(v, "machine").unwrap_or(0),
+            )
+        }
+        other => format!("  t={t} {other}"),
     }
 }
 
@@ -1069,6 +1441,102 @@ mod tests {
         assert!(parse_args(&args("simulate --backend sharded --shards 0"))
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn parses_provenance_flags() {
+        let cmd = parse_args(&args("simulate --spans-out s.jsonl --profile-out p.folded")).unwrap();
+        let Command::Simulate {
+            spans_out,
+            profile_out,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert_eq!(spans_out.as_deref(), Some("s.jsonl"));
+        assert_eq!(profile_out.as_deref(), Some("p.folded"));
+    }
+
+    #[test]
+    fn parses_trace_command() {
+        let cmd = parse_args(&args(
+            "trace --in s.jsonl --job 7 --cause fault --perfetto-out p.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                input: "s.jsonl".into(),
+                job: Some(7),
+                pool: None,
+                cause: Some("fault".into()),
+                why: None,
+                perfetto_out: Some("p.json".into()),
+            }
+        );
+        // Positional input and --why.
+        let cmd = parse_args(&args("trace s.jsonl --why 3")).unwrap();
+        let Command::Trace { input, why, .. } = cmd else {
+            panic!("expected trace")
+        };
+        assert_eq!(input, "s.jsonl");
+        assert_eq!(why, Some(3));
+        assert!(parse_args(&args("trace")).unwrap_err().contains("--in"));
+    }
+
+    #[test]
+    fn duplicate_stdout_sinks_are_rejected() {
+        let run_err = |s: &str| run(parse_args(&args(s)).unwrap()).unwrap_err();
+        let err = run_err("simulate --scale 0.001 --spans-out - --metrics-out -");
+        assert!(err.contains("--metrics-out") && err.contains("--spans-out"));
+        assert!(err.contains("stdout"));
+        let err = run_err("simulate --scale 0.001 --trace-out - --profile-out -");
+        assert!(err.contains("--trace-out") && err.contains("--profile-out"));
+    }
+
+    #[test]
+    fn trace_rejects_bad_spans_files() {
+        assert!(parse_spans_file("t", "{\"kind\":\"span\"}\n")
+            .unwrap_err()
+            .contains("missing netbatch-spans header"));
+        assert!(
+            parse_spans_file("t", "{\"schema\":\"netbatch-spans/99\"}\n")
+                .unwrap_err()
+                .contains("unsupported schema")
+        );
+        assert!(parse_spans_file("t", "not json\n")
+            .unwrap_err()
+            .contains("t:1"));
+        let ok = parse_spans_file(
+            "t",
+            "{\"schema\":\"netbatch-spans/1\",\"strategy\":\"NoRes\",\"initial\":\"rr\",\
+             \"jobs\":1,\"spans\":1,\"decisions\":0}\n\
+             {\"kind\":\"span\",\"job\":0,\"seq\":0,\"phase\":\"running\",\"start\":0,\
+             \"end\":5,\"pool\":0,\"machine\":1,\"cause\":{\"type\":\"submitted\"}}\n",
+        )
+        .unwrap();
+        assert_eq!(ok.spans.len(), 1);
+        assert!(ok.decisions.is_empty());
+    }
+
+    #[test]
+    fn cause_descriptions_surface_ranking_inputs() {
+        let policy = json::parse(
+            "{\"type\":\"policy\",\"trigger\":\"suspend\",\"verdict\":\"restart\",\
+             \"target\":3,\"candidates\":16,\"cur_util_milli\":913,\"tgt_util_milli\":252,\
+             \"cur_queue\":7,\"tgt_queue\":0}",
+        )
+        .unwrap();
+        let text = describe_cause(&policy);
+        assert!(text.contains("suspend -> restart to pool 3"), "{text}");
+        assert!(text.contains("16 candidates"), "{text}");
+        assert!(text.contains("91.3% -> 25.2%"), "{text}");
+        assert!(text.contains("queue 7 -> 0"), "{text}");
+        let fault =
+            json::parse("{\"type\":\"fault\",\"outage\":4,\"blacklisted_until\":212}").unwrap();
+        assert!(describe_cause(&fault).contains("outage #4"));
+        assert!(describe_cause(&fault).contains("blacklisted until t=212"));
     }
 
     #[test]
