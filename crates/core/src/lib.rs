@@ -38,6 +38,7 @@ pub mod policy;
 pub mod provenance;
 mod sharded;
 pub mod simulator;
+mod streaming;
 pub mod telemetry;
 
 pub use experiment::{render_results_table, Experiment, ExperimentResult, PAPER_TABLE_HEADER};

@@ -753,8 +753,26 @@ pub const KERNEL_EV_KINDS: [&str; 10] = [
     "drain_end",
 ];
 
-/// Labels for the two worker-side phases the sharded backend attributes.
-const SHARD_PHASES: [&str; 2] = ["submit", "complete"];
+/// Labels for the worker-side phases the parallel backends attribute:
+/// batch submits, batch completions, and (streaming backend only) lazy
+/// shard-local trace generation.
+const SHARD_PHASES: [&str; 3] = ["submit", "complete", "generate"];
+
+/// Worker phase indices for [`KernelProfile::record_shard`].
+pub(crate) const PHASE_SUBMIT: usize = 0;
+/// See [`PHASE_SUBMIT`].
+pub(crate) const PHASE_COMPLETE: usize = 1;
+/// See [`PHASE_SUBMIT`].
+pub(crate) const PHASE_GENERATE: usize = 2;
+
+/// Coordinator barrier phases beyond the per-event kinds: `merge` is the
+/// serial effect-replay + emission-reduce section at each epoch barrier —
+/// the Amdahl-relevant serial fraction, readable straight from the folded
+/// stacks as `netbatch;coordinator;merge` vs the `netbatch;shardN;*` lanes.
+const COORD_PHASES: [&str; 1] = ["merge"];
+
+/// Coordinator phase index for [`KernelProfile::record_coord_phase`].
+pub(crate) const COORD_MERGE: usize = 0;
 
 /// Wall-time attribution per kernel phase × per shard. Enabled via
 /// [`SimConfig::profile`](crate::simulator::SimConfig::profile); costs one
@@ -767,8 +785,10 @@ pub struct KernelProfile {
     // (nanos, events) per Ev kind, accumulated on the serial executor or
     // the sharded coordinator.
     coordinator: [(u64, u64); KERNEL_EV_KINDS.len()],
-    // (nanos, items) per shard for [submit, complete] batch work.
-    shards: Vec<[(u64, u64); 2]>,
+    // (nanos, barriers) per coordinator barrier phase ([merge]).
+    coord_phases: [(u64, u64); COORD_PHASES.len()],
+    // (nanos, items) per shard for [submit, complete, generate] work.
+    shards: Vec<[(u64, u64); SHARD_PHASES.len()]>,
 }
 
 impl KernelProfile {
@@ -778,9 +798,9 @@ impl KernelProfile {
         KernelProfile::default()
     }
 
-    /// Sizes the per-shard lanes (sharded backend only).
+    /// Sizes the per-shard lanes (parallel backends only).
     pub(crate) fn init_shards(&mut self, shards: usize) {
-        self.shards = vec![[(0, 0); 2]; shards];
+        self.shards = vec![[(0, 0); SHARD_PHASES.len()]; shards];
     }
 
     /// Records one handled event on the serial/coordinator lane.
@@ -797,11 +817,31 @@ impl KernelProfile {
         cell.1 += items;
     }
 
+    /// Records one coordinator barrier phase (the serial merge section).
+    pub(crate) fn record_coord_phase(&mut self, phase: usize, nanos: u64, items: u64) {
+        let cell = &mut self.coord_phases[phase];
+        cell.0 += nanos;
+        cell.1 += items;
+    }
+
     /// Total attributed wall time, in nanoseconds.
     pub fn total_nanos(&self) -> u64 {
         let coord: u64 = self.coordinator.iter().map(|c| c.0).sum();
+        let phases: u64 = self.coord_phases.iter().map(|c| c.0).sum();
         let shard: u64 = self.shards.iter().flatten().map(|c| c.0).sum();
-        coord + shard
+        coord + phases + shard
+    }
+
+    /// Wall time attributed to the coordinator's serial sections
+    /// (per-event handling plus the barrier merges), in nanoseconds.
+    pub fn coordinator_nanos(&self) -> u64 {
+        self.coordinator.iter().map(|c| c.0).sum::<u64>()
+            + self.coord_phases.iter().map(|c| c.0).sum::<u64>()
+    }
+
+    /// Wall time attributed to worker (shard) lanes, in nanoseconds.
+    pub fn worker_nanos(&self) -> u64 {
+        self.shards.iter().flatten().map(|c| c.0).sum()
     }
 
     /// Number of execution lanes: 1 (serial or coordinator) plus one per
@@ -811,6 +851,7 @@ impl KernelProfile {
     }
 
     /// Total events/items attributed (deterministic, unlike the nanos).
+    /// Barrier-merge phases count barriers, not events, and are excluded.
     pub fn total_events(&self) -> u64 {
         let coord: u64 = self.coordinator.iter().map(|c| c.1).sum();
         let shard: u64 = self.shards.iter().flatten().map(|c| c.1).sum();
@@ -831,6 +872,11 @@ impl KernelProfile {
         for (kind, &(nanos, events)) in KERNEL_EV_KINDS.iter().zip(&self.coordinator) {
             if events > 0 {
                 let _ = writeln!(out, "netbatch;{lane};{kind} {}", nanos / 1_000);
+            }
+        }
+        for (phase, &(nanos, barriers)) in COORD_PHASES.iter().zip(&self.coord_phases) {
+            if barriers > 0 {
+                let _ = writeln!(out, "netbatch;{lane};{phase} {}", nanos / 1_000);
             }
         }
         for (shard, lanes) in self.shards.iter().enumerate() {

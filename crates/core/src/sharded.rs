@@ -84,6 +84,13 @@ pub(crate) fn take_worker_busy_nanos() -> u64 {
     WORKER_BUSY_NANOS.swap(0, Ordering::Relaxed)
 }
 
+/// Adds to the worker-busy aggregate (the streaming backend's workers
+/// report through the same counter so `perf_sharded` measures both
+/// backends with one probe).
+pub(crate) fn add_worker_busy_nanos(nanos: u64) {
+    WORKER_BUSY_NANOS.fetch_add(nanos, Ordering::Relaxed);
+}
+
 /// One classified-local event, parked in a shard's pending batch.
 #[derive(Debug, Clone, Copy)]
 struct BatchItem {
@@ -451,6 +458,7 @@ fn flush_batches(
         *end_time = time;
     }
 
+    let merge_t0 = sim.profile.is_some().then(std::time::Instant::now);
     // Lane runs are sorted by construction (workers execute in ascending
     // seq order); the k-way merge restores the global pop order, which is
     // the order the serial backend issued these same calls in.
@@ -490,6 +498,12 @@ fn flush_batches(
                 obs.on_replayed_event(time, event, &ctx);
             }
             obs.on_settle(time, &ctx);
+        }
+    }
+    if let Some(t0) = merge_t0 {
+        let nanos = t0.elapsed().as_nanos() as u64;
+        if let Some(profile) = sim.profile.as_mut() {
+            profile.record_coord_phase(crate::provenance::COORD_MERGE, nanos, 1);
         }
     }
 }

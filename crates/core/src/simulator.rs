@@ -123,6 +123,14 @@ pub struct SimConfig {
     /// flamegraphs. Wall-clock readings are nondeterministic and never
     /// enter deterministic outputs. Off by default (one branch per event).
     pub profile: bool,
+    /// Epoch pipelining on the streaming backend: with no observers
+    /// attached, the coordinator keeps up to two epochs in flight
+    /// (merging epoch N while workers execute N+1) whenever the next
+    /// known minute directly succeeds the last dispatched one. On by
+    /// default; the switch exists so the conformance suite can assert
+    /// pipelined and unpipelined runs are byte-identical. Ignored by the
+    /// serial and sharded backends.
+    pub stream_pipeline: bool,
     /// Run on the reference binary-heap event queue instead of the
     /// hierarchical timer wheel. The two backends are contractually
     /// identical (differentially tested); this knob exists so end-to-end
@@ -280,6 +288,7 @@ impl Default for SimConfig {
             telemetry: false,
             spans: false,
             profile: false,
+            stream_pipeline: true,
             use_reference_queue: false,
             backend: Backend::Serial,
         }
@@ -742,6 +751,33 @@ impl Simulator {
             Backend::Serial => self.run_serial(),
             Backend::Sharded { shards } => crate::sharded::run_sharded(self, shards.max(1)),
         }
+    }
+
+    /// Runs a workload to completion with *streaming* generation: jobs
+    /// are generated shard-locally epoch by epoch from `workload`'s RNG
+    /// substreams (`seed` must be the trace seed a materialized run would
+    /// use), so peak memory is proportional to the in-flight job count,
+    /// not the trace length. The simulator must be constructed with an
+    /// **empty** spec list; [`Backend::Serial`] runs one worker,
+    /// [`Backend::Sharded`] one per shard, byte-identically.
+    ///
+    /// [`SimOutput::jobs`] is populated only when at least one observer
+    /// is attached (retaining records would defeat flat memory);
+    /// counters, series and pool stats are always complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration leaves the supported fast class
+    /// (`NoRes` + round-robin + zero staleness, no topology, faults,
+    /// lifecycle, resilience or dense-id observers) or when `workload` is
+    /// not pool-major pinned (see
+    /// [`netbatch_workload::WorkloadSpec::validate_pool_major`]).
+    pub fn run_streaming(self, workload: &netbatch_workload::WorkloadSpec, seed: u64) -> SimOutput {
+        let shards = match self.config.backend {
+            Backend::Serial => 1,
+            Backend::Sharded { shards } => shards.max(1),
+        };
+        crate::streaming::run_streaming(self, workload, seed, shards)
     }
 
     fn run_serial(mut self) -> SimOutput {
@@ -1939,6 +1975,22 @@ impl Simulator {
     }
 
     fn handle_sample(&mut self, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        self.record_sample(now);
+        let done = self.counters.completed + self.counters.unrunnable >= self.total_jobs;
+        if !done {
+            let next = self
+                .sampler
+                .as_mut()
+                .expect("sampling event implies sampler")
+                .next_tick();
+            sched.schedule_at(next, Ev::Sample);
+        }
+    }
+
+    /// The sampling body shared by the serial handler and the streaming
+    /// coordinator: emits the observer event and records the Figure-4
+    /// series. Scheduling the next tick is the caller's concern.
+    pub(crate) fn record_sample(&mut self, now: SimTime) {
         self.emit(now, ObsEvent::Sample);
         let suspended: usize = self.pools.iter().map(PhysicalPool::suspended_count).sum();
         let waiting: usize = self.pools.iter().map(PhysicalPool::queue_len).sum();
@@ -1952,14 +2004,18 @@ impl Simulator {
         self.suspended_series.push(now, suspended as f64);
         self.utilization_series.push(now, util * 100.0);
         self.waiting_series.push(now, waiting as f64);
-        let done = self.counters.completed + self.counters.unrunnable >= self.total_jobs;
-        if !done {
-            let next = self
-                .sampler
-                .as_mut()
-                .expect("sampling event implies sampler")
-                .next_tick();
-            sched.schedule_at(next, Ev::Sample);
+    }
+
+    /// The upcoming sample tick, if sampling is enabled (streaming
+    /// coordinator; does not consume the tick).
+    pub(crate) fn peek_sample_tick(&self) -> Option<SimTime> {
+        self.sampler.as_ref().map(PeriodicSampler::peek_tick)
+    }
+
+    /// Consumes the pending sample tick (streaming coordinator).
+    pub(crate) fn consume_sample_tick(&mut self) {
+        if let Some(s) = self.sampler.as_mut() {
+            s.next_tick();
         }
     }
 

@@ -223,8 +223,13 @@ impl<E> Wheel<E> {
                 let sb_base = self.cursor & !(SPAN_L1 - 1);
                 self.cursor = sb_base + ((b as u64) << LEVEL_BITS);
                 self.l1_occ[b >> 6] &= !(1u64 << (b & 63));
-                let (l0, l1, occ) = (&mut self.l0, &mut self.l1, &mut self.l0_occ);
-                for e in l1[b].drain(..) {
+                let (l0, occ) = (&mut self.l0, &mut self.l0_occ);
+                // Unlike level-0 slots (re-used every 1024 minutes, where
+                // keeping capacity is slab re-use), a level-1 block drains
+                // once per superblock lap — ~2 simulated years. Retaining
+                // its buffer would grow the wheel linearly with the horizon
+                // (one block per 1024 minutes, forever), so free it.
+                for e in std::mem::take(&mut self.l1[b]) {
                     // Level-1 entries always carry their placement minute
                     // (past-time pushes are confined to level 0).
                     let s = (e.time.as_minutes() & (SPAN_L0 - 1)) as usize;
@@ -610,6 +615,35 @@ mod tests {
         q.schedule(SimTime::from_minutes(20), 'b');
         let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn year_horizon_bookings_pop_in_order() {
+        // The streaming backend books completions across a year-long
+        // window (525 600 minutes), far beyond the wheel's low levels;
+        // timer promotion must keep delivering in (time, id) order and
+        // agree with the reference heap at that range.
+        let year = 365 * 24 * 60;
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::with_reference_heap();
+        let minutes: Vec<u64> = (0..200u64)
+            .map(|i| (i * 7919 + i * i * 104_729) % year)
+            .collect();
+        for (i, &m) in minutes.iter().enumerate() {
+            wheel.schedule(SimTime::from_minutes(m), i);
+            heap.schedule(SimTime::from_minutes(m), i);
+        }
+        wheel.schedule(SimTime::from_minutes(year + 1), usize::MAX);
+        heap.schedule(SimTime::from_minutes(year + 1), usize::MAX);
+        let mut last = SimTime::ZERO;
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b);
+            let Some((t, _)) = a else { break };
+            assert!(t >= last, "wheel must not reorder far timers");
+            last = t;
+        }
     }
 
     #[test]

@@ -20,6 +20,35 @@ pub trait ArrivalProcess: fmt::Debug {
 
     /// The long-run arrival rate (jobs per minute), for calibration.
     fn rate(&self) -> f64;
+
+    /// Returns a lazy cursor over the same window. The cursor MUST yield
+    /// exactly the sequence `generate` would return for the same `rng`
+    /// state — streaming runs rely on this to stay byte-identical to
+    /// materialized runs. The default implementation materializes the whole
+    /// window (correct for any process, O(window) memory); the built-in
+    /// processes override it with O(1)-state incremental cursors.
+    fn cursor(&self, mut rng: DetRng, start: u64, end: u64) -> Box<dyn ArrivalCursor + Send> {
+        Box::new(MaterializedCursor {
+            arrivals: self.generate(&mut rng, start, end).into(),
+        })
+    }
+}
+
+/// A pull-based iterator over arrival minutes, yielding them in order.
+pub trait ArrivalCursor {
+    /// The next arrival minute, or `None` when the window is exhausted.
+    fn next_arrival(&mut self) -> Option<u64>;
+}
+
+/// Fallback cursor that holds a fully materialized window.
+struct MaterializedCursor {
+    arrivals: std::collections::VecDeque<u64>,
+}
+
+impl ArrivalCursor for MaterializedCursor {
+    fn next_arrival(&mut self) -> Option<u64> {
+        self.arrivals.pop_front()
+    }
 }
 
 /// Homogeneous Poisson arrivals.
@@ -59,6 +88,39 @@ impl ArrivalProcess for PoissonArrivals {
 
     fn rate(&self) -> f64 {
         self.rate_per_minute
+    }
+
+    fn cursor(&self, rng: DetRng, start: u64, end: u64) -> Box<dyn ArrivalCursor + Send> {
+        Box::new(PoissonCursor {
+            gap: Exponential::with_rate(self.rate_per_minute),
+            t: start as f64,
+            end: end as f64,
+            rng,
+            done: false,
+        })
+    }
+}
+
+/// Incremental state of [`PoissonArrivals::generate`]'s loop.
+struct PoissonCursor {
+    gap: Exponential,
+    t: f64,
+    end: f64,
+    rng: DetRng,
+    done: bool,
+}
+
+impl ArrivalCursor for PoissonCursor {
+    fn next_arrival(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        self.t += self.gap.sample(&mut self.rng);
+        if self.t >= self.end {
+            self.done = true;
+            return None;
+        }
+        Some(self.t as u64)
     }
 }
 
@@ -152,6 +214,67 @@ impl ArrivalProcess for BurstArrivals {
     fn rate(&self) -> f64 {
         let bf = self.burst_fraction();
         bf * self.burst_rate + (1.0 - bf) * self.quiet_rate
+    }
+
+    fn cursor(&self, rng: DetRng, start: u64, end: u64) -> Box<dyn ArrivalCursor + Send> {
+        Box::new(BurstCursor {
+            quiet_len: Exponential::with_mean(self.mean_quiet_len),
+            burst_len: Exponential::with_mean(self.mean_burst_len),
+            quiet_rate: self.quiet_rate,
+            burst_rate: self.burst_rate,
+            t: start as f64,
+            end: end as f64,
+            in_burst: self.start_in_burst,
+            phase: None,
+            rng,
+        })
+    }
+}
+
+/// Incremental state of [`BurstArrivals::generate`]'s nested loops: the
+/// outer phase machine plus the inner within-phase arrival walk. Draw order
+/// (phase length, then gaps until the phase boundary) matches `generate`.
+struct BurstCursor {
+    quiet_len: Exponential,
+    burst_len: Exponential,
+    quiet_rate: f64,
+    burst_rate: f64,
+    t: f64,
+    end: f64,
+    in_burst: bool,
+    /// Current phase: (phase end, gap distribution, arrival walker `a`).
+    phase: Option<(f64, Exponential, f64)>,
+    rng: DetRng,
+}
+
+impl ArrivalCursor for BurstCursor {
+    fn next_arrival(&mut self) -> Option<u64> {
+        loop {
+            match &mut self.phase {
+                None => {
+                    if self.t >= self.end {
+                        return None;
+                    }
+                    let (phase_len, rate) = if self.in_burst {
+                        (self.burst_len.sample(&mut self.rng), self.burst_rate)
+                    } else {
+                        (self.quiet_len.sample(&mut self.rng), self.quiet_rate)
+                    };
+                    let phase_end = (self.t + phase_len).min(self.end);
+                    self.phase = Some((phase_end, Exponential::with_rate(rate), self.t));
+                }
+                Some((phase_end, gap, a)) => {
+                    *a += gap.sample(&mut self.rng);
+                    if *a >= *phase_end {
+                        self.t = *phase_end;
+                        self.in_burst = !self.in_burst;
+                        self.phase = None;
+                        continue;
+                    }
+                    return Some(*a as u64);
+                }
+            }
+        }
     }
 }
 
@@ -247,6 +370,48 @@ impl ArrivalProcess for DiurnalArrivals {
         // Mean over the week: 5 weekdays at 1, 2 weekend days at the factor
         // (the daily cosine averages out).
         self.mean_rate * (5.0 + 2.0 * self.weekend_factor) / 7.0
+    }
+
+    fn cursor(&self, rng: DetRng, start: u64, end: u64) -> Box<dyn ArrivalCursor + Send> {
+        Box::new(DiurnalCursor {
+            process: *self,
+            gap: Exponential::with_rate(self.peak_rate()),
+            t: start as f64,
+            end: end as f64,
+            rng,
+            done: false,
+        })
+    }
+}
+
+/// Incremental state of [`DiurnalArrivals::generate`]'s thinning loop.
+struct DiurnalCursor {
+    process: DiurnalArrivals,
+    gap: Exponential,
+    t: f64,
+    end: f64,
+    rng: DetRng,
+    done: bool,
+}
+
+impl ArrivalCursor for DiurnalCursor {
+    fn next_arrival(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let peak = self.process.peak_rate();
+        loop {
+            self.t += self.gap.sample(&mut self.rng);
+            if self.t >= self.end {
+                self.done = true;
+                return None;
+            }
+            let minute = self.t as u64;
+            let accept = self.process.mean_rate * self.process.modulation(minute) / peak;
+            if self.rng.next_f64() < accept {
+                return Some(minute);
+            }
+        }
     }
 }
 
@@ -386,6 +551,55 @@ mod tests {
             "rate {emp} vs {}",
             d.rate()
         );
+    }
+
+    fn drain(mut cursor: Box<dyn ArrivalCursor + Send>) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(a) = cursor.next_arrival() {
+            out.push(a);
+        }
+        // Exhausted cursors stay exhausted.
+        assert_eq!(cursor.next_arrival(), None);
+        out
+    }
+
+    #[test]
+    fn cursors_replay_generate_exactly() {
+        let processes: Vec<Box<dyn ArrivalProcess>> = vec![
+            Box::new(PoissonArrivals::new(0.7)),
+            Box::new(BurstArrivals::new(0.01, 2.0, 2000.0, 200.0)),
+            Box::new(BurstArrivals::new(0.05, 0.8, 300.0, 60.0).starting_in_burst()),
+            Box::new(DiurnalArrivals::new(1.3, 4.0, 0.3)),
+        ];
+        for (pi, p) in processes.iter().enumerate() {
+            for seed in [1u64, 42, 20_101_108] {
+                for (start, end) in [(0u64, 20_000u64), (500, 1500), (100, 100)] {
+                    let rng = DetRng::from_seed_u64(seed ^ pi as u64);
+                    let batch = p.generate(&mut rng.clone(), start, end);
+                    let lazy = drain(p.cursor(rng, start, end));
+                    assert_eq!(batch, lazy, "process {pi} seed {seed} [{start},{end})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_cursor_materializes_consistently() {
+        // A process relying on the default cursor impl still matches.
+        #[derive(Debug)]
+        struct EveryK(u64);
+        impl ArrivalProcess for EveryK {
+            fn generate(&self, _rng: &mut DetRng, start: u64, end: u64) -> Vec<u64> {
+                (start..end).step_by(self.0 as usize).collect()
+            }
+            fn rate(&self) -> f64 {
+                1.0 / self.0 as f64
+            }
+        }
+        let p = EveryK(7);
+        let rng = DetRng::from_seed_u64(0);
+        let batch = p.generate(&mut rng.clone(), 3, 100);
+        assert_eq!(batch, drain(p.cursor(rng, 3, 100)));
     }
 
     #[test]

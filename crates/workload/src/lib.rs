@@ -39,8 +39,10 @@ pub mod distributions;
 pub mod generator;
 pub mod io;
 pub mod scenarios;
+pub mod stream;
 pub mod trace;
 
 pub use generator::{JobClass, Stream, WorkloadSpec};
 pub use scenarios::{ScenarioParams, SiteSpec};
+pub use stream::TraceStream;
 pub use trace::{Trace, TraceRecord};

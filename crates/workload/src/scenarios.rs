@@ -284,6 +284,138 @@ impl ScenarioParams {
     }
 }
 
+/// A pool-decomposable scenario: N uniform pools, each fed only by streams
+/// pinned to it. This is the shape the sharded and streaming kernels
+/// parallelize perfectly — no cross-pool affinity, so every pool's dynamics
+/// are independent — and the shape `perf_sharded` and the year-scale CLI
+/// runs sweep. Streams are emitted in ascending pool order, satisfying
+/// [`WorkloadSpec::validate_pool_major`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerPoolParams {
+    /// Number of pools (and of low-priority streams).
+    pub pools: u16,
+    /// Machines per pool before scaling.
+    pub machines_per_pool: u32,
+    /// Cores per machine.
+    pub cores_per_machine: u32,
+    /// Memory per machine (MB).
+    pub memory_mb: u64,
+    /// Low-priority Poisson arrival rate per pool at scale 1.0 (jobs/min).
+    pub rate_per_pool: f64,
+    /// Capacity/arrival scale factor.
+    pub scale: f64,
+    /// Window length in minutes.
+    pub horizon: u64,
+    /// Median of the runtime body (minutes).
+    pub runtime_median: f64,
+    /// Sigma of the runtime body.
+    pub runtime_sigma: f64,
+    /// Weight of the Pareto runtime tail.
+    pub tail_weight: f64,
+    /// When true, each pool also gets a bursty high-priority stream
+    /// (quiet/burst rates scaled from the per-pool rate), so suspension
+    /// paths get exercised without breaking pool independence.
+    pub high_bursts: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PerPoolParams {
+    /// The `perf_sharded` calibration: 96 machines × 4 cores per pool,
+    /// 0.5 jobs/min/pool, normal-week runtime shape.
+    pub fn new(pools: u16, scale: f64, horizon: u64) -> Self {
+        assert!(pools > 0, "need at least one pool");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        PerPoolParams {
+            pools,
+            machines_per_pool: 96,
+            cores_per_machine: 4,
+            memory_mb: 8_192,
+            rate_per_pool: 0.50,
+            scale,
+            horizon,
+            runtime_median: 200.0,
+            runtime_sigma: 1.1,
+            tail_weight: 0.02,
+            high_bursts: false,
+            seed: 20_101_108,
+        }
+    }
+
+    /// Adds a per-pool high-priority burst stream.
+    pub fn with_high_bursts(mut self) -> Self {
+        self.high_bursts = true;
+        self
+    }
+
+    /// Builds the uniform site.
+    pub fn build_site(&self) -> SiteSpec {
+        let machines = ((f64::from(self.machines_per_pool) * self.scale).round() as u32).max(1);
+        SiteSpec {
+            pools: (0..self.pools)
+                .map(|p| {
+                    PoolConfig::uniform(PoolId(p), machines, self.cores_per_machine, self.memory_mb)
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the workload: per pool, one pinned low-priority stream and —
+    /// with [`Self::with_high_bursts`] — one pinned bursty stream.
+    pub fn build_workload(&self) -> WorkloadSpec {
+        let mut spec = WorkloadSpec::new(0, self.horizon);
+        let runtime = Mixture::new(
+            LogNormal::with_median(self.runtime_median, self.runtime_sigma),
+            Pareto::new(2_000.0, 1.5),
+            self.tail_weight,
+        );
+        for p in 0..self.pools {
+            let low = JobClass::new(format!("pool{p}-low"), 0, Box::new(runtime.clone()))
+                .with_cores(WeightedChoice::new(&[
+                    (1.0, 0.75),
+                    (2.0, 0.20),
+                    (4.0, 0.05),
+                ]))
+                .with_memory(WeightedChoice::new(&[
+                    (512.0, 0.3),
+                    (2048.0, 0.5),
+                    (6144.0, 0.2),
+                ]))
+                .with_affinity(AffinityPicker::Fixed(vec![p]));
+            spec = spec.stream(Stream::new(
+                low,
+                Box::new(PoissonArrivals::new(self.rate_per_pool * self.scale)),
+            ));
+            if self.high_bursts {
+                let high = JobClass::new(format!("pool{p}-high"), 10, Box::new(runtime.clone()))
+                    .with_cores(WeightedChoice::new(&[(1.0, 0.8), (2.0, 0.2)]))
+                    .with_memory(WeightedChoice::new(&[(1024.0, 0.6), (4096.0, 0.4)]))
+                    .with_affinity(AffinityPicker::Fixed(vec![p]));
+                spec = spec.stream(Stream::new(
+                    high,
+                    Box::new(BurstArrivals::new(
+                        (0.02 * self.rate_per_pool * self.scale).max(1e-9),
+                        (3.0 * self.rate_per_pool * self.scale).max(2e-9),
+                        3_000.0,
+                        400.0,
+                    )),
+                ));
+            }
+        }
+        spec
+    }
+
+    /// Expected number of generated jobs (for memory-bound sanity checks).
+    pub fn expected_jobs(&self) -> f64 {
+        self.build_workload()
+            .streams
+            .iter()
+            .map(|s| s.arrivals.rate())
+            .sum::<f64>()
+            * self.horizon as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +508,27 @@ mod tests {
     fn traces_are_reproducible() {
         let p = ScenarioParams::normal_week(0.01);
         assert_eq!(p.generate_trace(), p.generate_trace());
+    }
+
+    #[test]
+    fn per_pool_scenario_is_pool_major_and_calibrated() {
+        let params = PerPoolParams::new(8, 0.25, 2_000).with_high_bursts();
+        let spec = params.build_workload();
+        spec.validate_pool_major(params.pools).expect("pool-major");
+        let site = params.build_site();
+        assert_eq!(site.pools.len(), 8);
+        // Without the burst lane the offered load sits below saturation
+        // (the burst variant intentionally saturates to drive suspensions).
+        let calm = PerPoolParams::new(8, 0.25, 2_000).build_workload();
+        let util = calm.offered_cores() / f64::from(site.total_cores());
+        assert!((0.2..1.0).contains(&util), "offered utilization {util:.2}");
+        // Expected job count tracks the configured rates.
+        let trace = spec.generate(params.seed);
+        let expected = params.expected_jobs();
+        let actual = trace.len() as f64;
+        assert!(
+            (actual / expected - 1.0).abs() < 0.3,
+            "actual {actual} vs expected {expected}"
+        );
     }
 }

@@ -136,6 +136,22 @@ cargo run --release --bin netbatch -- simulate \
 echo "==> cross-backend golden matrix"
 cargo test --release -q --test golden_matrix
 
+# Streaming pipeline smoke: a year-window run through the CLI front end
+# on the sharded backend. The workload is generated shard-locally epoch
+# by epoch (never materialized), so this exercises the full pipeline —
+# per-shard generation, coordinator merge, kernel profiler lanes — at
+# the paper's full trace span in under a second. The greps pin the
+# profiler's lane split: coordinator merge vs per-shard generate.
+echo "==> streaming pipeline smoke (year window, 2 shards)"
+cargo run --release --bin netbatch -- simulate \
+  --stream-workload --pools 8 --horizon year --scale 0.02 --seed 11 \
+  --backend sharded --shards 2 --profile-out "$tmpdir/stream.folded"
+grep -q '^netbatch;coordinator;merge ' "$tmpdir/stream.folded"
+grep -q '^netbatch;shard0;generate ' "$tmpdir/stream.folded"
+grep -q '^netbatch;shard1;submit ' "$tmpdir/stream.folded"
+echo "==> streaming conformance (golden matrix, materialized parity)"
+cargo test --release -q --test streaming_conformance
+
 # Perf smoke: one small hot-path cell (events/sec + allocs/event) checked
 # against the committed BENCH_hotpath.json. Fails on a >30% events/sec
 # regression or an allocs/event ceiling breach; never rewrites the
@@ -146,12 +162,16 @@ echo "==> perf smoke (hot path, scale 0.02)"
 cargo run --release -p netbatch-bench --bin perf_hotpath -- \
   --check --scale 0.02
 
-# Sharded perf gate: the committed BENCH_sharded.json headline (200-pool
-# cell) must project >= 1.5x at 4 shards from the measured work split,
-# and a re-measured smoke cell must show neither coordination-overhead
-# nor parallel-work-fraction regressions (both checks are meaningful on
+# Streaming perf gate: the committed BENCH_sharded.json headline
+# (200-pool streaming cell) must carry a parallel work fraction >= 0.75
+# and project >= 1.5x at 4 shards from the measured coordinator/worker
+# split; a re-measured smoke cell must show neither coordination-
+# overhead nor parallel-work-fraction regressions; and a memory-flatness
+# smoke asserts that quadrupling the horizon leaves the streaming run's
+# peak heap within 1.5x — catching anything that starts retaining
+# per-job state past completion (all checks are meaningful on
 # single-core CI hosts, where threads cannot show wall-clock speedups).
-echo "==> perf smoke (sharded kernel)"
+echo "==> perf smoke (streaming pipeline)"
 cargo run --release -p netbatch-bench --bin perf_sharded -- --check
 
 echo "ci: all green"

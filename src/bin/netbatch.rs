@@ -25,7 +25,7 @@ use netbatch::metrics::json::{self, Value};
 use netbatch::sim_engine::time::SimDuration;
 use netbatch::workload::analysis::TraceAnalysis;
 use netbatch::workload::io::{read_csv, write_csv};
-use netbatch::workload::scenarios::{ScenarioParams, SiteSpec};
+use netbatch::workload::scenarios::{PerPoolParams, ScenarioParams, SiteSpec};
 use netbatch::workload::trace::Trace;
 
 const USAGE: &str = "\
@@ -48,6 +48,7 @@ USAGE:
                     [--lifecycle-rolling-waves N] [--lifecycle-rolling-fraction FRAC]
                     [--lifecycle-cordon-below FRAC] [--health-aware]
                     [--backend serial|sharded] [--shards N]
+                    [--stream-workload] [--pools N] [--horizon week|year|MINUTES]
   netbatch report   [--trace FILE | --scenario NAME] [--scale S] [--seed N]
                     [--strategy NAME] [--initial rr|util] [--high-load]
                     [--out FILE] [--csv-prefix PREFIX] [--metrics-out FILE]
@@ -80,6 +81,14 @@ before the kill deadline (implies `--lifecycle` and `--hardened`).
 `--backend sharded` runs the simulation on the sharded kernel (pools
 partitioned across `--shards N` worker threads, default 4); output is
 byte-identical to the serial backend at any shard count.
+`--stream-workload` runs the streaming pipeline instead of a
+materialized trace: a pool-major workload (`--pools N` pools, default
+20, arrival rates scaled by `--scale`) is generated shard-locally epoch
+by epoch over `--horizon` (week, year, or minutes; default week), so
+peak memory tracks in-flight jobs rather than total jobs — year-scale
+runs fit in tens of MiB. Streaming supports only `--strategy NoRes`
+with the round-robin initial scheduler; `--sample`, `--series-out`,
+`--trace-out`, `--stats` and `--profile-out` work as usual.
 `--spans-out` records every job's causal span tree (queue-wait, running,
 suspended, backoff, migrating segments, each with the typed cause that
 started it) plus the policy/evacuation/fault decision audit, as JSONL.
@@ -94,7 +103,9 @@ The paper's full tables live in the bench harness:
   cargo run --release -p netbatch-bench --bin repro_all
 ";
 
-/// A parsed command line.
+/// A parsed command line. One value exists per process, so the variant
+/// size spread (Simulate carries every knob) is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
     Generate {
@@ -140,6 +151,9 @@ enum Command {
         lifecycle_cordon_below: f64,
         health_aware: bool,
         backend: Backend,
+        stream_workload: bool,
+        pools: Option<u64>,
+        horizon: Option<u64>,
     },
     Report {
         trace: Option<String>,
@@ -201,6 +215,22 @@ fn parse_backend(name: Option<String>, shards: Option<u64>) -> Result<Backend, S
     }
 }
 
+/// Parses `--horizon week|year|MINUTES` into simulated minutes.
+fn parse_horizon(v: Option<String>) -> Result<Option<u64>, String> {
+    let Some(v) = v else { return Ok(None) };
+    let minutes = match v.as_str() {
+        "week" => 7 * 24 * 60,
+        "year" => 365 * 24 * 60,
+        other => other.parse().map_err(|_| {
+            format!("--horizon expects week, year or a number of minutes, got `{other}`")
+        })?,
+    };
+    if minutes == 0 {
+        return Err("--horizon must be at least 1 minute".into());
+    }
+    Ok(Some(minutes))
+}
+
 fn parse_initial(name: &str) -> Result<InitialKind, String> {
     match name.to_ascii_lowercase().as_str() {
         "rr" | "round-robin" | "roundrobin" => Ok(InitialKind::RoundRobin),
@@ -229,6 +259,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     | "hardened"
                     | "lifecycle"
                     | "health-aware"
+                    | "stream-workload"
             );
             if takes_value {
                 let v = rest
@@ -326,6 +357,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             lifecycle_cordon_below: fnum("lifecycle-cordon-below")?.unwrap_or(0.5),
             health_aware: has("health-aware"),
             backend: parse_backend(get("backend"), int("shards")?)?,
+            stream_workload: has("stream-workload"),
+            pools: int("pools")?,
+            horizon: parse_horizon(get("horizon"))?,
         }),
         "report" => Ok(Command::Report {
             trace: get("trace"),
@@ -464,6 +498,9 @@ fn run(cmd: Command) -> Result<(), String> {
             lifecycle_cordon_below,
             health_aware,
             backend,
+            stream_workload,
+            pools,
+            horizon,
         } => {
             // Stdout is a single stream: at most one sink may claim it.
             let stdout_sinks: Vec<&str> = [
@@ -481,6 +518,63 @@ fn run(cmd: Command) -> Result<(), String> {
                     "stdout (`-`) can serve only one sink, but {} each claim it",
                     stdout_sinks.join(" and ")
                 ));
+            }
+            if !stream_workload && (pools.is_some() || horizon.is_some()) {
+                return Err("--pools and --horizon apply only to --stream-workload runs".into());
+            }
+            if stream_workload {
+                // The streaming pipeline runs the NoRes fast class on its
+                // own pool-major generated workload; everything outside
+                // that class is a clear CLI error, never a silent fallback
+                // (the kernel itself would panic, not degrade).
+                let incompatible = [
+                    ("--trace", trace.is_some()),
+                    ("--high-load", high_load),
+                    ("--restart-overhead", restart_overhead != 0),
+                    ("--staleness", staleness != 0),
+                    ("--max-restarts", max_restarts.is_some()),
+                    ("--metrics-out", metrics_out.is_some()),
+                    ("--spans-out", spans_out.is_some()),
+                    ("--check-invariants", check_invariants),
+                    ("--fault-mtbf", fault_mtbf.is_some()),
+                    ("--fault-pool-outages", fault_pool_outages != 0),
+                    ("--fault-flaky", fault_flaky != 0.0),
+                    ("--hardened", hardened),
+                    ("--lifecycle", lifecycle),
+                    ("--health-aware", health_aware),
+                ];
+                if let Some((name, _)) = incompatible.iter().find(|(_, on)| *on) {
+                    return Err(format!("{name} is incompatible with --stream-workload"));
+                }
+                if strategy != StrategyKind::NoRes {
+                    return Err(format!(
+                        "--stream-workload supports only --strategy NoRes, got {}",
+                        strategy.name()
+                    ));
+                }
+                if initial != InitialKind::RoundRobin {
+                    return Err(
+                        "--stream-workload supports only the round-robin initial scheduler (rr)"
+                            .into(),
+                    );
+                }
+                let pools = pools.unwrap_or(20);
+                if !(1..=u64::from(u16::MAX)).contains(&pools) {
+                    return Err(format!("--pools must be in 1..=65535, got {pools}"));
+                }
+                return simulate_streaming(
+                    pools as u16,
+                    horizon.unwrap_or(7 * 24 * 60),
+                    scale,
+                    seed,
+                    sample,
+                    series_out,
+                    trace_out,
+                    profile_out,
+                    stats,
+                    backend,
+                    stdout_sinks.len() == 1,
+                );
             }
             // Validate fault/lifecycle rates up front: a NaN or negative
             // rate must be a clear CLI error, never a panic (or a silent
@@ -953,6 +1047,122 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// `simulate --stream-workload`: the shard-local streaming pipeline on a
+/// pool-major generated workload. The trace is never materialized — each
+/// shard generates its own pools' arrivals epoch by epoch — so the run's
+/// peak memory tracks in-flight jobs, not total jobs.
+#[allow(clippy::too_many_arguments)]
+fn simulate_streaming(
+    pools: u16,
+    horizon: u64,
+    scale: f64,
+    seed: Option<u64>,
+    sample: bool,
+    series_out: Option<String>,
+    trace_out: Option<String>,
+    profile_out: Option<String>,
+    stats: bool,
+    backend: Backend,
+    quiet: bool,
+) -> Result<(), String> {
+    let mut p = PerPoolParams::new(pools, scale, horizon);
+    if let Some(seed) = seed {
+        p.seed = seed;
+    }
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.backend = backend;
+    config.seed = p.seed;
+    if sample || series_out.is_some() {
+        config = config.with_sampling();
+    }
+    config.profile = profile_out.is_some();
+    let site = p.build_site();
+    let workload = p.build_workload();
+    let mut sim = Simulator::new(&site, Vec::new(), config);
+    if let Some(path) = &trace_out {
+        let rec = if path == "-" {
+            TraceRecorder::to_stdout()
+        } else {
+            TraceRecorder::to_file(path).map_err(|e| format!("cannot create {path}: {e}"))?
+        };
+        sim.attach_observer(Box::new(rec));
+    }
+    if stats {
+        sim.attach_observer(Box::new(StatsProbe::new()));
+    }
+    let t0 = std::time::Instant::now();
+    let mut output = sim.run_streaming(&workload, p.seed);
+    macro_rules! status {
+        ($($arg:tt)*) => {
+            if quiet {
+                eprintln!($($arg)*);
+            } else {
+                println!($($arg)*);
+            }
+        };
+    }
+    status!(
+        "NoRes | RoundRobin initial | streaming ({pools} pools, horizon {horizon} min, \
+         scale {scale}, seed {})",
+        p.seed
+    );
+    status!(
+        "jobs                 {} ({} completed, {} unrunnable)",
+        output.counters.completed + output.counters.unrunnable,
+        output.counters.completed,
+        output.counters.unrunnable
+    );
+    status!("end time             {} min", output.end_time.as_minutes());
+    status!(
+        "simulated {} events in {:.2}s",
+        output.counters.events,
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(path) = series_out {
+        use std::io::Write;
+        let mut f =
+            std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        writeln!(f, "minute,suspended,utilization_pct,waiting").map_err(|e| e.to_string())?;
+        for ((&(t, s), &(_, u)), &(_, w)) in output
+            .suspended_series
+            .samples()
+            .iter()
+            .zip(output.utilization_series.samples())
+            .zip(output.waiting_series.samples())
+        {
+            writeln!(f, "{},{s},{u:.2},{w}", t.as_minutes()).map_err(|e| e.to_string())?;
+        }
+        status!("series written to {path}");
+    }
+    for obs in &output.observers {
+        if let Some(rec) = obs.as_any().downcast_ref::<TraceRecorder>() {
+            if let Some(path) = &trace_out {
+                status!("trace: {} events written to {path}", rec.events());
+            }
+        }
+        if let Some(probe) = obs.as_any().downcast_ref::<StatsProbe>() {
+            if quiet {
+                eprint!("{}", probe.report());
+            } else {
+                print!("{}", probe.report());
+            }
+        }
+    }
+    if let Some(path) = &profile_out {
+        let profile = output
+            .profile
+            .take()
+            .ok_or("internal: kernel profile missing from run output")?;
+        write_sink(path, &profile.render_folded())?;
+        status!(
+            "profile: {} events over {} lanes written to {path}",
+            profile.total_events(),
+            profile.lane_count()
+        );
+    }
+    Ok(())
 }
 
 /// Writes `text` to `path`, or to stdout when `path` is `-`.
@@ -1441,6 +1651,65 @@ mod tests {
         assert!(parse_args(&args("simulate --backend sharded --shards 0"))
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn parses_stream_workload_flags() {
+        let cmd = parse_args(&args(
+            "simulate --stream-workload --pools 8 --horizon year --seed 3",
+        ))
+        .unwrap();
+        let Command::Simulate {
+            stream_workload,
+            pools,
+            horizon,
+            seed,
+            ..
+        } = cmd
+        else {
+            panic!("expected simulate")
+        };
+        assert!(stream_workload);
+        assert_eq!(pools, Some(8));
+        assert_eq!(horizon, Some(365 * 24 * 60));
+        // --stream-workload is boolean: --pools must not be swallowed.
+        assert_eq!(seed, Some(3));
+
+        let horizon_of = |s: &str| match parse_args(&args(s)).unwrap() {
+            Command::Simulate { horizon, .. } => horizon,
+            other => panic!("expected simulate, got {other:?}"),
+        };
+        assert_eq!(horizon_of("simulate"), None);
+        assert_eq!(
+            horizon_of("simulate --stream-workload --horizon week"),
+            Some(7 * 24 * 60)
+        );
+        assert_eq!(
+            horizon_of("simulate --stream-workload --horizon 1440"),
+            Some(1440)
+        );
+        assert!(parse_args(&args("simulate --horizon fortnight"))
+            .unwrap_err()
+            .contains("--horizon"));
+        assert!(parse_args(&args("simulate --horizon 0"))
+            .unwrap_err()
+            .contains("at least 1 minute"));
+    }
+
+    #[test]
+    fn stream_workload_rejects_incompatible_flags() {
+        let run_err = |s: &str| run(parse_args(&args(s)).unwrap()).unwrap_err();
+        assert!(run_err("simulate --stream-workload --strategy ResSusUtil").contains("NoRes"));
+        assert!(run_err("simulate --stream-workload --initial util").contains("round-robin"));
+        assert!(run_err("simulate --stream-workload --fault-mtbf 48").contains("--fault-mtbf"));
+        assert!(run_err("simulate --stream-workload --lifecycle").contains("--lifecycle"));
+        assert!(
+            run_err("simulate --stream-workload --metrics-out m.prom").contains("--metrics-out")
+        );
+        assert!(run_err("simulate --stream-workload --pools 0").contains("--pools"));
+        // The streaming knobs are meaningless on materialized runs.
+        assert!(run_err("simulate --pools 4").contains("--stream-workload"));
+        assert!(run_err("simulate --horizon year").contains("--stream-workload"));
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Conformance suite for the streaming backend (differential testing,
+//! same discipline as `sharded_conformance`):
+//!
+//! * streaming runs are **shard-count independent**: the golden JSONL
+//!   trace is byte-identical across 1/2/4/20 workers and across both
+//!   event-queue backends (the streaming canonical order is defined
+//!   per-pool, so partitioning cannot reorder it);
+//! * streaming equals a **materialized** serial run job-for-job and
+//!   counter-for-counter when sampling is off (per-pool event sequences
+//!   coincide; only cross-pool interleaving within a minute differs,
+//!   which no per-job record or counter can see);
+//! * epoch **pipelining** is unobservable: with pipelining force-disabled
+//!   the deterministic outputs are identical;
+//! * a year-long horizon streams in bounded state end to end.
+
+use netbatch::core::observer::TraceRecorder;
+use netbatch::core::policy::{InitialKind, StrategyKind};
+use netbatch::core::simulator::{Backend, SimConfig, SimOutput, Simulator};
+use netbatch::workload::scenarios::PerPoolParams;
+
+fn base_config(backend: Backend) -> SimConfig {
+    let mut config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    config.backend = backend;
+    config
+}
+
+/// A small pool-major workload with enough pressure (bursty pinned high
+/// streams) to exercise suspensions, resumes and queueing on every pool.
+fn params() -> PerPoolParams {
+    PerPoolParams::new(8, 0.3, 2_000).with_high_bursts()
+}
+
+/// Runs one streaming cell with a trace recorder attached and returns
+/// the JSONL stream plus the full output.
+fn run_streaming_traced(p: &PerPoolParams, config: SimConfig) -> (String, SimOutput) {
+    let site = p.build_site();
+    let workload = p.build_workload();
+    let mut sim = Simulator::new(&site, Vec::new(), config);
+    sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+    let output = sim.run_streaming(&workload, p.seed);
+    let jsonl = output
+        .observer::<TraceRecorder>()
+        .expect("recorder attached")
+        .lines()
+        .to_string();
+    (jsonl, output)
+}
+
+fn assert_same_trace(reference: &str, other: &str, label: &str) {
+    if reference == other {
+        return;
+    }
+    for (i, (a, b)) in reference.lines().zip(other.lines()).enumerate() {
+        assert_eq!(a, b, "{label}: trace diverges at line {}", i + 1);
+    }
+    assert_eq!(
+        reference.lines().count(),
+        other.lines().count(),
+        "{label}: trace length diverges"
+    );
+}
+
+/// The golden matrix: every worker count and both queue backends yield
+/// the byte-identical event stream, counters and job records.
+#[test]
+fn streaming_trace_is_shard_count_independent() {
+    let p = params();
+    let mut reference_cfg = base_config(Backend::Serial).with_sampling();
+    reference_cfg.seed = p.seed;
+    let (golden, reference) = run_streaming_traced(&p, reference_cfg.clone());
+    assert!(
+        reference.counters.completed as f64 > p.expected_jobs() * 0.5,
+        "the cell must actually run a calibrated workload"
+    );
+    assert!(reference.counters.suspensions > 0, "bursts must preempt");
+
+    for shards in [1usize, 2, 4, 20] {
+        for reference_queue in [false, true] {
+            let mut config = base_config(Backend::Sharded { shards }).with_sampling();
+            config.seed = p.seed;
+            config.use_reference_queue = reference_queue;
+            let label = format!("shards={shards} refq={reference_queue}");
+            let (jsonl, output) = run_streaming_traced(&p, config);
+            assert_same_trace(&golden, &jsonl, &label);
+            assert_eq!(reference.counters, output.counters, "{label}: counters");
+            assert_eq!(reference.end_time, output.end_time, "{label}: end time");
+            assert_eq!(reference.jobs, output.jobs, "{label}: job records");
+            assert_eq!(reference.pool_stats, output.pool_stats, "{label}: pools");
+            assert_eq!(
+                reference.utilization_series, output.utilization_series,
+                "{label}: utilization series"
+            );
+        }
+    }
+}
+
+/// With sampling off, a streaming run and a materialized serial run are
+/// indistinguishable in every per-job record and every counter.
+#[test]
+fn streaming_matches_materialized_run() {
+    let p = params();
+    let site = p.build_site();
+    let workload = p.build_workload();
+
+    let mut config = base_config(Backend::Serial);
+    config.seed = p.seed;
+    let trace = workload.generate(p.seed);
+    let materialized = Simulator::new(&site, trace.to_specs(), config.clone()).run_to_completion();
+
+    for backend in [Backend::Serial, Backend::Sharded { shards: 4 }] {
+        let mut cfg = config.clone();
+        cfg.backend = backend;
+        let mut sim = Simulator::new(&site, Vec::new(), cfg);
+        // Any observer switches the run into retain mode so SimOutput
+        // carries the job records to compare.
+        sim.attach_observer(Box::new(TraceRecorder::in_memory()));
+        let streamed = sim.run_streaming(&workload, p.seed);
+        assert_eq!(materialized.jobs, streamed.jobs, "{backend:?}: job records");
+        assert_eq!(
+            materialized.counters, streamed.counters,
+            "{backend:?}: counters"
+        );
+        assert_eq!(
+            materialized.end_time, streamed.end_time,
+            "{backend:?}: end time"
+        );
+        assert_eq!(
+            materialized.pool_stats, streamed.pool_stats,
+            "{backend:?}: pools"
+        );
+    }
+}
+
+/// Pipelining only engages on observer-less runs, so its conformance
+/// signal is the deterministic outputs that survive without observers:
+/// counters, end time, pool stats and the sampled series.
+#[test]
+fn pipelining_is_unobservable() {
+    let p = params();
+    let site = p.build_site();
+    let workload = p.build_workload();
+    let run = |pipeline: bool, backend: Backend| {
+        let mut config = base_config(backend).with_sampling();
+        config.seed = p.seed;
+        config.stream_pipeline = pipeline;
+        Simulator::new(&site, Vec::new(), config).run_streaming(&workload, p.seed)
+    };
+    let reference = run(false, Backend::Serial);
+    for backend in [Backend::Serial, Backend::Sharded { shards: 4 }] {
+        let piped = run(true, backend);
+        assert_eq!(reference.counters, piped.counters, "{backend:?}: counters");
+        assert_eq!(reference.end_time, piped.end_time, "{backend:?}: end time");
+        assert_eq!(reference.pool_stats, piped.pool_stats, "{backend:?}: pools");
+        assert_eq!(
+            reference.suspended_series, piped.suspended_series,
+            "{backend:?}: suspended series"
+        );
+        assert_eq!(
+            reference.utilization_series, piped.utilization_series,
+            "{backend:?}: utilization series"
+        );
+        assert_eq!(
+            reference.waiting_series, piped.waiting_series,
+            "{backend:?}: waiting series"
+        );
+        assert!(piped.jobs.is_empty(), "observer-less runs drop records");
+    }
+}
+
+/// A year-long horizon (the paper's full trace window) streams end to
+/// end; the trace is never materialized, and both backends agree.
+#[test]
+fn year_horizon_streams_to_completion() {
+    let mut p = PerPoolParams::new(2, 0.02, 365 * 24 * 60);
+    p.seed = 7;
+    let site = p.build_site();
+    let workload = p.build_workload();
+    let run = |backend: Backend| {
+        let mut config = base_config(backend);
+        config.seed = p.seed;
+        Simulator::new(&site, Vec::new(), config).run_streaming(&workload, p.seed)
+    };
+    let serial = run(Backend::Serial);
+    let sharded = run(Backend::Sharded { shards: 2 });
+    assert_eq!(serial.counters, sharded.counters);
+    assert_eq!(serial.end_time, sharded.end_time);
+    let expected = p.expected_jobs();
+    let done = serial.counters.completed + serial.counters.unrunnable;
+    assert!(
+        (done as f64) > expected * 0.8 && (done as f64) < expected * 1.2,
+        "year-scale job count {done} should be near the calibrated {expected:.0}"
+    );
+}
+
+/// Configurations outside the streaming fast class are rejected loudly,
+/// never silently degraded.
+#[test]
+#[should_panic(expected = "streaming backend supports only the NoRes fast class")]
+fn non_fast_class_policies_are_rejected() {
+    let p = params();
+    let site = p.build_site();
+    let workload = p.build_workload();
+    let config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::ResSusUtil);
+    Simulator::new(&site, Vec::new(), config).run_streaming(&workload, p.seed);
+}
+
+/// Workloads without the pool-major pinning contract are rejected.
+#[test]
+#[should_panic(expected = "streaming workload contract violated")]
+fn unpinned_workloads_are_rejected() {
+    use netbatch::workload::scenarios::ScenarioParams;
+    let params = ScenarioParams::normal_week(0.01);
+    let site = params.build_site();
+    let workload = params.build_workload();
+    let config = SimConfig::new(InitialKind::RoundRobin, StrategyKind::NoRes);
+    Simulator::new(&site, Vec::new(), config).run_streaming(&workload, params.seed);
+}
